@@ -1,0 +1,57 @@
+//! # structcast-ast
+//!
+//! Lexer, parser, and abstract syntax tree for the C subset analyzed by the
+//! [structcast](https://example.org/structcast) pointer-analysis framework —
+//! a reproduction of *"Pointer Analysis for Programs with Structures and
+//! Casting"* (Yong, Horwitz & Reps, PLDI 1999).
+//!
+//! This crate replaces the SUIF front end the paper's implementation used.
+//! It understands a substantial C89 subset: struct/union/enum declarations,
+//! typedefs, pointers, arrays, function pointers, casts, initializers, and
+//! the full statement grammar. Preprocessor lines are skipped (sources are
+//! expected to be self-contained or paired with a prelude of extern
+//! declarations; see `structcast-ir`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use structcast_ast::{parse, ExternalDecl};
+//!
+//! let tu = parse(r#"
+//!     struct S { int *s1; int *s2; } s;
+//!     int x, y, *p;
+//!     void main(void) {
+//!         s.s1 = &x;
+//!         s.s2 = &y;
+//!         p = s.s1;
+//!     }
+//! "#)?;
+//! assert_eq!(tu.decls.len(), 3);
+//! assert!(matches!(tu.decls[2], ExternalDecl::Function(_)));
+//! # Ok::<(), structcast_ast::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod ast;
+mod error;
+mod lexer;
+mod parser;
+mod preprocess;
+mod pretty;
+mod span;
+mod token;
+
+pub use ast::{
+    AssignOp, AstType, BinOp, BlockItem, Declaration, EnumSpec, Expr, ExprKind, ExternalDecl,
+    FieldDecl, ForInit, FunctionDef, InitDeclarator, Initializer, ParamDecl, RecordSpec, Stmt,
+    Storage, TranslationUnit, TypeSpec, UnOp,
+};
+pub use error::{ParseError, Result};
+pub use lexer::Lexer;
+pub use parser::{parse, Parser};
+pub use preprocess::{preprocess, IncludeResolver};
+pub use pretty::{print_expr, print_translation_unit, print_type};
+pub use span::Span;
+pub use token::{Token, TokenKind};

@@ -1,0 +1,371 @@
+//! Recursive-descent parser for the supported C subset.
+//!
+//! The parser keeps a scope stack of names so that typedef names can be
+//! distinguished from ordinary identifiers (the classic "lexer hack", done
+//! in the parser). Declarations are parsed with the standard inside-out
+//! declarator algorithm, so `int (*f[3])(void)` and friends work.
+
+mod decl;
+mod expr;
+mod stmt;
+
+use crate::ast::*;
+use crate::error::{ParseError, Result};
+use crate::lexer::Lexer;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+use std::collections::HashMap;
+
+/// Parses a complete translation unit from C source text.
+///
+/// This is the main entry point of the crate.
+///
+/// # Errors
+///
+/// Returns the first lexing or parsing error encountered.
+///
+/// # Examples
+///
+/// ```
+/// let tu = structcast_ast::parse("struct S { int *p; } s; int x;")?;
+/// assert_eq!(tu.decls.len(), 2);
+/// # Ok::<(), structcast_ast::ParseError>(())
+/// ```
+pub fn parse(src: &str) -> Result<TranslationUnit> {
+    let tokens = Lexer::new(src).tokenize()?;
+    Parser::new(tokens).parse_translation_unit()
+}
+
+/// The parser state.
+#[derive(Debug)]
+pub struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    /// Scope stack mapping declared names to "is a typedef name".
+    scopes: Vec<HashMap<String, bool>>,
+}
+
+impl Parser {
+    /// Creates a parser over a pre-lexed token stream (must end with Eof).
+    pub fn new(toks: Vec<Token>) -> Self {
+        Parser {
+            toks,
+            pos: 0,
+            scopes: vec![HashMap::new()],
+        }
+    }
+
+    /// Parses the whole token stream as a translation unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse error encountered.
+    pub fn parse_translation_unit(mut self) -> Result<TranslationUnit> {
+        let mut decls = Vec::new();
+        while !self.check(&TokenKind::Eof) {
+            // Tolerate stray semicolons at top level.
+            if self.eat(&TokenKind::Semi) {
+                continue;
+            }
+            decls.push(self.parse_external_decl()?);
+        }
+        Ok(TranslationUnit { decls })
+    }
+
+    // ----- token helpers -----
+
+    pub(crate) fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos.min(self.toks.len() - 1)].kind
+    }
+
+    pub(crate) fn peek_nth(&self, n: usize) -> &TokenKind {
+        &self.toks[(self.pos + n).min(self.toks.len() - 1)].kind
+    }
+
+    pub(crate) fn peek_span(&self) -> Span {
+        self.toks[self.pos.min(self.toks.len() - 1)].span
+    }
+
+    pub(crate) fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1).min(self.toks.len() - 1)].span
+    }
+
+    pub(crate) fn advance(&mut self) -> Token {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    pub(crate) fn check(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    pub(crate) fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.check(kind) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect(&mut self, kind: &TokenKind) -> Result<Token> {
+        if self.check(kind) {
+            Ok(self.advance())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    pub(crate) fn expect_ident(&mut self) -> Result<(String, Span)> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let sp = self.peek_span();
+                self.advance();
+                Ok((name, sp))
+            }
+            other => Err(self.error(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    pub(crate) fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.peek_span())
+    }
+
+    // ----- scopes / typedef tracking -----
+
+    pub(crate) fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    pub(crate) fn pop_scope(&mut self) {
+        debug_assert!(self.scopes.len() > 1, "cannot pop the global scope");
+        self.scopes.pop();
+    }
+
+    pub(crate) fn declare_name(&mut self, name: &str, is_typedef: bool) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack is never empty")
+            .insert(name.to_string(), is_typedef);
+    }
+
+    /// True if `name` currently resolves to a typedef name.
+    pub(crate) fn is_typedef_name(&self, name: &str) -> bool {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&is_td) = scope.get(name) {
+                return is_td;
+            }
+        }
+        false
+    }
+
+    /// True if the current token can begin a declaration.
+    pub(crate) fn starts_declaration(&self) -> bool {
+        match self.peek() {
+            k if k.is_decl_spec_keyword() => true,
+            TokenKind::Ident(name) => {
+                // A typedef name starts a declaration only if what follows
+                // looks like a declarator, not an expression (e.g. `T x;` vs
+                // `T = 3;` where a variable shadows a typedef is handled by
+                // the scope lookup itself).
+                self.is_typedef_name(name)
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_external_decl(&mut self) -> Result<ExternalDecl> {
+        let start_span = self.peek_span();
+        let (storage, base) = self.parse_decl_specifiers()?;
+
+        // Tag-only declaration: `struct S { ... };`
+        if self.check(&TokenKind::Semi) {
+            self.advance();
+            return Ok(ExternalDecl::Declaration(Declaration {
+                storage,
+                base,
+                items: vec![],
+                span: start_span.merge(self.prev_span()),
+            }));
+        }
+
+        let (name, ty, name_span) = self.parse_named_declarator(base.clone())?;
+
+        if ty.is_function() && self.check(&TokenKind::LBrace) {
+            // Function definition.
+            self.declare_name(&name, false);
+            self.push_scope();
+            if let AstType::Function { ref params, .. } = ty {
+                for p in params {
+                    if let Some(n) = &p.name {
+                        self.declare_name(n, false);
+                    }
+                }
+            }
+            let body = self.parse_block()?;
+            self.pop_scope();
+            return Ok(ExternalDecl::Function(FunctionDef {
+                name,
+                ty,
+                storage,
+                body,
+                span: name_span,
+            }));
+        }
+
+        // Ordinary declaration list.
+        let decl = self.finish_declaration(storage, base, name, ty, name_span, start_span)?;
+        Ok(ExternalDecl::Declaration(decl))
+    }
+
+    /// Parses the init-declarator tail (`= init`, `, more`, `;`) after the
+    /// first declarator has already been read.
+    pub(crate) fn finish_declaration(
+        &mut self,
+        storage: Storage,
+        base: AstType,
+        first_name: String,
+        first_ty: AstType,
+        first_span: Span,
+        start_span: Span,
+    ) -> Result<Declaration> {
+        let mut items = Vec::new();
+        let is_typedef = storage == Storage::Typedef;
+        self.declare_name(&first_name, is_typedef);
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.parse_initializer()?)
+        } else {
+            None
+        };
+        items.push(InitDeclarator {
+            name: first_name,
+            ty: first_ty,
+            init,
+            span: first_span,
+        });
+        while self.eat(&TokenKind::Comma) {
+            let (name, ty, span) = self.parse_named_declarator(base.clone())?;
+            self.declare_name(&name, is_typedef);
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.parse_initializer()?)
+            } else {
+                None
+            };
+            items.push(InitDeclarator { name, ty, init, span });
+        }
+        self.expect(&TokenKind::Semi)?;
+        Ok(Declaration {
+            storage,
+            base,
+            items,
+            span: start_span.merge(self.prev_span()),
+        })
+    }
+
+    pub(crate) fn parse_initializer(&mut self) -> Result<Initializer> {
+        if self.eat(&TokenKind::LBrace) {
+            let mut elems = Vec::new();
+            if !self.check(&TokenKind::RBrace) {
+                loop {
+                    elems.push(self.parse_initializer()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                    if self.check(&TokenKind::RBrace) {
+                        break; // trailing comma
+                    }
+                }
+            }
+            self.expect(&TokenKind::RBrace)?;
+            Ok(Initializer::List(elems))
+        } else {
+            Ok(Initializer::Expr(self.parse_assignment_expr()?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_translation_unit() {
+        let tu = parse("").unwrap();
+        assert!(tu.decls.is_empty());
+        let tu = parse(";;;").unwrap();
+        assert!(tu.decls.is_empty());
+    }
+
+    #[test]
+    fn global_and_function() {
+        let tu = parse("int g; void f(void) { g = 1; }").unwrap();
+        assert_eq!(tu.decls.len(), 2);
+        assert!(matches!(tu.decls[0], ExternalDecl::Declaration(_)));
+        assert!(matches!(tu.decls[1], ExternalDecl::Function(_)));
+    }
+
+    #[test]
+    fn typedef_names_parse_as_types() {
+        let tu = parse("typedef int myint; myint x; myint *p;").unwrap();
+        assert_eq!(tu.decls.len(), 3);
+        if let ExternalDecl::Declaration(d) = &tu.decls[2] {
+            assert!(matches!(d.items[0].ty, AstType::Pointer(_)));
+        } else {
+            panic!("expected declaration");
+        }
+    }
+
+    #[test]
+    fn typedef_shadowed_by_variable() {
+        // Inside f, `T` is an int variable, so `T * x` is a multiplication.
+        let src = "typedef int T; int x; void f(void) { int T; T = 3; x = T * x; }";
+        parse(src).unwrap();
+    }
+
+    #[test]
+    fn function_pointer_declarator() {
+        let tu = parse("int (*handler)(int, char *);").unwrap();
+        if let ExternalDecl::Declaration(d) = &tu.decls[0] {
+            match &d.items[0].ty {
+                AstType::Pointer(inner) => assert!(inner.is_function()),
+                other => panic!("expected pointer to function, got {other:?}"),
+            }
+        } else {
+            panic!()
+        }
+    }
+
+    #[test]
+    fn array_of_pointers_vs_pointer_to_array() {
+        let tu = parse("int *a[3]; int (*b)[3];").unwrap();
+        let tys: Vec<_> = tu
+            .decls
+            .iter()
+            .map(|d| match d {
+                ExternalDecl::Declaration(d) => d.items[0].ty.clone(),
+                _ => panic!(),
+            })
+            .collect();
+        assert!(matches!(tys[0], AstType::Array(_, _)));
+        if let AstType::Array(inner, _) = &tys[0] {
+            assert!(matches!(**inner, AstType::Pointer(_)));
+        }
+        assert!(matches!(tys[1], AstType::Pointer(_)));
+        if let AstType::Pointer(inner) = &tys[1] {
+            assert!(matches!(**inner, AstType::Array(_, _)));
+        }
+    }
+
+    #[test]
+    fn error_reports_expected_token() {
+        let err = parse("int x").unwrap_err();
+        assert!(err.message().contains("expected"), "{err}");
+    }
+}

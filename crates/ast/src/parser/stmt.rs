@@ -1,0 +1,280 @@
+//! Statement parsing.
+
+use super::Parser;
+use crate::ast::*;
+use crate::error::Result;
+use crate::token::TokenKind;
+
+impl Parser {
+    /// Parses a `{ ... }` block (current token must be `{`).
+    pub(crate) fn parse_block(&mut self) -> Result<Stmt> {
+        self.expect(&TokenKind::LBrace)?;
+        self.push_scope();
+        let mut items = Vec::new();
+        while !self.check(&TokenKind::RBrace) && !self.check(&TokenKind::Eof) {
+            if self.starts_declaration() {
+                items.push(BlockItem::Decl(self.parse_local_declaration()?));
+            } else {
+                items.push(BlockItem::Stmt(self.parse_stmt()?));
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        self.pop_scope();
+        Ok(Stmt::Block(items))
+    }
+
+    fn parse_local_declaration(&mut self) -> Result<Declaration> {
+        let start = self.peek_span();
+        let (storage, base) = self.parse_decl_specifiers()?;
+        if self.check(&TokenKind::Semi) {
+            self.advance();
+            return Ok(Declaration {
+                storage,
+                base,
+                items: vec![],
+                span: start.merge(self.prev_span()),
+            });
+        }
+        let (name, ty, span) = self.parse_named_declarator(base.clone())?;
+        self.finish_declaration(storage, base, name, ty, span, start)
+    }
+
+    /// Parses one statement.
+    pub(crate) fn parse_stmt(&mut self) -> Result<Stmt> {
+        use TokenKind as T;
+        match self.peek().clone() {
+            T::LBrace => self.parse_block(),
+            T::Semi => {
+                self.advance();
+                Ok(Stmt::Expr(None))
+            }
+            T::KwIf => {
+                self.advance();
+                self.expect(&T::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(&T::RParen)?;
+                let then = Box::new(self.parse_stmt()?);
+                let els = if self.eat(&T::KwElse) {
+                    Some(Box::new(self.parse_stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If { cond, then, els })
+            }
+            T::KwWhile => {
+                self.advance();
+                self.expect(&T::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(&T::RParen)?;
+                let body = Box::new(self.parse_stmt()?);
+                Ok(Stmt::While { cond, body })
+            }
+            T::KwDo => {
+                self.advance();
+                let body = Box::new(self.parse_stmt()?);
+                self.expect(&T::KwWhile)?;
+                self.expect(&T::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(&T::RParen)?;
+                self.expect(&T::Semi)?;
+                Ok(Stmt::DoWhile { body, cond })
+            }
+            T::KwFor => {
+                self.advance();
+                self.expect(&T::LParen)?;
+                self.push_scope();
+                let init = if self.check(&T::Semi) {
+                    self.advance();
+                    None
+                } else if self.starts_declaration() {
+                    Some(ForInit::Decl(self.parse_local_declaration()?))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect(&T::Semi)?;
+                    Some(ForInit::Expr(e))
+                };
+                let cond = if self.check(&T::Semi) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(&T::Semi)?;
+                let step = if self.check(&T::RParen) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(&T::RParen)?;
+                let body = Box::new(self.parse_stmt()?);
+                self.pop_scope();
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            T::KwSwitch => {
+                self.advance();
+                self.expect(&T::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(&T::RParen)?;
+                let body = Box::new(self.parse_stmt()?);
+                Ok(Stmt::Switch { cond, body })
+            }
+            T::KwCase => {
+                self.advance();
+                let val = self.parse_conditional_expr()?;
+                self.expect(&T::Colon)?;
+                let inner = Box::new(self.parse_stmt()?);
+                Ok(Stmt::Case(val, inner))
+            }
+            T::KwDefault => {
+                self.advance();
+                self.expect(&T::Colon)?;
+                let inner = Box::new(self.parse_stmt()?);
+                Ok(Stmt::Default(inner))
+            }
+            T::KwReturn => {
+                self.advance();
+                let val = if self.check(&T::Semi) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(&T::Semi)?;
+                Ok(Stmt::Return(val))
+            }
+            T::KwBreak => {
+                self.advance();
+                self.expect(&T::Semi)?;
+                Ok(Stmt::Break)
+            }
+            T::KwContinue => {
+                self.advance();
+                self.expect(&T::Semi)?;
+                Ok(Stmt::Continue)
+            }
+            T::KwGoto => {
+                self.advance();
+                let (label, _) = self.expect_ident()?;
+                self.expect(&T::Semi)?;
+                Ok(Stmt::Goto(label))
+            }
+            // Label: `ident :` (but not `ident ::` etc.)
+            T::Ident(name) if self.peek_nth(1) == &T::Colon => {
+                self.advance();
+                self.advance();
+                let inner = Box::new(self.parse_stmt()?);
+                Ok(Stmt::Labeled(name, inner))
+            }
+            _ => {
+                let e = self.parse_expr()?;
+                self.expect(&T::Semi)?;
+                Ok(Stmt::Expr(Some(e)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::*;
+    use crate::parser::parse;
+
+    fn body(src: &str) -> Vec<BlockItem> {
+        let tu = parse(&format!("int x, y; void f(void) {{ {src} }}")).unwrap();
+        for d in &tu.decls {
+            if let ExternalDecl::Function(f) = d {
+                if let Stmt::Block(items) = &f.body {
+                    return items.clone();
+                }
+            }
+        }
+        panic!("no body");
+    }
+
+    #[test]
+    fn if_else_chain() {
+        let items = body("if (x) y = 1; else if (y) x = 2; else x = 3;");
+        assert_eq!(items.len(), 1);
+        match &items[0] {
+            BlockItem::Stmt(Stmt::If { els, .. }) => {
+                assert!(matches!(els.as_deref(), Some(Stmt::If { .. })));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn loops() {
+        let items = body(
+            "while (x) x = x - 1; \
+             do y = y + 1; while (y < 10); \
+             for (x = 0; x < 3; x++) y = y + x; \
+             for (;;) break;",
+        );
+        assert_eq!(items.len(), 4);
+        assert!(matches!(items[0], BlockItem::Stmt(Stmt::While { .. })));
+        assert!(matches!(items[1], BlockItem::Stmt(Stmt::DoWhile { .. })));
+        assert!(matches!(items[2], BlockItem::Stmt(Stmt::For { .. })));
+        if let BlockItem::Stmt(Stmt::For { init, cond, step, .. }) = &items[3] {
+            assert!(init.is_none() && cond.is_none() && step.is_none());
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn for_with_declaration() {
+        let items = body("for (int i = 0; i < 3; i++) x = i;");
+        match &items[0] {
+            BlockItem::Stmt(Stmt::For { init, .. }) => {
+                assert!(matches!(init, Some(ForInit::Decl(_))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn switch_cases() {
+        let items = body(
+            "switch (x) { case 1: y = 1; break; case 2: case 3: y = 2; break; default: y = 0; }",
+        );
+        assert!(matches!(items[0], BlockItem::Stmt(Stmt::Switch { .. })));
+    }
+
+    #[test]
+    fn goto_and_labels() {
+        let items = body("again: x = x + 1; if (x < 3) goto again;");
+        assert!(matches!(
+            items[0],
+            BlockItem::Stmt(Stmt::Labeled(ref l, _)) if l == "again"
+        ));
+    }
+
+    #[test]
+    fn return_forms() {
+        let items = body("if (x) return; return;");
+        assert_eq!(items.len(), 2);
+        let tu = parse("int f(void) { return 3; }").unwrap();
+        if let ExternalDecl::Function(f) = &tu.decls[0] {
+            if let Stmt::Block(items) = &f.body {
+                assert!(matches!(items[0], BlockItem::Stmt(Stmt::Return(Some(_)))));
+            }
+        }
+    }
+
+    #[test]
+    fn local_declarations_with_inits() {
+        let items = body("int a = 1, *b = &a; a = *b;");
+        assert!(matches!(items[0], BlockItem::Decl(ref d) if d.items.len() == 2));
+    }
+
+    #[test]
+    fn nested_blocks_scope() {
+        // Inner T shadows outer typedef only within its block.
+        let src = "typedef int T; void f(void) { { int T; T = 1; } T q; q = 2; }";
+        parse(src).unwrap();
+    }
+}

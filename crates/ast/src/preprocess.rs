@@ -1,0 +1,321 @@
+//! A lightweight C preprocessor.
+//!
+//! The analysis pipeline skips `#`-lines entirely (the paper's SUIF front
+//! end ran after a real preprocessor). For convenience on self-contained
+//! sources, this module implements the commonly needed subset:
+//!
+//! * object-like `#define NAME replacement` and `#undef`;
+//! * `#ifdef` / `#ifndef` / `#else` / `#endif` (nestable);
+//! * `#include "file"` through a caller-supplied resolver (so the library
+//!   itself never touches the filesystem); `#include <...>` lines are
+//!   dropped (the pipeline's libc summaries stand in for system headers).
+//!
+//! Function-like macros, `#if` expressions, token pasting, and stringizing
+//! are *not* supported — directives using them are dropped with the same
+//! skip-the-line behavior the lexer applies. Macro replacement is done on
+//! identifier boundaries, iteratively to a small depth (no self-recursion).
+
+use std::collections::HashMap;
+
+/// Resolves `#include "name"` to file contents; `None` drops the include.
+pub type IncludeResolver<'a> = dyn Fn(&str) -> Option<String> + 'a;
+
+/// Preprocesses `src`, resolving quoted includes through `resolve`.
+///
+/// Output line structure is preserved where possible (directives become
+/// empty lines) so parser spans remain meaningful.
+///
+/// # Examples
+///
+/// ```
+/// use structcast_ast::preprocess;
+/// let out = preprocess(
+///     "#define N 4\nint a[N];\n#ifdef MISSING\nint b;\n#endif\n",
+///     &|_| None,
+/// );
+/// assert!(out.contains("int a[4];"));
+/// assert!(!out.contains("int b;"));
+/// ```
+pub fn preprocess(src: &str, resolve: &IncludeResolver<'_>) -> String {
+    let mut defines: HashMap<String, String> = HashMap::new();
+    let mut out = String::with_capacity(src.len());
+    expand_into(src, resolve, &mut defines, &mut out, 0);
+    out
+}
+
+fn expand_into(
+    src: &str,
+    resolve: &IncludeResolver<'_>,
+    defines: &mut HashMap<String, String>,
+    out: &mut String,
+    depth: usize,
+) {
+    if depth > 16 {
+        return; // include cycle guard
+    }
+    // Stack of condition states: (branch_live, any_branch_taken).
+    let mut conds: Vec<(bool, bool)> = Vec::new();
+    let live = |conds: &Vec<(bool, bool)>| conds.iter().all(|(l, _)| *l);
+
+    for line in src.lines() {
+        let trimmed = line.trim_start();
+        if let Some(directive) = trimmed.strip_prefix('#') {
+            let directive = directive.trim_start();
+            let (word, rest) = split_word(directive);
+            match word {
+                "define" if live(&conds) => {
+                    let (name, value) = split_word(rest);
+                    // Object-like only: a '(' directly attached to the name
+                    // means function-like; skip those.
+                    if !name.is_empty() && !value.starts_with('(') {
+                        defines.insert(name.to_string(), value.trim().to_string());
+                    }
+                }
+                "undef" if live(&conds) => {
+                    let (name, _) = split_word(rest);
+                    defines.remove(name);
+                }
+                "ifdef" => {
+                    let (name, _) = split_word(rest);
+                    let taken = live(&conds) && defines.contains_key(name);
+                    conds.push((taken, taken));
+                }
+                "ifndef" => {
+                    let (name, _) = split_word(rest);
+                    let taken = live(&conds) && !defines.contains_key(name);
+                    conds.push((taken, taken));
+                }
+                // `#if` expressions are unsupported: treat as false so the
+                // `#else` branch (if any) is used.
+                "if" => conds.push((false, false)),
+                "else" => {
+                    if let Some((l, taken)) = conds.pop() {
+                        let parent_live = live(&conds);
+                        let _ = l;
+                        conds.push((parent_live && !taken, true));
+                    }
+                }
+                "elif" => {
+                    if let Some((_, taken)) = conds.pop() {
+                        // Unsupported expressions: only take an elif branch
+                        // never; keep 'taken' state.
+                        conds.push((false, taken));
+                    }
+                }
+                "endif" => {
+                    conds.pop();
+                }
+                "include" if live(&conds) => {
+                    let rest = rest.trim();
+                    if let Some(name) = rest
+                        .strip_prefix('"')
+                        .and_then(|r| r.split('"').next())
+                    {
+                        if let Some(content) = resolve(name) {
+                            expand_into(&content, resolve, defines, out, depth + 1);
+                        }
+                    }
+                    // <...> system includes drop (summaries cover libc).
+                }
+                _ => {}
+            }
+            out.push('\n'); // keep the line count stable
+            continue;
+        }
+        if live(&conds) {
+            out.push_str(&substitute(line, defines));
+        }
+        out.push('\n');
+    }
+}
+
+/// Splits the first identifier-ish word off a directive body.
+fn split_word(s: &str) -> (&str, &str) {
+    let s = s.trim_start();
+    let end = s
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(s.len());
+    (&s[..end], &s[end..])
+}
+
+/// Replaces defined identifiers in a line, respecting identifier
+/// boundaries, string literals, and comments; iterates a few times so
+/// chains like `#define A B` / `#define B 3` resolve.
+fn substitute(line: &str, defines: &HashMap<String, String>) -> String {
+    let mut cur = line.to_string();
+    for _ in 0..8 {
+        let next = substitute_once(&cur, defines);
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+fn substitute_once(line: &str, defines: &HashMap<String, String>) -> String {
+    let bytes = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    let mut in_str = false;
+    let mut in_char = false;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Line comments end substitution; copy the rest verbatim.
+        if !in_str && !in_char && c == '/' && bytes.get(i + 1) == Some(&b'/') {
+            out.push_str(&line[i..]);
+            break;
+        }
+        if c == '"' && !in_char {
+            in_str = !in_str;
+            out.push(c);
+            i += 1;
+            continue;
+        }
+        if c == '\'' && !in_str {
+            in_char = !in_char;
+            out.push(c);
+            i += 1;
+            continue;
+        }
+        if !in_str && !in_char && (c.is_ascii_alphabetic() || c == '_') {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let word = &line[start..i];
+            match defines.get(word) {
+                Some(repl) => out.push_str(repl),
+                None => out.push_str(word),
+            }
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pp(src: &str) -> String {
+        preprocess(src, &|_| None)
+    }
+
+    #[test]
+    fn object_macros_expand() {
+        let out = pp("#define SIZE 16\n#define TYPE int\nTYPE buf[SIZE];\n");
+        assert!(out.contains("int buf[16];"), "{out}");
+    }
+
+    #[test]
+    fn chained_macros_resolve() {
+        let out = pp("#define A B\n#define B 7\nint x = A;\n");
+        assert!(out.contains("int x = 7;"), "{out}");
+    }
+
+    #[test]
+    fn identifier_boundaries_respected() {
+        let out = pp("#define N 3\nint N1; int aN; int N;\n");
+        assert!(out.contains("int N1; int aN; int 3;"), "{out}");
+    }
+
+    #[test]
+    fn strings_and_chars_untouched() {
+        let out = pp("#define x 9\nchar *s = \"x marks\"; int c = 'x'; int y = x;\n");
+        assert!(out.contains("\"x marks\""), "{out}");
+        assert!(out.contains("'x'"), "{out}");
+        assert!(out.contains("int y = 9;"), "{out}");
+    }
+
+    #[test]
+    fn ifdef_else_endif() {
+        let out = pp(
+            "#define YES 1\n#ifdef YES\nint a;\n#else\nint b;\n#endif\n\
+             #ifdef NO\nint c;\n#else\nint d;\n#endif\n",
+        );
+        assert!(out.contains("int a;"));
+        assert!(!out.contains("int b;"));
+        assert!(!out.contains("int c;"));
+        assert!(out.contains("int d;"));
+    }
+
+    #[test]
+    fn nested_conditionals() {
+        let out = pp(
+            "#define A 1\n#ifdef A\n#ifdef B\nint x;\n#else\nint y;\n#endif\n#endif\n",
+        );
+        assert!(!out.contains("int x;"));
+        assert!(out.contains("int y;"));
+    }
+
+    #[test]
+    fn ifndef_and_undef() {
+        let out = pp("#define G 1\n#undef G\n#ifndef G\nint ok;\n#endif\n");
+        assert!(out.contains("int ok;"));
+    }
+
+    #[test]
+    fn quoted_includes_resolve() {
+        let resolver = |name: &str| {
+            if name == "defs.h" {
+                Some("#define WIDTH 32\nstruct Pt { int x; int y; };\n".to_string())
+            } else {
+                None
+            }
+        };
+        let out = preprocess(
+            "#include \"defs.h\"\n#include <stdio.h>\nint grid[WIDTH];\nstruct Pt p;\n",
+            &resolver,
+        );
+        assert!(out.contains("struct Pt { int x; int y; };"));
+        assert!(out.contains("int grid[32];"));
+        assert!(!out.contains("stdio"));
+    }
+
+    #[test]
+    fn include_cycles_terminate() {
+        let resolver = |name: &str| {
+            if name == "a.h" {
+                Some("#include \"a.h\"\nint once;\n".to_string())
+            } else {
+                None
+            }
+        };
+        let out = preprocess("#include \"a.h\"\n", &resolver);
+        assert!(out.contains("once"));
+    }
+
+    #[test]
+    fn line_structure_is_preserved() {
+        let src = "#define K 1\nint a;\n#ifdef NO\nint b;\n#endif\nint c;\n";
+        let out = pp(src);
+        // Same number of lines in and out: spans stay line-accurate.
+        assert_eq!(out.lines().count(), src.lines().count());
+        // int c stays on line 6.
+        assert_eq!(out.lines().nth(5), Some("int c;"));
+    }
+
+    #[test]
+    fn function_like_defines_are_ignored() {
+        let out = pp("#define SQ(a) ((a)*(a))\nint x = 4;\n");
+        assert!(out.contains("int x = 4;"));
+        // SQ must not be object-substituted anywhere.
+        let out2 = pp("#define SQ(a) ((a)*(a))\nint SQ;\n");
+        assert!(out2.contains("int SQ;"), "{out2}");
+    }
+
+    #[test]
+    fn end_to_end_with_parser() {
+        let out = pp(
+            "#define NODE struct Node\n#define NEXT next\n\
+             NODE { NODE *NEXT; int v; };\nNODE *head;\n",
+        );
+        let tu = crate::parse(&out).unwrap();
+        assert_eq!(tu.decls.len(), 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Source positions and spans.
+//!
+//! Every token and AST node carries a [`Span`] identifying the byte range it
+//! was parsed from, so that later pipeline phases (lowering, analysis,
+//! diagnostics) can point back at the original source.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the original source text,
+/// together with the 1-based line number on which it starts.
+///
+/// # Examples
+///
+/// ```
+/// use structcast_ast::Span;
+/// let sp = Span::new(4, 9, 2);
+/// assert_eq!(sp.len(), 5);
+/// assert_eq!(format!("{sp}"), "line 2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Span {
+    /// Creates a span covering bytes `[start, end)` starting on `line`.
+    pub fn new(start: u32, end: u32, line: u32) -> Self {
+        Span { start, end, line }
+    }
+
+    /// A zero-width placeholder span (used for synthesized nodes).
+    pub fn dummy() -> Self {
+        Span::default()
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> u32 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The smallest span containing both `self` and `other`.
+    ///
+    /// The line number is taken from whichever span starts first.
+    pub fn merge(self, other: Span) -> Span {
+        let (first, _) = if self.start <= other.start {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: first.line,
+        }
+    }
+
+    /// Extracts the text this span covers from `src`.
+    ///
+    /// Returns an empty string if the span is out of bounds for `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start as usize..self.end as usize).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_commutative_on_bounds() {
+        let a = Span::new(2, 5, 1);
+        let b = Span::new(7, 9, 2);
+        let m1 = a.merge(b);
+        let m2 = b.merge(a);
+        assert_eq!(m1.start, 2);
+        assert_eq!(m1.end, 9);
+        assert_eq!(m1.start, m2.start);
+        assert_eq!(m1.end, m2.end);
+        assert_eq!(m1.line, 1);
+    }
+
+    #[test]
+    fn text_extraction() {
+        let src = "int x = 3;";
+        let sp = Span::new(4, 5, 1);
+        assert_eq!(sp.text(src), "x");
+        let oob = Span::new(100, 105, 1);
+        assert_eq!(oob.text(src), "");
+    }
+
+    #[test]
+    fn dummy_is_empty() {
+        assert!(Span::dummy().is_empty());
+        assert_eq!(Span::dummy().len(), 0);
+    }
+
+    #[test]
+    fn merge_overlapping() {
+        let a = Span::new(0, 6, 1);
+        let b = Span::new(3, 4, 1);
+        let m = a.merge(b);
+        assert_eq!((m.start, m.end), (0, 6));
+    }
+}

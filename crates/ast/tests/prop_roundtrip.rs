@@ -1,0 +1,98 @@
+//! Property-based parser tests: printing a random AST and re-parsing it
+//! must be a fixed point of the printer (print ∘ parse ∘ print = print),
+//! and the lexer must handle arbitrary identifier/number shapes.
+
+use proptest::prelude::*;
+use structcast_ast::{parse, print_translation_unit, Lexer, TokenKind};
+
+/// Random expression text over a fixed set of declared names, built
+/// bottom-up so it is always syntactically valid.
+fn expr_strategy() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        Just("x".to_string()),
+        Just("y".to_string()),
+        Just("p".to_string()),
+        Just("s".to_string()),
+        (0i64..1000).prop_map(|n| n.to_string()),
+    ];
+    atom.prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} == {b})")),
+            inner.clone().prop_map(|a| format!("(-{a})")),
+            inner.clone().prop_map(|a| format!("(!{a})")),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| format!("({c} ? {t} : {e})")),
+        ]
+    })
+}
+
+/// Random statement bodies using the expression generator.
+fn stmt_strategy() -> impl Strategy<Value = String> {
+    let e = expr_strategy;
+    prop_oneof![
+        e().prop_map(|v| format!("x = {v};")),
+        e().prop_map(|v| format!("if ({v}) y = 1; else y = 2;")),
+        e().prop_map(|v| format!("while ({v}) break;")),
+        (e(), e()).prop_map(|(a, b)| format!("for (x = {a}; x < {b}; x++) y = y + 1;")),
+        e().prop_map(|v| format!("return {v};")),
+        Just("p = &x;".to_string()),
+        Just("x = *p;".to_string()),
+        Just("s.f = &x;".to_string()),
+        Just("y = s.f != 0;".to_string()),
+    ]
+}
+
+fn program_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(stmt_strategy(), 1..12).prop_map(|stmts| {
+        format!(
+            "struct S {{ int *f; int g; }} s;\nint x, y, *p;\nint main(void) {{\n{}\n}}\n",
+            stmts.join("\n")
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn print_is_a_fixed_point_of_parse(src in program_strategy()) {
+        let tu1 = parse(&src).expect("generated program must parse");
+        let p1 = print_translation_unit(&tu1);
+        let tu2 = parse(&p1).unwrap_or_else(|e| panic!("reparse failed: {e}\n{p1}"));
+        let p2 = print_translation_unit(&tu2);
+        prop_assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn lexer_handles_arbitrary_identifiers(name in "[a-zA-Z_][a-zA-Z0-9_]{0,20}") {
+        let toks = Lexer::new(&name).tokenize().unwrap();
+        prop_assert_eq!(toks.len(), 2); // the word + EOF
+        match &toks[0].kind {
+            TokenKind::Ident(s) => prop_assert_eq!(s, &name),
+            k => {
+                // Keywords lex as keywords; that is fine too.
+                prop_assert!(TokenKind::keyword(&name).as_ref() == Some(k));
+            }
+        }
+    }
+
+    #[test]
+    fn lexer_round_trips_decimal_integers(n in 0i64..i64::MAX) {
+        let src = n.to_string();
+        let toks = Lexer::new(&src).tokenize().unwrap();
+        prop_assert_eq!(&toks[0].kind, &TokenKind::IntLit(n));
+    }
+
+    #[test]
+    fn lexer_never_panics_on_ascii_soup(s in "[ -~\\n\\t]{0,80}") {
+        // Arbitrary printable-ASCII input: must return Ok or Err, not panic.
+        let _ = Lexer::new(&s).tokenize();
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(s in "[a-z0-9;(){}*&=+,<>\\[\\] ]{0,60}") {
+        let _ = parse(&s);
+    }
+}

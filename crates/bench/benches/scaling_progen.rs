@@ -1,0 +1,42 @@
+//! Scaling: solver cost vs generated-program size and cast frequency,
+//! spanning the paper's 650–29,000-line benchmark size range with the
+//! synthetic generator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use structcast::ModelKind;
+use structcast_bench::solve;
+use structcast_driver::{experiments, report};
+use structcast_progen::{generate, GenConfig};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", report::render_scaling(&experiments::run_scaling(false)));
+
+    let cases = [
+        ("small", GenConfig::small(97)),
+        ("medium", GenConfig::medium(97)),
+    ];
+    let ratios = [0.0, 0.5, 1.0];
+
+    let mut g = c.benchmark_group("scaling");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    for (label, base) in cases {
+        for r in ratios {
+            let cfg = base.clone().with_cast_ratio(r);
+            let src = generate(&cfg);
+            let prog = structcast::lower_source(&src).expect("generated code lowers");
+            g.throughput(Throughput::Elements(prog.assignment_count() as u64));
+            for kind in [ModelKind::CommonInitialSeq, ModelKind::Offsets] {
+                g.bench_with_input(
+                    BenchmarkId::new(format!("{label}/{kind:?}"), format!("r{r}")),
+                    &prog,
+                    |b, prog| b.iter(|| solve(prog, kind)),
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! # structcast-bench
+//!
+//! Criterion benchmarks for the structcast reproduction. One bench target
+//! per paper figure plus the ablations:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `fig3_program_stats` | Figure 3 (front-end + instrumented portable runs) |
+//! | `fig4_deref_sets` | Figure 4 (per-model solve; prints the table once) |
+//! | `fig5_times` | Figure 5 (per-program × per-model solve times) |
+//! | `fig6_edges` | Figure 6 (edge production throughput; prints counts) |
+//! | `ablation_steensgaard` | inclusion vs unification |
+//! | `ablation_layout` | Offsets under ilp32/lp64/packed32 |
+//! | `scaling_progen` | generated-program size/cast-ratio sweep |
+//!
+//! Run with `cargo bench --workspace`; the human-readable tables are also
+//! available without Criterion via `scast-experiments all`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use structcast::{analyze, AnalysisConfig, ModelKind, Program};
+
+/// Lowers a corpus program, panicking with its name on failure (benches
+/// want loud, early errors).
+pub fn lower_named(name: &str, source: &str) -> Program {
+    structcast::lower_source(source).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+/// Runs one instance over a program (the unit of work most benches time).
+pub fn solve(prog: &Program, kind: ModelKind) -> usize {
+    analyze(prog, &AnalysisConfig::new(kind)).edge_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_work() {
+        let p = structcast_progen::corpus_program("bst").unwrap();
+        let prog = lower_named(p.name, p.source);
+        assert!(solve(&prog, ModelKind::CommonInitialSeq) > 0);
+    }
+}

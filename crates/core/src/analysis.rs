@@ -1,0 +1,331 @@
+//! The top-level analysis API: configure an instance, run it, query the
+//! results.
+
+use crate::facts::FactStore;
+use crate::loc::Loc;
+use crate::model::{FieldModel, ModelKind, ModelStats};
+use crate::models::{make_model_with, ModelOptions};
+use crate::solver::{ArithMode, Solver};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+use structcast_ir::{ObjId, Program, StmtId};
+use structcast_types::{CompatMode, FieldPath, Layout};
+
+/// Configuration for one analysis run.
+///
+/// # Examples
+///
+/// ```
+/// use structcast::{AnalysisConfig, ModelKind};
+/// let cfg = AnalysisConfig::new(ModelKind::Offsets);
+/// assert_eq!(cfg.model, ModelKind::Offsets);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Which framework instance to run.
+    pub model: ModelKind,
+    /// Layout strategy (consulted by the Offsets instance only).
+    pub layout: Layout,
+    /// Type-compatibility mode for the portable instances.
+    pub compat: CompatMode,
+    /// Wilson–Lam stride refinement for pointer arithmetic (off = the
+    /// paper's whole-object spread).
+    pub arith_stride: bool,
+    /// How pointer arithmetic is treated (spread vs corrupted-pointer
+    /// flagging; see [`ArithMode`]).
+    pub arith_mode: ArithMode,
+}
+
+impl AnalysisConfig {
+    /// A configuration for `model` with the default layout (ILP32) and
+    /// compatibility mode (structural).
+    pub fn new(model: ModelKind) -> Self {
+        AnalysisConfig {
+            model,
+            layout: Layout::ilp32(),
+            compat: CompatMode::Structural,
+            arith_stride: false,
+            arith_mode: ArithMode::Spread,
+        }
+    }
+
+    /// Replaces the layout strategy.
+    pub fn with_layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Replaces the compatibility mode.
+    pub fn with_compat(mut self, compat: CompatMode) -> Self {
+        self.compat = compat;
+        self
+    }
+
+    /// Enables/disables the stride refinement.
+    pub fn with_stride(mut self, on: bool) -> Self {
+        self.arith_stride = on;
+        self
+    }
+
+    /// Selects the pointer-arithmetic mode.
+    pub fn with_arith_mode(mut self, mode: ArithMode) -> Self {
+        self.arith_mode = mode;
+        self
+    }
+}
+
+impl Default for AnalysisConfig {
+    /// The most precise *portable* instance (Common Initial Sequence).
+    fn default() -> Self {
+        AnalysisConfig::new(ModelKind::CommonInitialSeq)
+    }
+}
+
+/// Runs the analysis on a lowered program.
+///
+/// This is the main entry point of the crate; see the crate docs for a
+/// complete example.
+pub fn analyze(prog: &Program, config: &AnalysisConfig) -> AnalysisResult {
+    let model = make_model_with(
+        config.model,
+        &ModelOptions {
+            layout: config.layout.clone(),
+            compat: config.compat,
+            arith_stride: config.arith_stride,
+        },
+    );
+    let start = Instant::now();
+    let out = Solver::new(prog, model)
+        .with_arith_mode(config.arith_mode)
+        .run();
+    let elapsed = start.elapsed();
+    AnalysisResult {
+        kind: config.model,
+        facts: out.facts,
+        stats: out.stats,
+        iterations: out.iterations,
+        resolved_indirect_calls: out.resolved_indirect_calls,
+        elapsed,
+        unknown: out.unknown,
+        call_edges: out.call_edges,
+        model: out.model,
+    }
+}
+
+/// Parses, lowers, and analyzes C source in one call.
+///
+/// # Errors
+///
+/// Returns the parse or lowering error.
+pub fn analyze_source(
+    src: &str,
+    config: &AnalysisConfig,
+) -> Result<(Program, AnalysisResult), structcast_ir::LowerError> {
+    let prog = structcast_ir::lower_source(src)?;
+    let result = analyze(&prog, config);
+    Ok((prog, result))
+}
+
+/// The result of one analysis run, with the queries used by the paper's
+/// evaluation (Figures 3–6) and by downstream clients.
+pub struct AnalysisResult {
+    /// Which instance ran.
+    pub kind: ModelKind,
+    /// All points-to facts (Figure 6 counts `facts.len()`).
+    pub facts: FactStore,
+    /// Figure 3 instrumentation.
+    pub stats: ModelStats,
+    /// Statement evaluations performed by the solver.
+    pub iterations: u64,
+    /// Indirect-call (site, callee) bindings discovered.
+    pub resolved_indirect_calls: usize,
+    /// Wall-clock solving time (Figure 5 reports ratios of these).
+    pub elapsed: Duration,
+    /// Locations flagged as possibly-corrupted pointers (only populated
+    /// under [`ArithMode::FlagUnknown`]).
+    pub unknown: BTreeSet<Loc>,
+    /// Resolved (call-site statement, callee) pairs for indirect calls in
+    /// the original program.
+    pub call_edges: Vec<(StmtId, structcast_ir::FuncId)>,
+    model: Box<dyn FieldModel>,
+}
+
+impl AnalysisResult {
+    /// Normalizes `obj.path` under this run's instance.
+    pub fn normalize(&self, prog: &Program, obj: ObjId, path: &FieldPath) -> Loc {
+        self.model.normalize(prog, obj, path)
+    }
+
+    /// The points-to set of a top-level object.
+    pub fn points_to(&self, prog: &Program, obj: ObjId) -> Vec<Loc> {
+        let l = self.model.normalize(prog, obj, &FieldPath::empty());
+        self.facts.points_to_vec(&l)
+    }
+
+    /// The points-to set of `obj.path`.
+    pub fn points_to_field(&self, prog: &Program, obj: ObjId, path: &FieldPath) -> Vec<Loc> {
+        let l = self.model.normalize(prog, obj, path);
+        self.facts.points_to_vec(&l)
+    }
+
+    /// The names of the objects a named variable may point to (deduplicated
+    /// and sorted) — convenient for tests and examples.
+    pub fn points_to_names(&self, prog: &Program, var: &str) -> Vec<String> {
+        let Some(obj) = prog.object_by_name(var) else {
+            return Vec::new();
+        };
+        let mut out: BTreeSet<String> = BTreeSet::new();
+        for t in self.points_to(prog, obj) {
+            out.insert(prog.object(t.obj).name.clone());
+        }
+        out.into_iter().collect()
+    }
+
+    /// May `a` and `b` (top-level objects) point to a common location?
+    ///
+    /// Locations are compared for exact equality (same object and same
+    /// normalized position); overlapping-but-unequal offset ranges do not
+    /// count, mirroring how the paper reports points-to facts.
+    pub fn may_alias(&self, prog: &Program, a: ObjId, b: ObjId) -> bool {
+        let pa = self.points_to(prog, a);
+        if pa.is_empty() {
+            return false;
+        }
+        let pb: BTreeSet<Loc> = self.points_to(prog, b).into_iter().collect();
+        pa.iter().any(|l| pb.contains(l))
+    }
+
+    /// Per-dereference-site points-to set sizes: for every static pointer
+    /// dereference in the program, the (weighted) size of the dereferenced
+    /// pointer's points-to set. Collapse-Always struct targets are expanded
+    /// to their field counts, per Figure 4's fairness note.
+    pub fn deref_site_sizes(&self, prog: &Program) -> Vec<(StmtId, usize)> {
+        prog.deref_sites()
+            .into_iter()
+            .map(|(sid, ptr)| {
+                let l = self.model.normalize(prog, ptr, &FieldPath::empty());
+                let size: usize = self
+                    .facts
+                    .points_to(&l)
+                    .map(|t| self.model.target_weight(prog, t))
+                    .sum();
+                (sid, size)
+            })
+            .collect()
+    }
+
+    /// The average points-to set size over all static dereference sites —
+    /// the metric of Figure 4. Sites whose pointer has an empty set (never
+    /// assigned) contribute zero.
+    pub fn average_deref_size(&self, prog: &Program) -> f64 {
+        let sizes = self.deref_site_sizes(prog);
+        if sizes.is_empty() {
+            return 0.0;
+        }
+        sizes.iter().map(|(_, s)| *s as f64).sum::<f64>() / sizes.len() as f64
+    }
+
+    /// Total number of points-to edges — the metric of Figure 6.
+    pub fn edge_count(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Dereference sites whose pointer may be a corrupted value (only
+    /// meaningful under [`ArithMode::FlagUnknown`]): the "potential misuses
+    /// of memory" the paper suggests flagging (§4.2.1).
+    pub fn unknown_deref_sites(&self, prog: &Program) -> Vec<StmtId> {
+        prog.deref_sites()
+            .into_iter()
+            .filter(|(_, ptr)| {
+                let l = self.model.normalize(prog, *ptr, &FieldPath::empty());
+                self.unknown.contains(&l)
+            })
+            .map(|(sid, _)| sid)
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for AnalysisResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisResult")
+            .field("kind", &self.kind)
+            .field("edges", &self.facts.len())
+            .field("iterations", &self.iterations)
+            .field("elapsed", &self.elapsed)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INTRO: &str = "struct S { int *s1; int *s2; } s;\n\
+        int x, y, *p;\n\
+        void f(void) { s.s1 = &x; s.s2 = &y; p = s.s1; }";
+
+    #[test]
+    fn analyze_source_end_to_end() {
+        let cfg = AnalysisConfig::default();
+        let (prog, res) = analyze_source(INTRO, &cfg).unwrap();
+        assert_eq!(res.kind, ModelKind::CommonInitialSeq);
+        assert_eq!(res.points_to_names(&prog, "p"), vec!["x".to_string()]);
+        assert!(res.edge_count() > 0);
+        assert!(res.iterations > 0);
+    }
+
+    #[test]
+    fn field_queries() {
+        let cfg = AnalysisConfig::new(ModelKind::Offsets);
+        let (prog, res) = analyze_source(INTRO, &cfg).unwrap();
+        let s = prog.object_by_name("s").unwrap();
+        let x = prog.object_by_name("x").unwrap();
+        let y = prog.object_by_name("y").unwrap();
+        let f0 = res.points_to_field(&prog, s, &FieldPath::from_steps([0u32]));
+        assert_eq!(f0, vec![Loc::off(x, 0)]);
+        let f1 = res.points_to_field(&prog, s, &FieldPath::from_steps([1u32]));
+        assert_eq!(f1, vec![Loc::off(y, 0)]);
+    }
+
+    #[test]
+    fn may_alias_basic() {
+        let src = "int x, y, *p, *q, *r;\n\
+                   void f(void) { p = &x; q = &x; r = &y; }";
+        let cfg = AnalysisConfig::default();
+        let (prog, res) = analyze_source(src, &cfg).unwrap();
+        let p = prog.object_by_name("p").unwrap();
+        let q = prog.object_by_name("q").unwrap();
+        let r = prog.object_by_name("r").unwrap();
+        assert!(res.may_alias(&prog, p, q));
+        assert!(!res.may_alias(&prog, p, r));
+    }
+
+    #[test]
+    fn average_deref_size_counts_sites() {
+        let src = "int x, y, *p; int **pp;\n\
+                   void f(int c) { p = c ? &x : &y; pp = &p; x = **pp; }";
+        let cfg = AnalysisConfig::default();
+        let (prog, res) = analyze_source(src, &cfg).unwrap();
+        // **pp: the inner deref of pp sees {p} (size 1); the outer deref
+        // temp sees {x, y} (size 2).
+        let avg = res.average_deref_size(&prog);
+        assert!(avg > 0.0, "{avg}");
+        assert!(!res.deref_site_sizes(&prog).is_empty());
+    }
+
+    #[test]
+    fn unknown_variable_name_is_empty() {
+        let cfg = AnalysisConfig::default();
+        let (prog, res) = analyze_source(INTRO, &cfg).unwrap();
+        assert!(res.points_to_names(&prog, "nonexistent").is_empty());
+    }
+
+    #[test]
+    fn config_builders() {
+        let cfg = AnalysisConfig::new(ModelKind::Offsets)
+            .with_layout(Layout::lp64())
+            .with_compat(CompatMode::TagBased);
+        assert_eq!(cfg.layout.name, "lp64");
+        assert_eq!(cfg.compat, CompatMode::TagBased);
+    }
+}

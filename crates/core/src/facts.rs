@@ -1,0 +1,155 @@
+//! The points-to fact store.
+//!
+//! Facts are edges `pointsTo(src, tgt)` between normalized [`Loc`]s, with a
+//! per-object index so the solver can re-fire statements when any fact
+//! rooted in an object they consume changes, and so the "Offsets" instance
+//! can enumerate fact sources within a byte range lazily.
+
+use crate::loc::{FieldRep, Loc};
+use std::collections::{BTreeSet, HashMap};
+use structcast_ir::ObjId;
+
+/// A set of `pointsTo` facts with source-object indexing.
+#[derive(Debug, Clone, Default)]
+pub struct FactStore {
+    pts: HashMap<Loc, BTreeSet<Loc>>,
+    /// Source locations that have at least one fact, grouped by object.
+    sources_by_obj: HashMap<ObjId, BTreeSet<Loc>>,
+    edges: usize,
+}
+
+impl FactStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        FactStore::default()
+    }
+
+    /// Records `pointsTo(src, tgt)`. Returns true if the fact is new.
+    pub fn insert(&mut self, src: Loc, tgt: Loc) -> bool {
+        let set = self.pts.entry(src.clone()).or_default();
+        if set.insert(tgt) {
+            self.edges += 1;
+            self.sources_by_obj
+                .entry(src.obj)
+                .or_default()
+                .insert(src);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The points-to set of `src` (empty if none).
+    pub fn points_to(&self, src: &Loc) -> impl Iterator<Item = &Loc> + '_ {
+        self.pts.get(src).into_iter().flatten()
+    }
+
+    /// Number of targets of `src`.
+    pub fn points_to_len(&self, src: &Loc) -> usize {
+        self.pts.get(src).map_or(0, |s| s.len())
+    }
+
+    /// A snapshot of the points-to set of `src` (for iteration while
+    /// mutating the store).
+    pub fn points_to_vec(&self, src: &Loc) -> Vec<Loc> {
+        self.pts.get(src).map_or_else(Vec::new, |s| s.iter().cloned().collect())
+    }
+
+    /// All source locations within `obj` that currently have facts.
+    pub fn sources_in(&self, obj: ObjId) -> Vec<Loc> {
+        self.sources_by_obj
+            .get(&obj)
+            .map_or_else(Vec::new, |s| s.iter().cloned().collect())
+    }
+
+    /// Source locations in `obj` whose byte offset lies in `[lo, hi)`
+    /// (offset-instance helper; non-offset locations are skipped).
+    pub fn sources_in_range(&self, obj: ObjId, lo: u64, hi: u64) -> Vec<Loc> {
+        self.sources_in(obj)
+            .into_iter()
+            .filter(|l| match l.field {
+                FieldRep::Off(o) => o >= lo && o < hi,
+                _ => false,
+            })
+            .collect()
+    }
+
+    /// Total number of points-to edges (Figure 6's metric).
+    pub fn len(&self) -> usize {
+        self.edges
+    }
+
+    /// True if no facts have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.edges == 0
+    }
+
+    /// Iterates over all `(src, tgt)` edges.
+    pub fn iter(&self) -> impl Iterator<Item = (&Loc, &Loc)> + '_ {
+        self.pts
+            .iter()
+            .flat_map(|(s, ts)| ts.iter().map(move |t| (s, t)))
+    }
+
+    /// All distinct source locations.
+    pub fn sources(&self) -> impl Iterator<Item = &Loc> + '_ {
+        self.pts.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(o: u32, off: u64) -> Loc {
+        Loc::off(ObjId(o), off)
+    }
+
+    #[test]
+    fn insert_dedupes_and_counts() {
+        let mut fs = FactStore::new();
+        assert!(fs.insert(l(0, 0), l(1, 0)));
+        assert!(!fs.insert(l(0, 0), l(1, 0)));
+        assert!(fs.insert(l(0, 0), l(2, 4)));
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs.points_to_len(&l(0, 0)), 2);
+        assert_eq!(fs.points_to_len(&l(9, 0)), 0);
+        assert!(!fs.is_empty());
+    }
+
+    #[test]
+    fn range_queries() {
+        let mut fs = FactStore::new();
+        fs.insert(l(0, 0), l(1, 0));
+        fs.insert(l(0, 4), l(1, 0));
+        fs.insert(l(0, 8), l(1, 0));
+        fs.insert(l(2, 4), l(1, 0));
+        let in_range = fs.sources_in_range(ObjId(0), 0, 8);
+        assert_eq!(in_range.len(), 2);
+        assert!(in_range.contains(&l(0, 0)));
+        assert!(in_range.contains(&l(0, 4)));
+        assert_eq!(fs.sources_in(ObjId(0)).len(), 3);
+        assert_eq!(fs.sources_in(ObjId(7)).len(), 0);
+    }
+
+    #[test]
+    fn range_query_skips_path_locs() {
+        let mut fs = FactStore::new();
+        fs.insert(
+            Loc::path(ObjId(0), structcast_types::FieldPath::empty()),
+            l(1, 0),
+        );
+        assert!(fs.sources_in_range(ObjId(0), 0, 100).is_empty());
+        assert_eq!(fs.sources_in(ObjId(0)).len(), 1);
+    }
+
+    #[test]
+    fn edge_iteration() {
+        let mut fs = FactStore::new();
+        fs.insert(l(0, 0), l(1, 0));
+        fs.insert(l(0, 0), l(2, 0));
+        fs.insert(l(3, 0), l(1, 0));
+        assert_eq!(fs.iter().count(), 3);
+        assert_eq!(fs.sources().count(), 2);
+    }
+}

@@ -1,0 +1,123 @@
+//! Abstract locations.
+//!
+//! A [`Loc`] is a *normalized* structure reference: an abstract object plus
+//! a field representation whose shape depends on the analysis instance —
+//! whole-object for "Collapse Always", a normalized field path for the
+//! portable instances, a byte offset for "Offsets".
+
+use std::fmt;
+use structcast_ir::{ObjId, Program};
+use structcast_types::FieldPath;
+
+/// The field component of a normalized location.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FieldRep {
+    /// The whole object (the "Collapse Always" instance collapses every
+    /// structure to this).
+    Whole,
+    /// A normalized field path (innermost-first-field form), used by the
+    /// "Collapse on Cast" and "Common Initial Sequence" instances.
+    Path(FieldPath),
+    /// A byte offset under a concrete layout, used by "Offsets".
+    Off(u64),
+}
+
+impl FieldRep {
+    /// The empty path.
+    pub fn empty_path() -> Self {
+        FieldRep::Path(FieldPath::empty())
+    }
+}
+
+/// A normalized abstract location: `obj.field`.
+///
+/// The paper writes these `s.α̂` (path instances) or `s.j` (offset
+/// instance); a `pointsTo(a, b)` fact is stored as `b ∈ pts(a)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Loc {
+    /// The containing object.
+    pub obj: ObjId,
+    /// The normalized field component.
+    pub field: FieldRep,
+}
+
+impl Loc {
+    /// A whole-object location.
+    pub fn whole(obj: ObjId) -> Self {
+        Loc {
+            obj,
+            field: FieldRep::Whole,
+        }
+    }
+
+    /// A path location.
+    pub fn path(obj: ObjId, path: FieldPath) -> Self {
+        Loc {
+            obj,
+            field: FieldRep::Path(path),
+        }
+    }
+
+    /// An offset location.
+    pub fn off(obj: ObjId, off: u64) -> Self {
+        Loc {
+            obj,
+            field: FieldRep::Off(off),
+        }
+    }
+
+    /// Renders the location with the object's source name, e.g. `s.0.1`,
+    /// `t+4`, or `x`.
+    pub fn display(&self, prog: &Program) -> String {
+        let name = &prog.object(self.obj).name;
+        match &self.field {
+            FieldRep::Whole => name.clone(),
+            FieldRep::Path(p) if p.is_empty() => name.clone(),
+            FieldRep::Path(p) => format!("{name}{p}"),
+            FieldRep::Off(0) => name.clone(),
+            FieldRep::Off(o) => format!("{name}+{o}"),
+        }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.field {
+            FieldRep::Whole => write!(f, "{}", self.obj),
+            FieldRep::Path(p) if p.is_empty() => write!(f, "{}", self.obj),
+            FieldRep::Path(p) => write!(f, "{}{}", self.obj, p),
+            FieldRep::Off(0) => write!(f, "{}", self.obj),
+            FieldRep::Off(o) => write!(f, "{}+{}", self.obj, o),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_ordering() {
+        let a = Loc::whole(ObjId(1));
+        let b = Loc::off(ObjId(1), 4);
+        let c = Loc::path(ObjId(2), FieldPath::from_steps([0u32]));
+        assert_ne!(a, b);
+        assert!(a < c); // ordered by object id first (derive order: obj then field)
+        assert_eq!(Loc::off(ObjId(1), 4), b);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Loc::whole(ObjId(3)).to_string(), "o3");
+        assert_eq!(Loc::off(ObjId(3), 0).to_string(), "o3");
+        assert_eq!(Loc::off(ObjId(3), 8).to_string(), "o3+8");
+        assert_eq!(
+            Loc::path(ObjId(3), FieldPath::from_steps([1u32, 0])).to_string(),
+            "o3.1.0"
+        );
+        assert_eq!(
+            Loc::path(ObjId(3), FieldPath::empty()).to_string(),
+            "o3"
+        );
+    }
+}

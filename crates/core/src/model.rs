@@ -1,0 +1,214 @@
+//! The `normalize`/`lookup`/`resolve` framework interface (paper §4.2).
+//!
+//! A [`FieldModel`] supplies the three functions that parameterize the
+//! inference rules. The four instances from the paper are in
+//! [`crate::models`]; picking one picks an analysis algorithm.
+
+use crate::facts::FactStore;
+use crate::loc::Loc;
+use structcast_ir::{ObjId, Program};
+use structcast_types::{FieldPath, TypeId};
+
+/// Which instance of the framework to run (paper §4.2.2 and §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Collapse every structure to one blob (portable, least precise).
+    CollapseAlways,
+    /// Keep fields; collapse from the accessed position onward when an
+    /// object is accessed at a mismatched type (portable).
+    CollapseOnCast,
+    /// Like Collapse-on-Cast, but exploit ISO C's common-initial-sequence
+    /// layout guarantee (portable, most precise of the portables).
+    CommonInitialSeq,
+    /// Concrete byte offsets under a chosen layout (most precise, not
+    /// portable across layout strategies).
+    Offsets,
+}
+
+impl ModelKind {
+    /// All four instances, in the paper's presentation order.
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::CollapseAlways,
+        ModelKind::CollapseOnCast,
+        ModelKind::CommonInitialSeq,
+        ModelKind::Offsets,
+    ];
+
+    /// The paper's display name for the instance.
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            ModelKind::CollapseAlways => "Collapse Always",
+            ModelKind::CollapseOnCast => "Collapse on Cast",
+            ModelKind::CommonInitialSeq => "Common Initial Sequence",
+            ModelKind::Offsets => "Offsets",
+        }
+    }
+
+    /// True for the instances whose results are safe under every
+    /// ANSI-conforming layout strategy.
+    pub fn is_portable(&self) -> bool {
+        !matches!(self, ModelKind::Offsets)
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// Instrumentation counters for Figure 3: how many `lookup`/`resolve` calls
+/// involved structures, and how many of those involved a type mismatch
+/// (i.e. casting). Calls made *by* `resolve` to `lookup` are not counted,
+/// matching the paper's footnote 7.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Total counted calls to `lookup` (rule 2).
+    pub lookup_calls: u64,
+    /// ... of which involved structures.
+    pub lookup_struct: u64,
+    /// ... of which (among struct calls) had mismatched types.
+    pub lookup_mismatch: u64,
+    /// Total counted calls to `resolve` (rules 3, 4, 5).
+    pub resolve_calls: u64,
+    /// ... of which involved structures.
+    pub resolve_struct: u64,
+    /// ... of which (among struct calls) had mismatched types.
+    pub resolve_mismatch: u64,
+    /// Offset-instance accesses that fell outside the target object and
+    /// were dropped under Assumption 1.
+    pub out_of_bounds: u64,
+}
+
+impl ModelStats {
+    /// Percentage of lookup calls involving structures (Fig 3 col 5).
+    pub fn lookup_struct_pct(&self) -> f64 {
+        pct(self.lookup_struct, self.lookup_calls)
+    }
+
+    /// Percentage of resolve calls involving structures (Fig 3 col 6).
+    pub fn resolve_struct_pct(&self) -> f64 {
+        pct(self.resolve_struct, self.resolve_calls)
+    }
+
+    /// Percentage of struct-involving lookups with a type mismatch (col 7).
+    pub fn lookup_mismatch_pct(&self) -> f64 {
+        pct(self.lookup_mismatch, self.lookup_struct)
+    }
+
+    /// Percentage of struct-involving resolves with a type mismatch (col 8).
+    pub fn resolve_mismatch_pct(&self) -> f64 {
+        pct(self.resolve_mismatch, self.resolve_struct)
+    }
+}
+
+fn pct(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / d as f64
+    }
+}
+
+/// One instance of the paper's framework: the three auxiliary functions
+/// plus the two extension hooks (pointer-arithmetic spread and bulk copy).
+///
+/// All methods receive the [`Program`] for type information; locations
+/// passed in are already normalized (solver invariant).
+pub trait FieldModel {
+    /// Which instance this is.
+    fn kind(&self) -> ModelKind;
+
+    /// The paper's `normalize`: canonicalize the structure reference
+    /// `obj.path` (where `path` is a declared-type field path).
+    fn normalize(&self, prog: &Program, obj: ObjId, path: &FieldPath) -> Loc;
+
+    /// The paper's `lookup(τ, α, t.β̂)`: the field(s) of the pointed-to
+    /// location `target` actually referenced when a pointer declared to
+    /// point to `tau` is dereferenced with field path `alpha`.
+    ///
+    /// `stats` classifies the call for Figure 3.
+    fn lookup(
+        &self,
+        prog: &Program,
+        tau: TypeId,
+        alpha: &FieldPath,
+        target: &Loc,
+        stats: &mut ModelStats,
+    ) -> Vec<Loc>;
+
+    /// The paper's `resolve(s.ĵ, t.k̂, τ)`: pairs `(dst_loc, src_loc)` such
+    /// that the value at `src_loc` is copied to `dst_loc` when `sizeof(τ)`
+    /// bytes are copied from `src` to `dst`.
+    ///
+    /// The offset instance consults `facts` to enumerate the byte range
+    /// lazily (semantically identical to the paper's per-byte pairs).
+    fn resolve(
+        &self,
+        prog: &Program,
+        dst: &Loc,
+        src: &Loc,
+        tau: TypeId,
+        facts: &FactStore,
+        stats: &mut ModelStats,
+    ) -> Vec<(Loc, Loc)>;
+
+    /// Bulk copy of unknown length (`memcpy`): pairs covering everything
+    /// from `src` onward into `dst` onward.
+    fn resolve_all(
+        &self,
+        prog: &Program,
+        dst: &Loc,
+        src: &Loc,
+        facts: &FactStore,
+        stats: &mut ModelStats,
+    ) -> Vec<(Loc, Loc)>;
+
+    /// Pointer-arithmetic spread (§4.2.1): the normalized positions of the
+    /// outermost object that the result of arithmetic on a pointer to
+    /// `target` could address.
+    ///
+    /// `pointee` is the declared pointee type of the pointer being moved;
+    /// models built with the Wilson–Lam stride refinement (related work §6)
+    /// use it to confine the spread to positions reachable in multiples of
+    /// `sizeof(pointee)` — without it, every position of the outermost
+    /// object is possible.
+    fn spread(&self, prog: &Program, target: &Loc, pointee: Option<TypeId>) -> Vec<Loc>;
+
+    /// How many concrete locations a points-to *target* stands for, used to
+    /// expand Collapse-Always struct targets when comparing set sizes
+    /// (Figure 4's fairness note). All field-sensitive instances return 1.
+    fn target_weight(&self, _prog: &Program, _loc: &Loc) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_kind_names_and_portability() {
+        assert_eq!(ModelKind::Offsets.paper_name(), "Offsets");
+        assert!(!ModelKind::Offsets.is_portable());
+        assert!(ModelKind::CommonInitialSeq.is_portable());
+        assert_eq!(ModelKind::ALL.len(), 4);
+        assert_eq!(format!("{}", ModelKind::CollapseOnCast), "Collapse on Cast");
+    }
+
+    #[test]
+    fn stats_percentages() {
+        let s = ModelStats {
+            lookup_calls: 10,
+            lookup_struct: 5,
+            lookup_mismatch: 2,
+            resolve_calls: 0,
+            resolve_struct: 0,
+            resolve_mismatch: 0,
+            out_of_bounds: 0,
+        };
+        assert!((s.lookup_struct_pct() - 50.0).abs() < 1e-9);
+        assert!((s.lookup_mismatch_pct() - 40.0).abs() < 1e-9);
+        assert_eq!(s.resolve_struct_pct(), 0.0);
+    }
+}

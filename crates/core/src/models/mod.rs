@@ -1,0 +1,188 @@
+//! The four instances of the framework (paper §4.2.2 and §4.3).
+
+mod cast_collapse;
+mod cis;
+mod collapse;
+mod offsets;
+
+pub use cast_collapse::CollapseOnCastModel;
+pub use cis::CommonInitialSeqModel;
+pub use collapse::CollapseAlwaysModel;
+pub use offsets::OffsetsModel;
+
+use crate::model::{FieldModel, ModelKind};
+use structcast_types::{CompatMode, Layout};
+
+/// Options shared by all model constructors.
+#[derive(Debug, Clone)]
+pub struct ModelOptions {
+    /// Layout strategy (Offsets instance only).
+    pub layout: Layout,
+    /// Type-compatibility mode (portable instances).
+    pub compat: CompatMode,
+    /// Wilson–Lam stride refinement for pointer arithmetic (related work
+    /// §6): confine arithmetic spreads to positions reachable in multiples
+    /// of the pointer's pointee size.
+    pub arith_stride: bool,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        ModelOptions {
+            layout: Layout::ilp32(),
+            compat: CompatMode::Structural,
+            arith_stride: false,
+        }
+    }
+}
+
+/// Builds the model for `kind` with the given layout (used by the Offsets
+/// instance only) and compatibility mode (used by the portable instances).
+pub fn make_model(kind: ModelKind, layout: Layout, compat: CompatMode) -> Box<dyn FieldModel> {
+    make_model_with(
+        kind,
+        &ModelOptions {
+            layout,
+            compat,
+            arith_stride: false,
+        },
+    )
+}
+
+/// Builds the model for `kind` with full options.
+pub fn make_model_with(kind: ModelKind, opts: &ModelOptions) -> Box<dyn FieldModel> {
+    match kind {
+        ModelKind::CollapseAlways => Box::new(CollapseAlwaysModel::new()),
+        ModelKind::CollapseOnCast => {
+            Box::new(CollapseOnCastModel::new(opts.compat).with_stride(opts.arith_stride))
+        }
+        ModelKind::CommonInitialSeq => {
+            Box::new(CommonInitialSeqModel::new(opts.compat).with_stride(opts.arith_stride))
+        }
+        ModelKind::Offsets => {
+            Box::new(OffsetsModel::new(opts.layout.clone()).with_stride(opts.arith_stride))
+        }
+    }
+}
+
+pub(crate) mod util {
+    //! Helpers shared by the path-based instances.
+
+    use crate::loc::{FieldRep, Loc};
+    use structcast_ir::Program;
+    use structcast_types::{FieldPath, TypeId, TypeKind};
+
+    /// The path component of a path-model location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is not path-based (solver invariant: a model
+    /// only ever sees locations it produced itself).
+    pub fn path_of(loc: &Loc) -> &FieldPath {
+        match &loc.field {
+            FieldRep::Path(p) => p,
+            other => panic!("path model received non-path location {other:?}"),
+        }
+    }
+
+    /// Leaf field paths of `tau` if it is a complete record (after array
+    /// stripping); otherwise the single empty path — this makes `resolve`
+    /// handle scalar copy types (`*p = q` with `p: int**`) uniformly.
+    pub fn fields_of(prog: &Program, tau: TypeId) -> Vec<FieldPath> {
+        let stripped = prog.types.strip_arrays(tau);
+        match prog.types.kind(stripped) {
+            TypeKind::Record(rid) => {
+                let rec = prog.types.record(*rid);
+                if rec.complete && !rec.fields.is_empty() && !rec.is_union {
+                    return structcast_types::leaves(&prog.types, stripped);
+                }
+                vec![FieldPath::empty()]
+            }
+            _ => vec![FieldPath::empty()],
+        }
+    }
+
+    /// True if `ty` is (after array stripping) a struct or union.
+    pub fn is_structy(prog: &Program, ty: TypeId) -> bool {
+        prog.types.is_record_like(ty)
+    }
+
+    /// Whether a lookup/resolve call "involves structures" for Figure 3:
+    /// the declared type or the target object's type is a record.
+    pub fn involves_structs(prog: &Program, tau: TypeId, objs: &[&Loc]) -> bool {
+        if is_structy(prog, tau) {
+            return true;
+        }
+        objs.iter()
+            .any(|l| is_structy(prog, prog.type_of(l.obj)))
+    }
+
+    /// A union location is accessed "at its own type" whenever the access
+    /// type matches the union itself **or any of its members** — reading or
+    /// writing a union through a member-typed lvalue is the normal,
+    /// cast-free case, and all members share one collapsed location.
+    pub fn union_member_matches(
+        prog: &Program,
+        union_ty: TypeId,
+        tau: TypeId,
+        compat: structcast_types::CompatMode,
+    ) -> bool {
+        let stripped = prog.types.strip_arrays(union_ty);
+        let Some(rid) = prog.types.as_record(stripped) else {
+            return false;
+        };
+        let rec = prog.types.record(rid);
+        if !rec.is_union {
+            return false;
+        }
+        let tau_s = prog.types.strip_arrays(tau);
+        rec.fields.iter().any(|f| {
+            let fs = prog.types.strip_arrays(f.ty);
+            fs == tau_s || structcast_types::compatible(&prog.types, fs, tau_s, compat)
+        })
+    }
+
+    /// Pointer-arithmetic spread for the path-based instances.
+    ///
+    /// Without the stride refinement: every leaf of the outermost object
+    /// (the paper's §4.2.1 rule under Assumption 1). With it: only the
+    /// leaves whose type is compatible with the pointer's pointee — a path-
+    /// level approximation of Wilson–Lam's "multiples of the element size"
+    /// rule (a `T*` stepped by ±k lands on `T`-shaped positions). If no
+    /// leaf matches (e.g. a `char*` walking a struct), all leaves are used.
+    pub fn path_spread(
+        prog: &Program,
+        target: &Loc,
+        pointee: Option<TypeId>,
+        stride: bool,
+        compat: structcast_types::CompatMode,
+    ) -> Vec<Loc> {
+        let ty = prog.type_of(target.obj);
+        let all: Vec<Loc> = structcast_types::leaves(&prog.types, ty)
+            .into_iter()
+            .map(|l| Loc::path(target.obj, l))
+            .collect();
+        let (Some(pointee), true) = (pointee, stride) else {
+            return all;
+        };
+        let p = prog.types.strip_arrays(pointee);
+        let matching: Vec<Loc> = all
+            .iter()
+            .filter(|l| {
+                if let FieldRep::Path(path) = &l.field {
+                    if let Some(lt) = structcast_types::type_of_path(&prog.types, ty, path) {
+                        let lt = prog.types.strip_arrays(lt);
+                        return lt == p || structcast_types::compatible(&prog.types, lt, p, compat);
+                    }
+                }
+                false
+            })
+            .cloned()
+            .collect();
+        if matching.is_empty() {
+            all
+        } else {
+            matching
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The "Offsets" instance (paper §4.2.2): locations are byte offsets under
+//! one concrete [`Layout`]. The most precise instance; its results are only
+//! safe for that layout strategy (not portable).
+//!
+//! ```text
+//! normalize(s.α)       = ⟨s, offsetof(τ_s, α)⟩
+//! lookup(τ, α, t.k)    = { t.(k + offsetof(τ, α)) }
+//! resolve(s.j, t.k, τ) = { ⟨s.(j+i), t.(k+i)⟩ | 0 ≤ i < sizeof(τ) }
+//! ```
+//!
+//! `resolve`'s per-byte pairs are realized lazily against the fact store:
+//! only source offsets that currently hold facts produce pairs, and the
+//! solver re-fires the statement when new facts appear in the source object
+//! — semantically identical to the eager per-byte enumeration.
+
+use super::util::involves_structs;
+use crate::facts::FactStore;
+use crate::loc::{FieldRep, Loc};
+use crate::model::{FieldModel, ModelKind, ModelStats};
+use structcast_ir::{ObjId, Program};
+use structcast_types::{FieldPath, Layout, TypeId};
+
+/// The "Offsets" model.
+#[derive(Debug, Clone)]
+pub struct OffsetsModel {
+    layout: Layout,
+    arith_stride: bool,
+}
+
+impl OffsetsModel {
+    /// Creates the model for a concrete layout strategy.
+    pub fn new(layout: Layout) -> Self {
+        OffsetsModel {
+            layout,
+            arith_stride: false,
+        }
+    }
+
+    /// Enables the Wilson–Lam stride refinement for pointer arithmetic.
+    pub fn with_stride(mut self, on: bool) -> Self {
+        self.arith_stride = on;
+        self
+    }
+
+    /// The layout this instance analyzes under.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    fn off_of(loc: &Loc) -> u64 {
+        match loc.field {
+            FieldRep::Off(o) => o,
+            ref other => panic!("offsets model received non-offset location {other:?}"),
+        }
+    }
+}
+
+impl FieldModel for OffsetsModel {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Offsets
+    }
+
+    fn normalize(&self, prog: &Program, obj: ObjId, path: &FieldPath) -> Loc {
+        let ty = prog.type_of(obj);
+        let off = self.layout.offset_of_path(&prog.types, ty, path);
+        Loc::off(obj, off)
+    }
+
+    fn lookup(
+        &self,
+        prog: &Program,
+        tau: TypeId,
+        alpha: &FieldPath,
+        target: &Loc,
+        stats: &mut ModelStats,
+    ) -> Vec<Loc> {
+        stats.lookup_calls += 1;
+        if involves_structs(prog, tau, &[target]) {
+            stats.lookup_struct += 1;
+        }
+        let k = Self::off_of(target);
+        let field_off = self
+            .layout
+            .offset_of_path(&prog.types, prog.types.strip_arrays(tau), alpha);
+        let n = k + field_off;
+        let t_ty = prog.type_of(target.obj);
+        let size = self.layout.size_of(&prog.types, t_ty);
+        if size > 0 && n >= size {
+            // Beyond the actual object: invalid under Assumption 1; dropped.
+            stats.out_of_bounds += 1;
+            return Vec::new();
+        }
+        let canon = self.layout.canonical_offset(&prog.types, t_ty, n);
+        vec![Loc::off(target.obj, canon)]
+    }
+
+    fn resolve(
+        &self,
+        prog: &Program,
+        dst: &Loc,
+        src: &Loc,
+        tau: TypeId,
+        facts: &FactStore,
+        stats: &mut ModelStats,
+    ) -> Vec<(Loc, Loc)> {
+        stats.resolve_calls += 1;
+        if involves_structs(prog, tau, &[dst, src]) {
+            stats.resolve_struct += 1;
+        }
+        let len = self.layout.size_of(&prog.types, tau).max(1);
+        self.byte_range_pairs(prog, dst, src, len, facts, stats)
+    }
+
+    fn resolve_all(
+        &self,
+        prog: &Program,
+        dst: &Loc,
+        src: &Loc,
+        facts: &FactStore,
+        stats: &mut ModelStats,
+    ) -> Vec<(Loc, Loc)> {
+        self.byte_range_pairs(prog, dst, src, u64::MAX, facts, stats)
+    }
+
+    fn spread(&self, prog: &Program, target: &Loc, pointee: Option<TypeId>) -> Vec<Loc> {
+        let obj = target.obj;
+        let ty = prog.type_of(obj);
+        let mut offs: Vec<u64> = self
+            .layout
+            .leaf_offsets(&prog.types, ty)
+            .into_iter()
+            .map(|(o, _)| o)
+            .collect();
+        offs.push(0);
+        offs.sort_unstable();
+        offs.dedup();
+        // Wilson–Lam stride refinement (related work §6): a `T*` moved by
+        // ±k stays at offsets congruent to the start modulo `sizeof(T)`.
+        // Implemented as a *filter* of the whole-object spread, so it is a
+        // strict refinement; if nothing survives (e.g. a byte-blob target),
+        // the unrefined spread stands.
+        if self.arith_stride {
+            if let (Some(p), FieldRep::Off(start)) = (pointee, &target.field) {
+                let s = self.layout.size_of(&prog.types, p).max(1);
+                let filtered: Vec<u64> = offs
+                    .iter()
+                    .copied()
+                    .filter(|o| o % s == start % s)
+                    .collect();
+                if !filtered.is_empty() {
+                    offs = filtered;
+                }
+            }
+        }
+        offs.into_iter().map(|o| Loc::off(obj, o)).collect()
+    }
+}
+
+impl OffsetsModel {
+    fn byte_range_pairs(
+        &self,
+        prog: &Program,
+        dst: &Loc,
+        src: &Loc,
+        len: u64,
+        facts: &FactStore,
+        stats: &mut ModelStats,
+    ) -> Vec<(Loc, Loc)> {
+        let j = Self::off_of(dst);
+        let k = Self::off_of(src);
+        let hi = k.saturating_add(len);
+        let d_ty = prog.type_of(dst.obj);
+        let s_ty = prog.type_of(src.obj);
+        let d_size = self.layout.size_of(&prog.types, d_ty);
+        let mut out = Vec::new();
+        for src_loc in facts.sources_in_range(src.obj, k, hi) {
+            let n = Self::off_of(&src_loc);
+            let m = j + (n - k);
+            if d_size > 0 && m >= d_size {
+                stats.out_of_bounds += 1;
+                continue;
+            }
+            let m = self.layout.canonical_offset(&prog.types, d_ty, m);
+            out.push((Loc::off(dst.obj, m), src_loc));
+        }
+        // Keep the head pair even before any facts exist so unions of
+        // scalars still copy once facts arrive via re-firing; harmless
+        // because copying an empty set is a no-op.
+        let s_size = self.layout.size_of(&prog.types, s_ty);
+        let _ = s_size;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use structcast_ir::lower_source;
+
+    fn prog_and_model() -> (Program, OffsetsModel) {
+        let prog = lower_source(
+            "struct S { int *s1; int s2; char *s3; } s, *p;\n\
+             struct T { int *t1; int *t2; char *t3; } t;\n\
+             int x;",
+        )
+        .unwrap();
+        (prog, OffsetsModel::new(Layout::ilp32()))
+    }
+
+    #[test]
+    fn normalize_maps_paths_to_offsets() {
+        let (prog, m) = prog_and_model();
+        let s = prog.object_by_name("s").unwrap();
+        assert_eq!(m.normalize(&prog, s, &FieldPath::empty()), Loc::off(s, 0));
+        assert_eq!(
+            m.normalize(&prog, s, &FieldPath::from_steps([2u32])),
+            Loc::off(s, 8)
+        );
+    }
+
+    #[test]
+    fn lookup_adds_field_offset() {
+        // Problem 2's example: p: struct S* points at t: struct T;
+        // (*p).s3 refers to byte 8 of t, which is t.t3 — under this layout
+        // the two third fields coincide.
+        let (prog, m) = prog_and_model();
+        let t = prog.object_by_name("t").unwrap();
+        let p = prog.object_by_name("p").unwrap();
+        let s_ty = prog.pointee_of(p).unwrap();
+        let mut stats = ModelStats::default();
+        let locs = m.lookup(
+            &prog,
+            s_ty,
+            &FieldPath::from_steps([2u32]),
+            &Loc::off(t, 0),
+            &mut stats,
+        );
+        assert_eq!(locs, vec![Loc::off(t, 8)]);
+        assert_eq!(stats.lookup_struct, 1);
+    }
+
+    #[test]
+    fn lookup_out_of_bounds_is_dropped() {
+        let (prog, m) = prog_and_model();
+        let x = prog.object_by_name("x").unwrap(); // int, size 4
+        let p = prog.object_by_name("p").unwrap();
+        let s_ty = prog.pointee_of(p).unwrap();
+        let mut stats = ModelStats::default();
+        // (*p).s3 when p points at a lone int: offset 8 ≥ sizeof(int).
+        let locs = m.lookup(
+            &prog,
+            s_ty,
+            &FieldPath::from_steps([2u32]),
+            &Loc::off(x, 0),
+            &mut stats,
+        );
+        assert!(locs.is_empty());
+        assert_eq!(stats.out_of_bounds, 1);
+    }
+
+    #[test]
+    fn resolve_transfers_facts_in_range() {
+        let (prog, m) = prog_and_model();
+        let s = prog.object_by_name("s").unwrap();
+        let t = prog.object_by_name("t").unwrap();
+        let x = prog.object_by_name("x").unwrap();
+        let mut facts = FactStore::new();
+        // t.t1 (offset 0) and t.t3 (offset 8) hold pointers to x.
+        facts.insert(Loc::off(t, 0), Loc::off(x, 0));
+        facts.insert(Loc::off(t, 8), Loc::off(x, 0));
+        let s_ty = prog.type_of(s);
+        let mut stats = ModelStats::default();
+        // s = (struct S)t copies sizeof(struct S) = 12 bytes.
+        let pairs = m.resolve(
+            &prog,
+            &Loc::off(s, 0),
+            &Loc::off(t, 0),
+            s_ty,
+            &facts,
+            &mut stats,
+        );
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.contains(&(Loc::off(s, 0), Loc::off(t, 0))));
+        assert!(pairs.contains(&(Loc::off(s, 8), Loc::off(t, 8))));
+    }
+
+    #[test]
+    fn resolve_respects_copy_length() {
+        // Complication 4: *p = (struct T)s with p: struct T* — only
+        // sizeof(struct T) bytes are copied.
+        let prog = lower_source(
+            "struct R { int *r1; int *r2; char *r3; } r;\n\
+             struct S3 { int *s1; int *s2; int *s3; } s;\n\
+             struct T2 { int *t1; int *t2; } t;\n\
+             int x;",
+        )
+        .unwrap();
+        let m = OffsetsModel::new(Layout::ilp32());
+        let r = prog.object_by_name("r").unwrap();
+        let s = prog.object_by_name("s").unwrap();
+        let t2 = prog.object_by_name("t").unwrap();
+        let x = prog.object_by_name("x").unwrap();
+        let mut facts = FactStore::new();
+        for off in [0u64, 4, 8] {
+            facts.insert(Loc::off(s, off), Loc::off(x, 0));
+        }
+        let t_ty = prog.type_of(t2);
+        let mut stats = ModelStats::default();
+        let pairs = m.resolve(&prog, &Loc::off(r, 0), &Loc::off(s, 0), t_ty, &facts, &mut stats);
+        // sizeof(struct T2) = 8: only offsets 0 and 4 transfer.
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.iter().all(|(_, sl)| Loc::off(s, 8) != *sl));
+    }
+
+    #[test]
+    fn spread_lists_leaf_offsets() {
+        let (prog, m) = prog_and_model();
+        let s = prog.object_by_name("s").unwrap();
+        let offs: Vec<u64> = m
+            .spread(&prog, &Loc::off(s, 0), None)
+            .into_iter()
+            .map(|l| match l.field {
+                FieldRep::Off(o) => o,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(offs, vec![0, 4, 8]);
+    }
+
+    #[test]
+    fn lp64_changes_offsets() {
+        let prog = lower_source("struct S { char c; int *p; } s;").unwrap();
+        let s = prog.object_by_name("s").unwrap();
+        let m32 = OffsetsModel::new(Layout::ilp32());
+        let m64 = OffsetsModel::new(Layout::lp64());
+        let p = FieldPath::from_steps([1u32]);
+        assert_eq!(m32.normalize(&prog, s, &p), Loc::off(s, 4));
+        assert_eq!(m64.normalize(&prog, s, &p), Loc::off(s, 8));
+    }
+}

@@ -1,0 +1,490 @@
+//! The worklist fixpoint solver implementing the inference rules of the
+//! paper's Figure 2, parameterized by a [`FieldModel`].
+//!
+//! Like the paper's implementation (§5), the solver treats the program as a
+//! graph with one node per abstract object and one edge per normalized
+//! assignment, then applies the rules to add points-to edges until nothing
+//! changes. Statements *subscribe* to the objects whose facts they consume
+//! (object granularity), so a new fact only re-fires the statements that
+//! might derive more from it.
+//!
+//! Indirect calls are resolved inside the same fixpoint: when the points-to
+//! set of a call's function pointer grows a function object, parameter and
+//! return bindings are synthesized as fresh `Copy` statements (monotone, so
+//! the fixpoint remains well-defined).
+
+use crate::facts::FactStore;
+use crate::loc::Loc;
+use crate::model::{FieldModel, ModelStats};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use structcast_ir::{Callee, FuncId, ObjId, Program, Stmt};
+use structcast_types::FieldPath;
+
+/// How pointer arithmetic is modeled (paper §4.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArithMode {
+    /// Assumption 1 (the paper's choice): the result may point to any
+    /// normalized position of the outermost object each target lies in.
+    #[default]
+    Spread,
+    /// The pessimistic alternative the paper sketches: the result is a
+    /// potentially *corrupted* pointer, recorded in the `Unknown` set and
+    /// given no targets — useful for flagging potential memory misuse.
+    FlagUnknown,
+}
+
+/// The solver state for one analysis run.
+pub struct Solver<'p> {
+    prog: &'p Program,
+    model: Box<dyn FieldModel>,
+    facts: FactStore,
+    stats: ModelStats,
+    /// Program statements plus bindings synthesized for indirect calls.
+    stmts: Vec<Stmt>,
+    /// Object → statements to re-fire when a fact rooted in it changes.
+    subs: HashMap<ObjId, HashSet<usize>>,
+    queued: Vec<bool>,
+    worklist: VecDeque<usize>,
+    /// Indirect-call bindings already synthesized.
+    bound_calls: HashSet<(usize, FuncId)>,
+    /// Statement evaluations performed (a work measure).
+    iterations: u64,
+    /// How pointer arithmetic is treated.
+    arith_mode: ArithMode,
+    /// Locations flagged as possibly holding corrupted pointers
+    /// ([`ArithMode::FlagUnknown`] only).
+    unknown: BTreeSet<Loc>,
+}
+
+/// What a finished run produced.
+pub struct SolverOutput {
+    /// All points-to facts.
+    pub facts: FactStore,
+    /// Figure 3 instrumentation.
+    pub stats: ModelStats,
+    /// Statement evaluations performed.
+    pub iterations: u64,
+    /// The model, retained for normalization/weighting in queries.
+    pub model: Box<dyn FieldModel>,
+    /// Number of indirect-call (callee, site) bindings discovered.
+    pub resolved_indirect_calls: usize,
+    /// Locations flagged as possibly-corrupted pointers
+    /// ([`ArithMode::FlagUnknown`] runs only; empty otherwise).
+    pub unknown: BTreeSet<Loc>,
+    /// Resolved (call-site statement, callee) pairs for call sites in the
+    /// original program (drives call-graph clients like MOD/REF).
+    pub call_edges: Vec<(structcast_ir::StmtId, FuncId)>,
+}
+
+impl<'p> Solver<'p> {
+    /// Creates a solver over `prog` with the given framework instance.
+    pub fn new(prog: &'p Program, model: Box<dyn FieldModel>) -> Self {
+        let stmts: Vec<Stmt> = prog.stmts.clone();
+        let n = stmts.len();
+        Solver {
+            prog,
+            model,
+            facts: FactStore::new(),
+            stats: ModelStats::default(),
+            stmts,
+            subs: HashMap::new(),
+            queued: vec![true; n],
+            worklist: (0..n).collect(),
+            bound_calls: HashSet::new(),
+            iterations: 0,
+            arith_mode: ArithMode::Spread,
+            unknown: BTreeSet::new(),
+        }
+    }
+
+    /// Selects the pointer-arithmetic treatment (default: spread).
+    pub fn with_arith_mode(mut self, mode: ArithMode) -> Self {
+        self.arith_mode = mode;
+        self
+    }
+
+    /// Runs to fixpoint and returns the facts and instrumentation.
+    pub fn run(mut self) -> SolverOutput {
+        while let Some(idx) = self.worklist.pop_front() {
+            self.queued[idx] = false;
+            self.iterations += 1;
+            self.process(idx);
+        }
+        SolverOutput {
+            facts: self.facts,
+            stats: self.stats,
+            iterations: self.iterations,
+            model: self.model,
+            resolved_indirect_calls: self.bound_calls.len(),
+            call_edges: {
+                let orig = self.prog.stmts.len();
+                let mut v: Vec<(structcast_ir::StmtId, FuncId)> = self
+                    .bound_calls
+                    .iter()
+                    .filter(|(idx, _)| *idx < orig)
+                    .map(|(idx, f)| (structcast_ir::StmtId(*idx as u32), *f))
+                    .collect();
+                v.sort();
+                v
+            },
+            unknown: self.unknown,
+        }
+    }
+
+    /// Flags a location as possibly holding a corrupted pointer.
+    fn mark_unknown(&mut self, loc: Loc) {
+        let obj = loc.obj;
+        if self.unknown.insert(loc) {
+            if let Some(subs) = self.subs.get(&obj) {
+                let to_wake: Vec<usize> = subs.iter().copied().collect();
+                for s in to_wake {
+                    self.enqueue(s);
+                }
+            }
+        }
+    }
+
+    fn enqueue(&mut self, idx: usize) {
+        if !self.queued[idx] {
+            self.queued[idx] = true;
+            self.worklist.push_back(idx);
+        }
+    }
+
+    fn subscribe(&mut self, idx: usize, obj: ObjId) {
+        self.subs.entry(obj).or_default().insert(idx);
+    }
+
+    fn add_fact(&mut self, src: Loc, tgt: Loc) {
+        let obj = src.obj;
+        if self.facts.insert(src, tgt) {
+            if let Some(subs) = self.subs.get(&obj) {
+                let to_wake: Vec<usize> = subs.iter().copied().collect();
+                for s in to_wake {
+                    self.enqueue(s);
+                }
+            }
+        }
+    }
+
+    /// Copies `pts(src_loc)` into `pts(dst_loc)`, propagating the
+    /// corrupted-pointer flag alongside.
+    fn copy_facts(&mut self, dst_loc: &Loc, src_loc: &Loc) {
+        for t in self.facts.points_to_vec(src_loc) {
+            self.add_fact(dst_loc.clone(), t);
+        }
+        if self.unknown.contains(src_loc) {
+            self.mark_unknown(dst_loc.clone());
+        }
+    }
+
+    fn norm(&self, obj: ObjId, path: &FieldPath) -> Loc {
+        self.model.normalize(self.prog, obj, path)
+    }
+
+    fn norm_top(&self, obj: ObjId) -> Loc {
+        self.model.normalize(self.prog, obj, &FieldPath::empty())
+    }
+
+    /// The declared pointee type of `ptr`, with a byte fallback for values
+    /// whose declared type is not a pointer (possible only through unions
+    /// of our own temps; the paper's τ_p is always defined).
+    fn pointee(&self, ptr: ObjId) -> structcast_types::TypeId {
+        match self.prog.pointee_of(ptr) {
+            Some(t) => t,
+            None => {
+                // char: one byte, matching nothing struct-like.
+                let k = structcast_types::TypeKind::Int(structcast_types::IntKind::Char);
+                // The type table interns eagerly during lowering, so `char`
+                // exists in every program with char data; fall back to the
+                // object's own type otherwise.
+                self.find_interned(&k)
+                    .unwrap_or_else(|| self.prog.type_of(ptr))
+            }
+        }
+    }
+
+    fn find_interned(&self, kind: &structcast_types::TypeKind) -> Option<structcast_types::TypeId> {
+        (0..self.prog.types.len() as u32)
+            .map(structcast_types::TypeId)
+            .find(|t| self.prog.types.kind(*t) == kind)
+    }
+
+    fn process(&mut self, idx: usize) {
+        let stmt = self.stmts[idx].clone();
+        match stmt {
+            // Rule 1: s = (τ)&t.β
+            Stmt::AddrOf { dst, src, path } => {
+                let d = self.norm_top(dst);
+                let t = self.norm(src, &path);
+                self.add_fact(d, t);
+            }
+            // Rule 2: s = (τ)&(*p).α
+            Stmt::AddrField { dst, ptr, path } => {
+                let p = self.norm_top(ptr);
+                self.subscribe(idx, p.obj);
+                let tau_p = self.pointee(ptr);
+                let d = self.norm_top(dst);
+                for tgt in self.facts.points_to_vec(&p) {
+                    let results =
+                        self.model
+                            .lookup(self.prog, tau_p, &path, &tgt, &mut self.stats);
+                    for r in results {
+                        self.add_fact(d.clone(), r);
+                    }
+                }
+            }
+            // Rule 3: s = (τ)t.β
+            Stmt::Copy { dst, src, path } => {
+                let d = self.norm_top(dst);
+                let s = self.norm(src, &path);
+                self.subscribe(idx, s.obj);
+                let tau = self.prog.type_of(dst);
+                let pairs = self
+                    .model
+                    .resolve(self.prog, &d, &s, tau, &self.facts, &mut self.stats);
+                for (dl, sl) in pairs {
+                    self.copy_facts(&dl, &sl);
+                }
+            }
+            // Rule 4: s = (τ)*q
+            Stmt::Load { dst, ptr } => {
+                let p = self.norm_top(ptr);
+                self.subscribe(idx, p.obj);
+                let d = self.norm_top(dst);
+                let tau = self.prog.type_of(dst);
+                for tgt in self.facts.points_to_vec(&p) {
+                    self.subscribe(idx, tgt.obj);
+                    let pairs =
+                        self.model
+                            .resolve(self.prog, &d, &tgt, tau, &self.facts, &mut self.stats);
+                    for (dl, sl) in pairs {
+                        self.copy_facts(&dl, &sl);
+                    }
+                }
+            }
+            // Rule 5: *p = (τ_p)t
+            Stmt::Store { ptr, src } => {
+                let p = self.norm_top(ptr);
+                self.subscribe(idx, p.obj);
+                self.subscribe(idx, src);
+                let s = self.norm_top(src);
+                let tau_p = self.pointee(ptr);
+                for tgt in self.facts.points_to_vec(&p) {
+                    let pairs = self.model.resolve(
+                        self.prog,
+                        &tgt,
+                        &s,
+                        tau_p,
+                        &self.facts,
+                        &mut self.stats,
+                    );
+                    for (dl, sl) in pairs {
+                        self.copy_facts(&dl, &sl);
+                    }
+                }
+            }
+            // Extension: pointer arithmetic. Under Assumption 1 the result
+            // spreads over the outermost object (§4.2.1); in FlagUnknown
+            // mode it is recorded as potentially corrupted instead.
+            Stmt::PtrArith { dst, src } => {
+                let s = self.norm_top(src);
+                self.subscribe(idx, s.obj);
+                let d = self.norm_top(dst);
+                match self.arith_mode {
+                    ArithMode::Spread => {
+                        let pointee = self.prog.pointee_of(src);
+                        for tgt in self.facts.points_to_vec(&s) {
+                            for l in self.model.spread(self.prog, &tgt, pointee) {
+                                self.add_fact(d.clone(), l);
+                            }
+                        }
+                    }
+                    ArithMode::FlagUnknown => {
+                        self.mark_unknown(d);
+                    }
+                }
+            }
+            // Extension: memcpy-style bulk copy.
+            Stmt::CopyAll { dst_ptr, src_ptr } => {
+                let dp = self.norm_top(dst_ptr);
+                let sp = self.norm_top(src_ptr);
+                self.subscribe(idx, dp.obj);
+                self.subscribe(idx, sp.obj);
+                for dt in self.facts.points_to_vec(&dp) {
+                    for st in self.facts.points_to_vec(&sp) {
+                        self.subscribe(idx, st.obj);
+                        let pairs = self.model.resolve_all(
+                            self.prog,
+                            &dt,
+                            &st,
+                            &self.facts,
+                            &mut self.stats,
+                        );
+                        for (dl, sl) in pairs {
+                            self.copy_facts(&dl, &sl);
+                        }
+                    }
+                }
+            }
+            // Indirect call: bind discovered callees inside the fixpoint.
+            Stmt::Call { callee, args, ret } => {
+                let fp = match callee {
+                    Callee::Indirect(fp) => fp,
+                    Callee::Direct(fid) => {
+                        self.bind_call(idx, fid, &args, ret);
+                        return;
+                    }
+                };
+                let p = self.norm_top(fp);
+                self.subscribe(idx, p.obj);
+                for tgt in self.facts.points_to_vec(&p) {
+                    if let Some(fid) = self.prog.as_function(tgt.obj) {
+                        self.bind_call(idx, fid, &args, ret);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Synthesizes parameter/return `Copy` bindings for a call site's newly
+    /// discovered callee (once per (site, callee) pair).
+    fn bind_call(&mut self, idx: usize, fid: FuncId, args: &[ObjId], ret: Option<ObjId>) {
+        if !self.bound_calls.insert((idx, fid)) {
+            return;
+        }
+        let f = self.prog.function(fid);
+        let mut new_stmts = Vec::new();
+        for (i, &arg) in args.iter().enumerate() {
+            if let Some(&param) = f.params.get(i) {
+                new_stmts.push(Stmt::Copy {
+                    dst: param,
+                    src: arg,
+                    path: FieldPath::empty(),
+                });
+            } else if let Some(va) = f.varargs {
+                new_stmts.push(Stmt::Copy {
+                    dst: va,
+                    src: arg,
+                    path: FieldPath::empty(),
+                });
+            }
+        }
+        if let (Some(r), Some(rs)) = (ret, f.ret_slot) {
+            new_stmts.push(Stmt::Copy {
+                dst: r,
+                src: rs,
+                path: FieldPath::empty(),
+            });
+        }
+        for s in new_stmts {
+            let new_idx = self.stmts.len();
+            self.stmts.push(s);
+            self.queued.push(false);
+            self.enqueue(new_idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::make_model;
+    use crate::model::ModelKind;
+    use structcast_ir::lower_source;
+    use structcast_types::{CompatMode, Layout};
+
+    fn run(src: &str, kind: ModelKind) -> (structcast_ir::Program, SolverOutput) {
+        let prog = lower_source(src).unwrap();
+        let model = make_model(kind, Layout::ilp32(), CompatMode::Structural);
+        let out = Solver::new(&prog, model).run();
+        (prog, out)
+    }
+
+    /// Points-to names of `var` (top-level), as a sorted list of object
+    /// names for readable assertions.
+    fn pts_names(prog: &structcast_ir::Program, out: &SolverOutput, var: &str) -> Vec<String> {
+        let obj = prog.object_by_name(var).unwrap();
+        let l = out.model.normalize(prog, obj, &FieldPath::empty());
+        let mut v: Vec<String> = out
+            .facts
+            .points_to(&l)
+            .map(|t| prog.object(t.obj).name.clone())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    const INTRO: &str = "struct S { int *s1; int *s2; } s;\n\
+         int x, y, *p;\n\
+         void f(void) { s.s1 = &x; s.s2 = &y; p = s.s1; }";
+
+    #[test]
+    fn intro_example_field_sensitive_models_are_precise() {
+        for kind in [
+            ModelKind::CollapseOnCast,
+            ModelKind::CommonInitialSeq,
+            ModelKind::Offsets,
+        ] {
+            let (prog, out) = run(INTRO, kind);
+            assert_eq!(
+                pts_names(&prog, &out, "p"),
+                vec!["x".to_string()],
+                "{kind} should keep p → {{x}} only"
+            );
+        }
+    }
+
+    #[test]
+    fn intro_example_collapse_always_is_imprecise() {
+        let (prog, out) = run(INTRO, ModelKind::CollapseAlways);
+        assert_eq!(
+            pts_names(&prog, &out, "p"),
+            vec!["x".to_string(), "y".to_string()],
+            "collapsing merges the two fields"
+        );
+    }
+
+    #[test]
+    fn indirect_calls_bind_during_solving() {
+        let src = "int x; int *target(void) { return &x; }\n\
+                   int *(*fp)(void); int *r;\n\
+                   void f(void) { fp = target; r = fp(); }";
+        for kind in ModelKind::ALL {
+            let (prog, out) = run(src, kind);
+            assert!(out.resolved_indirect_calls >= 1, "{kind}");
+            assert_eq!(pts_names(&prog, &out, "r"), vec!["x".to_string()], "{kind}");
+        }
+    }
+
+    #[test]
+    fn solver_terminates_on_cyclic_structures() {
+        let src = "struct N { struct N *next; int v; } a, b, c;\n\
+                   void f(void) { a.next = &b; b.next = &c; c.next = &a; \
+                                  a.next = b.next; }";
+        for kind in ModelKind::ALL {
+            let (_prog, out) = run(src, kind);
+            assert!(out.iterations > 0);
+            assert!(!out.facts.is_empty());
+        }
+    }
+
+    #[test]
+    fn heap_objects_flow_through_lists() {
+        let src = "struct Node { struct Node *next; int *data; };\n\
+                   struct Node *head; int x;\n\
+                   void f(void) {\n\
+                     struct Node *n = (struct Node *)malloc(sizeof(struct Node));\n\
+                     n->data = &x; n->next = head; head = n;\n\
+                   }";
+        for kind in ModelKind::ALL {
+            let (prog, out) = run(src, kind);
+            let names = pts_names(&prog, &out, "head");
+            assert!(
+                names.iter().any(|n| n.starts_with("malloc_")),
+                "{kind}: head should reach the heap node, got {names:?}"
+            );
+        }
+    }
+}

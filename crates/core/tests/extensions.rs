@@ -1,0 +1,173 @@
+//! Tests for the two optional extensions beyond the paper's defaults:
+//!
+//! * the Wilson–Lam stride refinement for pointer arithmetic (related work
+//!   §6) — `T*` arithmetic lands only on `sizeof(T)`-aligned positions;
+//! * the corrupted-pointer ("Unknown") flagging mode the paper sketches in
+//!   §4.2.1 as the pessimistic alternative to Assumption 1.
+
+use structcast::{analyze_source, AnalysisConfig, ArithMode, FieldRep, ModelKind};
+
+/// A struct with mixed field sizes: an `int*` walked across it can only
+/// reach pointer-aligned positions under the stride rule.
+const WALK: &str = r#"
+    struct Mixed { int *a; char c1; char c2; char c3; char c4; int *b; } m;
+    int x, *p;
+    void main(void) {
+        m.a = &x;
+        p = (int *)&m;
+        p = p + 1;
+    }
+"#;
+
+#[test]
+fn stride_restricts_offsets_spread() {
+    let base = AnalysisConfig::new(ModelKind::Offsets);
+    let (prog, plain) = analyze_source(WALK, &base.clone()).unwrap();
+    let (prog2, strided) = analyze_source(WALK, &base.with_stride(true)).unwrap();
+    let p1 = prog.object_by_name("p").unwrap();
+    let p2 = prog2.object_by_name("p").unwrap();
+    let plain_n = plain.points_to(&prog, p1).len();
+    let strided_n = strided.points_to(&prog2, p2).len();
+    // Without stride: all leaf positions (a, c1..c4, b = 6). With stride
+    // (sizeof(int*) = 4 under ilp32): offsets 0, 4, 8, 12 only.
+    assert!(plain_n >= 6, "plain spread too small: {plain_n}");
+    assert!(
+        strided_n < plain_n,
+        "stride must shrink the spread: {strided_n} vs {plain_n}"
+    );
+    // All strided targets are 4-aligned.
+    for l in strided.points_to(&prog2, p2) {
+        if let FieldRep::Off(o) = l.field {
+            assert_eq!(o % 4, 0, "unaligned strided target {o}");
+        }
+    }
+}
+
+#[test]
+fn stride_restricts_path_spread_by_type() {
+    // An int** walked across a struct with both pointer and scalar fields:
+    // the path-level stride keeps only the leaves whose type matches the
+    // pointee (int*).
+    let src = r#"
+        struct Mixed2 { int *a; int n1; int n2; int *b; int n3; } m;
+        int x, **walk;
+        void main(void) {
+            m.a = &x;
+            walk = (int **)&m;
+            walk = walk + 1;
+        }
+    "#;
+    let base = AnalysisConfig::new(ModelKind::CommonInitialSeq);
+    let (prog, plain) = analyze_source(src, &base.clone()).unwrap();
+    let (prog2, strided) = analyze_source(src, &base.with_stride(true)).unwrap();
+    let p1 = prog.object_by_name("walk").unwrap();
+    let p2 = prog2.object_by_name("walk").unwrap();
+    // Path model: only the two int* leaves match the pointee type.
+    assert_eq!(strided.points_to(&prog2, p2).len(), 2);
+    assert!(plain.points_to(&prog, p1).len() >= 5);
+}
+
+#[test]
+fn stride_still_covers_the_actual_target() {
+    // Soundness under stride: walking from m.a by exactly one pointer gets
+    // to m.b; the strided analysis must include it.
+    let src = r#"
+        struct Two { int *a; int *b; } t2;
+        int x, y, **walk, *out;
+        void main(void) {
+            t2.a = &x;
+            t2.b = &y;
+            walk = (int **)&t2;
+            walk = walk + 1;
+            out = *walk;
+        }
+    "#;
+    for kind in [ModelKind::Offsets, ModelKind::CommonInitialSeq] {
+        let cfg = AnalysisConfig::new(kind).with_stride(true);
+        let (prog, res) = analyze_source(src, &cfg).unwrap();
+        let names = res.points_to_names(&prog, "out");
+        assert!(names.contains(&"y".to_string()), "{kind}: {names:?}");
+    }
+}
+
+#[test]
+fn unknown_mode_flags_arithmetic_results() {
+    let cfg = AnalysisConfig::new(ModelKind::CommonInitialSeq)
+        .with_arith_mode(ArithMode::FlagUnknown);
+    let (prog, res) = analyze_source(WALK, &cfg).unwrap();
+    assert!(
+        !res.unknown.is_empty(),
+        "p = p + 1 must be flagged as potentially corrupted"
+    );
+    // The flagged pointer has no targets in this mode.
+    let p = prog.object_by_name("p").unwrap();
+    let targets = res.points_to(&prog, p);
+    // p's first assignment (the cast) gives it a target; the arithmetic
+    // result itself contributes nothing.
+    assert!(targets.len() <= 1, "{targets:?}");
+}
+
+#[test]
+fn unknown_flag_propagates_through_copies() {
+    let src = r#"
+        int a[8], *p, *q, *r;
+        void main(void) {
+            p = a;
+            p = p + 3;
+            q = p;      /* q inherits the corrupted flag */
+            r = &a[0];  /* r is clean */
+        }
+    "#;
+    let cfg = AnalysisConfig::new(ModelKind::CommonInitialSeq)
+        .with_arith_mode(ArithMode::FlagUnknown);
+    let (prog, res) = analyze_source(src, &cfg).unwrap();
+    let q = prog.object_by_name("q").unwrap();
+    let r = prog.object_by_name("r").unwrap();
+    let ql = res.normalize(&prog, q, &structcast::FieldPath::empty());
+    let rl = res.normalize(&prog, r, &structcast::FieldPath::empty());
+    assert!(res.unknown.contains(&ql), "q must be flagged");
+    assert!(!res.unknown.contains(&rl), "r must not be flagged");
+}
+
+#[test]
+fn unknown_mode_reports_suspicious_deref_sites() {
+    let src = r#"
+        int a[8], *p, x;
+        void main(void) {
+            p = a;
+            p = p + 2;
+            x = *p;     /* dereference of a flagged pointer */
+        }
+    "#;
+    let cfg = AnalysisConfig::new(ModelKind::CommonInitialSeq)
+        .with_arith_mode(ArithMode::FlagUnknown);
+    let (prog, res) = analyze_source(src, &cfg).unwrap();
+    let sites = res.unknown_deref_sites(&prog);
+    assert!(!sites.is_empty(), "the load through p must be reported");
+}
+
+#[test]
+fn default_mode_flags_nothing() {
+    let (_, res) =
+        analyze_source(WALK, &AnalysisConfig::new(ModelKind::CommonInitialSeq)).unwrap();
+    assert!(res.unknown.is_empty());
+}
+
+#[test]
+fn stride_never_increases_sets() {
+    // On the whole cast-heavy corpus: stride is a refinement, so average
+    // deref sizes can only shrink or stay equal.
+    for p in structcast_progen::corpus().iter().filter(|p| p.casty) {
+        let prog = structcast::lower_source(p.source).unwrap();
+        for kind in [ModelKind::Offsets, ModelKind::CommonInitialSeq] {
+            let plain = structcast::analyze(&prog, &AnalysisConfig::new(kind));
+            let strided =
+                structcast::analyze(&prog, &AnalysisConfig::new(kind).with_stride(true));
+            assert!(
+                strided.average_deref_size(&prog) <= plain.average_deref_size(&prog) + 1e-9,
+                "{} under {kind}: stride increased sets",
+                p.name
+            );
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based analysis tests: the framework's algebraic invariants
+//! must hold on randomly generated programs (arbitrary seeds and casting
+//! ratios), not just the corpus.
+
+use proptest::prelude::*;
+use structcast::models::make_model;
+use structcast::{analyze, AnalysisConfig, CompatMode, FieldPath, Layout, ModelKind};
+use structcast_progen::{generate, GenConfig};
+
+fn gen_program(seed: u64, ratio: f64) -> structcast::Program {
+    let src = generate(&GenConfig::small(seed).with_cast_ratio(ratio));
+    structcast::lower_source(&src).expect("generated programs always lower")
+}
+
+proptest! {
+    // Each case runs 4 full analyses; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn precision_ladder_on_random_programs(seed in 0u64..10_000, pct in 0u32..=100) {
+        let prog = gen_program(seed, pct as f64 / 100.0);
+        let sizes: Vec<f64> = ModelKind::ALL
+            .iter()
+            .map(|k| analyze(&prog, &AnalysisConfig::new(*k)).average_deref_size(&prog))
+            .collect();
+        // CollapseAlways ≥ CollapseOnCast ≥ CIS (weighted per-site sizes).
+        prop_assert!(sizes[0] >= sizes[1] - 1e-9, "CA {} < CoC {}", sizes[0], sizes[1]);
+        prop_assert!(sizes[1] >= sizes[2] - 1e-9, "CoC {} < CIS {}", sizes[1], sizes[2]);
+    }
+
+    #[test]
+    fn cis_facts_subset_of_coc_on_random_programs(seed in 0u64..10_000, pct in 0u32..=100) {
+        let prog = gen_program(seed, pct as f64 / 100.0);
+        let cis = analyze(&prog, &AnalysisConfig::new(ModelKind::CommonInitialSeq));
+        let coc = analyze(&prog, &AnalysisConfig::new(ModelKind::CollapseOnCast));
+        let coc_set: std::collections::HashSet<(String, String)> = coc
+            .facts
+            .iter()
+            .map(|(s, t)| (s.to_string(), t.to_string()))
+            .collect();
+        for (s, t) in cis.facts.iter() {
+            prop_assert!(
+                coc_set.contains(&(s.to_string(), t.to_string())),
+                "CIS-only fact {s} -> {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn normalize_is_idempotent_for_every_object(seed in 0u64..10_000) {
+        let prog = gen_program(seed, 0.5);
+        for kind in ModelKind::ALL {
+            let model = make_model(kind, Layout::ilp32(), CompatMode::Structural);
+            for i in 0..prog.objects.len() {
+                let obj = structcast::ObjId(i as u32);
+                let l1 = model.normalize(&prog, obj, &FieldPath::empty());
+                // Re-normalizing the normalized path must be stable.
+                if let structcast::FieldRep::Path(p) = &l1.field {
+                    let l2 = model.normalize(&prog, obj, p);
+                    prop_assert_eq!(&l1, &l2, "{} not idempotent", kind);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solver_is_deterministic_on_random_programs(seed in 0u64..10_000) {
+        let prog = gen_program(seed, 0.7);
+        for kind in [ModelKind::CommonInitialSeq, ModelKind::Offsets] {
+            let a = analyze(&prog, &AnalysisConfig::new(kind));
+            let b = analyze(&prog, &AnalysisConfig::new(kind));
+            prop_assert_eq!(a.edge_count(), b.edge_count());
+        }
+    }
+
+    #[test]
+    fn offsets_facts_lie_within_objects(seed in 0u64..10_000, pct in 0u32..=100) {
+        // Every offset-instance fact must name a position inside its
+        // object's actual extent (Assumption-1 bookkeeping).
+        let prog = gen_program(seed, pct as f64 / 100.0);
+        let layout = Layout::ilp32();
+        let res = analyze(
+            &prog,
+            &AnalysisConfig::new(ModelKind::Offsets).with_layout(layout.clone()),
+        );
+        for (s, t) in res.facts.iter() {
+            for l in [s, t] {
+                if let structcast::FieldRep::Off(o) = l.field {
+                    let size = layout.size_of(&prog.types, prog.type_of(l.obj)).max(1);
+                    prop_assert!(
+                        o < size,
+                        "{} at offset {o} outside object of size {size}",
+                        prog.object(l.obj).name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steensgaard_covers_collapse_always_object_edges(seed in 0u64..10_000) {
+        // Unification merges aggressively: any (named pointer → object)
+        // edge the inclusion Collapse-Always analysis finds must also be
+        // found by Steensgaard.
+        let prog = gen_program(seed, 0.4);
+        let ca = analyze(&prog, &AnalysisConfig::new(ModelKind::CollapseAlways));
+        let st = structcast::steensgaard::steensgaard(&prog);
+        for (i, obj) in prog.objects.iter().enumerate() {
+            if !obj.kind.is_named_variable() {
+                continue;
+            }
+            let id = structcast::ObjId(i as u32);
+            let ca_objs: std::collections::HashSet<u32> = ca
+                .points_to(&prog, id)
+                .into_iter()
+                .map(|l| l.obj.0)
+                .collect();
+            if ca_objs.is_empty() {
+                continue;
+            }
+            let st_objs: std::collections::HashSet<u32> = st
+                .points_to_objects(id)
+                .into_iter()
+                .map(|o| o.0)
+                .collect();
+            for o in &ca_objs {
+                prop_assert!(
+                    st_objs.contains(o),
+                    "{}: inclusion found edge to {} that unification missed",
+                    obj.name,
+                    prog.object(structcast::ObjId(*o)).name
+                );
+            }
+        }
+    }
+}

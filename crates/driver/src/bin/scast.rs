@@ -1,0 +1,213 @@
+//! `scast` — analyze a C file and print points-to information.
+//!
+//! ```text
+//! scast <file.c> [--model collapse|cast|cis|offsets] [--layout ilp32|lp64|packed32]
+//!       [--var NAME]... [--deref-stats] [--dump-ir] [--steensgaard]
+//! scast --corpus            # list the embedded benchmark corpus
+//! ```
+
+use std::process::ExitCode;
+use structcast::steensgaard::steensgaard;
+use structcast::{analyze, AnalysisConfig, Layout, ModelKind};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scast <file.c> [--model collapse|cast|cis|offsets] \
+         [--layout ilp32|lp64|packed32] [--var NAME]... [--deref-stats] \
+         [--dump-ir] [--steensgaard] [--stride] [--flag-unknown] [--dot] [--modref]\n       scast --corpus"
+    );
+    std::process::exit(2);
+}
+
+fn parse_model(s: &str) -> ModelKind {
+    match s {
+        "collapse" | "collapse-always" => ModelKind::CollapseAlways,
+        "cast" | "collapse-on-cast" => ModelKind::CollapseOnCast,
+        "cis" | "common-initial-seq" => ModelKind::CommonInitialSeq,
+        "offsets" => ModelKind::Offsets,
+        other => {
+            eprintln!("unknown model `{other}`");
+            usage()
+        }
+    }
+}
+
+fn parse_layout(s: &str) -> Layout {
+    match s {
+        "ilp32" => Layout::ilp32(),
+        "lp64" => Layout::lp64(),
+        "packed32" => Layout::packed32(),
+        other => {
+            eprintln!("unknown layout `{other}`");
+            usage()
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    if args[0] == "--corpus" {
+        println!("{:<18} {:>6} {:>6}", "name", "lines", "casty");
+        for p in structcast_progen::corpus() {
+            println!("{:<18} {:>6} {:>6}", p.name, p.line_count(), p.casty);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut file = None;
+    let mut model = ModelKind::CommonInitialSeq;
+    let mut layout = Layout::ilp32();
+    let mut vars: Vec<String> = Vec::new();
+    let mut deref_stats = false;
+    let mut dump_ir = false;
+    let mut steens = false;
+    let mut stride = false;
+    let mut flag_unknown = false;
+    let mut dot = false;
+    let mut modref = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--model" => model = parse_model(&it.next().unwrap_or_else(|| usage())),
+            "--layout" => layout = parse_layout(&it.next().unwrap_or_else(|| usage())),
+            "--var" => vars.push(it.next().unwrap_or_else(|| usage())),
+            "--deref-stats" => deref_stats = true,
+            "--dump-ir" => dump_ir = true,
+            "--steensgaard" => steens = true,
+            "--stride" => stride = true,
+            "--flag-unknown" => flag_unknown = true,
+            "--dot" => dot = true,
+            "--modref" => modref = true,
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(file) = file else { usage() };
+
+    // The corpus can be referenced by name instead of a path.
+    let source = match structcast_progen::corpus_program(&file) {
+        Some(p) => p.source.to_string(),
+        None => match std::fs::read_to_string(&file) {
+            Ok(raw) => {
+                // Preprocess real files: object-like #define, #ifdef, and
+                // quoted includes resolved next to the input file.
+                let base = std::path::Path::new(&file)
+                    .parent()
+                    .map(|p| p.to_path_buf())
+                    .unwrap_or_default();
+                structcast::parse_support::preprocess(&raw, &|name: &str| {
+                    std::fs::read_to_string(base.join(name)).ok()
+                })
+            }
+            Err(e) => {
+                eprintln!("scast: cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let prog = match structcast::lower_source(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("scast: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for w in &prog.warnings {
+        eprintln!("scast: warning: {w}");
+    }
+    if dump_ir {
+        print!("{}", prog.dump());
+        return ExitCode::SUCCESS;
+    }
+
+    if steens {
+        let res = steensgaard(&prog);
+        println!(
+            "steensgaard: classes={} time={:?} indirect_calls={}",
+            res.class_count(),
+            res.elapsed,
+            res.resolved_indirect_calls
+        );
+        for v in &vars {
+            println!("  {v} -> {{{}}}", res.points_to_names(&prog, v).join(", "));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut cfg = AnalysisConfig::new(model).with_layout(layout).with_stride(stride);
+    if flag_unknown {
+        cfg = cfg.with_arith_mode(structcast::ArithMode::FlagUnknown);
+    }
+    let res = analyze(&prog, &cfg);
+    if dot {
+        print!("{}", structcast::modref::to_dot(&prog, &res));
+        return ExitCode::SUCCESS;
+    }
+    if modref {
+        let mr = structcast::modref::mod_ref(&prog, &res, true);
+        println!("MOD/REF per function ({}):", model.paper_name());
+        for f in &prog.functions {
+            if !f.defined {
+                continue;
+            }
+            let sets = mr.of(f.id);
+            let names = |set: &std::collections::BTreeSet<structcast::ObjId>| {
+                set.iter()
+                    .map(|o| prog.object(*o).name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            println!("  {:<20} MOD {{{}}}", f.name, names(&sets.mods));
+            println!("  {:<20} REF {{{}}}", "", names(&sets.refs));
+        }
+        return ExitCode::SUCCESS;
+    }
+    if flag_unknown {
+        let sites = res.unknown_deref_sites(&prog);
+        println!(
+            "possibly-corrupted pointers: {} locations; {} suspicious dereference sites",
+            res.unknown.len(),
+            sites.len()
+        );
+        for sid in sites.iter().take(10) {
+            println!("  suspicious deref: {}", prog.display_stmt(&prog.stmts[sid.0 as usize]));
+        }
+    }
+    println!(
+        "{}: edges={} iterations={} time={:?}",
+        model.paper_name(),
+        res.edge_count(),
+        res.iterations,
+        res.elapsed
+    );
+    if deref_stats {
+        println!(
+            "deref sites={} avg points-to size={:.3}",
+            prog.deref_sites().len(),
+            res.average_deref_size(&prog)
+        );
+    }
+    if vars.is_empty() {
+        // Print points-to sets of all named pointers with nonempty sets.
+        for (i, obj) in prog.objects.iter().enumerate() {
+            if !obj.kind.is_named_variable() {
+                continue;
+            }
+            let id = structcast::ObjId(i as u32);
+            let names = res.points_to_names(&prog, &obj.name);
+            if !names.is_empty() {
+                println!("  {} -> {{{}}}", obj.name, names.join(", "));
+                let _ = id;
+            }
+        }
+    } else {
+        for v in &vars {
+            println!("  {v} -> {{{}}}", res.points_to_names(&prog, v).join(", "));
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,26 @@
+//! # structcast-driver
+//!
+//! The experiment harness and CLI for the structcast reproduction of
+//! Yong/Horwitz/Reps (PLDI 1999).
+//!
+//! * [`experiments`] — one `run_*` function per paper figure (3–6) plus the
+//!   ablations and scaling sweeps from DESIGN.md;
+//! * [`report`] — plain-text table renderers;
+//! * binaries: `scast` (analyze a C file, print points-to sets) and
+//!   `scast-experiments` (regenerate any or all figures).
+//!
+//! ```
+//! use structcast_driver::experiments::run_fig4;
+//! use structcast_driver::report::render_fig4;
+//!
+//! let rows = run_fig4();
+//! assert_eq!(rows.len(), 12); // the 12 cast-heavy corpus programs
+//! let table = render_fig4(&rows);
+//! assert!(table.contains("Figure 4"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,356 @@
+//! Plain-text rendering of the experiment tables, matching the shape of
+//! the paper's Figures 3–6 (tables/series, one row per program).
+
+use crate::experiments::{Fig3Row, LayoutRow, ModelRow, ScalingRow, SteensRow};
+use std::fmt::Write as _;
+use structcast::ModelKind;
+
+const MODEL_SHORT: [&str; 4] = ["CollapseAlw", "CollapseCast", "CommonInit", "Offsets"];
+
+/// Renders Figure 3 (program stats and struct/cast call percentages).
+pub fn render_fig3(rows: &[Fig3Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Figure 3: test programs and lookup/resolve call classification"
+    );
+    let _ = writeln!(
+        s,
+        "{:<16} {:>6} {:>7} | {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} {:>6}",
+        "program", "lines", "asgn", "CoC-l%", "CoC-r%", "CoC-lm", "CoC-rm", "CIS-l%", "CIS-r%",
+        "CIS-lm", "CIS-rm"
+    );
+    let _ = writeln!(
+        s,
+        "{:<16} {:>6} {:>7} | {:>27} | {:>27}",
+        "", "", "", "struct%  (mismatch% of those)", "struct%  (mismatch% of those)"
+    );
+    let mut last_casty = false;
+    for r in rows {
+        if r.casty && !last_casty {
+            let _ = writeln!(s, "{}", "-".repeat(96));
+        }
+        last_casty = r.casty;
+        let _ = writeln!(
+            s,
+            "{:<16} {:>6} {:>7} | {:>6.1} {:>6.1} {:>6.1} {:>6.1} | {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
+            r.name,
+            r.lines,
+            r.assignments,
+            r.coc_lookup_struct_pct,
+            r.coc_resolve_struct_pct,
+            r.coc_lookup_mismatch_pct,
+            r.coc_resolve_mismatch_pct,
+            r.cis_lookup_struct_pct,
+            r.cis_resolve_struct_pct,
+            r.cis_lookup_mismatch_pct,
+            r.cis_resolve_mismatch_pct,
+        );
+    }
+    s
+}
+
+/// Renders Figure 4 (average points-to set sizes, absolute values).
+pub fn render_fig4(rows: &[ModelRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Figure 4: average points-to set size of a dereferenced pointer"
+    );
+    let _ = writeln!(
+        s,
+        "{:<16} {:>12} {:>12} {:>12} {:>12}",
+        "program", MODEL_SHORT[0], MODEL_SHORT[1], MODEL_SHORT[2], MODEL_SHORT[3]
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<16} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            r.name, r.values[0], r.values[1], r.values[2], r.values[3]
+        );
+    }
+    append_ratio_summary(&mut s, rows);
+    s
+}
+
+/// Renders Figure 5 (analysis times, normalized to Offsets; absolute
+/// Offsets seconds shown like the paper shows them under the bars).
+pub fn render_fig5(rows: &[ModelRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 5: analysis-time ratios (normalized to Offsets)");
+    let _ = writeln!(
+        s,
+        "{:<16} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "program", MODEL_SHORT[0], MODEL_SHORT[1], MODEL_SHORT[2], MODEL_SHORT[3], "offsets(s)"
+    );
+    for r in rows {
+        let n = r.normalized_to_offsets();
+        let _ = writeln!(
+            s,
+            "{:<16} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>12.6}",
+            r.name,
+            n[0],
+            n[1],
+            n[2],
+            n[3],
+            r.value(ModelKind::Offsets)
+        );
+    }
+    s
+}
+
+/// Renders Figure 6 (points-to edge counts, normalized to Offsets).
+pub fn render_fig6(rows: &[ModelRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Figure 6: points-to edge counts (normalized to Offsets; absolute in parens)"
+    );
+    let _ = writeln!(
+        s,
+        "{:<16} {:>12} {:>12} {:>12} {:>16}",
+        "program", MODEL_SHORT[0], MODEL_SHORT[1], MODEL_SHORT[2], MODEL_SHORT[3]
+    );
+    for r in rows {
+        let n = r.normalized_to_offsets();
+        let _ = writeln!(
+            s,
+            "{:<16} {:>12.2} {:>12.2} {:>12.2} {:>7.2} ({:>6})",
+            r.name,
+            n[0],
+            n[1],
+            n[2],
+            n[3],
+            r.value(ModelKind::Offsets) as usize
+        );
+    }
+    s
+}
+
+fn append_ratio_summary(s: &mut String, rows: &[ModelRow]) {
+    // Headline ratios used in §5's prose.
+    let sums: Vec<f64> = (0..4)
+        .map(|i| rows.iter().map(|r| r.values[i]).sum::<f64>())
+        .collect();
+    let off = sums[3].max(1e-12);
+    let _ = writeln!(
+        s,
+        "aggregate vs Offsets: CollapseAlways ×{:.2}, CollapseOnCast ×{:.2}, CIS ×{:.2}",
+        sums[0] / off,
+        sums[1] / off,
+        sums[2] / off
+    );
+}
+
+/// Renders Ablation A (inclusion vs unification).
+pub fn render_steensgaard(rows: &[SteensRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Ablation A: inclusion (this paper) vs Steensgaard-style unification"
+    );
+    let _ = writeln!(
+        s,
+        "{:<16} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "program", "CollapseAlw", "CIS", "Steensgaard", "steens(s)", "cis(s)"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<16} {:>12.2} {:>12.2} {:>12.2} {:>12.6} {:>12.6}",
+            r.name, r.collapse_always, r.cis, r.steensgaard, r.steens_time, r.cis_time
+        );
+    }
+    s
+}
+
+/// Renders Ablation B (layout sensitivity of the Offsets instance).
+pub fn render_layout(rows: &[LayoutRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Ablation B: Offsets instance under different layout strategies"
+    );
+    let _ = writeln!(
+        s,
+        "{:<16} {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8}",
+        "program", "ilp32", "lp64", "packed32", "e32", "e64", "epak"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<16} {:>10.2} {:>10.2} {:>10.2} | {:>8} {:>8} {:>8}",
+            r.name,
+            r.avg_sizes[0],
+            r.avg_sizes[1],
+            r.avg_sizes[2],
+            r.edges[0],
+            r.edges[1],
+            r.edges[2]
+        );
+    }
+    s
+}
+
+/// Renders Ablation C (pointer-arithmetic stride refinement + Unknown
+/// flagging).
+pub fn render_stride(rows: &[crate::experiments::StrideRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Ablation C: Wilson–Lam stride for pointer arithmetic (avg deref size)"
+    );
+    let _ = writeln!(
+        s,
+        "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "program", "Off", "Off+str", "CIS", "CIS+str", "unknowns"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<16} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10}",
+            r.name, r.off_plain, r.off_stride, r.cis_plain, r.cis_stride, r.unknown_sites
+        );
+    }
+    s
+}
+
+/// Renders Experiment D (downstream MOD/REF impact).
+pub fn render_modref(rows: &[crate::experiments::ModRefRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Experiment D: average MOD-set size per function (side-effect client)"
+    );
+    let _ = writeln!(
+        s,
+        "{:<16} {:>12} {:>12} {:>12} {:>12}",
+        "program", MODEL_SHORT[0], MODEL_SHORT[1], MODEL_SHORT[2], MODEL_SHORT[3]
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<16} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            r.name, r.avg_mod[0], r.avg_mod[1], r.avg_mod[2], r.avg_mod[3]
+        );
+    }
+    s
+}
+
+/// Renders the scaling sweep.
+pub fn render_scaling(rows: &[ScalingRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Scaling: generated programs (size × cast ratio)");
+    let _ = writeln!(
+        s,
+        "{:<14} {:>7} {:>7} | {:>9} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8} {:>8}",
+        "preset", "lines", "asgn", "tCA(s)", "tCoC(s)", "tCIS(s)", "tOff(s)", "eCA", "eCoC",
+        "eCIS", "eOff"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<14} {:>7} {:>7} | {:>9.4} {:>9.4} {:>9.4} {:>9.4} | {:>8} {:>8} {:>8} {:>8}",
+            r.preset,
+            r.lines,
+            r.assignments,
+            r.times[0],
+            r.times[1],
+            r.times[2],
+            r.times[3],
+            r.edges[0],
+            r.edges[1],
+            r.edges[2],
+            r.edges[3]
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_model_rows() -> Vec<ModelRow> {
+        vec![
+            ModelRow {
+                name: "prog-a".into(),
+                values: [8.0, 4.0, 2.0, 2.0],
+            },
+            ModelRow {
+                name: "prog-b".into(),
+                values: [3.0, 1.5, 1.0, 1.0],
+            },
+        ]
+    }
+
+    #[test]
+    fn fig4_rendering_contains_rows_and_summary() {
+        let out = render_fig4(&fake_model_rows());
+        assert!(out.contains("prog-a"));
+        assert!(out.contains("aggregate vs Offsets"));
+        assert!(out.contains("×3.67") || out.contains("x3.67") || out.contains("3.67"));
+    }
+
+    #[test]
+    fn fig5_normalizes_to_one() {
+        let out = render_fig5(&fake_model_rows());
+        // The Offsets column is the normalization base.
+        assert!(out.contains("1.00"));
+    }
+
+    #[test]
+    fn fig6_shows_absolute_in_parens() {
+        let out = render_fig6(&fake_model_rows());
+        assert!(out.contains("("));
+    }
+
+    #[test]
+    fn stride_rendering() {
+        let rows = vec![crate::experiments::StrideRow {
+            name: "prog-a".into(),
+            off_plain: 2.0,
+            off_stride: 1.5,
+            cis_plain: 2.5,
+            cis_stride: 2.0,
+            unknown_sites: 4,
+        }];
+        let out = render_stride(&rows);
+        assert!(out.contains("Ablation C"));
+        assert!(out.contains("prog-a"));
+        assert!(out.contains("1.50"));
+        assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn modref_rendering() {
+        let rows = vec![crate::experiments::ModRefRow {
+            name: "prog-b".into(),
+            avg_mod: [5.0, 3.0, 2.5, 2.5],
+        }];
+        let out = render_modref(&rows);
+        assert!(out.contains("Experiment D"));
+        assert!(out.contains("prog-b"));
+        assert!(out.contains("5.00"));
+    }
+
+    #[test]
+    fn steensgaard_and_layout_rendering() {
+        let out = render_steensgaard(&[crate::experiments::SteensRow {
+            name: "p".into(),
+            collapse_always: 2.0,
+            cis: 1.0,
+            steensgaard: 3.0,
+            steens_time: 1e-5,
+            cis_time: 2e-4,
+        }]);
+        assert!(out.contains("unification"));
+        let out = render_layout(&[crate::experiments::LayoutRow {
+            name: "p".into(),
+            avg_sizes: [1.0, 1.1, 1.0],
+            edges: [10, 11, 10],
+        }]);
+        assert!(out.contains("layout strategies"));
+        assert!(out.contains("1.10"));
+    }
+}

@@ -1,0 +1,148 @@
+//! End-to-end CLI tests: run the built `scast` / `scast-experiments`
+//! binaries the way a user would and check their output.
+
+use std::process::Command;
+
+fn scast(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_scast"))
+        .args(args)
+        .output()
+        .expect("scast runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn corpus_listing() {
+    let (stdout, _, ok) = scast(&["--corpus"]);
+    assert!(ok);
+    assert!(stdout.contains("tagged-union"));
+    assert!(stdout.contains("list-utils"));
+    assert_eq!(stdout.lines().count(), 21); // header + 20 programs
+}
+
+#[test]
+fn analyze_corpus_program_by_name() {
+    let (stdout, _, ok) = scast(&["tagged-union", "--deref-stats"]);
+    assert!(ok);
+    assert!(stdout.contains("Common Initial Sequence"));
+    assert!(stdout.contains("avg points-to size"));
+}
+
+#[test]
+fn model_and_var_selection() {
+    let (stdout, _, ok) = scast(&[
+        "oop-shapes",
+        "--model",
+        "offsets",
+        "--layout",
+        "lp64",
+        "--var",
+        "shapes",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Offsets"));
+    assert!(stdout.contains("shapes ->"));
+}
+
+#[test]
+fn analyze_a_real_file() {
+    let dir = std::env::temp_dir().join("scast_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.c");
+    std::fs::write(
+        &path,
+        "int x, *p; void main(void) { p = &x; }",
+    )
+    .unwrap();
+    let (stdout, _, ok) = scast(&[path.to_str().unwrap(), "--var", "p"]);
+    assert!(ok);
+    assert!(stdout.contains("p -> {x}"), "{stdout}");
+}
+
+#[test]
+fn preprocessor_resolves_defines_and_includes() {
+    let dir = std::env::temp_dir().join("scast_cli_pp");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("defs.h"),
+        "#define CAP 4\nstruct Slot { int *owner; };\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("main.c"),
+        "#include \"defs.h\"\nstruct Slot table[CAP];\nint who;\n\
+         void main(void) { table[0].owner = &who; }\n",
+    )
+    .unwrap();
+    let (stdout, _, ok) = scast(&[
+        dir.join("main.c").to_str().unwrap(),
+        "--var",
+        "table",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("table -> {who}"), "{stdout}");
+}
+
+#[test]
+fn dump_ir_shows_normalized_forms() {
+    let (stdout, _, ok) = scast(&["list-utils", "--dump-ir"]);
+    assert!(ok);
+    assert!(stdout.contains("objects"));
+    assert!(stdout.contains("= &"));
+}
+
+#[test]
+fn steensgaard_mode() {
+    let (stdout, _, ok) = scast(&["bst", "--steensgaard", "--var", "g_tree"]);
+    assert!(ok);
+    assert!(stdout.contains("steensgaard: classes="));
+}
+
+#[test]
+fn flag_unknown_mode_reports_suspicious_sites() {
+    let (stdout, _, ok) = scast(&["allocator", "--flag-unknown"]);
+    assert!(ok);
+    assert!(stdout.contains("possibly-corrupted pointers"), "{stdout}");
+}
+
+#[test]
+fn bad_file_fails_cleanly() {
+    let (_, stderr, ok) = scast(&["definitely-not-a-file.c"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn bad_model_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_scast"))
+        .args(["bst", "--model", "telepathy"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn experiments_fig4_shape() {
+    let out = Command::new(env!("CARGO_BIN_EXE_scast-experiments"))
+        .args(["fig4"])
+        .output()
+        .expect("experiments runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Figure 4"));
+    assert!(stdout.contains("aggregate vs Offsets"));
+    // 12 cast-heavy rows.
+    assert!(stdout.lines().filter(|l| l.contains('.')).count() >= 12);
+}
+
+#[test]
+fn experiments_usage_on_no_args() {
+    let out = Command::new(env!("CARGO_BIN_EXE_scast-experiments"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

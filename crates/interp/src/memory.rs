@@ -1,0 +1,304 @@
+//! Byte-level memory with pointer provenance.
+//!
+//! Every object (global, local instance, heap block, string literal) is a
+//! byte array plus a *provenance map*: offsets at which a whole pointer
+//! value is stored. Reads that exactly cover a stored pointer recover it;
+//! partial overlaps lose provenance (returning plain bytes), which only
+//! makes the oracle weaker, never wrong — the static analysis must cover
+//! every fact the oracle *does* observe.
+
+use std::collections::BTreeMap;
+use structcast_types::TypeId;
+
+/// Handle of a memory object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemId(pub u32);
+
+/// A concrete pointer value: object + byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PtrVal {
+    /// Target object.
+    pub obj: MemId,
+    /// Byte offset within it.
+    pub off: u64,
+}
+
+/// What kind of storage an object is (used to map back to analysis names).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemKind {
+    /// A named variable; the string is the analysis display name
+    /// (`"x"` or `"f::x"`).
+    Var(String),
+    /// A heap block; the u32 is the *span start* of the allocating call.
+    Heap(u32),
+    /// A string literal.
+    Str,
+    /// A function (address-taken only; has no bytes).
+    Func(String),
+}
+
+/// One memory object.
+#[derive(Debug, Clone)]
+pub struct MemObj {
+    /// Raw storage.
+    pub bytes: Vec<u8>,
+    /// Pointer payloads keyed by start offset (span length = pointer size).
+    pub ptrs: BTreeMap<u64, PtrVal>,
+    /// Declared/known type (drives canonical-offset projection).
+    pub ty: TypeId,
+    /// What this object is.
+    pub kind: MemKind,
+    /// Whether `free` was called on it (reads/writes still allowed; the
+    /// oracle is not a UB detector).
+    pub freed: bool,
+}
+
+/// The interpreter's memory.
+#[derive(Debug, Default)]
+pub struct Memory {
+    objects: Vec<MemObj>,
+    ptr_size: u64,
+}
+
+impl Memory {
+    /// Creates memory for a given pointer size (layout-dependent).
+    pub fn new(ptr_size: u64) -> Self {
+        Memory {
+            objects: Vec::new(),
+            ptr_size,
+        }
+    }
+
+    /// The pointer size in bytes.
+    pub fn ptr_size(&self) -> u64 {
+        self.ptr_size
+    }
+
+    /// Allocates a fresh object of `size` zeroed bytes.
+    pub fn alloc(&mut self, size: u64, ty: TypeId, kind: MemKind) -> MemId {
+        let id = MemId(self.objects.len() as u32);
+        self.objects.push(MemObj {
+            bytes: vec![0; size as usize],
+            ptrs: BTreeMap::new(),
+            ty,
+            kind,
+            freed: false,
+        });
+        id
+    }
+
+    /// The object behind `id`.
+    pub fn obj(&self, id: MemId) -> &MemObj {
+        &self.objects[id.0 as usize]
+    }
+
+    /// Mutable access.
+    pub fn obj_mut(&mut self, id: MemId) -> &mut MemObj {
+        &mut self.objects[id.0 as usize]
+    }
+
+    /// Number of objects allocated so far.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if nothing was allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Clears any pointer spans overlapping `[off, off+len)` in `id`.
+    fn clear_ptr_spans(&mut self, id: MemId, off: u64, len: u64) {
+        let ps = self.ptr_size;
+        let o = self.obj_mut(id);
+        let keys: Vec<u64> = o
+            .ptrs
+            .range(off.saturating_sub(ps - 1)..off + len)
+            .map(|(&k, _)| k)
+            .filter(|&k| k + ps > off && k < off + len)
+            .collect();
+        for k in keys {
+            o.ptrs.remove(&k);
+        }
+    }
+
+    /// Stores an integer of `len` bytes at `id+off` (little-endian),
+    /// clobbering any overlapping pointer payload.
+    ///
+    /// Out-of-bounds stores are silently clipped (the oracle is not a
+    /// bounds checker).
+    pub fn store_int(&mut self, id: MemId, off: u64, v: i64, len: u64) {
+        self.clear_ptr_spans(id, off, len);
+        let o = self.obj_mut(id);
+        let bytes = v.to_le_bytes();
+        for i in 0..len.min(8) {
+            if let Some(b) = o.bytes.get_mut((off + i) as usize) {
+                *b = bytes[i as usize];
+            }
+        }
+    }
+
+    /// Loads a `len`-byte little-endian integer from `id+off` (sign
+    /// extension is the caller's concern; returns the raw bits
+    /// zero-extended).
+    pub fn load_int(&self, id: MemId, off: u64, len: u64) -> i64 {
+        let o = self.obj(id);
+        let mut out = [0u8; 8];
+        for i in 0..len.min(8) {
+            if let Some(&b) = o.bytes.get((off + i) as usize) {
+                out[i as usize] = b;
+            }
+        }
+        i64::from_le_bytes(out)
+    }
+
+    /// Stores a pointer value at `id+off`.
+    pub fn store_ptr(&mut self, id: MemId, off: u64, v: Option<PtrVal>) {
+        let ps = self.ptr_size;
+        self.clear_ptr_spans(id, off, ps);
+        let o = self.obj_mut(id);
+        // Null is just zero bytes with no provenance.
+        for i in 0..ps {
+            if let Some(b) = o.bytes.get_mut((off + i) as usize) {
+                *b = 0;
+            }
+        }
+        if let Some(p) = v {
+            if (off + ps) as usize <= o.bytes.len() {
+                o.ptrs.insert(off, p);
+            }
+        }
+    }
+
+    /// Loads a pointer from `id+off`: provenance if a whole pointer is
+    /// stored exactly there, null if the bytes are all zero, otherwise an
+    /// opaque non-null-but-unknown value (returned as `Err(bits)`).
+    pub fn load_ptr(&self, id: MemId, off: u64) -> Result<Option<PtrVal>, i64> {
+        let o = self.obj(id);
+        if let Some(&p) = o.ptrs.get(&off) {
+            return Ok(Some(p));
+        }
+        let bits = self.load_int(id, off, self.ptr_size);
+        if bits == 0 {
+            Ok(None)
+        } else {
+            Err(bits)
+        }
+    }
+
+    /// memcpy semantics: copies `len` bytes *and* any wholly-contained
+    /// pointer payloads from `src+soff` to `dst+doff`.
+    pub fn copy_bytes(&mut self, dst: MemId, doff: u64, src: MemId, soff: u64, len: u64) {
+        let ps = self.ptr_size;
+        // Snapshot the source region first (dst may alias src).
+        let src_obj = self.obj(src);
+        let mut data = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            data.push(src_obj.bytes.get((soff + i) as usize).copied().unwrap_or(0));
+        }
+        let spans: Vec<(u64, PtrVal)> = src_obj
+            .ptrs
+            .range(soff..soff + len)
+            .filter(|(&k, _)| k + ps <= soff + len)
+            .map(|(&k, &v)| (k - soff, v))
+            .collect();
+        self.clear_ptr_spans(dst, doff, len);
+        let d = self.obj_mut(dst);
+        for (i, b) in data.into_iter().enumerate() {
+            if let Some(slot) = d.bytes.get_mut(doff as usize + i) {
+                *slot = b;
+            }
+        }
+        for (rel, v) in spans {
+            if (doff + rel + ps) as usize <= d.bytes.len() {
+                d.ptrs.insert(doff + rel, v);
+            }
+        }
+    }
+
+    /// All pointer payloads currently stored in `id` (offset → value).
+    pub fn ptr_spans(&self, id: MemId) -> Vec<(u64, PtrVal)> {
+        self.obj(id).ptrs.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use structcast_types::TypeTable;
+
+    fn mem() -> (Memory, MemId, MemId) {
+        let mut t = TypeTable::new();
+        let int = t.int();
+        let mut m = Memory::new(4);
+        let a = m.alloc(32, int, MemKind::Var("a".into()));
+        let b = m.alloc(32, int, MemKind::Var("b".into()));
+        (m, a, b)
+    }
+
+    #[test]
+    fn int_round_trip() {
+        let (mut m, a, _) = mem();
+        m.store_int(a, 4, -123, 4);
+        assert_eq!(m.load_int(a, 4, 4) as i32, -123);
+        m.store_int(a, 0, 0x1122334455, 8);
+        assert_eq!(m.load_int(a, 0, 8), 0x1122334455);
+    }
+
+    #[test]
+    fn ptr_round_trip_and_null() {
+        let (mut m, a, b) = mem();
+        let p = PtrVal { obj: b, off: 8 };
+        m.store_ptr(a, 0, Some(p));
+        assert_eq!(m.load_ptr(a, 0), Ok(Some(p)));
+        m.store_ptr(a, 0, None);
+        assert_eq!(m.load_ptr(a, 0), Ok(None));
+    }
+
+    #[test]
+    fn int_store_clobbers_pointer() {
+        let (mut m, a, b) = mem();
+        m.store_ptr(a, 4, Some(PtrVal { obj: b, off: 0 }));
+        m.store_int(a, 6, 1, 1); // overlaps the middle of the pointer
+        match m.load_ptr(a, 4) {
+            Err(_) | Ok(None) => {} // provenance gone
+            Ok(Some(_)) => panic!("pointer survived a partial overwrite"),
+        }
+    }
+
+    #[test]
+    fn misaligned_pointer_read_loses_provenance() {
+        let (mut m, a, b) = mem();
+        m.store_ptr(a, 4, Some(PtrVal { obj: b, off: 0 }));
+        // Reading at 6 does not see a stored pointer at exactly 6.
+        assert!(matches!(m.load_ptr(a, 6), Ok(None) | Err(_)));
+    }
+
+    #[test]
+    fn copy_bytes_carries_pointers() {
+        let (mut m, a, b) = mem();
+        m.store_ptr(a, 0, Some(PtrVal { obj: b, off: 4 }));
+        m.store_int(a, 4, 99, 4);
+        m.copy_bytes(b, 8, a, 0, 8);
+        assert_eq!(m.load_ptr(b, 8), Ok(Some(PtrVal { obj: b, off: 4 })));
+        assert_eq!(m.load_int(b, 12, 4), 99);
+    }
+
+    #[test]
+    fn partial_copy_drops_straddling_pointer() {
+        let (mut m, a, b) = mem();
+        m.store_ptr(a, 2, Some(PtrVal { obj: b, off: 0 }));
+        // Copy only bytes [0,4): the pointer at 2..6 straddles the edge.
+        m.copy_bytes(b, 0, a, 0, 4);
+        assert!(matches!(m.load_ptr(b, 2), Ok(None) | Err(_)));
+    }
+
+    #[test]
+    fn out_of_bounds_is_clipped() {
+        let (mut m, a, _) = mem();
+        m.store_int(a, 30, -1, 8); // runs past the end
+        let _ = m.load_int(a, 30, 8);
+        m.store_ptr(a, 30, Some(PtrVal { obj: a, off: 0 })); // doesn't fit
+        assert!(matches!(m.load_ptr(a, 30), Ok(None) | Err(_)));
+    }
+}

@@ -1,0 +1,280 @@
+//! Interpreter unit tests: language semantics and fact recording.
+
+use crate::eval::{run_source, ConcreteId, RunResult};
+
+fn run(src: &str) -> RunResult {
+    let r = run_source(src).expect("parse ok");
+    if let Some(e) = &r.error {
+        panic!("runtime error: {e}");
+    }
+    r
+}
+
+/// Facts as readable strings "src+off -> tgt+off".
+fn fact_strings(r: &RunResult) -> Vec<String> {
+    r.facts
+        .iter()
+        .map(|f| {
+            let name = |id: &ConcreteId| match id {
+                ConcreteId::Var(n) => n.clone(),
+                ConcreteId::Heap(s) => format!("heap@{s}"),
+                ConcreteId::Str => "str".into(),
+                ConcreteId::Func(n) => format!("fn:{n}"),
+            };
+            format!(
+                "{}+{} -> {}+{}",
+                name(&f.src.0),
+                f.src.1,
+                name(&f.tgt.0),
+                f.tgt.1
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn exit_value_of_main() {
+    let r = run("int main(void) { return 41 + 1; }");
+    assert_eq!(r.exit_value, Some(42));
+}
+
+#[test]
+fn arithmetic_and_control_flow() {
+    let r = run(
+        "int main(void) {\n\
+           int i, acc;\n\
+           acc = 0;\n\
+           for (i = 1; i <= 10; i++) { if (i % 2 == 0) acc = acc + i; }\n\
+           while (acc > 30) acc--;\n\
+           return acc;\n\
+         }",
+    );
+    assert_eq!(r.exit_value, Some(30));
+}
+
+#[test]
+fn switch_with_fallthrough_and_default() {
+    let r = run(
+        "int classify(int x) {\n\
+           int r;\n\
+           r = 0;\n\
+           switch (x) {\n\
+           case 1: r = r + 1;\n\
+           case 2: r = r + 2; break;\n\
+           case 3: r = 30; break;\n\
+           default: r = 99;\n\
+           }\n\
+           return r;\n\
+         }\n\
+         int main(void) { return classify(1) * 10000 + classify(3) * 100 + classify(7); }",
+    );
+    // classify(1) = 3 (fallthrough), classify(3) = 30, classify(7) = 99.
+    assert_eq!(r.exit_value, Some(3 * 10000 + 30 * 100 + 99));
+}
+
+#[test]
+fn pointer_store_records_fact() {
+    let r = run("int x, *p; void main(void) { p = &x; }");
+    assert_eq!(fact_strings(&r), vec!["p+0 -> x+0"]);
+}
+
+#[test]
+fn struct_field_stores_record_offsets() {
+    let r = run(
+        "struct S { int *a; int *b; } s; int x, y;\n\
+         void main(void) { s.a = &x; s.b = &y; }",
+    );
+    let fs = fact_strings(&r);
+    assert!(fs.contains(&"s+0 -> x+0".to_string()), "{fs:?}");
+    assert!(fs.contains(&"s+4 -> y+0".to_string()), "{fs:?}");
+}
+
+#[test]
+fn struct_copy_carries_pointers() {
+    let r = run(
+        "struct S { int *a; int *b; } s, t; int x;\n\
+         void main(void) { s.b = &x; t = s; }",
+    );
+    let fs = fact_strings(&r);
+    assert!(fs.contains(&"t+4 -> x+0".to_string()), "{fs:?}");
+}
+
+#[test]
+fn cast_roundtrip_preserves_provenance() {
+    let r = run(
+        "int x, *p, *q; long l;\n\
+         void main(void) { p = &x; l = (long)p; q = (int *)l; *q = 7; }",
+    );
+    assert!(r.completed);
+    // q = (int*)l stored a pointer back into q.
+    let fs = fact_strings(&r);
+    assert!(fs.iter().any(|f| f.starts_with("q+0 -> x")), "{fs:?}");
+}
+
+#[test]
+fn first_field_pun_reads_pointer() {
+    let r = run(
+        "struct Box { int *inner; } b; int x, *out;\n\
+         void main(void) { b.inner = &x; out = *(int **)&b; *out = 3; }",
+    );
+    let fs = fact_strings(&r);
+    assert!(fs.iter().any(|f| f.starts_with("out+0 -> x")), "{fs:?}");
+}
+
+#[test]
+fn malloc_heap_identity_by_span() {
+    let r = run(
+        "struct N { struct N *next; } *a, *b;\n\
+         void main(void) {\n\
+           a = (struct N *)malloc(sizeof(struct N));\n\
+           b = (struct N *)malloc(sizeof(struct N));\n\
+           a->next = b;\n\
+         }",
+    );
+    let heap_ids: std::collections::HashSet<_> = r
+        .facts
+        .iter()
+        .filter_map(|f| match &f.tgt.0 {
+            ConcreteId::Heap(s) => Some(*s),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(heap_ids.len(), 2, "two distinct allocation sites");
+}
+
+#[test]
+fn arrays_are_concretely_indexed() {
+    let r = run(
+        "int a[10];\n\
+         int main(void) {\n\
+           int i;\n\
+           for (i = 0; i < 10; i++) a[i] = i * i;\n\
+           return a[7];\n\
+         }",
+    );
+    assert_eq!(r.exit_value, Some(49));
+}
+
+#[test]
+fn array_of_pointers_records_element_offsets() {
+    let r = run(
+        "int x, y, *t[4];\n\
+         void main(void) { t[1] = &x; t[3] = &y; }",
+    );
+    let fs = fact_strings(&r);
+    assert!(fs.contains(&"t+4 -> x+0".to_string()), "{fs:?}");
+    assert!(fs.contains(&"t+12 -> y+0".to_string()), "{fs:?}");
+}
+
+#[test]
+fn function_pointers_dispatch() {
+    let r = run(
+        "int add(int a, int b) { return a + b; }\n\
+         int mul(int a, int b) { return a * b; }\n\
+         int (*op)(int, int);\n\
+         int main(void) {\n\
+           int r;\n\
+           op = add; r = op(3, 4);\n\
+           op = mul; r = r * 10 + (*op)(3, 4);\n\
+           return r;\n\
+         }",
+    );
+    assert_eq!(r.exit_value, Some(82));
+    let fs = fact_strings(&r);
+    assert!(fs.contains(&"op+0 -> fn:add+0".to_string()), "{fs:?}");
+    assert!(fs.contains(&"op+0 -> fn:mul+0".to_string()));
+}
+
+#[test]
+fn recursion_works() {
+    let r = run(
+        "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }\n\
+         int main(void) { return fib(12); }",
+    );
+    assert_eq!(r.exit_value, Some(144));
+}
+
+#[test]
+fn memcpy_builtin_moves_pointers() {
+    let r = run(
+        "struct P { int *a; int *b; } src, dst; int x;\n\
+         void main(void) { src.b = &x; memcpy(&dst, &src, sizeof(struct P)); }",
+    );
+    let fs = fact_strings(&r);
+    assert!(fs.contains(&"dst+4 -> x+0".to_string()), "{fs:?}");
+}
+
+#[test]
+fn string_builtins() {
+    let r = run(
+        "char buf[16]; char *hit; int n;\n\
+         int main(void) {\n\
+           strcpy(buf, \"hello\");\n\
+           n = strlen(buf);\n\
+           hit = strchr(buf, 'l');\n\
+           return n * 10 + (hit != 0);\n\
+         }",
+    );
+    assert_eq!(r.exit_value, Some(51));
+}
+
+#[test]
+fn step_budget_stops_infinite_loops() {
+    let r = crate::eval::run_source_with_budget(
+        "void main(void) { while (1) { } }",
+        10_000,
+    )
+    .unwrap();
+    assert!(!r.completed);
+    assert!(r.error.is_some());
+    assert!(r.steps >= 10_000);
+}
+
+#[test]
+fn pointer_arithmetic_scales_by_pointee() {
+    let r = run(
+        "int a[5], *p;\n\
+         int main(void) { a[2] = 77; p = a; p = p + 2; return *p; }",
+    );
+    assert_eq!(r.exit_value, Some(77));
+}
+
+#[test]
+fn null_dereference_is_a_runtime_error() {
+    let r = run_source("int *p; void main(void) { *p = 1; }").unwrap();
+    assert!(r.error.is_some());
+    assert!(r.error.unwrap().message.contains("null"));
+}
+
+#[test]
+fn locals_get_scoped_names() {
+    let r = run(
+        "int x; void f(void) { int *local; local = &x; }\n\
+         void main(void) { f(); }",
+    );
+    let fs = fact_strings(&r);
+    assert!(fs.contains(&"f::local+0 -> x+0".to_string()), "{fs:?}");
+}
+
+#[test]
+fn union_members_overlap() {
+    let r = run(
+        "union U { int i; int j; } u;\n\
+         int main(void) { u.i = 5; return u.j; }",
+    );
+    assert_eq!(r.exit_value, Some(5));
+}
+
+#[test]
+fn conditional_expression_and_logic_ops() {
+    let r = run(
+        "int main(void) {\n\
+           int a, b;\n\
+           a = 1 ? 10 : 20;\n\
+           b = (0 && (1 / 0)) + (1 || (1 / 0));\n\
+           return a + b;\n\
+         }",
+    );
+    // Short-circuiting avoids both divisions by zero.
+    assert_eq!(r.exit_value, Some(11));
+}

@@ -1,0 +1,280 @@
+//! The differential soundness oracle.
+//!
+//! Run each program concretely and collect every pointer-store fact the
+//! execution produces; then check that every static analysis instance
+//! *covers* all of them. A miss is a soundness bug in the analysis (or a
+//! provenance bug in the interpreter) — either way, a real defect.
+//!
+//! Coverage is checked at two granularities:
+//!
+//! * **object level** for all four instances: the (source object → target
+//!   object) projection of every concrete fact must appear among the
+//!   instance's facts;
+//! * **offset level** for the Offsets instance (same ILP32 layout as the
+//!   interpreter): source and target byte offsets must match after
+//!   canonicalization against the *static* object types (folding array
+//!   elements onto their representative).
+
+use std::collections::HashSet;
+use structcast::{analyze, AnalysisConfig, FieldRep, Layout, ModelKind, ObjId, Program};
+use structcast_interp::{run_source_with_budget, ConcreteFact, ConcreteId};
+
+/// Maps a concrete identity to the static object, if it has one.
+fn static_obj(prog: &Program, id: &ConcreteId) -> Option<ObjId> {
+    match id {
+        ConcreteId::Var(name) => prog.object_by_name(name),
+        ConcreteId::Heap(span_start) => prog.heap_object_at(*span_start),
+        ConcreteId::Func(name) => prog.function_by_name(name).map(|f| f.obj),
+        ConcreteId::Str => None, // string literals are not name-matched
+    }
+}
+
+fn check_program(label: &str, src: &str) {
+    let run = run_source_with_budget(src, 3_000_000)
+        .unwrap_or_else(|e| panic!("{label}: interpreter setup failed: {e}"));
+    if let Some(e) = &run.error {
+        // Runtime errors (wild pointers etc.) still leave valid facts; a
+        // parse-level mismatch would have failed above.
+        eprintln!("{label}: interpreter stopped early: {e}");
+    }
+    if run.facts.is_empty() {
+        return;
+    }
+    let prog = structcast::lower_source(src)
+        .unwrap_or_else(|e| panic!("{label}: lowering failed: {e}"));
+    let layout = Layout::ilp32();
+
+    // Resolve concrete facts to static objects once.
+    let resolved: Vec<(&ConcreteFact, ObjId, ObjId)> = run
+        .facts
+        .iter()
+        .filter_map(|f| {
+            let s = static_obj(&prog, &f.src.0)?;
+            let t = static_obj(&prog, &f.tgt.0)?;
+            Some((f, s, t))
+        })
+        .collect();
+
+    for kind in ModelKind::ALL {
+        let cfg = AnalysisConfig::new(kind).with_layout(layout.clone());
+        let res = analyze(&prog, &cfg);
+        // Object-level projection of the static facts, by *name* (shadowed
+        // locals share display names; so does the concrete side).
+        let static_objs: HashSet<(String, String)> = res
+            .facts
+            .iter()
+            .map(|(a, b)| {
+                (
+                    prog.object(a.obj).name.clone(),
+                    prog.object(b.obj).name.clone(),
+                )
+            })
+            .collect();
+        let static_offsets: HashSet<(String, u64, String, u64)> = res
+            .facts
+            .iter()
+            .filter_map(|(a, b)| match (&a.field, &b.field) {
+                (FieldRep::Off(ao), FieldRep::Off(bo)) => Some((
+                    prog.object(a.obj).name.clone(),
+                    *ao,
+                    prog.object(b.obj).name.clone(),
+                    *bo,
+                )),
+                _ => None,
+            })
+            .collect();
+
+        for (f, s, t) in &resolved {
+            let sname = prog.object(*s).name.clone();
+            let tname = prog.object(*t).name.clone();
+            assert!(
+                static_objs.contains(&(sname.clone(), tname.clone())),
+                "{label} under {kind}: concrete fact {sname}(+{}) -> {tname}(+{}) \
+                 not covered at object level",
+                f.src.1,
+                f.tgt.1
+            );
+            if kind == ModelKind::Offsets {
+                let soff = layout.canonical_offset(&prog.types, prog.type_of(*s), f.src.1);
+                let toff = layout.canonical_offset(&prog.types, prog.type_of(*t), f.tgt.1);
+                assert!(
+                    static_offsets.contains(&(sname.clone(), soff, tname.clone(), toff)),
+                    "{label} under Offsets: concrete fact {sname}+{soff} -> {tname}+{toff} \
+                     (raw +{} -> +{}) not covered at offset level",
+                    f.src.1,
+                    f.tgt.1
+                );
+            }
+        }
+    }
+}
+
+// ----- paper examples, executed for real -----
+
+#[test]
+fn oracle_intro_example() {
+    check_program(
+        "intro",
+        "struct S { int *s1; int *s2; } s; int x, y, *p;\n\
+         void main(void) { s.s1 = &x; s.s2 = &y; p = s.s1; }",
+    );
+}
+
+#[test]
+fn oracle_problem1() {
+    check_program(
+        "problem1",
+        "struct S { int *s1; } s, *p; int x, *q, *r;\n\
+         void main(void) { p = &s; q = &x; *p = *(struct S *)&q; r = s.s1; }",
+    );
+}
+
+#[test]
+fn oracle_complication2_double_roundtrip() {
+    check_program(
+        "complication2",
+        "struct R { int *r1; int *r2; } r, r2v; double d; int x, y;\n\
+         void main(void) {\n\
+           r.r1 = &x; r.r2 = &y;\n\
+           d = *(double *)&r;\n\
+           r2v = *(struct R *)&d;\n\
+         }",
+    );
+}
+
+#[test]
+fn oracle_complication4_partial_copy() {
+    check_program(
+        "complication4",
+        "struct R { int *r1; int *r2; char *r3; } r;\n\
+         struct S { int *s1; int *s2; int *s3; } s;\n\
+         struct T { int *t1; int *t2; } *p;\n\
+         int a, b, c0;\n\
+         void main(void) {\n\
+           s.s1 = &a; s.s2 = &b; s.s3 = &c0;\n\
+           p = (struct T *)&r;\n\
+           *p = *(struct T *)&s;\n\
+         }",
+    );
+}
+
+#[test]
+fn oracle_oop_downcasts() {
+    check_program(
+        "oop",
+        "struct Shape { int kind; int *tag; } ;\n\
+         struct Circle { int kind; int *tag; int radius; } c;\n\
+         struct Shape *sp; int t1;\n\
+         void main(void) {\n\
+           c.kind = 1; c.tag = &t1; c.radius = 5;\n\
+           sp = (struct Shape *)&c;\n\
+           sp->tag = c.tag;\n\
+         }",
+    );
+}
+
+#[test]
+fn oracle_heap_lists() {
+    check_program(
+        "heap-list",
+        "struct N { struct N *next; int *data; } *head; int x;\n\
+         void main(void) {\n\
+           int i;\n\
+           for (i = 0; i < 5; i++) {\n\
+             struct N *n;\n\
+             n = (struct N *)malloc(sizeof(struct N));\n\
+             n->data = &x;\n\
+             n->next = head;\n\
+             head = n;\n\
+           }\n\
+         }",
+    );
+}
+
+#[test]
+fn oracle_function_pointers() {
+    check_program(
+        "fnptr",
+        "int x;\n\
+         int *get(void) { return &x; }\n\
+         struct Ops { int *(*fn)(void); } ops;\n\
+         int *out;\n\
+         void main(void) { ops.fn = get; out = ops.fn(); }",
+    );
+}
+
+#[test]
+fn oracle_int_smuggled_pointers() {
+    check_program(
+        "smuggle",
+        "int x, *p, *q; long l;\n\
+         void main(void) { p = &x; l = (long)p; q = (int *)l; }",
+    );
+}
+
+#[test]
+fn oracle_union_type_punning() {
+    check_program(
+        "union-pun",
+        "union U { int *as_ip; char *as_cp; long bits; } u;\n\
+         struct Holder { union U inner; int *clean; } h;\n\
+         int x, y; char c0;\n\
+         int *out1; char *out2;\n\
+         void main(void) {\n\
+           h.inner.as_ip = &x;\n\
+           h.clean = &y;\n\
+           out1 = h.inner.as_ip;\n\
+           out2 = h.inner.as_cp;\n\
+           u.as_cp = &c0;\n\
+           out2 = u.as_cp;\n\
+         }",
+    );
+}
+
+// ----- the whole benchmark corpus, executed -----
+
+#[test]
+fn oracle_corpus_programs() {
+    // Programs the interpreter can execute end to end (they use only the
+    // implemented builtins; qsort/getenv-style summaries are analysis-only).
+    let runnable = [
+        "list-utils",
+        "bst",
+        "matrix",
+        "stack-calc",
+        "string-pool",
+        "queue-sim",
+        "graph-dfs",
+        "hashmap",
+        "tagged-union",
+        "allocator",
+        "packet-parse",
+        "oop-shapes",
+        "intrusive-list",
+        "event-loop",
+        "serializer",
+        "vm-interp",
+        "arena",
+        "plugin-registry",
+        "btree-generic",
+        "symtab",
+    ];
+    for name in runnable {
+        let p = structcast_progen::corpus_program(name).unwrap();
+        check_program(name, p.source);
+    }
+}
+
+// ----- generated programs -----
+
+#[test]
+fn oracle_generated_programs() {
+    for seed in [5u64, 17, 99] {
+        for ratio in [0.0, 0.5, 1.0] {
+            let src = structcast_progen::generate(
+                &structcast_progen::GenConfig::small(seed).with_cast_ratio(ratio),
+            );
+            check_program(&format!("gen-{seed}-{ratio}"), &src);
+        }
+    }
+}

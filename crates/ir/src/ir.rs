@@ -1,0 +1,469 @@
+//! The normalized intermediate representation.
+//!
+//! Every C assignment is lowered (with compiler-introduced temporaries) to
+//! one of the paper's five forms (§2), plus three safe extensions:
+//!
+//! | form | statement | paper |
+//! |------|-----------|-------|
+//! | 1 | `s = (τ)&t.β` | [`Stmt::AddrOf`] |
+//! | 2 | `s = (τ)&(*p).α` | [`Stmt::AddrField`] |
+//! | 3 | `s = (τ)t.β` | [`Stmt::Copy`] |
+//! | 4 | `s = (τ)*q` | [`Stmt::Load`] |
+//! | 5 | `*p = (τ_p)t` | [`Stmt::Store`] |
+//! | — | pointer arithmetic (§4.2.1) | [`Stmt::PtrArith`] |
+//! | — | `memcpy`-style whole-object copy | [`Stmt::CopyAll`] |
+//! | — | indirect call (resolved during solving) | [`Stmt::Call`] |
+//!
+//! Casts are *implicit*: each temporary carries the type it was cast to, so
+//! the analysis only ever consults the declared types of `dst`/`ptr`.
+
+use std::fmt;
+use structcast_ast::Span;
+use structcast_types::{FieldPath, FuncSig, TypeId, TypeKind, TypeTable};
+
+/// Handle of an abstract object (variable, temp, heap site, function, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+/// Handle of a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// Handle of a statement (index into [`Program::stmts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(pub u32);
+
+/// What kind of abstract object this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjKind {
+    /// A file-scope variable.
+    Global,
+    /// A function-local variable.
+    Local(FuncId),
+    /// The `idx`-th parameter of a function.
+    Param(FuncId, u32),
+    /// A compiler-introduced temporary (`None` for global-initializer temps).
+    Temp(Option<FuncId>),
+    /// The allocation-site pseudo-variable for heap block `site` (paper §2:
+    /// `malloc_1`-style variables).
+    Heap(u32),
+    /// The function itself, as an addressable object (for `&f` / `p = f`).
+    Function(FuncId),
+    /// The return slot of a function (`return e` writes it, callers read it).
+    Ret(FuncId),
+    /// A string literal object.
+    StringLit,
+    /// Catch-all object receiving arguments passed through `...`.
+    VarArgs(FuncId),
+}
+
+impl ObjKind {
+    /// True for objects a programmer named (not temps/slots).
+    pub fn is_named_variable(&self) -> bool {
+        matches!(
+            self,
+            ObjKind::Global | ObjKind::Local(_) | ObjKind::Param(_, _)
+        )
+    }
+}
+
+/// An abstract object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Object {
+    /// Display name (unique-ish; temps are `t$N`).
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeId,
+    /// Kind.
+    pub kind: ObjKind,
+}
+
+/// The callee of a [`Stmt::Call`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Callee {
+    /// A known function (kept as a `Call` only when it is variadic-external
+    /// or otherwise deferred; ordinary direct calls are lowered to copies).
+    Direct(FuncId),
+    /// A call through the pointer value stored in this object.
+    Indirect(ObjId),
+}
+
+/// One normalized statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Form 1: `dst = (τ)&src.path` (`path` may be empty: `dst = &src`).
+    AddrOf {
+        /// Destination (top-level object; its type carries any cast).
+        dst: ObjId,
+        /// The object whose address (or field address) is taken.
+        src: ObjId,
+        /// Field path within `src` (indices into its declared type).
+        path: FieldPath,
+    },
+    /// Form 2: `dst = (τ)&(*ptr).path` (`path` is non-empty).
+    AddrField {
+        /// Destination.
+        dst: ObjId,
+        /// The dereferenced pointer.
+        ptr: ObjId,
+        /// Field path relative to `ptr`'s declared pointee type.
+        path: FieldPath,
+    },
+    /// Form 3: `dst = (τ)src.path` (`path` may be empty: plain copy).
+    Copy {
+        /// Destination (top-level).
+        dst: ObjId,
+        /// Source object.
+        src: ObjId,
+        /// Field path within `src`.
+        path: FieldPath,
+    },
+    /// Form 4: `dst = (τ)*ptr`.
+    Load {
+        /// Destination.
+        dst: ObjId,
+        /// The dereferenced pointer.
+        ptr: ObjId,
+    },
+    /// Form 5: `*ptr = (τ_p)src`.
+    Store {
+        /// The dereferenced pointer; its declared pointee type sizes the copy
+        /// (Complication 4).
+        ptr: ObjId,
+        /// Source (top-level).
+        src: ObjId,
+    },
+    /// `dst = src ± n` — pointer arithmetic. Under Assumption 1 the result
+    /// may point to any normalized position of the *outermost* object each
+    /// target lies in (§4.2.1).
+    PtrArith {
+        /// Destination.
+        dst: ObjId,
+        /// The pointer operand.
+        src: ObjId,
+    },
+    /// `memcpy(dst_ptr, src_ptr, n)`-style bulk copy of unknown length.
+    CopyAll {
+        /// Pointer to the destination block.
+        dst_ptr: ObjId,
+        /// Pointer to the source block.
+        src_ptr: ObjId,
+    },
+    /// A function call that could not be lowered to copies statically
+    /// (indirect, or direct via [`Callee::Direct`] when deferred). The
+    /// solver binds `args` to parameters and `ret` from the return slot as
+    /// callees are discovered.
+    Call {
+        /// Who is called.
+        callee: Callee,
+        /// Evaluated argument objects, in order.
+        args: Vec<ObjId>,
+        /// Where the return value goes, if used.
+        ret: Option<ObjId>,
+    },
+}
+
+impl Stmt {
+    /// The pointer dereferenced by this statement, if it is one of the
+    /// dereferencing forms (2, 4, 5; `CopyAll` dereferences both).
+    pub fn deref_ptrs(&self) -> Vec<ObjId> {
+        match self {
+            Stmt::AddrField { ptr, .. } | Stmt::Load { ptr, .. } | Stmt::Store { ptr, .. } => {
+                vec![*ptr]
+            }
+            Stmt::CopyAll { dst_ptr, src_ptr } => vec![*dst_ptr, *src_ptr],
+            Stmt::Call {
+                callee: Callee::Indirect(p),
+                ..
+            } => vec![*p],
+            _ => vec![],
+        }
+    }
+
+    /// True for the five paper forms (excludes the extensions).
+    pub fn is_paper_form(&self) -> bool {
+        matches!(
+            self,
+            Stmt::AddrOf { .. }
+                | Stmt::AddrField { .. }
+                | Stmt::Copy { .. }
+                | Stmt::Load { .. }
+                | Stmt::Store { .. }
+        )
+    }
+}
+
+/// A function: signature, parameter/return objects, definedness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Its id.
+    pub id: FuncId,
+    /// The function object (target of `&f`).
+    pub obj: ObjId,
+    /// Parameter objects, in order.
+    pub params: Vec<ObjId>,
+    /// Return slot (`None` for `void`).
+    pub ret_slot: Option<ObjId>,
+    /// The function *type* (a `TypeKind::Function`).
+    pub ty: TypeId,
+    /// Whether a body was lowered.
+    pub defined: bool,
+    /// Whether the signature is variadic.
+    pub variadic: bool,
+    /// Catch-all object for `...` arguments (created lazily).
+    pub varargs: Option<ObjId>,
+}
+
+/// A lowered program: types, objects, functions, and the flow-insensitive
+/// statement soup the analysis consumes.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The type table.
+    pub types: TypeTable,
+    /// All abstract objects.
+    pub objects: Vec<Object>,
+    /// All functions.
+    pub functions: Vec<Function>,
+    /// All normalized statements.
+    pub stmts: Vec<Stmt>,
+    /// Source span for each statement (parallel to `stmts`).
+    pub spans: Vec<Span>,
+    /// Non-fatal diagnostics produced during lowering (e.g. calls to unknown
+    /// external functions, which are treated as having no pointer effects).
+    pub warnings: Vec<String>,
+    /// Source span of each heap allocation site, parallel to the site
+    /// numbers in [`ObjKind::Heap`] (used by the concrete-interpreter
+    /// soundness oracle to match dynamic allocations to abstract ones).
+    pub heap_spans: Vec<(ObjId, Span)>,
+    /// The function each statement was lowered from (parallel to `stmts`;
+    /// `None` for global-initializer statements). Drives per-function
+    /// client analyses such as MOD/REF.
+    pub stmt_funcs: Vec<Option<FuncId>>,
+    /// Statically-known direct call edges `(caller, callee)`; `None` caller
+    /// means a call from a global initializer. Indirect edges come from the
+    /// solver as they are resolved.
+    pub direct_calls: Vec<(Option<FuncId>, FuncId)>,
+}
+
+impl Program {
+    /// The object behind `id`.
+    pub fn object(&self, id: ObjId) -> &Object {
+        &self.objects[id.0 as usize]
+    }
+
+    /// The declared type of `id`.
+    pub fn type_of(&self, id: ObjId) -> TypeId {
+        self.objects[id.0 as usize].ty
+    }
+
+    /// The function behind `id`.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Looks up a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up an object by display name (first match). Falls back to
+    /// matching function-local names by their suffix, so `"p"` finds
+    /// `"main::p"` when no global `p` exists.
+    pub fn object_by_name(&self, name: &str) -> Option<ObjId> {
+        if let Some(i) = self.objects.iter().position(|o| o.name == name) {
+            return Some(ObjId(i as u32));
+        }
+        let suffix = format!("::{name}");
+        self.objects
+            .iter()
+            .position(|o| o.name.ends_with(&suffix) && o.kind.is_named_variable())
+            .map(|i| ObjId(i as u32))
+    }
+
+    /// For a pointer-typed object, its declared pointee type (`None` if the
+    /// object is not declared as a pointer).
+    pub fn pointee_of(&self, id: ObjId) -> Option<TypeId> {
+        match self.types.kind(self.type_of(id)) {
+            TypeKind::Pointer(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// If `obj` is a function object, the function it denotes.
+    pub fn as_function(&self, obj: ObjId) -> Option<FuncId> {
+        match self.object(obj).kind {
+            ObjKind::Function(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// All statements that dereference a pointer, with the pointer: the
+    /// *static dereference sites* whose points-to sets Figure 4 averages.
+    pub fn deref_sites(&self) -> Vec<(StmtId, ObjId)> {
+        let mut out = Vec::new();
+        for (i, s) in self.stmts.iter().enumerate() {
+            for p in s.deref_ptrs() {
+                out.push((StmtId(i as u32), p));
+            }
+        }
+        out
+    }
+
+    /// Number of normalized assignment statements (Figure 3, column 4).
+    pub fn assignment_count(&self) -> usize {
+        self.stmts.iter().filter(|s| s.is_paper_form()).count()
+    }
+
+    /// Renders a statement for diagnostics.
+    pub fn display_stmt(&self, s: &Stmt) -> String {
+        let name = |o: &ObjId| self.object(*o).name.clone();
+        match s {
+            Stmt::AddrOf { dst, src, path } => {
+                format!("{} = &{}{}", name(dst), name(src), path_str(path))
+            }
+            Stmt::AddrField { dst, ptr, path } => {
+                format!("{} = &(*{}){}", name(dst), name(ptr), path_str(path))
+            }
+            Stmt::Copy { dst, src, path } => {
+                format!("{} = {}{}", name(dst), name(src), path_str(path))
+            }
+            Stmt::Load { dst, ptr } => format!("{} = *{}", name(dst), name(ptr)),
+            Stmt::Store { ptr, src } => format!("*{} = {}", name(ptr), name(src)),
+            Stmt::PtrArith { dst, src } => format!("{} = {} ± n", name(dst), name(src)),
+            Stmt::CopyAll { dst_ptr, src_ptr } => {
+                format!("memcpy(*{}, *{})", name(dst_ptr), name(src_ptr))
+            }
+            Stmt::Call { callee, args, ret } => {
+                let callee = match callee {
+                    Callee::Direct(f) => self.function(*f).name.clone(),
+                    Callee::Indirect(p) => format!("(*{})", name(p)),
+                };
+                let args: Vec<_> = args.iter().map(&name).collect();
+                match ret {
+                    Some(r) => format!("{} = {callee}({})", name(r), args.join(", ")),
+                    None => format!("{callee}({})", args.join(", ")),
+                }
+            }
+        }
+    }
+
+    /// Renders the whole program (objects + statements) for debugging.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "; {} objects, {} stmts", self.objects.len(), self.stmts.len());
+        for (i, o) in self.objects.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "obj {i}: {} : {} ({:?})",
+                o.name,
+                self.types.display(o.ty),
+                o.kind
+            );
+        }
+        for s in &self.stmts {
+            let _ = writeln!(out, "  {}", self.display_stmt(s));
+        }
+        out
+    }
+
+    /// The heap pseudo-variable created at the allocation call whose span
+    /// starts at `span_start`, if any (soundness-oracle hook).
+    pub fn heap_object_at(&self, span_start: u32) -> Option<ObjId> {
+        self.heap_spans
+            .iter()
+            .find(|(_, sp)| sp.start == span_start)
+            .map(|(o, _)| *o)
+    }
+
+    /// The signature of a function type id, if it is one.
+    pub fn signature(&self, ty: TypeId) -> Option<&FuncSig> {
+        match self.types.kind(ty) {
+            TypeKind::Function(sig) => Some(sig),
+            _ => None,
+        }
+    }
+}
+
+fn path_str(p: &FieldPath) -> String {
+    if p.is_empty() {
+        String::new()
+    } else {
+        format!("{p}")
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deref_ptr_extraction() {
+        let p = ObjId(0);
+        let q = ObjId(1);
+        assert_eq!(
+            Stmt::Load { dst: q, ptr: p }.deref_ptrs(),
+            vec![p]
+        );
+        assert_eq!(
+            Stmt::Store { ptr: p, src: q }.deref_ptrs(),
+            vec![p]
+        );
+        assert_eq!(
+            Stmt::CopyAll {
+                dst_ptr: p,
+                src_ptr: q
+            }
+            .deref_ptrs(),
+            vec![p, q]
+        );
+        assert!(Stmt::Copy {
+            dst: p,
+            src: q,
+            path: FieldPath::empty()
+        }
+        .deref_ptrs()
+        .is_empty());
+    }
+
+    #[test]
+    fn paper_form_classification() {
+        let p = ObjId(0);
+        let q = ObjId(1);
+        assert!(Stmt::Load { dst: p, ptr: q }.is_paper_form());
+        assert!(!Stmt::PtrArith { dst: p, src: q }.is_paper_form());
+        assert!(!Stmt::CopyAll {
+            dst_ptr: p,
+            src_ptr: q
+        }
+        .is_paper_form());
+    }
+
+    #[test]
+    fn named_variable_classification() {
+        assert!(ObjKind::Global.is_named_variable());
+        assert!(ObjKind::Param(FuncId(0), 1).is_named_variable());
+        assert!(!ObjKind::Temp(None).is_named_variable());
+        assert!(!ObjKind::Heap(3).is_named_variable());
+    }
+}

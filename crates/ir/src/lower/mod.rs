@@ -1,0 +1,772 @@
+//! AST → normalized IR lowering.
+//!
+//! Lowering runs in two passes over the translation unit:
+//!
+//! 1. **Registration** — all file-scope types, globals, and function
+//!    signatures (including parameter objects) are created, so forward
+//!    references and mutual recursion work.
+//! 2. **Body lowering** — global initializers and function bodies are
+//!    translated to the five normalized assignment forms, introducing
+//!    temporaries exactly as the paper's §2/§3 examples do.
+
+mod expr;
+mod stmt;
+mod summaries;
+
+pub(crate) use expr::{LValue, Val};
+
+use crate::ir::*;
+use std::collections::HashMap;
+use structcast_ast::{
+    AstType, Declaration, EnumSpec, Expr, ExprKind, ExternalDecl, FieldDecl, FunctionDef,
+    Initializer, RecordSpec, Span, Storage, TranslationUnit, TypeSpec, UnOp,
+};
+use structcast_types::{Field, FieldPath, FuncSig, Layout, RecordId, TypeId, TypeKind};
+
+/// An error produced during lowering (undeclared names, bad member
+/// accesses, malformed types).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    message: String,
+    span: Span,
+}
+
+impl LowerError {
+    /// Creates an error at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        LowerError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where it happened.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Result alias for lowering.
+pub type Result<T> = std::result::Result<T, LowerError>;
+
+/// Lowers a parsed translation unit to a normalized [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] for undeclared identifiers, unknown members,
+/// or unresolvable types. Calls to *unknown external* functions are not
+/// errors: they produce a [`Program::warnings`] entry and have no pointer
+/// effect (known libc functions get real summaries; see `summaries`).
+pub fn lower(tu: &TranslationUnit) -> Result<Program> {
+    let mut lw = Lowerer::new();
+    lw.run(tu)?;
+    Ok(lw.prog)
+}
+
+/// Convenience: parse C source and lower it in one call.
+///
+/// # Errors
+///
+/// Returns the parse error (wrapped) or the lowering error.
+pub fn lower_source(src: &str) -> Result<Program> {
+    let tu = structcast_ast::parse(src)
+        .map_err(|e| LowerError::new(format!("parse error: {}", e.message()), e.span()))?;
+    lower(&tu)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Resolved {
+    Obj(ObjId),
+    Func(FuncId),
+    EnumConst(i64),
+}
+
+pub(crate) struct Lowerer {
+    pub(crate) prog: Program,
+    globals: HashMap<String, Resolved>,
+    /// Local name scopes (innermost last); active while lowering a body.
+    locals: Vec<HashMap<String, ObjId>>,
+    typedefs: Vec<HashMap<String, TypeId>>,
+    tags: Vec<HashMap<String, RecordId>>,
+    enum_tags: Vec<HashMap<String, TypeId>>,
+    pub(crate) current_fn: Option<FuncId>,
+    temp_count: u32,
+    heap_sites: u32,
+    anon_count: u32,
+    /// Layout used only for `sizeof` in constant expressions (array bounds,
+    /// enum values). The analysis itself is run under layouts chosen later.
+    consteval_layout: Layout,
+    pub(crate) cur_span: Span,
+    /// Deferred global initializers: (object, type, initializer).
+    pending_inits: Vec<(ObjId, TypeId, Initializer)>,
+    /// Names already warned about (one warning per unknown function).
+    warned: std::collections::HashSet<String>,
+    /// The most recent heap object created by an allocator summary; lets a
+    /// surrounding pointer cast refine the allocation's element type.
+    pub(crate) last_alloc: Option<ObjId>,
+    /// Per-function static result buffers (`getenv`, `ctime`, ...).
+    pub(crate) static_bufs: HashMap<String, ObjId>,
+    /// Hidden state threading `strtok(NULL, ...)` calls together.
+    pub(crate) strtok_state: Option<ObjId>,
+}
+
+impl Lowerer {
+    fn new() -> Self {
+        Lowerer {
+            prog: Program::default(),
+            globals: HashMap::new(),
+            locals: Vec::new(),
+            typedefs: vec![HashMap::new()],
+            tags: vec![HashMap::new()],
+            enum_tags: vec![HashMap::new()],
+            current_fn: None,
+            temp_count: 0,
+            heap_sites: 0,
+            anon_count: 0,
+            consteval_layout: Layout::ilp32(),
+            cur_span: Span::dummy(),
+            pending_inits: Vec::new(),
+            warned: std::collections::HashSet::new(),
+            last_alloc: None,
+            static_bufs: HashMap::new(),
+            strtok_state: None,
+        }
+    }
+
+    fn run(&mut self, tu: &TranslationUnit) -> Result<()> {
+        // Pass 1: register all file-scope declarations.
+        for d in &tu.decls {
+            match d {
+                ExternalDecl::Declaration(decl) => self.register_declaration(decl, true)?,
+                ExternalDecl::Function(f) => {
+                    self.register_function_def(f)?;
+                }
+            }
+        }
+        // Pass 2a: global initializers.
+        let inits = std::mem::take(&mut self.pending_inits);
+        for (obj, ty, init) in &inits {
+            self.lower_initializer(*obj, FieldPath::empty(), *ty, init)?;
+        }
+        // Pass 2b: function bodies.
+        for d in &tu.decls {
+            if let ExternalDecl::Function(f) = d {
+                self.lower_function_body(f)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ----- objects, temps, statements -----
+
+    pub(crate) fn new_object(&mut self, name: String, ty: TypeId, kind: ObjKind) -> ObjId {
+        let id = ObjId(self.prog.objects.len() as u32);
+        self.prog.objects.push(Object { name, ty, kind });
+        id
+    }
+
+    pub(crate) fn new_temp(&mut self, ty: TypeId) -> ObjId {
+        self.temp_count += 1;
+        let name = format!("t${}", self.temp_count);
+        self.new_object(name, ty, ObjKind::Temp(self.current_fn))
+    }
+
+    pub(crate) fn new_heap_object(&mut self, pointee: TypeId) -> ObjId {
+        self.heap_sites += 1;
+        let site = self.heap_sites;
+        let name = format!("malloc_{site}");
+        let obj = self.new_object(name, pointee, ObjKind::Heap(site));
+        self.prog.heap_spans.push((obj, self.cur_span));
+        obj
+    }
+
+    pub(crate) fn emit(&mut self, s: Stmt) {
+        self.prog.stmts.push(s);
+        self.prog.spans.push(self.cur_span);
+        self.prog.stmt_funcs.push(self.current_fn);
+    }
+
+    pub(crate) fn warn_once(&mut self, key: &str, msg: String) {
+        if self.warned.insert(key.to_string()) {
+            self.prog.warnings.push(msg);
+        }
+    }
+
+    // ----- scopes -----
+
+    pub(crate) fn push_scope(&mut self) {
+        self.locals.push(HashMap::new());
+        self.typedefs.push(HashMap::new());
+        self.tags.push(HashMap::new());
+        self.enum_tags.push(HashMap::new());
+    }
+
+    pub(crate) fn pop_scope(&mut self) {
+        self.locals.pop();
+        self.typedefs.pop();
+        self.tags.pop();
+        self.enum_tags.pop();
+    }
+
+    pub(crate) fn declare_local(&mut self, name: &str, obj: ObjId) {
+        self.locals
+            .last_mut()
+            .expect("declare_local outside a function")
+            .insert(name.to_string(), obj);
+    }
+
+    pub(crate) fn resolve_ident(&self, name: &str) -> Option<Resolved> {
+        for scope in self.locals.iter().rev() {
+            if let Some(&o) = scope.get(name) {
+                return Some(Resolved::Obj(o));
+            }
+        }
+        // Enum constants are stored in the globals map too (scoped enum
+        // constants are folded into the nearest map during type building).
+        self.globals.get(name).copied()
+    }
+
+    pub(crate) fn declare_enum_const(&mut self, name: &str, value: i64) {
+        // Enum constants land in the global namespace; local shadowing of
+        // enum constants by variables still works because locals win.
+        self.globals
+            .entry(name.to_string())
+            .or_insert(Resolved::EnumConst(value));
+    }
+
+    fn lookup_typedef(&self, name: &str) -> Option<TypeId> {
+        for scope in self.typedefs.iter().rev() {
+            if let Some(&t) = scope.get(name) {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn lookup_tag(&self, name: &str) -> Option<RecordId> {
+        for scope in self.tags.iter().rev() {
+            if let Some(&r) = scope.get(name) {
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    // ----- declarations -----
+
+    /// Registers a declaration. In pass 1 (`file_scope = true`) initializers
+    /// are deferred; locally they are lowered immediately by the caller.
+    fn register_declaration(&mut self, decl: &Declaration, file_scope: bool) -> Result<()> {
+        self.cur_span = decl.span;
+        // Build the base type exactly once: declarators embed a clone of the
+        // base spec, so rebuilding it per item would re-define records.
+        let base_built = self.build_type(&decl.base)?;
+        for item in &decl.items {
+            self.cur_span = item.span;
+            let ty = self.build_type_with_base(&item.ty, base_built)?;
+            match decl.storage {
+                Storage::Typedef => {
+                    self.typedefs
+                        .last_mut()
+                        .expect("typedef scope")
+                        .insert(item.name.clone(), ty);
+                }
+                _ => {
+                    if matches!(self.prog.types.kind(ty), TypeKind::Function(_)) {
+                        self.register_function_sig(&item.name, ty, &item.ty, false)?;
+                    } else if file_scope {
+                        let obj = self.declare_global_var(&item.name, ty);
+                        if let Some(init) = &item.init {
+                            self.pending_inits.push((obj, ty, init.clone()));
+                        }
+                    } else {
+                        unreachable!("register_declaration called locally")
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn declare_global_var(&mut self, name: &str, ty: TypeId) -> ObjId {
+        if let Some(Resolved::Obj(existing)) = self.globals.get(name).copied() {
+            // Redeclaration (e.g. extern then definition): prefer the more
+            // complete type.
+            let old = self.prog.type_of(existing);
+            if old != ty && self.is_more_complete(ty, old) {
+                self.prog.objects[existing.0 as usize].ty = ty;
+            }
+            return existing;
+        }
+        let obj = self.new_object(name.to_string(), ty, ObjKind::Global);
+        self.globals.insert(name.to_string(), Resolved::Obj(obj));
+        obj
+    }
+
+    fn is_more_complete(&self, newer: TypeId, older: TypeId) -> bool {
+        match (self.prog.types.kind(newer), self.prog.types.kind(older)) {
+            (TypeKind::Array(_, Some(_)), TypeKind::Array(_, None)) => true,
+            _ => false,
+        }
+    }
+
+    /// Registers (or updates) a function from a declarator. `defining` marks
+    /// a definition (body present).
+    fn register_function_sig(
+        &mut self,
+        name: &str,
+        fnty: TypeId,
+        ast_ty: &AstType,
+        defining: bool,
+    ) -> Result<FuncId> {
+        let param_names: Vec<Option<String>> = match ast_ty {
+            AstType::Function { params, .. } => params.iter().map(|p| p.name.clone()).collect(),
+            _ => vec![],
+        };
+        let (sig_params, sig_ret, variadic) = match self.prog.types.kind(fnty) {
+            TypeKind::Function(sig) => (sig.params.clone(), sig.ret, sig.variadic),
+            _ => unreachable!("register_function_sig on non-function type"),
+        };
+
+        if let Some(Resolved::Func(fid)) = self.globals.get(name).copied() {
+            // Update an earlier prototype.
+            let need_params = sig_params.len();
+            let have = self.prog.functions[fid.0 as usize].params.len();
+            if need_params > have {
+                for i in have..need_params {
+                    let pname = param_names
+                        .get(i)
+                        .cloned()
+                        .flatten()
+                        .unwrap_or_else(|| format!("{name}::p{i}"));
+                    let p = self.new_object(
+                        format!("{name}::{pname}"),
+                        sig_params[i],
+                        ObjKind::Param(fid, i as u32),
+                    );
+                    self.prog.functions[fid.0 as usize].params.push(p);
+                }
+            }
+            if defining {
+                self.prog.functions[fid.0 as usize].defined = true;
+                self.prog.functions[fid.0 as usize].ty = fnty;
+                // Refresh param types from the definition.
+                for (i, &pt) in sig_params.iter().enumerate() {
+                    let pobj = self.prog.functions[fid.0 as usize].params[i];
+                    self.prog.objects[pobj.0 as usize].ty = pt;
+                }
+            }
+            return Ok(fid);
+        }
+
+        let fid = FuncId(self.prog.functions.len() as u32);
+        let obj = self.new_object(name.to_string(), fnty, ObjKind::Function(fid));
+        let params: Vec<ObjId> = sig_params
+            .iter()
+            .enumerate()
+            .map(|(i, &pt)| {
+                let pname = param_names
+                    .get(i)
+                    .cloned()
+                    .flatten()
+                    .unwrap_or_else(|| format!("p{i}"));
+                self.new_object(format!("{name}::{pname}"), pt, ObjKind::Param(fid, i as u32))
+            })
+            .collect();
+        let ret_slot = if matches!(self.prog.types.kind(sig_ret), TypeKind::Void) {
+            None
+        } else {
+            Some(self.new_object(format!("{name}::$ret"), sig_ret, ObjKind::Ret(fid)))
+        };
+        self.prog.functions.push(Function {
+            name: name.to_string(),
+            id: fid,
+            obj,
+            params,
+            ret_slot,
+            ty: fnty,
+            defined: defining,
+            variadic,
+            varargs: None,
+        });
+        self.globals.insert(name.to_string(), Resolved::Func(fid));
+        Ok(fid)
+    }
+
+    fn register_function_def(&mut self, f: &FunctionDef) -> Result<FuncId> {
+        self.cur_span = f.span;
+        let fnty = self.build_type(&f.ty)?;
+        self.register_function_sig(&f.name, fnty, &f.ty, true)
+    }
+
+    pub(crate) fn varargs_obj(&mut self, fid: FuncId) -> ObjId {
+        if let Some(v) = self.prog.functions[fid.0 as usize].varargs {
+            return v;
+        }
+        let vp = self.prog.types.void_ptr();
+        let name = format!("{}::$varargs", self.prog.functions[fid.0 as usize].name);
+        let obj = self.new_object(name, vp, ObjKind::VarArgs(fid));
+        self.prog.functions[fid.0 as usize].varargs = Some(obj);
+        obj
+    }
+
+    fn lower_function_body(&mut self, f: &FunctionDef) -> Result<()> {
+        let fid = match self.globals.get(&f.name) {
+            Some(Resolved::Func(fid)) => *fid,
+            _ => unreachable!("function body without registration"),
+        };
+        self.current_fn = Some(fid);
+        self.push_scope();
+        // Bind parameter names to the (stable) parameter objects.
+        let params = self.prog.functions[fid.0 as usize].params.clone();
+        if let AstType::Function { params: decls, .. } = &f.ty {
+            for (i, pd) in decls.iter().enumerate() {
+                if let (Some(name), Some(&pobj)) = (&pd.name, params.get(i)) {
+                    self.declare_local(name, pobj);
+                }
+            }
+        }
+        self.lower_stmt(&f.body)?;
+        self.pop_scope();
+        self.current_fn = None;
+        Ok(())
+    }
+
+    // ----- type building -----
+
+    pub(crate) fn build_type(&mut self, ty: &AstType) -> Result<TypeId> {
+        Ok(match ty {
+            AstType::Base(spec) => self.build_spec(spec)?,
+            AstType::Pointer(inner) => {
+                let i = self.build_type(inner)?;
+                self.prog.types.pointer_to(i)
+            }
+            AstType::Array(inner, n) => {
+                let i = self.build_type(inner)?;
+                let len = match n {
+                    Some(e) => self.const_eval(e).map(|v| v.max(0) as u64),
+                    None => None,
+                };
+                self.prog.types.array_of(i, len)
+            }
+            AstType::Function {
+                ret,
+                params,
+                variadic,
+            } => {
+                let r = self.build_type(ret)?;
+                let ps: Result<Vec<TypeId>> =
+                    params.iter().map(|p| self.build_type(&p.ty)).collect();
+                self.prog.types.function(FuncSig {
+                    ret: r,
+                    params: ps?,
+                    variadic: *variadic,
+                })
+            }
+        })
+    }
+
+    /// Builds a declarator's type around an already-built base type,
+    /// avoiding re-evaluation of the (side-effecting) base specifier.
+    pub(crate) fn build_type_with_base(&mut self, ty: &AstType, base: TypeId) -> Result<TypeId> {
+        Ok(match ty {
+            AstType::Base(_) => base,
+            AstType::Pointer(inner) => {
+                let i = self.build_type_with_base(inner, base)?;
+                self.prog.types.pointer_to(i)
+            }
+            AstType::Array(inner, n) => {
+                let i = self.build_type_with_base(inner, base)?;
+                let len = match n {
+                    Some(e) => self.const_eval(e).map(|v| v.max(0) as u64),
+                    None => None,
+                };
+                self.prog.types.array_of(i, len)
+            }
+            AstType::Function {
+                ret,
+                params,
+                variadic,
+            } => {
+                let r = self.build_type_with_base(ret, base)?;
+                let ps: Result<Vec<TypeId>> =
+                    params.iter().map(|p| self.build_type(&p.ty)).collect();
+                self.prog.types.function(FuncSig {
+                    ret: r,
+                    params: ps?,
+                    variadic: *variadic,
+                })
+            }
+        })
+    }
+
+    fn build_spec(&mut self, spec: &TypeSpec) -> Result<TypeId> {
+        use structcast_types::{FloatKind, IntKind};
+        let t = &mut self.prog.types;
+        Ok(match spec {
+            TypeSpec::Void => t.void(),
+            TypeSpec::Char => t.intern(TypeKind::Int(IntKind::Char)),
+            TypeSpec::SChar => t.intern(TypeKind::Int(IntKind::SChar)),
+            TypeSpec::UChar => t.intern(TypeKind::Int(IntKind::UChar)),
+            TypeSpec::Short => t.intern(TypeKind::Int(IntKind::Short)),
+            TypeSpec::UShort => t.intern(TypeKind::Int(IntKind::UShort)),
+            TypeSpec::Int => t.int(),
+            TypeSpec::UInt => t.uint(),
+            TypeSpec::Long => t.long(),
+            TypeSpec::ULong => t.ulong(),
+            TypeSpec::LongLong => t.intern(TypeKind::Int(IntKind::LongLong)),
+            TypeSpec::ULongLong => t.intern(TypeKind::Int(IntKind::ULongLong)),
+            TypeSpec::Float => t.float(),
+            TypeSpec::Double => t.double(),
+            TypeSpec::LongDouble => t.intern(TypeKind::Float(FloatKind::LongDouble)),
+            TypeSpec::Typedef(name) => self.lookup_typedef(name).ok_or_else(|| {
+                LowerError::new(format!("unknown typedef name `{name}`"), self.cur_span)
+            })?,
+            TypeSpec::Struct(rs) => self.build_record(rs, false)?,
+            TypeSpec::Union(rs) => self.build_record(rs, true)?,
+            TypeSpec::Enum(es) => self.build_enum(es)?,
+        })
+    }
+
+    fn build_record(&mut self, rs: &RecordSpec, is_union: bool) -> Result<TypeId> {
+        let rid = match (&rs.tag, &rs.fields) {
+            (Some(tag), Some(_)) => {
+                // Definition: reuse an incomplete record declared in the
+                // *current* scope, otherwise create a fresh one here.
+                let cur = self.tags.last().expect("tag scope");
+                match cur.get(tag) {
+                    Some(&r) if !self.prog.types.record(r).complete => r,
+                    // An already-complete record with the same tag in this
+                    // scope: treat the rebuild as the same definition (field
+                    // declarators clone their base spec, so this happens for
+                    // legal code; true same-scope redefinitions are UB in C
+                    // and accepted silently here).
+                    Some(&r) => {
+                        return Ok(self.prog.types.intern(TypeKind::Record(r)));
+                    }
+                    _ => {
+                        let (r, _) = self.prog.types.new_record(Some(tag.clone()), is_union);
+                        self.tags
+                            .last_mut()
+                            .expect("tag scope")
+                            .insert(tag.clone(), r);
+                        r
+                    }
+                }
+            }
+            (Some(tag), None) => {
+                // Reference: find in any scope, else declare incomplete at
+                // file scope so cross-function uses unify.
+                match self.lookup_tag(tag) {
+                    Some(r) => r,
+                    None => {
+                        let (r, _) = self.prog.types.new_record(Some(tag.clone()), is_union);
+                        self.tags[0].insert(tag.clone(), r);
+                        r
+                    }
+                }
+            }
+            (None, Some(_)) => {
+                let (r, _) = self.prog.types.new_record(None, is_union);
+                r
+            }
+            (None, None) => {
+                return Err(LowerError::new(
+                    "struct/union without tag or body",
+                    rs.span,
+                ))
+            }
+        };
+
+        if let Some(field_decls) = &rs.fields {
+            let fields = self.build_fields(field_decls)?;
+            self.prog.types.complete_record(rid, fields);
+        }
+        Ok(self.prog.types.intern(TypeKind::Record(rid)))
+    }
+
+    fn build_fields(&mut self, decls: &[FieldDecl]) -> Result<Vec<Field>> {
+        let mut out = Vec::new();
+        for fd in decls {
+            self.cur_span = fd.span;
+            let ty = self.build_type(&fd.ty)?;
+            match &fd.name {
+                Some(name) => out.push(Field {
+                    name: name.clone(),
+                    ty,
+                    anonymous: false,
+                }),
+                None => {
+                    if self.prog.types.is_record_like(ty) {
+                        // Anonymous struct/union member.
+                        self.anon_count += 1;
+                        out.push(Field {
+                            name: format!("__anon{}", self.anon_count),
+                            ty,
+                            anonymous: true,
+                        });
+                    }
+                    // Unnamed bit-field padding: no storage we care about.
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn build_enum(&mut self, es: &EnumSpec) -> Result<TypeId> {
+        if let Some(items) = &es.items {
+            let mut next: i64 = 0;
+            for (name, val) in items {
+                if let Some(e) = val {
+                    if let Some(v) = self.const_eval(e) {
+                        next = v;
+                    }
+                }
+                self.declare_enum_const(name, next);
+                next += 1;
+            }
+            let ty = self.prog.types.intern(TypeKind::Enum(es.tag.clone()));
+            if let Some(tag) = &es.tag {
+                self.enum_tags
+                    .last_mut()
+                    .expect("enum scope")
+                    .insert(tag.clone(), ty);
+            }
+            Ok(ty)
+        } else {
+            let tag = es.tag.clone().ok_or_else(|| {
+                LowerError::new("enum without tag or body", es.span)
+            })?;
+            for scope in self.enum_tags.iter().rev() {
+                if let Some(&t) = scope.get(&tag) {
+                    return Ok(t);
+                }
+            }
+            // Reference before definition: intern by tag.
+            Ok(self.prog.types.intern(TypeKind::Enum(Some(tag))))
+        }
+    }
+
+    // ----- constant expressions -----
+
+    /// Best-effort constant evaluation for array bounds and enum values.
+    ///
+    /// `sizeof` is evaluated under the ILP32 layout (see DESIGN.md §3);
+    /// non-constant expressions yield `None`.
+    pub(crate) fn const_eval(&mut self, e: &Expr) -> Option<i64> {
+        use structcast_ast::BinOp::*;
+        match &e.kind {
+            ExprKind::IntLit(v) | ExprKind::CharLit(v) => Some(*v),
+            ExprKind::Ident(name) => match self.resolve_ident(name) {
+                Some(Resolved::EnumConst(v)) => Some(v),
+                _ => None,
+            },
+            ExprKind::Unary(UnOp::Neg, inner) => self.const_eval(inner).map(|v| -v),
+            ExprKind::Unary(UnOp::Plus, inner) => self.const_eval(inner),
+            ExprKind::Unary(UnOp::BitNot, inner) => self.const_eval(inner).map(|v| !v),
+            ExprKind::Unary(UnOp::Not, inner) => {
+                self.const_eval(inner).map(|v| i64::from(v == 0))
+            }
+            ExprKind::Binary(op, a, b) => {
+                let x = self.const_eval(a)?;
+                let y = self.const_eval(b)?;
+                Some(match op {
+                    Add => x.wrapping_add(y),
+                    Sub => x.wrapping_sub(y),
+                    Mul => x.wrapping_mul(y),
+                    Div => {
+                        if y == 0 {
+                            return None;
+                        }
+                        x / y
+                    }
+                    Rem => {
+                        if y == 0 {
+                            return None;
+                        }
+                        x % y
+                    }
+                    Shl => x.wrapping_shl(y as u32),
+                    Shr => x.wrapping_shr(y as u32),
+                    BitAnd => x & y,
+                    BitOr => x | y,
+                    BitXor => x ^ y,
+                    Lt => i64::from(x < y),
+                    Gt => i64::from(x > y),
+                    Le => i64::from(x <= y),
+                    Ge => i64::from(x >= y),
+                    Eq => i64::from(x == y),
+                    Ne => i64::from(x != y),
+                    LogAnd => i64::from(x != 0 && y != 0),
+                    LogOr => i64::from(x != 0 || y != 0),
+                })
+            }
+            ExprKind::Cond(c, t, f) => {
+                let c = self.const_eval(c)?;
+                if c != 0 {
+                    self.const_eval(t)
+                } else {
+                    self.const_eval(f)
+                }
+            }
+            ExprKind::Cast(_, inner) => self.const_eval(inner),
+            ExprKind::SizeofType(ty) => {
+                let t = self.build_type(ty).ok()?;
+                Some(self.consteval_layout.size_of(&self.prog.types, t) as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Exposed for statement lowering: registers a local declaration.
+    pub(crate) fn lower_local_declaration(&mut self, decl: &Declaration) -> Result<()> {
+        self.cur_span = decl.span;
+        let base_built = self.build_type(&decl.base)?;
+        for item in &decl.items {
+            self.cur_span = item.span;
+            let ty = self.build_type_with_base(&item.ty, base_built)?;
+            match decl.storage {
+                Storage::Typedef => {
+                    self.typedefs
+                        .last_mut()
+                        .expect("typedef scope")
+                        .insert(item.name.clone(), ty);
+                }
+                _ => {
+                    if matches!(self.prog.types.kind(ty), TypeKind::Function(_)) {
+                        // Local function declaration.
+                        self.register_function_sig(&item.name, ty, &item.ty, false)?;
+                        continue;
+                    }
+                    let fid = self.current_fn.expect("local declaration outside function");
+                    let obj = self.new_object(
+                        format!(
+                            "{}::{}",
+                            self.prog.functions[fid.0 as usize].name, item.name
+                        ),
+                        ty,
+                        ObjKind::Local(fid),
+                    );
+                    self.declare_local(&item.name, obj);
+                    if let Some(init) = &item.init {
+                        self.lower_initializer(obj, FieldPath::empty(), ty, init)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,121 @@
+/* list_utils: singly-linked list library with insert/delete/reverse/map.
+ * No structure casting: a clean, typed workload. */
+
+struct IntList {
+    int value;
+    struct IntList *next;
+};
+
+struct IntList *g_head;
+int g_length;
+
+struct IntList *list_new_node(int v) {
+    struct IntList *n;
+    n = (struct IntList *)malloc(sizeof(struct IntList));
+    n->value = v;
+    n->next = 0;
+    return n;
+}
+
+void list_push_front(int v) {
+    struct IntList *n;
+    n = list_new_node(v);
+    n->next = g_head;
+    g_head = n;
+    g_length++;
+}
+
+void list_push_back(int v) {
+    struct IntList *n, *cur;
+    n = list_new_node(v);
+    if (g_head == 0) {
+        g_head = n;
+    } else {
+        cur = g_head;
+        while (cur->next != 0)
+            cur = cur->next;
+        cur->next = n;
+    }
+    g_length++;
+}
+
+int list_pop_front(void) {
+    struct IntList *old;
+    int v;
+    if (g_head == 0)
+        return -1;
+    old = g_head;
+    v = old->value;
+    g_head = old->next;
+    free(old);
+    g_length--;
+    return v;
+}
+
+void list_reverse(void) {
+    struct IntList *prev, *cur, *next;
+    prev = 0;
+    cur = g_head;
+    while (cur != 0) {
+        next = cur->next;
+        cur->next = prev;
+        prev = cur;
+        cur = next;
+    }
+    g_head = prev;
+}
+
+struct IntList *list_find(int v) {
+    struct IntList *cur;
+    for (cur = g_head; cur != 0; cur = cur->next) {
+        if (cur->value == v)
+            return cur;
+    }
+    return 0;
+}
+
+void list_remove(int v) {
+    struct IntList *cur, *prev;
+    prev = 0;
+    cur = g_head;
+    while (cur != 0) {
+        if (cur->value == v) {
+            if (prev == 0)
+                g_head = cur->next;
+            else
+                prev->next = cur->next;
+            free(cur);
+            g_length--;
+            return;
+        }
+        prev = cur;
+        cur = cur->next;
+    }
+}
+
+void list_map(int (*fn)(int)) {
+    struct IntList *cur;
+    for (cur = g_head; cur != 0; cur = cur->next)
+        cur->value = fn(cur->value);
+}
+
+int double_it(int x) { return x * 2; }
+int negate_it(int x) { return -x; }
+
+int main(void) {
+    int i, v;
+    struct IntList *hit;
+    for (i = 0; i < 10; i++)
+        list_push_front(i);
+    list_push_back(99);
+    list_reverse();
+    list_map(double_it);
+    list_map(negate_it);
+    hit = list_find(-8);
+    if (hit != 0)
+        hit->value = 0;
+    list_remove(0);
+    v = list_pop_front();
+    printf("%d %d\n", v, g_length);
+    return 0;
+}

@@ -1,0 +1,104 @@
+/* bst: binary search tree with insert, lookup, min/max, and destroy.
+ * No structure casting. */
+
+struct TreeNode {
+    int key;
+    int payload;
+    struct TreeNode *left;
+    struct TreeNode *right;
+};
+
+struct Tree {
+    struct TreeNode *root;
+    int size;
+};
+
+struct Tree g_tree;
+
+struct TreeNode *node_new(int key, int payload) {
+    struct TreeNode *n;
+    n = (struct TreeNode *)malloc(sizeof(struct TreeNode));
+    n->key = key;
+    n->payload = payload;
+    n->left = 0;
+    n->right = 0;
+    return n;
+}
+
+struct TreeNode *tree_insert(struct TreeNode *root, int key, int payload) {
+    if (root == 0)
+        return node_new(key, payload);
+    if (key < root->key)
+        root->left = tree_insert(root->left, key, payload);
+    else if (key > root->key)
+        root->right = tree_insert(root->right, key, payload);
+    else
+        root->payload = payload;
+    return root;
+}
+
+struct TreeNode *tree_find(struct TreeNode *root, int key) {
+    while (root != 0) {
+        if (key < root->key)
+            root = root->left;
+        else if (key > root->key)
+            root = root->right;
+        else
+            return root;
+    }
+    return 0;
+}
+
+struct TreeNode *tree_min(struct TreeNode *root) {
+    if (root == 0)
+        return 0;
+    while (root->left != 0)
+        root = root->left;
+    return root;
+}
+
+struct TreeNode *tree_max(struct TreeNode *root) {
+    if (root == 0)
+        return 0;
+    while (root->right != 0)
+        root = root->right;
+    return root;
+}
+
+int tree_height(struct TreeNode *root) {
+    int lh, rh;
+    if (root == 0)
+        return 0;
+    lh = tree_height(root->left);
+    rh = tree_height(root->right);
+    return 1 + (lh > rh ? lh : rh);
+}
+
+void tree_destroy(struct TreeNode *root) {
+    if (root == 0)
+        return;
+    tree_destroy(root->left);
+    tree_destroy(root->right);
+    free(root);
+}
+
+int main(void) {
+    int keys[8];
+    int i;
+    struct TreeNode *hit, *lo, *hi;
+    keys[0] = 50; keys[1] = 30; keys[2] = 70; keys[3] = 20;
+    keys[4] = 40; keys[5] = 60; keys[6] = 80; keys[7] = 35;
+    for (i = 0; i < 8; i++) {
+        g_tree.root = tree_insert(g_tree.root, keys[i], i);
+        g_tree.size++;
+    }
+    hit = tree_find(g_tree.root, 40);
+    lo = tree_min(g_tree.root);
+    hi = tree_max(g_tree.root);
+    if (hit != 0 && lo != 0 && hi != 0)
+        printf("%d %d %d %d\n", hit->payload, lo->key, hi->key,
+               tree_height(g_tree.root));
+    tree_destroy(g_tree.root);
+    g_tree.root = 0;
+    return 0;
+}

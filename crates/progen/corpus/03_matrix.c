@@ -1,0 +1,85 @@
+/* matrix: small fixed-size matrix library with struct values and pointer
+ * parameters. No structure casting. */
+
+struct Mat3 {
+    int cells[9];
+    int rows;
+    int cols;
+};
+
+struct Mat3 g_a, g_b, g_scratch;
+
+void mat_init(struct Mat3 *m, int seed) {
+    int i;
+    m->rows = 3;
+    m->cols = 3;
+    for (i = 0; i < 9; i++)
+        m->cells[i] = (seed + i * 7) % 11;
+}
+
+int mat_get(const struct Mat3 *m, int r, int c) {
+    return m->cells[r * 3 + c];
+}
+
+void mat_set(struct Mat3 *m, int r, int c, int v) {
+    m->cells[r * 3 + c] = v;
+}
+
+void mat_add(struct Mat3 *out, const struct Mat3 *x, const struct Mat3 *y) {
+    int i;
+    out->rows = x->rows;
+    out->cols = x->cols;
+    for (i = 0; i < 9; i++)
+        out->cells[i] = x->cells[i] + y->cells[i];
+}
+
+void mat_mul(struct Mat3 *out, const struct Mat3 *x, const struct Mat3 *y) {
+    int r, c, k, acc;
+    for (r = 0; r < 3; r++) {
+        for (c = 0; c < 3; c++) {
+            acc = 0;
+            for (k = 0; k < 3; k++)
+                acc = acc + mat_get(x, r, k) * mat_get(y, k, c);
+            mat_set(out, r, c, acc);
+        }
+    }
+    out->rows = 3;
+    out->cols = 3;
+}
+
+void mat_transpose(struct Mat3 *m) {
+    int r, c, tmp;
+    for (r = 0; r < 3; r++) {
+        for (c = r + 1; c < 3; c++) {
+            tmp = mat_get(m, r, c);
+            mat_set(m, r, c, mat_get(m, c, r));
+            mat_set(m, c, r, tmp);
+        }
+    }
+}
+
+int mat_trace(const struct Mat3 *m) {
+    int i, t;
+    t = 0;
+    for (i = 0; i < 3; i++)
+        t = t + mat_get(m, i, i);
+    return t;
+}
+
+struct Mat3 mat_copy(const struct Mat3 *m) {
+    struct Mat3 out;
+    out = *m;
+    return out;
+}
+
+int main(void) {
+    struct Mat3 sum;
+    mat_init(&g_a, 3);
+    mat_init(&g_b, 5);
+    mat_add(&g_scratch, &g_a, &g_b);
+    mat_mul(&sum, &g_scratch, &g_a);
+    mat_transpose(&sum);
+    g_scratch = mat_copy(&sum);
+    printf("%d\n", mat_trace(&g_scratch));
+    return 0;
+}

@@ -1,0 +1,91 @@
+/* stack_calc: an RPN calculator over a stack of typed frames.
+ * No structure casting. */
+
+struct Frame {
+    int value;
+    int op_count;
+    struct Frame *below;
+};
+
+struct Calc {
+    struct Frame *top;
+    int depth;
+    int error;
+};
+
+struct Calc g_calc;
+
+void calc_push(struct Calc *c, int v) {
+    struct Frame *f;
+    f = (struct Frame *)malloc(sizeof(struct Frame));
+    f->value = v;
+    f->op_count = 0;
+    f->below = c->top;
+    c->top = f;
+    c->depth++;
+}
+
+int calc_pop(struct Calc *c) {
+    struct Frame *f;
+    int v;
+    if (c->top == 0) {
+        c->error = 1;
+        return 0;
+    }
+    f = c->top;
+    c->top = f->below;
+    v = f->value;
+    free(f);
+    c->depth--;
+    return v;
+}
+
+void calc_binop(struct Calc *c, char op) {
+    int a, b, r;
+    b = calc_pop(c);
+    a = calc_pop(c);
+    r = 0;
+    switch (op) {
+    case '+': r = a + b; break;
+    case '-': r = a - b; break;
+    case '*': r = a * b; break;
+    case '/':
+        if (b == 0)
+            c->error = 1;
+        else
+            r = a / b;
+        break;
+    default:
+        c->error = 1;
+    }
+    calc_push(c, r);
+    if (c->top != 0)
+        c->top->op_count++;
+}
+
+int calc_peek(struct Calc *c) {
+    if (c->top == 0)
+        return 0;
+    return c->top->value;
+}
+
+void calc_run(struct Calc *c, const char *prog) {
+    int i;
+    char ch;
+    for (i = 0; prog[i] != 0; i++) {
+        ch = prog[i];
+        if (ch >= '0' && ch <= '9')
+            calc_push(c, ch - '0');
+        else if (ch != ' ')
+            calc_binop(c, ch);
+    }
+}
+
+int main(void) {
+    calc_run(&g_calc, "34+2*7-");
+    printf("%d depth=%d err=%d\n", calc_peek(&g_calc), g_calc.depth,
+           g_calc.error);
+    while (g_calc.depth > 0)
+        calc_pop(&g_calc);
+    return 0;
+}

@@ -1,0 +1,92 @@
+/* string_pool: a string interning pool with linear probing over heap
+ * buffers. No structure casting. */
+
+struct PoolEntry {
+    char *text;
+    int length;
+    int refcount;
+};
+
+struct Pool {
+    struct PoolEntry entries[64];
+    int used;
+    int hits;
+    int misses;
+};
+
+struct Pool g_pool;
+
+int str_len(const char *s) {
+    int n;
+    n = 0;
+    while (s[n] != 0)
+        n++;
+    return n;
+}
+
+int str_eq(const char *a, const char *b) {
+    int i;
+    for (i = 0; a[i] != 0 && b[i] != 0; i++) {
+        if (a[i] != b[i])
+            return 0;
+    }
+    return a[i] == b[i];
+}
+
+char *str_dup(const char *s) {
+    char *out;
+    int n, i;
+    n = str_len(s);
+    out = (char *)malloc(n + 1);
+    for (i = 0; i <= n; i++)
+        out[i] = s[i];
+    return out;
+}
+
+struct PoolEntry *pool_find(struct Pool *p, const char *s) {
+    int i;
+    for (i = 0; i < p->used; i++) {
+        if (str_eq(p->entries[i].text, s))
+            return &p->entries[i];
+    }
+    return 0;
+}
+
+char *pool_intern(struct Pool *p, const char *s) {
+    struct PoolEntry *e;
+    e = pool_find(p, s);
+    if (e != 0) {
+        e->refcount++;
+        p->hits++;
+        return e->text;
+    }
+    p->misses++;
+    if (p->used >= 64)
+        return 0;
+    e = &p->entries[p->used];
+    p->used++;
+    e->text = str_dup(s);
+    e->length = str_len(s);
+    e->refcount = 1;
+    return e->text;
+}
+
+void pool_release(struct Pool *p, const char *s) {
+    struct PoolEntry *e;
+    e = pool_find(p, s);
+    if (e != 0 && e->refcount > 0)
+        e->refcount--;
+}
+
+int main(void) {
+    char *a, *b, *c;
+    a = pool_intern(&g_pool, "alpha");
+    b = pool_intern(&g_pool, "beta");
+    c = pool_intern(&g_pool, "alpha");
+    pool_release(&g_pool, "beta");
+    printf("%d %d %d same=%d\n", g_pool.used, g_pool.hits, g_pool.misses,
+           a == c);
+    if (b != 0)
+        printf("%s\n", b);
+    return 0;
+}

@@ -1,0 +1,104 @@
+/* queue_sim: an M/M/1-ish queueing simulation with typed event and server
+ * structures. No structure casting. */
+
+struct Job {
+    int id;
+    int arrival;
+    int service;
+    struct Job *next;
+};
+
+struct Server {
+    struct Job *current;
+    int busy_until;
+    int completed;
+    int total_wait;
+};
+
+struct Queue {
+    struct Job *head;
+    struct Job *tail;
+    int length;
+    int max_length;
+};
+
+struct Queue g_queue;
+struct Server g_server;
+int g_clock;
+int g_seed;
+
+int next_rand(void) {
+    g_seed = (g_seed * 1103515245 + 12345) % 2147483647;
+    if (g_seed < 0)
+        g_seed = -g_seed;
+    return g_seed;
+}
+
+void enqueue(struct Job *j) {
+    j->next = 0;
+    if (g_queue.tail == 0) {
+        g_queue.head = j;
+        g_queue.tail = j;
+    } else {
+        g_queue.tail->next = j;
+        g_queue.tail = j;
+    }
+    g_queue.length++;
+    if (g_queue.length > g_queue.max_length)
+        g_queue.max_length = g_queue.length;
+}
+
+struct Job *dequeue(void) {
+    struct Job *j;
+    j = g_queue.head;
+    if (j == 0)
+        return 0;
+    g_queue.head = j->next;
+    if (g_queue.head == 0)
+        g_queue.tail = 0;
+    g_queue.length--;
+    return j;
+}
+
+struct Job *make_job(int id) {
+    struct Job *j;
+    j = (struct Job *)malloc(sizeof(struct Job));
+    j->id = id;
+    j->arrival = g_clock;
+    j->service = 1 + next_rand() % 5;
+    j->next = 0;
+    return j;
+}
+
+void step_server(void) {
+    struct Job *j;
+    if (g_server.current != 0 && g_clock >= g_server.busy_until) {
+        g_server.completed++;
+        free(g_server.current);
+        g_server.current = 0;
+    }
+    if (g_server.current == 0) {
+        j = dequeue();
+        if (j != 0) {
+            g_server.current = j;
+            g_server.total_wait = g_server.total_wait + (g_clock - j->arrival);
+            g_server.busy_until = g_clock + j->service;
+        }
+    }
+}
+
+int main(void) {
+    int next_id;
+    g_seed = 42;
+    next_id = 0;
+    for (g_clock = 0; g_clock < 200; g_clock++) {
+        if (next_rand() % 3 == 0) {
+            enqueue(make_job(next_id));
+            next_id++;
+        }
+        step_server();
+    }
+    printf("done=%d maxq=%d wait=%d\n", g_server.completed,
+           g_queue.max_length, g_server.total_wait);
+    return 0;
+}

@@ -1,0 +1,83 @@
+/* graph_dfs: adjacency-list graph with DFS, cycle detection, and component
+ * counting. No structure casting. */
+
+struct Edge {
+    int to;
+    struct Edge *next;
+};
+
+struct Graph {
+    struct Edge *adj[32];
+    int visited[32];
+    int n;
+};
+
+struct Graph g_graph;
+int g_cycle_found;
+
+void graph_init(int n) {
+    int i;
+    g_graph.n = n;
+    for (i = 0; i < n; i++) {
+        g_graph.adj[i] = 0;
+        g_graph.visited[i] = 0;
+    }
+}
+
+void add_edge(int from, int to) {
+    struct Edge *e;
+    e = (struct Edge *)malloc(sizeof(struct Edge));
+    e->to = to;
+    e->next = g_graph.adj[from];
+    g_graph.adj[from] = e;
+}
+
+void dfs(int v) {
+    struct Edge *e;
+    g_graph.visited[v] = 1;
+    for (e = g_graph.adj[v]; e != 0; e = e->next) {
+        if (g_graph.visited[e->to] == 1)
+            g_cycle_found = 1;
+        else if (g_graph.visited[e->to] == 0)
+            dfs(e->to);
+    }
+    g_graph.visited[v] = 2;
+}
+
+int count_components(void) {
+    int i, comps;
+    comps = 0;
+    for (i = 0; i < g_graph.n; i++) {
+        if (g_graph.visited[i] == 0) {
+            comps++;
+            dfs(i);
+        }
+    }
+    return comps;
+}
+
+int out_degree(int v) {
+    struct Edge *e;
+    int d;
+    d = 0;
+    for (e = g_graph.adj[v]; e != 0; e = e->next)
+        d++;
+    return d;
+}
+
+int main(void) {
+    int comps, i, total;
+    graph_init(8);
+    add_edge(0, 1);
+    add_edge(1, 2);
+    add_edge(2, 0);
+    add_edge(3, 4);
+    add_edge(5, 6);
+    add_edge(6, 7);
+    comps = count_components();
+    total = 0;
+    for (i = 0; i < 8; i++)
+        total = total + out_degree(i);
+    printf("comps=%d cyc=%d edges=%d\n", comps, g_cycle_found, total);
+    return 0;
+}

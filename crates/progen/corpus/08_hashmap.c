@@ -1,0 +1,94 @@
+/* hashmap: chained hash table mapping int keys to typed values.
+ * No structure casting. */
+
+struct MapEntry {
+    int key;
+    int value;
+    struct MapEntry *chain;
+};
+
+struct HashMap {
+    struct MapEntry *buckets[16];
+    int count;
+    int collisions;
+};
+
+struct HashMap g_map;
+
+int hash_key(int k) {
+    unsigned int h;
+    h = (unsigned int)k;
+    h = h * 2654435761;
+    return (int)(h % 16);
+}
+
+struct MapEntry *map_find(struct HashMap *m, int key) {
+    struct MapEntry *e;
+    e = m->buckets[hash_key(key)];
+    while (e != 0) {
+        if (e->key == key)
+            return e;
+        e = e->chain;
+    }
+    return 0;
+}
+
+void map_put(struct HashMap *m, int key, int value) {
+    struct MapEntry *e;
+    int b;
+    e = map_find(m, key);
+    if (e != 0) {
+        e->value = value;
+        return;
+    }
+    b = hash_key(key);
+    e = (struct MapEntry *)malloc(sizeof(struct MapEntry));
+    e->key = key;
+    e->value = value;
+    if (m->buckets[b] != 0)
+        m->collisions++;
+    e->chain = m->buckets[b];
+    m->buckets[b] = e;
+    m->count++;
+}
+
+int map_get(struct HashMap *m, int key, int fallback) {
+    struct MapEntry *e;
+    e = map_find(m, key);
+    if (e == 0)
+        return fallback;
+    return e->value;
+}
+
+int map_remove(struct HashMap *m, int key) {
+    struct MapEntry *e, *prev;
+    int b;
+    b = hash_key(key);
+    prev = 0;
+    for (e = m->buckets[b]; e != 0; e = e->chain) {
+        if (e->key == key) {
+            if (prev == 0)
+                m->buckets[b] = e->chain;
+            else
+                prev->chain = e->chain;
+            free(e);
+            m->count--;
+            return 1;
+        }
+        prev = e;
+    }
+    return 0;
+}
+
+int main(void) {
+    int i, sum;
+    for (i = 0; i < 40; i++)
+        map_put(&g_map, i * 3, i);
+    map_put(&g_map, 6, 100);
+    map_remove(&g_map, 9);
+    sum = 0;
+    for (i = 0; i < 120; i++)
+        sum = sum + map_get(&g_map, i, 0);
+    printf("n=%d coll=%d sum=%d\n", g_map.count, g_map.collisions, sum);
+    return 0;
+}

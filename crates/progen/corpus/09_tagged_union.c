@@ -1,0 +1,106 @@
+/* tagged_union: variant records implemented by casting between a generic
+ * header struct and per-variant structs sharing the initial tag field —
+ * the classic common-initial-sequence idiom. */
+
+struct Value {
+    int tag;
+};
+
+struct IntValue {
+    int tag;
+    int payload;
+};
+
+struct PairValue {
+    int tag;
+    struct Value *first;
+    struct Value *second;
+};
+
+struct StrValue {
+    int tag;
+    char *text;
+    int length;
+};
+
+struct Value *g_registry[16];
+int g_count;
+
+struct Value *mk_int(int v) {
+    struct IntValue *iv;
+    iv = (struct IntValue *)malloc(sizeof(struct IntValue));
+    iv->tag = 1;
+    iv->payload = v;
+    return (struct Value *)iv;
+}
+
+struct Value *mk_pair(struct Value *a, struct Value *b) {
+    struct PairValue *pv;
+    pv = (struct PairValue *)malloc(sizeof(struct PairValue));
+    pv->tag = 2;
+    pv->first = a;
+    pv->second = b;
+    return (struct Value *)pv;
+}
+
+struct Value *mk_str(char *s, int n) {
+    struct StrValue *sv;
+    sv = (struct StrValue *)malloc(sizeof(struct StrValue));
+    sv->tag = 3;
+    sv->text = s;
+    sv->length = n;
+    return (struct Value *)sv;
+}
+
+int value_weight(struct Value *v) {
+    struct IntValue *iv;
+    struct PairValue *pv;
+    struct StrValue *sv;
+    if (v == 0)
+        return 0;
+    switch (v->tag) {
+    case 1:
+        iv = (struct IntValue *)v;
+        return iv->payload;
+    case 2:
+        pv = (struct PairValue *)v;
+        return value_weight(pv->first) + value_weight(pv->second);
+    case 3:
+        sv = (struct StrValue *)v;
+        return sv->length;
+    }
+    return -1;
+}
+
+void register_value(struct Value *v) {
+    if (g_count < 16) {
+        g_registry[g_count] = v;
+        g_count++;
+    }
+}
+
+struct Value *deep_first(struct Value *v) {
+    struct PairValue *pv;
+    while (v != 0 && v->tag == 2) {
+        pv = (struct PairValue *)v;
+        v = pv->first;
+    }
+    return v;
+}
+
+int main(void) {
+    struct Value *a, *b, *c, *p, *leaf;
+    int total, i;
+    a = mk_int(5);
+    b = mk_str("hello", 5);
+    c = mk_int(7);
+    p = mk_pair(a, mk_pair(b, c));
+    register_value(a);
+    register_value(p);
+    total = 0;
+    for (i = 0; i < g_count; i++)
+        total = total + value_weight(g_registry[i]);
+    leaf = deep_first(p);
+    printf("total=%d leaf_tag=%d\n", total, leaf != 0 ? leaf->tag : -1);
+    return 0;
+}

@@ -1,0 +1,108 @@
+/* allocator: a free-list allocator over a static byte arena. Blocks are
+ * carved from raw bytes and viewed through header structs — heavy casting
+ * between char*, header, and user types (Problems 1 and 2). */
+
+struct BlockHdr {
+    int size;
+    int in_use;
+    struct BlockHdr *next_free;
+};
+
+struct UserRec {
+    int *owner;
+    int ticket;
+};
+
+char g_arena[4096];
+struct BlockHdr *g_free_list;
+int g_carved;
+int g_allocs;
+int g_frees;
+
+void arena_init(void) {
+    struct BlockHdr *first;
+    first = (struct BlockHdr *)g_arena;
+    first->size = 4096 - sizeof(struct BlockHdr);
+    first->in_use = 0;
+    first->next_free = 0;
+    g_free_list = first;
+    g_carved = 1;
+}
+
+char *block_payload(struct BlockHdr *b) {
+    return (char *)b + sizeof(struct BlockHdr);
+}
+
+struct BlockHdr *payload_header(char *p) {
+    return (struct BlockHdr *)(p - sizeof(struct BlockHdr));
+}
+
+char *arena_alloc(int want) {
+    struct BlockHdr *cur, *prev, *split;
+    char *base;
+    prev = 0;
+    cur = g_free_list;
+    while (cur != 0) {
+        if (cur->size >= want) {
+            if (cur->size >= want + (int)sizeof(struct BlockHdr) + 8) {
+                base = block_payload(cur);
+                split = (struct BlockHdr *)(base + want);
+                split->size = cur->size - want - sizeof(struct BlockHdr);
+                split->in_use = 0;
+                split->next_free = cur->next_free;
+                cur->size = want;
+                if (prev == 0)
+                    g_free_list = split;
+                else
+                    prev->next_free = split;
+                g_carved++;
+            } else {
+                if (prev == 0)
+                    g_free_list = cur->next_free;
+                else
+                    prev->next_free = cur->next_free;
+            }
+            cur->in_use = 1;
+            g_allocs++;
+            return block_payload(cur);
+        }
+        prev = cur;
+        cur = cur->next_free;
+    }
+    return 0;
+}
+
+void arena_free(char *p) {
+    struct BlockHdr *b;
+    if (p == 0)
+        return;
+    b = payload_header(p);
+    b->in_use = 0;
+    b->next_free = g_free_list;
+    g_free_list = b;
+    g_frees++;
+}
+
+int g_token;
+
+int main(void) {
+    struct UserRec *r1, *r2;
+    char *raw;
+    arena_init();
+    r1 = (struct UserRec *)arena_alloc(sizeof(struct UserRec));
+    r2 = (struct UserRec *)arena_alloc(sizeof(struct UserRec));
+    raw = arena_alloc(100);
+    if (r1 != 0) {
+        r1->owner = &g_token;
+        r1->ticket = 1;
+    }
+    if (r2 != 0) {
+        r2->owner = r1 != 0 ? r1->owner : 0;
+        r2->ticket = 2;
+    }
+    arena_free((char *)r1);
+    arena_free(raw);
+    printf("carved=%d a=%d f=%d tick=%d\n", g_carved, g_allocs, g_frees,
+           r2 != 0 ? r2->ticket : -1);
+    return 0;
+}

@@ -1,0 +1,103 @@
+/* packet_parse: network-style packet parsing; raw byte buffers are viewed
+ * through layered header structs via casts, and headers are advanced with
+ * pointer arithmetic (Problem 2 + Complication 1). */
+
+struct EthHdr {
+    char dst[6];
+    char src[6];
+    int ethertype;
+};
+
+struct IpHdr {
+    int version;
+    int length;
+    int proto;
+    char *src_addr;
+    char *dst_addr;
+};
+
+struct TcpHdr {
+    int sport;
+    int dport;
+    int seq;
+    int flags;
+};
+
+struct ParsedPacket {
+    struct EthHdr *eth;
+    struct IpHdr *ip;
+    struct TcpHdr *tcp;
+    int payload_len;
+};
+
+char g_rx_buffer[512];
+struct ParsedPacket g_last;
+int g_parsed;
+int g_dropped;
+char g_addr_a[4];
+char g_addr_b[4];
+
+void fill_fake_packet(void) {
+    struct EthHdr *e;
+    struct IpHdr *ip;
+    struct TcpHdr *t;
+    e = (struct EthHdr *)g_rx_buffer;
+    e->ethertype = 800;
+    ip = (struct IpHdr *)(g_rx_buffer + sizeof(struct EthHdr));
+    ip->version = 4;
+    ip->length = sizeof(struct IpHdr) + sizeof(struct TcpHdr) + 32;
+    ip->proto = 6;
+    ip->src_addr = g_addr_a;
+    ip->dst_addr = g_addr_b;
+    t = (struct TcpHdr *)((char *)ip + sizeof(struct IpHdr));
+    t->sport = 80;
+    t->dport = 443;
+    t->seq = 1;
+    t->flags = 2;
+}
+
+int parse_packet(char *buf, struct ParsedPacket *out) {
+    struct EthHdr *e;
+    struct IpHdr *ip;
+    e = (struct EthHdr *)buf;
+    out->eth = e;
+    if (e->ethertype != 800) {
+        g_dropped++;
+        return 0;
+    }
+    ip = (struct IpHdr *)(buf + sizeof(struct EthHdr));
+    out->ip = ip;
+    if (ip->version != 4) {
+        g_dropped++;
+        return 0;
+    }
+    if (ip->proto == 6) {
+        out->tcp = (struct TcpHdr *)((char *)ip + sizeof(struct IpHdr));
+        out->payload_len =
+            ip->length - sizeof(struct IpHdr) - sizeof(struct TcpHdr);
+    } else {
+        out->tcp = 0;
+        out->payload_len = ip->length - sizeof(struct IpHdr);
+    }
+    g_parsed++;
+    return 1;
+}
+
+char *packet_src(struct ParsedPacket *p) {
+    if (p->ip == 0)
+        return 0;
+    return p->ip->src_addr;
+}
+
+int main(void) {
+    char *src;
+    fill_fake_packet();
+    if (parse_packet(g_rx_buffer, &g_last)) {
+        src = packet_src(&g_last);
+        printf("ok sport=%d len=%d src0=%d\n",
+               g_last.tcp != 0 ? g_last.tcp->sport : -1, g_last.payload_len,
+               src != 0 ? src[0] : -1);
+    }
+    printf("parsed=%d dropped=%d\n", g_parsed, g_dropped);
+    return 0;
+}

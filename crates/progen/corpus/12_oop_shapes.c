@@ -1,0 +1,112 @@
+/* oop_shapes: object-oriented C with a Shape "base class" embedded as the
+ * first member of Circle/Rect "subclasses" — up- and down-casts rely on the
+ * first-field-at-offset-zero guarantee (Problem 1) and virtual dispatch
+ * goes through function pointers in a vtable struct. */
+
+struct Shape;
+
+struct ShapeOps {
+    int (*area)(struct Shape *self);
+    int (*perimeter)(struct Shape *self);
+    const char *name;
+};
+
+struct Shape {
+    struct ShapeOps *ops;
+    int id;
+};
+
+struct Circle {
+    struct Shape base;
+    int radius;
+};
+
+struct Rect {
+    struct Shape base;
+    int w;
+    int h;
+};
+
+int circle_area(struct Shape *self) {
+    struct Circle *c;
+    c = (struct Circle *)self;
+    return 3 * c->radius * c->radius;
+}
+
+int circle_perimeter(struct Shape *self) {
+    struct Circle *c;
+    c = (struct Circle *)self;
+    return 6 * c->radius;
+}
+
+int rect_area(struct Shape *self) {
+    struct Rect *r;
+    r = (struct Rect *)self;
+    return r->w * r->h;
+}
+
+int rect_perimeter(struct Shape *self) {
+    struct Rect *r;
+    r = (struct Rect *)self;
+    return 2 * (r->w + r->h);
+}
+
+struct ShapeOps g_circle_ops = { circle_area, circle_perimeter, "circle" };
+struct ShapeOps g_rect_ops = { rect_area, rect_perimeter, "rect" };
+int g_next_id;
+
+struct Shape *new_circle(int radius) {
+    struct Circle *c;
+    c = (struct Circle *)malloc(sizeof(struct Circle));
+    c->base.ops = &g_circle_ops;
+    c->base.id = g_next_id++;
+    c->radius = radius;
+    return &c->base;
+}
+
+struct Shape *new_rect(int w, int h) {
+    struct Rect *r;
+    r = (struct Rect *)malloc(sizeof(struct Rect));
+    r->base.ops = &g_rect_ops;
+    r->base.id = g_next_id++;
+    r->w = w;
+    r->h = h;
+    return (struct Shape *)r;
+}
+
+int total_area(struct Shape **shapes, int n) {
+    int i, total;
+    total = 0;
+    for (i = 0; i < n; i++)
+        total = total + shapes[i]->ops->area(shapes[i]);
+    return total;
+}
+
+struct Shape *biggest(struct Shape **shapes, int n) {
+    int i, best_area, a;
+    struct Shape *best;
+    best = 0;
+    best_area = -1;
+    for (i = 0; i < n; i++) {
+        a = shapes[i]->ops->area(shapes[i]);
+        if (a > best_area) {
+            best_area = a;
+            best = shapes[i];
+        }
+    }
+    return best;
+}
+
+int main(void) {
+    struct Shape *shapes[4];
+    struct Shape *top;
+    shapes[0] = new_circle(2);
+    shapes[1] = new_rect(3, 4);
+    shapes[2] = new_rect(5, 1);
+    shapes[3] = new_circle(1);
+    printf("total=%d\n", total_area(shapes, 4));
+    top = biggest(shapes, 4);
+    if (top != 0)
+        printf("best=%s per=%d\n", top->ops->name, top->ops->perimeter(top));
+    return 0;
+}

@@ -1,0 +1,125 @@
+/* intrusive_list: kernel-style intrusive doubly-linked lists. Link nodes
+ * are embedded in payload structs and recovered with container_of-style
+ * pointer arithmetic and casts (Complication 1 territory). */
+
+struct Link {
+    struct Link *next;
+    struct Link *prev;
+};
+
+struct Task {
+    struct Link node;
+    int priority;
+    int runtime;
+};
+
+struct Timer {
+    int deadline;
+    struct Link node;
+    int fired;
+};
+
+struct Link g_run_queue;
+struct Link g_timer_list;
+int g_scheduled;
+
+void list_init(struct Link *head) {
+    head->next = head;
+    head->prev = head;
+}
+
+void list_insert(struct Link *head, struct Link *item) {
+    item->next = head->next;
+    item->prev = head;
+    head->next->prev = item;
+    head->next = item;
+}
+
+void list_remove(struct Link *item) {
+    item->prev->next = item->next;
+    item->next->prev = item->prev;
+    item->next = item;
+    item->prev = item;
+}
+
+int list_empty(struct Link *head) {
+    return head->next == head;
+}
+
+struct Task *task_of(struct Link *l) {
+    /* node is the first member: a direct cast recovers the Task. */
+    return (struct Task *)l;
+}
+
+struct Timer *timer_of(struct Link *l) {
+    /* node is NOT first: recover with byte arithmetic. */
+    char *raw;
+    raw = (char *)l;
+    return (struct Timer *)(raw - sizeof(int));
+}
+
+struct Task *spawn(int prio) {
+    struct Task *t;
+    t = (struct Task *)malloc(sizeof(struct Task));
+    t->priority = prio;
+    t->runtime = 0;
+    list_insert(&g_run_queue, &t->node);
+    g_scheduled++;
+    return t;
+}
+
+struct Timer *arm_timer(int deadline) {
+    struct Timer *t;
+    t = (struct Timer *)malloc(sizeof(struct Timer));
+    t->deadline = deadline;
+    t->fired = 0;
+    list_insert(&g_timer_list, &t->node);
+    return t;
+}
+
+struct Task *pick_next(void) {
+    struct Link *l;
+    struct Task *best, *cand;
+    best = 0;
+    for (l = g_run_queue.next; l != &g_run_queue; l = l->next) {
+        cand = task_of(l);
+        if (best == 0 || cand->priority > best->priority)
+            best = cand;
+    }
+    return best;
+}
+
+void expire_timers(int now) {
+    struct Link *l, *next;
+    struct Timer *t;
+    l = g_timer_list.next;
+    while (l != &g_timer_list) {
+        next = l->next;
+        t = timer_of(l);
+        if (t->deadline <= now) {
+            t->fired = 1;
+            list_remove(l);
+        }
+        l = next;
+    }
+}
+
+int main(void) {
+    struct Task *a, *b, *winner;
+    struct Timer *t1, *t2;
+    list_init(&g_run_queue);
+    list_init(&g_timer_list);
+    a = spawn(3);
+    b = spawn(7);
+    t1 = arm_timer(10);
+    t2 = arm_timer(50);
+    winner = pick_next();
+    if (winner != 0)
+        winner->runtime = winner->runtime + 5;
+    expire_timers(20);
+    list_remove(&a->node);
+    printf("sched=%d win=%d t1=%d t2=%d\n", g_scheduled,
+           winner != 0 ? winner->priority : -1, t1->fired, t2->fired);
+    printf("b_runtime=%d empty=%d\n", b->runtime, list_empty(&g_timer_list));
+    return 0;
+}

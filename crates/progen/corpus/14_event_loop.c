@@ -1,0 +1,84 @@
+/* event_loop: a callback-driven event loop where handlers receive their
+ * context as void* and cast it back to a concrete type — the ubiquitous
+ * C idiom that defeats naive type-based analyses. */
+
+struct Event {
+    int kind;
+    int payload;
+};
+
+struct Handler {
+    int kind_mask;
+    void (*fn)(struct Event *ev, void *ctx);
+    void *ctx;
+    struct Handler *next;
+};
+
+struct CounterCtx {
+    int count;
+    int last_payload;
+};
+
+struct LoggerCtx {
+    char *prefix;
+    int lines;
+};
+
+struct Handler *g_handlers;
+int g_dispatched;
+
+void on_count(struct Event *ev, void *ctx) {
+    struct CounterCtx *c;
+    c = (struct CounterCtx *)ctx;
+    c->count++;
+    c->last_payload = ev->payload;
+}
+
+void on_log(struct Event *ev, void *ctx) {
+    struct LoggerCtx *l;
+    l = (struct LoggerCtx *)ctx;
+    l->lines++;
+    printf("%s kind=%d\n", l->prefix, ev->kind);
+}
+
+void subscribe(int mask, void (*fn)(struct Event *, void *), void *ctx) {
+    struct Handler *h;
+    h = (struct Handler *)malloc(sizeof(struct Handler));
+    h->kind_mask = mask;
+    h->fn = fn;
+    h->ctx = ctx;
+    h->next = g_handlers;
+    g_handlers = h;
+}
+
+void dispatch(struct Event *ev) {
+    struct Handler *h;
+    for (h = g_handlers; h != 0; h = h->next) {
+        if (h->kind_mask & ev->kind) {
+            h->fn(ev, h->ctx);
+            g_dispatched++;
+        }
+    }
+}
+
+struct CounterCtx g_clicks;
+struct CounterCtx g_keys;
+struct LoggerCtx g_logger;
+
+int main(void) {
+    struct Event e1, e2, e3;
+    g_logger.prefix = "evt";
+    subscribe(1, on_count, &g_clicks);
+    subscribe(2, on_count, &g_keys);
+    subscribe(3, on_log, &g_logger);
+    e1.kind = 1; e1.payload = 11;
+    e2.kind = 2; e2.payload = 22;
+    e3.kind = 1; e3.payload = 33;
+    dispatch(&e1);
+    dispatch(&e2);
+    dispatch(&e3);
+    printf("clicks=%d keys=%d logged=%d disp=%d\n", g_clicks.count,
+           g_keys.count, g_logger.lines, g_dispatched);
+    printf("last=%d\n", g_clicks.last_payload);
+    return 0;
+}

@@ -1,0 +1,110 @@
+/* serializer: writes typed records into a flat byte buffer and reads them
+ * back by casting at offsets — Problem 3 (copies between different types)
+ * plus memcpy-mediated struct transfer. */
+
+struct WireHeader {
+    int magic;
+    int kind;
+    int body_len;
+};
+
+struct PointRec {
+    int magic;
+    int kind;
+    int body_len;
+    int x;
+    int y;
+};
+
+struct NameRec {
+    int magic;
+    int kind;
+    int body_len;
+    char name[16];
+};
+
+char g_wire[1024];
+int g_wire_used;
+int g_decoded_points;
+int g_decoded_names;
+
+char *wire_reserve(int n) {
+    char *at;
+    if (g_wire_used + n > 1024)
+        return 0;
+    at = g_wire + g_wire_used;
+    g_wire_used = g_wire_used + n;
+    return at;
+}
+
+void put_point(int x, int y) {
+    struct PointRec rec;
+    char *slot;
+    rec.magic = 777;
+    rec.kind = 1;
+    rec.body_len = 2 * sizeof(int);
+    rec.x = x;
+    rec.y = y;
+    slot = wire_reserve(sizeof(struct PointRec));
+    if (slot != 0)
+        memcpy(slot, &rec, sizeof(struct PointRec));
+}
+
+void put_name(const char *s) {
+    struct NameRec rec;
+    char *slot;
+    int i;
+    rec.magic = 777;
+    rec.kind = 2;
+    rec.body_len = 16;
+    for (i = 0; i < 15 && s[i] != 0; i++)
+        rec.name[i] = s[i];
+    rec.name[i] = 0;
+    slot = wire_reserve(sizeof(struct NameRec));
+    if (slot != 0)
+        memcpy(slot, &rec, sizeof(struct NameRec));
+}
+
+int decode_one(char *at, int remaining) {
+    struct WireHeader *h;
+    struct PointRec *p;
+    struct NameRec *n;
+    if (remaining < (int)sizeof(struct WireHeader))
+        return 0;
+    h = (struct WireHeader *)at;
+    if (h->magic != 777)
+        return 0;
+    if (h->kind == 1) {
+        p = (struct PointRec *)at;
+        g_decoded_points = g_decoded_points + (p->x + p->y != -1);
+        return sizeof(struct PointRec);
+    }
+    if (h->kind == 2) {
+        n = (struct NameRec *)at;
+        if (n->name[0] != 0)
+            g_decoded_names++;
+        return sizeof(struct NameRec);
+    }
+    return 0;
+}
+
+void decode_all(void) {
+    int off, step;
+    off = 0;
+    while (off < g_wire_used) {
+        step = decode_one(g_wire + off, g_wire_used - off);
+        if (step == 0)
+            break;
+        off = off + step;
+    }
+}
+
+int main(void) {
+    put_point(3, 4);
+    put_name("alice");
+    put_point(7, 9);
+    decode_all();
+    printf("pts=%d names=%d used=%d\n", g_decoded_points, g_decoded_names,
+           g_wire_used);
+    return 0;
+}

@@ -1,0 +1,122 @@
+/* vm_interp: a tiny bytecode VM. Instructions are variant structs sharing
+ * an opcode header; the decoder casts the instruction stream, and the VM
+ * keeps tagged operand slots that may hold ints or pointers. */
+
+struct Insn {
+    int op;
+};
+
+struct PushInsn {
+    int op;
+    int value;
+};
+
+struct LoadInsn {
+    int op;
+    int *slot;
+};
+
+struct JumpInsn {
+    int op;
+    int target;
+};
+
+struct Vm {
+    int stack[32];
+    int sp;
+    int pc;
+    int steps;
+    int *globals[4];
+};
+
+char g_code[256];
+int g_code_len;
+struct Vm g_vm;
+int g_var_a, g_var_b;
+
+char *emit(int bytes) {
+    char *at;
+    at = g_code + g_code_len;
+    g_code_len = g_code_len + bytes;
+    return at;
+}
+
+void emit_push(int v) {
+    struct PushInsn *i;
+    i = (struct PushInsn *)emit(sizeof(struct PushInsn));
+    i->op = 1;
+    i->value = v;
+}
+
+void emit_load(int *slot) {
+    struct LoadInsn *i;
+    i = (struct LoadInsn *)emit(sizeof(struct LoadInsn));
+    i->op = 2;
+    i->slot = slot;
+}
+
+void emit_add(void) {
+    struct Insn *i;
+    i = (struct Insn *)emit(sizeof(struct Insn));
+    i->op = 3;
+}
+
+void emit_halt(void) {
+    struct Insn *i;
+    i = (struct Insn *)emit(sizeof(struct Insn));
+    i->op = 0;
+}
+
+int vm_run(struct Vm *vm) {
+    struct Insn *insn;
+    struct PushInsn *pi;
+    struct LoadInsn *li;
+    vm->pc = 0;
+    vm->sp = 0;
+    while (vm->pc < g_code_len) {
+        insn = (struct Insn *)(g_code + vm->pc);
+        vm->steps++;
+        switch (insn->op) {
+        case 0:
+            return vm->sp > 0 ? vm->stack[vm->sp - 1] : 0;
+        case 1:
+            pi = (struct PushInsn *)insn;
+            vm->stack[vm->sp] = pi->value;
+            vm->sp++;
+            vm->pc = vm->pc + sizeof(struct PushInsn);
+            break;
+        case 2:
+            li = (struct LoadInsn *)insn;
+            vm->stack[vm->sp] = *li->slot;
+            vm->sp++;
+            vm->pc = vm->pc + sizeof(struct LoadInsn);
+            break;
+        case 3:
+            vm->stack[vm->sp - 2] =
+                vm->stack[vm->sp - 2] + vm->stack[vm->sp - 1];
+            vm->sp--;
+            vm->pc = vm->pc + sizeof(struct Insn);
+            break;
+        default:
+            return -1;
+        }
+    }
+    return -1;
+}
+
+int main(void) {
+    int result;
+    g_var_a = 10;
+    g_var_b = 32;
+    g_vm.globals[0] = &g_var_a;
+    g_vm.globals[1] = &g_var_b;
+    emit_push(5);
+    emit_load(g_vm.globals[0]);
+    emit_add();
+    emit_load(&g_var_b);
+    emit_add();
+    emit_halt();
+    result = vm_run(&g_vm);
+    printf("result=%d steps=%d\n", result, g_vm.steps);
+    return 0;
+}

@@ -1,0 +1,95 @@
+/* arena: a bump arena handing out void* that callers cast to concrete
+ * types; arena snapshots copy whole regions with memcpy. */
+
+struct Arena {
+    char storage[2048];
+    int used;
+    int high_water;
+};
+
+struct Session {
+    struct Arena *arena;
+    int id;
+};
+
+struct Point {
+    int *x_ref;
+    int *y_ref;
+};
+
+struct Header {
+    int len;
+    char *data;
+};
+
+struct Arena g_main_arena;
+struct Arena g_snapshot;
+int g_px, g_py;
+
+void *arena_bump(struct Arena *a, int n) {
+    char *at;
+    if (a->used + n > 2048)
+        return 0;
+    at = a->storage + a->used;
+    a->used = a->used + n;
+    if (a->used > a->high_water)
+        a->high_water = a->used;
+    return (void *)at;
+}
+
+void arena_reset(struct Arena *a) {
+    a->used = 0;
+}
+
+void arena_snapshot(struct Arena *dst, struct Arena *src) {
+    memcpy(dst, src, sizeof(struct Arena));
+}
+
+struct Point *alloc_point(struct Arena *a) {
+    struct Point *p;
+    p = (struct Point *)arena_bump(a, sizeof(struct Point));
+    if (p != 0) {
+        p->x_ref = &g_px;
+        p->y_ref = &g_py;
+    }
+    return p;
+}
+
+struct Header *alloc_header(struct Arena *a, int len) {
+    struct Header *h;
+    h = (struct Header *)arena_bump(a, sizeof(struct Header));
+    if (h != 0) {
+        h->len = len;
+        h->data = (char *)arena_bump(a, len);
+    }
+    return h;
+}
+
+int session_use(struct Session *s) {
+    struct Point *p;
+    struct Header *h;
+    p = alloc_point(s->arena);
+    h = alloc_header(s->arena, 64);
+    if (p == 0 || h == 0)
+        return -1;
+    *p->x_ref = s->id;
+    if (h->data != 0)
+        h->data[0] = (char)s->id;
+    return s->arena->used;
+}
+
+int main(void) {
+    struct Session s1, s2;
+    int u1, u2;
+    s1.arena = &g_main_arena;
+    s1.id = 1;
+    s2.arena = &g_main_arena;
+    s2.id = 2;
+    u1 = session_use(&s1);
+    arena_snapshot(&g_snapshot, &g_main_arena);
+    u2 = session_use(&s2);
+    arena_reset(&g_main_arena);
+    printf("u1=%d u2=%d hw=%d snap=%d px=%d\n", u1, u2,
+           g_main_arena.high_water, g_snapshot.used, g_px);
+    return 0;
+}

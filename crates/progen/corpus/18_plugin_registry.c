@@ -1,0 +1,128 @@
+/* plugin_registry: a plugin table with init/exec/teardown function pointers
+ * and per-plugin opaque state (void*), cast back inside each callback. */
+
+struct Plugin {
+    const char *name;
+    int (*init)(void **state_out);
+    int (*exec)(void *state, int input);
+    void (*teardown)(void *state);
+    void *state;
+    int enabled;
+};
+
+struct DoublerState {
+    int calls;
+    int factor;
+};
+
+struct AccumState {
+    int total;
+    int *sink;
+};
+
+struct Plugin g_plugins[4];
+int g_nplugins;
+int g_accum_out;
+
+int doubler_init(void **state_out) {
+    struct DoublerState *s;
+    s = (struct DoublerState *)malloc(sizeof(struct DoublerState));
+    s->calls = 0;
+    s->factor = 2;
+    *state_out = (void *)s;
+    return 0;
+}
+
+int doubler_exec(void *state, int input) {
+    struct DoublerState *s;
+    s = (struct DoublerState *)state;
+    s->calls++;
+    return input * s->factor;
+}
+
+void doubler_teardown(void *state) {
+    free(state);
+}
+
+int accum_init(void **state_out) {
+    struct AccumState *s;
+    s = (struct AccumState *)malloc(sizeof(struct AccumState));
+    s->total = 0;
+    s->sink = &g_accum_out;
+    *state_out = (void *)s;
+    return 0;
+}
+
+int accum_exec(void *state, int input) {
+    struct AccumState *s;
+    s = (struct AccumState *)state;
+    s->total = s->total + input;
+    *s->sink = s->total;
+    return s->total;
+}
+
+void accum_teardown(void *state) {
+    struct AccumState *s;
+    s = (struct AccumState *)state;
+    s->sink = 0;
+    free(state);
+}
+
+void register_plugin(const char *name, int (*init)(void **),
+                     int (*exec)(void *, int), void (*teardown)(void *)) {
+    struct Plugin *p;
+    if (g_nplugins >= 4)
+        return;
+    p = &g_plugins[g_nplugins];
+    g_nplugins++;
+    p->name = name;
+    p->init = init;
+    p->exec = exec;
+    p->teardown = teardown;
+    p->state = 0;
+    p->enabled = 0;
+}
+
+void start_all(void) {
+    int i;
+    struct Plugin *p;
+    for (i = 0; i < g_nplugins; i++) {
+        p = &g_plugins[i];
+        if (p->init(&p->state) == 0)
+            p->enabled = 1;
+    }
+}
+
+int run_pipeline(int input) {
+    int i, v;
+    struct Plugin *p;
+    v = input;
+    for (i = 0; i < g_nplugins; i++) {
+        p = &g_plugins[i];
+        if (p->enabled)
+            v = p->exec(p->state, v);
+    }
+    return v;
+}
+
+void stop_all(void) {
+    int i;
+    for (i = 0; i < g_nplugins; i++) {
+        if (g_plugins[i].enabled) {
+            g_plugins[i].teardown(g_plugins[i].state);
+            g_plugins[i].enabled = 0;
+        }
+    }
+}
+
+int main(void) {
+    int out;
+    register_plugin("doubler", doubler_init, doubler_exec, doubler_teardown);
+    register_plugin("accum", accum_init, accum_exec, accum_teardown);
+    start_all();
+    out = run_pipeline(5);
+    out = run_pipeline(out);
+    stop_all();
+    printf("out=%d sink=%d\n", out, g_accum_out);
+    return 0;
+}

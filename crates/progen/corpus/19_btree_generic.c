@@ -1,0 +1,118 @@
+/* btree_generic: a "generic" ordered container storing void* elements with
+ * a comparator callback; clients cast elements back at every use, and the
+ * container is reused at two different element types. */
+
+struct GNode {
+    void *elem;
+    struct GNode *left;
+    struct GNode *right;
+};
+
+struct GTree {
+    struct GNode *root;
+    int (*cmp)(const void *a, const void *b);
+    int size;
+};
+
+struct Employee {
+    int id;
+    int salary;
+    char *name;
+};
+
+struct Machine {
+    char *hostname;
+    int cores;
+};
+
+struct GTree g_emps;
+struct GTree g_machines;
+
+int emp_cmp(const void *a, const void *b) {
+    const struct Employee *x;
+    const struct Employee *y;
+    x = (const struct Employee *)a;
+    y = (const struct Employee *)b;
+    return x->id - y->id;
+}
+
+int machine_cmp(const void *a, const void *b) {
+    const struct Machine *x;
+    const struct Machine *y;
+    x = (const struct Machine *)a;
+    y = (const struct Machine *)b;
+    return x->cores - y->cores;
+}
+
+struct GNode *gnode_new(void *elem) {
+    struct GNode *n;
+    n = (struct GNode *)malloc(sizeof(struct GNode));
+    n->elem = elem;
+    n->left = 0;
+    n->right = 0;
+    return n;
+}
+
+struct GNode *gtree_insert_at(struct GTree *t, struct GNode *root,
+                              void *elem) {
+    int c;
+    if (root == 0)
+        return gnode_new(elem);
+    c = t->cmp(elem, root->elem);
+    if (c < 0)
+        root->left = gtree_insert_at(t, root->left, elem);
+    else
+        root->right = gtree_insert_at(t, root->right, elem);
+    return root;
+}
+
+void gtree_insert(struct GTree *t, void *elem) {
+    t->root = gtree_insert_at(t, t->root, elem);
+    t->size++;
+}
+
+void *gtree_min(struct GTree *t) {
+    struct GNode *n;
+    n = t->root;
+    if (n == 0)
+        return 0;
+    while (n->left != 0)
+        n = n->left;
+    return n->elem;
+}
+
+struct Employee *mk_emp(int id, int salary, char *name) {
+    struct Employee *e;
+    e = (struct Employee *)malloc(sizeof(struct Employee));
+    e->id = id;
+    e->salary = salary;
+    e->name = name;
+    return e;
+}
+
+struct Machine *mk_machine(char *host, int cores) {
+    struct Machine *m;
+    m = (struct Machine *)malloc(sizeof(struct Machine));
+    m->hostname = host;
+    m->cores = cores;
+    return m;
+}
+
+int main(void) {
+    struct Employee *lowest;
+    struct Machine *smallest;
+    g_emps.cmp = emp_cmp;
+    g_machines.cmp = machine_cmp;
+    gtree_insert(&g_emps, mk_emp(30, 900, "carol"));
+    gtree_insert(&g_emps, mk_emp(10, 700, "alice"));
+    gtree_insert(&g_emps, mk_emp(20, 800, "bob"));
+    gtree_insert(&g_machines, mk_machine("web1", 8));
+    gtree_insert(&g_machines, mk_machine("db1", 32));
+    lowest = (struct Employee *)gtree_min(&g_emps);
+    smallest = (struct Machine *)gtree_min(&g_machines);
+    if (lowest != 0 && smallest != 0)
+        printf("%s %d %s %d\n", lowest->name, lowest->salary,
+               smallest->hostname, smallest->cores);
+    printf("sizes=%d,%d\n", g_emps.size, g_machines.size);
+    return 0;
+}

@@ -1,0 +1,139 @@
+/* symtab: a compiler-style symbol table. Entries share a common header
+ * (name/kind/scope) and diverge per kind; the table stores header pointers
+ * and code downcasts after checking the kind — common-initial-sequence
+ * casting with structure copies between entry kinds. */
+
+struct SymHdr {
+    char *name;
+    int kind;
+    int scope_depth;
+};
+
+struct VarSym {
+    char *name;
+    int kind;
+    int scope_depth;
+    int offset;
+    int *type_ref;
+};
+
+struct FuncSym {
+    char *name;
+    int kind;
+    int scope_depth;
+    int arity;
+    struct VarSym *params[4];
+};
+
+struct TypeSym {
+    char *name;
+    int kind;
+    int scope_depth;
+    int size;
+    int align;
+};
+
+struct SymHdr *g_table[32];
+int g_nsyms;
+int g_depth;
+int g_int_type;
+
+struct SymHdr *sym_lookup(char *name) {
+    int i;
+    for (i = g_nsyms - 1; i >= 0; i--) {
+        if (strcmp(g_table[i]->name, name) == 0)
+            return g_table[i];
+    }
+    return 0;
+}
+
+void sym_insert(struct SymHdr *s) {
+    if (g_nsyms < 32) {
+        g_table[g_nsyms] = s;
+        g_nsyms++;
+    }
+}
+
+struct VarSym *declare_var(char *name, int offset) {
+    struct VarSym *v;
+    v = (struct VarSym *)malloc(sizeof(struct VarSym));
+    v->name = name;
+    v->kind = 1;
+    v->scope_depth = g_depth;
+    v->offset = offset;
+    v->type_ref = &g_int_type;
+    sym_insert((struct SymHdr *)v);
+    return v;
+}
+
+struct FuncSym *declare_func(char *name, int arity) {
+    struct FuncSym *f;
+    int i;
+    f = (struct FuncSym *)malloc(sizeof(struct FuncSym));
+    f->name = name;
+    f->kind = 2;
+    f->scope_depth = g_depth;
+    f->arity = arity;
+    for (i = 0; i < 4; i++)
+        f->params[i] = 0;
+    sym_insert((struct SymHdr *)f);
+    return f;
+}
+
+struct TypeSym *declare_type(char *name, int size, int align) {
+    struct TypeSym *t;
+    t = (struct TypeSym *)malloc(sizeof(struct TypeSym));
+    t->name = name;
+    t->kind = 3;
+    t->scope_depth = g_depth;
+    t->size = size;
+    t->align = align;
+    sym_insert((struct SymHdr *)t);
+    return t;
+}
+
+void scope_enter(void) {
+    g_depth++;
+}
+
+void scope_exit(void) {
+    while (g_nsyms > 0 && g_table[g_nsyms - 1]->scope_depth == g_depth)
+        g_nsyms--;
+    g_depth--;
+}
+
+int sym_sizeof(struct SymHdr *s) {
+    struct TypeSym *t;
+    struct VarSym *v;
+    if (s == 0)
+        return 0;
+    if (s->kind == 3) {
+        t = (struct TypeSym *)s;
+        return t->size;
+    }
+    if (s->kind == 1) {
+        v = (struct VarSym *)s;
+        return v->type_ref != 0 ? *v->type_ref : 0;
+    }
+    return 0;
+}
+
+int main(void) {
+    struct FuncSym *f;
+    struct VarSym *x, *p0;
+    struct SymHdr *found;
+    g_int_type = 4;
+    declare_type("int", 4, 4);
+    f = declare_func("compute", 1);
+    scope_enter();
+    p0 = declare_var("arg0", 8);
+    f->params[0] = p0;
+    x = declare_var("x", -4);
+    found = sym_lookup("x");
+    printf("x_sz=%d depth=%d\n", sym_sizeof(found), found->scope_depth);
+    scope_exit();
+    found = sym_lookup("x");
+    printf("after_exit=%d syms=%d arity=%d off=%d\n", found == 0, g_nsyms,
+           f->arity, x->offset);
+    return 0;
+}

@@ -1,0 +1,113 @@
+//! The embedded 20-program benchmark corpus.
+//!
+//! The paper evaluated on 20 C programs (GNU utilities, SPEC benchmarks,
+//! and the Landi/Austin suites), 8 of which used no structure casting and
+//! 12 of which did. Those sources are not redistributable here, so this
+//! corpus substitutes 20 hand-written mini-programs with the same split
+//! and the same *character*: typed containers and numeric code on the
+//! cast-free side; tagged unions, allocators, packet parsing, OOP-in-C,
+//! intrusive lists, void*-callback registries, and serializers on the
+//! cast-heavy side (see DESIGN.md §3 and EXPERIMENTS.md for the mapping).
+
+/// One benchmark program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusProgram {
+    /// Short name (used in experiment tables).
+    pub name: &'static str,
+    /// Complete C source.
+    pub source: &'static str,
+    /// Whether the program casts structures or struct pointers (the paper's
+    /// 8/12 split in Figure 3).
+    pub casty: bool,
+}
+
+impl CorpusProgram {
+    /// Number of source lines (the paper's Figure 3 "lines" column).
+    pub fn line_count(&self) -> usize {
+        self.source.lines().count()
+    }
+}
+
+macro_rules! corpus_entry {
+    ($name:literal, $file:literal, $casty:expr) => {
+        CorpusProgram {
+            name: $name,
+            source: include_str!(concat!("../corpus/", $file)),
+            casty: $casty,
+        }
+    };
+}
+
+/// The full corpus: 8 cast-free programs first, then 12 cast-heavy ones,
+/// mirroring the paper's Figure 3 ordering.
+pub const CORPUS: [CorpusProgram; 20] = [
+    corpus_entry!("list-utils", "01_list_utils.c", false),
+    corpus_entry!("bst", "02_bst.c", false),
+    corpus_entry!("matrix", "03_matrix.c", false),
+    corpus_entry!("stack-calc", "04_stack_calc.c", false),
+    corpus_entry!("string-pool", "05_string_pool.c", false),
+    corpus_entry!("queue-sim", "06_queue_sim.c", false),
+    corpus_entry!("graph-dfs", "07_graph_dfs.c", false),
+    corpus_entry!("hashmap", "08_hashmap.c", false),
+    corpus_entry!("tagged-union", "09_tagged_union.c", true),
+    corpus_entry!("allocator", "10_allocator.c", true),
+    corpus_entry!("packet-parse", "11_packet_parse.c", true),
+    corpus_entry!("oop-shapes", "12_oop_shapes.c", true),
+    corpus_entry!("intrusive-list", "13_intrusive_list.c", true),
+    corpus_entry!("event-loop", "14_event_loop.c", true),
+    corpus_entry!("serializer", "15_serializer.c", true),
+    corpus_entry!("vm-interp", "16_vm_interp.c", true),
+    corpus_entry!("arena", "17_arena.c", true),
+    corpus_entry!("plugin-registry", "18_plugin_registry.c", true),
+    corpus_entry!("btree-generic", "19_btree_generic.c", true),
+    corpus_entry!("symtab", "20_symtab.c", true),
+];
+
+/// The corpus as a slice.
+pub fn corpus() -> &'static [CorpusProgram] {
+    &CORPUS
+}
+
+/// Only the cast-heavy programs (the 12 rows of Figures 4–6).
+pub fn casty_corpus() -> Vec<&'static CorpusProgram> {
+    CORPUS.iter().filter(|p| p.casty).collect()
+}
+
+/// Looks up a corpus program by name.
+pub fn corpus_program(name: &str) -> Option<&'static CorpusProgram> {
+    CORPUS.iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_paper_split() {
+        assert_eq!(CORPUS.len(), 20);
+        let casty = CORPUS.iter().filter(|p| p.casty).count();
+        assert_eq!(casty, 12);
+        assert_eq!(casty_corpus().len(), 12);
+        // Cast-free programs come first, as in Figure 3.
+        assert!(CORPUS[..8].iter().all(|p| !p.casty));
+        assert!(CORPUS[8..].iter().all(|p| p.casty));
+    }
+
+    #[test]
+    fn all_programs_nonempty_and_named() {
+        let mut names = std::collections::HashSet::new();
+        for p in corpus() {
+            assert!(p.line_count() > 30, "{} too small", p.name);
+            assert!(names.insert(p.name), "duplicate name {}", p.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(corpus_program("allocator").is_some());
+        assert!(corpus_program("allocator").unwrap().casty);
+        assert!(corpus_program("bst").is_some());
+        assert!(!corpus_program("bst").unwrap().casty);
+        assert!(corpus_program("nope").is_none());
+    }
+}

@@ -1,0 +1,26 @@
+//! # structcast-progen
+//!
+//! Workloads for the structcast evaluation (Yong/Horwitz/Reps, PLDI 1999):
+//!
+//! * [`corpus`] — the embedded 20-program benchmark suite (8 cast-free, 12
+//!   cast-heavy, mirroring the paper's Figure 3 split);
+//! * [`generate`] — a seeded synthetic C program generator whose size and
+//!   casting frequency are tunable, standing in for the paper's 650–29,000
+//!   line benchmarks (see DESIGN.md §3).
+//!
+//! ```
+//! use structcast_progen::{corpus, generate, GenConfig};
+//!
+//! assert_eq!(corpus().len(), 20);
+//! let src = generate(&GenConfig::small(42));
+//! assert!(src.contains("struct T0"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod corpus;
+mod gen;
+
+pub use corpus::{casty_corpus, corpus, corpus_program, CorpusProgram, CORPUS};
+pub use gen::{generate, GenConfig};

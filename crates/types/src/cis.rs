@@ -1,0 +1,231 @@
+//! Common initial sequences (paper §4.3.3).
+//!
+//! ISO C guarantees that if two structures share an initial sequence of
+//! fields with compatible types, the corresponding fields have identical
+//! offsets. The "Common Initial Sequence" analysis instance exploits this
+//! to keep fields distinguished across casts whenever the standard permits.
+
+use crate::compat::{compatible, CompatMode};
+use crate::fields::{leaves, FieldPath};
+use crate::repr::{RecordId, TypeId, TypeKind, TypeTable};
+
+/// Number of leading *top-level* fields of `a` and `b` with pairwise
+/// compatible types (0 if either is a union, incomplete, or not both
+/// structs).
+///
+/// # Examples
+///
+/// ```
+/// use structcast_types::*;
+/// let mut t = TypeTable::new();
+/// let int = t.int();
+/// let ch = t.char();
+/// let ip = t.pointer_to(int);
+/// let f = |n: &str, ty| Field { name: n.into(), ty, anonymous: false };
+/// let (s, _) = t.new_record(Some("S".into()), false);
+/// t.complete_record(s, vec![f("s1", ip), f("s2", int), f("s3", ch)]);
+/// let (r, _) = t.new_record(Some("T".into()), false);
+/// t.complete_record(r, vec![f("t1", ip), f("t2", int), f("t3", int)]);
+/// assert_eq!(common_initial_len(&t, s, r, CompatMode::Structural), 2);
+/// ```
+pub fn common_initial_len(
+    table: &TypeTable,
+    a: RecordId,
+    b: RecordId,
+    mode: CompatMode,
+) -> usize {
+    let ra = table.record(a);
+    let rb = table.record(b);
+    if ra.is_union || rb.is_union || !ra.complete || !rb.complete {
+        return 0;
+    }
+    let mut n = 0;
+    for (fa, fb) in ra.fields.iter().zip(&rb.fields) {
+        if compatible(table, fa.ty, fb.ty, mode) {
+            n += 1;
+        } else {
+            break;
+        }
+    }
+    n
+}
+
+/// Result of matching a field path of one struct type against another via
+/// their common initial sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CisMatch {
+    /// The path lies entirely within the common initial sequence; the same
+    /// index path is valid in the other type (compatible fields have
+    /// identical internal structure).
+    Within(FieldPath),
+    /// The path falls outside the CIS; the first leaf of the other type
+    /// *after* the CIS is returned (`None` if the CIS covers everything or
+    /// the other type has no leaf after it).
+    Outside(Option<FieldPath>),
+}
+
+/// Matches leaf path `alpha` of struct `a` against struct `b` using their
+/// common initial sequence (top-level granularity, per ISO C).
+///
+/// If `alpha`'s head field index is within the CIS of `a` and `b`, the same
+/// path is valid in `b` ([`CisMatch::Within`]). Otherwise returns the first
+/// leaf of `b` following the CIS ([`CisMatch::Outside`]), which the caller
+/// combines with `following_leaves` to build the collapsed result set.
+pub fn match_via_cis(
+    table: &TypeTable,
+    a: RecordId,
+    b: RecordId,
+    alpha: &FieldPath,
+    mode: CompatMode,
+) -> CisMatch {
+    let n = common_initial_len(table, a, b, mode);
+    match alpha.steps().first() {
+        Some(&head) if (head as usize) < n => CisMatch::Within(alpha.clone()),
+        _ => {
+            if n == 0 {
+                return CisMatch::Outside(None);
+            }
+            // First leaf of b at or after top-level field n.
+            let bty = record_type(table, b);
+            let first = leaves(table, bty)
+                .into_iter()
+                .find(|l| l.steps().first().is_some_and(|&h| h as usize >= n));
+            CisMatch::Outside(first)
+        }
+    }
+}
+
+/// The interned `TypeId` of a record (scan; used on cold paths only).
+pub fn record_type(table: &TypeTable, rid: RecordId) -> TypeId {
+    for i in 0..table.len() {
+        let tid = TypeId(i as u32);
+        if let TypeKind::Record(r) = table.kind(tid) {
+            if *r == rid {
+                return tid;
+            }
+        }
+    }
+    unreachable!("record {rid} was never interned")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repr::Field;
+
+    fn field(name: &str, ty: TypeId) -> Field {
+        Field {
+            name: name.into(),
+            ty,
+            anonymous: false,
+        }
+    }
+
+    /// The paper's §4.3.3 example:
+    /// struct S { int *s1; int *s2; int *s3; };
+    /// struct T { int *t1; int *t2; char t3; int *t4; };
+    /// CIS = first two fields.
+    fn paper_example(t: &mut TypeTable) -> (RecordId, RecordId) {
+        let int = t.int();
+        let ch = t.char();
+        let ip = t.pointer_to(int);
+        let (s, _) = t.new_record(Some("S".into()), false);
+        t.complete_record(s, vec![field("s1", ip), field("s2", ip), field("s3", ip)]);
+        let (r, _) = t.new_record(Some("T".into()), false);
+        t.complete_record(
+            r,
+            vec![
+                field("t1", ip),
+                field("t2", ip),
+                field("t3", ch),
+                field("t4", ip),
+            ],
+        );
+        (s, r)
+    }
+
+    #[test]
+    fn paper_433_cis_length() {
+        let mut t = TypeTable::new();
+        let (s, r) = paper_example(&mut t);
+        assert_eq!(common_initial_len(&t, s, r, CompatMode::Structural), 2);
+        assert_eq!(common_initial_len(&t, r, s, CompatMode::Structural), 2);
+        // Reflexive: full length.
+        assert_eq!(common_initial_len(&t, s, s, CompatMode::Structural), 3);
+    }
+
+    #[test]
+    fn paper_433_lookup_behaviour() {
+        let mut t = TypeTable::new();
+        let (s, r) = paper_example(&mut t);
+        // (*p).s2 where p: struct S* points at t: struct T → within CIS → t2.
+        let alpha = FieldPath::from_steps([1u32]);
+        assert_eq!(
+            match_via_cis(&t, s, r, &alpha, CompatMode::Structural),
+            CisMatch::Within(alpha)
+        );
+        // (*p).s3 → outside CIS → first leaf of T after the CIS is t3.
+        let alpha = FieldPath::from_steps([2u32]);
+        assert_eq!(
+            match_via_cis(&t, s, r, &alpha, CompatMode::Structural),
+            CisMatch::Outside(Some(FieldPath::from_steps([2u32])))
+        );
+    }
+
+    #[test]
+    fn empty_cis() {
+        let mut t = TypeTable::new();
+        let int = t.int();
+        let ch = t.char();
+        let (a, _) = t.new_record(Some("A".into()), false);
+        t.complete_record(a, vec![field("x", int)]);
+        let (b, _) = t.new_record(Some("B".into()), false);
+        t.complete_record(b, vec![field("y", ch)]);
+        assert_eq!(common_initial_len(&t, a, b, CompatMode::Structural), 0);
+        assert_eq!(
+            match_via_cis(&t, a, b, &FieldPath::from_steps([0u32]), CompatMode::Structural),
+            CisMatch::Outside(None)
+        );
+    }
+
+    #[test]
+    fn unions_have_no_cis() {
+        let mut t = TypeTable::new();
+        let int = t.int();
+        let (a, _) = t.new_record(Some("A".into()), true);
+        t.complete_record(a, vec![field("x", int)]);
+        let (b, _) = t.new_record(Some("B".into()), false);
+        t.complete_record(b, vec![field("x", int)]);
+        assert_eq!(common_initial_len(&t, a, b, CompatMode::Structural), 0);
+    }
+
+    #[test]
+    fn cis_with_nested_struct_fields() {
+        // struct Inner { int a; }; struct P { struct Inner i; int x; };
+        // struct Q { struct Inner i; char x; }; CIS = 1 (the Inner field).
+        let mut t = TypeTable::new();
+        let int = t.int();
+        let ch = t.char();
+        let (inner, ity) = t.new_record(Some("Inner".into()), false);
+        t.complete_record(inner, vec![field("a", int)]);
+        let (p, _) = t.new_record(Some("P".into()), false);
+        t.complete_record(p, vec![field("i", ity), field("x", int)]);
+        let (q, _) = t.new_record(Some("Q".into()), false);
+        t.complete_record(q, vec![field("i", ity), field("x", ch)]);
+        assert_eq!(common_initial_len(&t, p, q, CompatMode::Structural), 1);
+        // A leaf inside the shared Inner field matches Within.
+        let alpha = FieldPath::from_steps([0u32, 0]);
+        assert_eq!(
+            match_via_cis(&t, p, q, &alpha, CompatMode::Structural),
+            CisMatch::Within(alpha)
+        );
+    }
+
+    #[test]
+    fn record_type_lookup() {
+        let mut t = TypeTable::new();
+        let (a, aty) = t.new_record(Some("A".into()), false);
+        t.complete_record(a, vec![]);
+        assert_eq!(record_type(&t, a), aty);
+    }
+}

@@ -1,0 +1,447 @@
+//! Structure-layout strategies.
+//!
+//! The paper's "Offsets" instance needs concrete `sizeof`/`offsetof`
+//! information, which is implementation-defined in C. A [`Layout`] value
+//! describes one concrete strategy; the crate ships three:
+//!
+//! * [`Layout::ilp32`] — 32-bit pointers/longs with natural alignment
+//!   (matches the paper's UltraSPARC evaluation platform closely enough);
+//! * [`Layout::lp64`] — 64-bit pointers/longs with natural alignment
+//!   (a modern x86-64/SysV-style layout);
+//! * [`Layout::packed32`] — 32-bit with no padding at all (an adversarial
+//!   layout used by the layout-sensitivity ablation).
+
+use crate::fields::FieldPath;
+use crate::repr::{FloatKind, IntKind, RecordId, TypeId, TypeKind, TypeTable};
+
+/// A concrete structure-layout strategy (target description).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// Human-readable strategy name.
+    pub name: &'static str,
+    /// `(size, align)` of pointers.
+    pub ptr: (u64, u64),
+    /// `(size, align)` of `short`.
+    pub short: (u64, u64),
+    /// `(size, align)` of `int` (and `enum`).
+    pub int: (u64, u64),
+    /// `(size, align)` of `long`.
+    pub long: (u64, u64),
+    /// `(size, align)` of `long long`.
+    pub long_long: (u64, u64),
+    /// `(size, align)` of `float`.
+    pub float: (u64, u64),
+    /// `(size, align)` of `double`.
+    pub double: (u64, u64),
+    /// `(size, align)` of `long double`.
+    pub long_double: (u64, u64),
+    /// If true, fields are laid out back-to-back with no padding and all
+    /// alignments are 1.
+    pub packed: bool,
+}
+
+impl Layout {
+    /// 32-bit layout with natural alignment.
+    pub fn ilp32() -> Self {
+        Layout {
+            name: "ilp32",
+            ptr: (4, 4),
+            short: (2, 2),
+            int: (4, 4),
+            long: (4, 4),
+            long_long: (8, 8),
+            float: (4, 4),
+            double: (8, 8),
+            long_double: (16, 8),
+            packed: false,
+        }
+    }
+
+    /// 64-bit layout with natural alignment (SysV-flavored).
+    pub fn lp64() -> Self {
+        Layout {
+            name: "lp64",
+            ptr: (8, 8),
+            short: (2, 2),
+            int: (4, 4),
+            long: (8, 8),
+            long_long: (8, 8),
+            float: (4, 4),
+            double: (8, 8),
+            long_double: (16, 16),
+            packed: false,
+        }
+    }
+
+    /// 32-bit layout with no padding (every alignment is 1).
+    pub fn packed32() -> Self {
+        Layout {
+            name: "packed32",
+            packed: true,
+            ..Layout::ilp32()
+        }
+    }
+
+    fn prim(&self, size_align: (u64, u64)) -> (u64, u64) {
+        if self.packed {
+            (size_align.0, 1)
+        } else {
+            size_align
+        }
+    }
+
+    /// `sizeof(ty)` under this layout.
+    ///
+    /// Degenerate cases follow GCC-style conventions so the analysis never
+    /// divides by zero: `void` and function types have size 1; incomplete
+    /// records have size 0; unsized arrays are treated as one element.
+    pub fn size_of(&self, table: &TypeTable, ty: TypeId) -> u64 {
+        self.size_align(table, ty).0
+    }
+
+    /// `alignof(ty)` under this layout (minimum 1).
+    pub fn align_of(&self, table: &TypeTable, ty: TypeId) -> u64 {
+        self.size_align(table, ty).1
+    }
+
+    /// `(sizeof, alignof)` in one pass.
+    pub fn size_align(&self, table: &TypeTable, ty: TypeId) -> (u64, u64) {
+        match table.kind(ty) {
+            TypeKind::Void => (1, 1),
+            TypeKind::Function(_) => (1, 1),
+            TypeKind::Int(k) => self.prim(match k {
+                IntKind::Char | IntKind::SChar | IntKind::UChar => (1, 1),
+                IntKind::Short | IntKind::UShort => self.short,
+                IntKind::Int | IntKind::UInt => self.int,
+                IntKind::Long | IntKind::ULong => self.long,
+                IntKind::LongLong | IntKind::ULongLong => self.long_long,
+            }),
+            TypeKind::Float(k) => self.prim(match k {
+                FloatKind::Float => self.float,
+                FloatKind::Double => self.double,
+                FloatKind::LongDouble => self.long_double,
+            }),
+            TypeKind::Enum(_) => self.prim(self.int),
+            TypeKind::Pointer(_) => self.prim(self.ptr),
+            TypeKind::Array(elem, n) => {
+                let (es, ea) = self.size_align(table, *elem);
+                (es * n.unwrap_or(1).max(1), ea)
+            }
+            TypeKind::Record(rid) => self.record_size_align(table, *rid),
+        }
+    }
+
+    fn record_size_align(&self, table: &TypeTable, rid: RecordId) -> (u64, u64) {
+        let rec = table.record(rid);
+        if !rec.complete {
+            return (0, 1);
+        }
+        let mut align: u64 = 1;
+        if rec.is_union {
+            let mut size: u64 = 0;
+            for f in &rec.fields {
+                let (fs, fa) = self.size_align(table, f.ty);
+                size = size.max(fs);
+                align = align.max(fa);
+            }
+            (round_up(size, align), align)
+        } else {
+            let mut offset: u64 = 0;
+            for f in &rec.fields {
+                let (fs, fa) = self.size_align(table, f.ty);
+                offset = round_up(offset, fa) + fs;
+                align = align.max(fa);
+            }
+            (round_up(offset, align), align)
+        }
+    }
+
+    /// `offsetof` for a single direct field of `rid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field_idx` is out of range.
+    pub fn offset_of(&self, table: &TypeTable, rid: RecordId, field_idx: u32) -> u64 {
+        let rec = table.record(rid);
+        assert!(
+            (field_idx as usize) < rec.fields.len(),
+            "field index {field_idx} out of range for {}",
+            table.display(table.intern_lookup(rid))
+        );
+        if rec.is_union {
+            return 0;
+        }
+        let mut offset: u64 = 0;
+        for (i, f) in rec.fields.iter().enumerate() {
+            let (fs, fa) = self.size_align(table, f.ty);
+            offset = round_up(offset, fa);
+            if i as u32 == field_idx {
+                return offset;
+            }
+            offset += fs;
+        }
+        unreachable!()
+    }
+
+    /// `offsetof` through a multi-step field path starting at `ty`.
+    ///
+    /// Array layers are stripped as they are traversed (each array is its
+    /// single representative element), so the returned offset is always
+    /// within the first array element.
+    pub fn offset_of_path(&self, table: &TypeTable, ty: TypeId, path: &FieldPath) -> u64 {
+        let mut cur = table.strip_arrays(ty);
+        let mut off = 0;
+        for &idx in path.steps() {
+            let rid = table
+                .as_record(cur)
+                .expect("field path step into non-record type");
+            off += self.offset_of(table, rid, idx);
+            cur = table.strip_arrays(table.record(rid).fields[idx as usize].ty);
+        }
+        off
+    }
+
+    /// Enumerates the scalar leaves of `ty` with their byte offsets, in
+    /// layout order. Arrays contribute their representative first element;
+    /// union members all start at the union's offset (they overlap).
+    pub fn leaf_offsets(&self, table: &TypeTable, ty: TypeId) -> Vec<(u64, TypeId)> {
+        let mut out = Vec::new();
+        self.collect_leaves(table, ty, 0, &mut out);
+        out
+    }
+
+    fn collect_leaves(&self, table: &TypeTable, ty: TypeId, base: u64, out: &mut Vec<(u64, TypeId)>) {
+        match table.kind(ty) {
+            TypeKind::Array(elem, _) => self.collect_leaves(table, *elem, base, out),
+            TypeKind::Record(rid) => {
+                let rec = table.record(*rid);
+                if !rec.complete || rec.fields.is_empty() {
+                    out.push((base, ty));
+                    return;
+                }
+                let rid = *rid;
+                for (i, f) in rec.fields.clone().iter().enumerate() {
+                    let off = self.offset_of(table, rid, i as u32);
+                    self.collect_leaves(table, f.ty, base + off, out);
+                }
+            }
+            _ => out.push((base, ty)),
+        }
+    }
+
+    /// Canonicalizes a byte offset within `ty`: any offset inside an array
+    /// is folded into the array's first element (the representative), per
+    /// the paper's single-element array treatment (footnotes 4 and 5).
+    ///
+    /// Offsets outside the object (possible via Complication-1-style
+    /// accesses whose validity the caller decides) are returned unchanged.
+    pub fn canonical_offset(&self, table: &TypeTable, ty: TypeId, off: u64) -> u64 {
+        match table.kind(ty) {
+            TypeKind::Array(elem, len) => {
+                let es = self.size_of(table, *elem);
+                if es == 0 {
+                    return off;
+                }
+                // Unsized arrays (`T[]`, including heap blocks typed by the
+                // allocation heuristic) fold at any offset; sized arrays
+                // only within their extent.
+                if let Some(n) = len {
+                    if off >= es * n.max(&1) {
+                        return off;
+                    }
+                }
+                self.canonical_offset(table, *elem, off % es)
+            }
+            TypeKind::Record(rid) => {
+                let rec = table.record(*rid);
+                if rec.is_union || !rec.complete {
+                    return off;
+                }
+                let rid = *rid;
+                for (i, f) in rec.fields.iter().enumerate() {
+                    let fo = self.offset_of(table, rid, i as u32);
+                    let fs = self.size_of(table, f.ty);
+                    if off >= fo && off < fo + fs {
+                        return fo + self.canonical_offset(table, f.ty, off - fo);
+                    }
+                }
+                off
+            }
+            _ => off,
+        }
+    }
+}
+
+impl TypeTable {
+    /// Internal helper used by layout panics: the `TypeId` of a record.
+    pub(crate) fn intern_lookup(&self, rid: RecordId) -> TypeId {
+        // Records are always interned at creation, so this lookup is a scan
+        // only on the panic path.
+        for i in 0..self.len() {
+            if let TypeKind::Record(r) = self.kind(TypeId(i as u32)) {
+                if *r == rid {
+                    return TypeId(i as u32);
+                }
+            }
+        }
+        unreachable!("record {rid} was never interned")
+    }
+}
+
+fn round_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align >= 1);
+    v.div_ceil(align) * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repr::Field;
+
+    fn field(name: &str, ty: TypeId) -> Field {
+        Field {
+            name: name.into(),
+            ty,
+            anonymous: false,
+        }
+    }
+
+    /// struct S { char c; int i; char d; }
+    fn padded_struct(t: &mut TypeTable) -> (RecordId, TypeId) {
+        let ch = t.char();
+        let int = t.int();
+        let (rid, tid) = t.new_record(Some("S".into()), false);
+        t.complete_record(rid, vec![field("c", ch), field("i", int), field("d", ch)]);
+        (rid, tid)
+    }
+
+    #[test]
+    fn natural_alignment_pads() {
+        let mut t = TypeTable::new();
+        let (rid, tid) = padded_struct(&mut t);
+        let l = Layout::ilp32();
+        assert_eq!(l.offset_of(&t, rid, 0), 0);
+        assert_eq!(l.offset_of(&t, rid, 1), 4);
+        assert_eq!(l.offset_of(&t, rid, 2), 8);
+        assert_eq!(l.size_of(&t, tid), 12); // rounded to align 4
+        assert_eq!(l.align_of(&t, tid), 4);
+    }
+
+    #[test]
+    fn packed_layout_has_no_padding() {
+        let mut t = TypeTable::new();
+        let (rid, tid) = padded_struct(&mut t);
+        let l = Layout::packed32();
+        assert_eq!(l.offset_of(&t, rid, 1), 1);
+        assert_eq!(l.offset_of(&t, rid, 2), 5);
+        assert_eq!(l.size_of(&t, tid), 6);
+    }
+
+    #[test]
+    fn lp64_pointers_are_eight_bytes() {
+        let mut t = TypeTable::new();
+        let int = t.int();
+        let p = t.pointer_to(int);
+        assert_eq!(Layout::lp64().size_of(&t, p), 8);
+        assert_eq!(Layout::ilp32().size_of(&t, p), 4);
+    }
+
+    #[test]
+    fn union_size_is_max_member() {
+        let mut t = TypeTable::new();
+        let int = t.int();
+        let dbl = t.double();
+        let (rid, tid) = t.new_record(Some("U".into()), true);
+        t.complete_record(rid, vec![field("i", int), field("d", dbl)]);
+        let l = Layout::ilp32();
+        assert_eq!(l.size_of(&t, tid), 8);
+        assert_eq!(l.offset_of(&t, rid, 0), 0);
+        assert_eq!(l.offset_of(&t, rid, 1), 0);
+    }
+
+    #[test]
+    fn arrays_multiply_and_unsized_is_one() {
+        let mut t = TypeTable::new();
+        let int = t.int();
+        let a = t.array_of(int, Some(5));
+        let u = t.array_of(int, None);
+        let l = Layout::ilp32();
+        assert_eq!(l.size_of(&t, a), 20);
+        assert_eq!(l.size_of(&t, u), 4);
+        assert_eq!(l.align_of(&t, a), 4);
+    }
+
+    #[test]
+    fn nested_struct_path_offsets() {
+        // struct R { int r1; char r2; }; struct W { int w1; struct R r; }
+        let mut t = TypeTable::new();
+        let int = t.int();
+        let ch = t.char();
+        let (rrid, rty) = t.new_record(Some("R".into()), false);
+        t.complete_record(rrid, vec![field("r1", int), field("r2", ch)]);
+        let (wrid, wty) = t.new_record(Some("W".into()), false);
+        t.complete_record(wrid, vec![field("w1", int), field("r", rty)]);
+        let l = Layout::ilp32();
+        assert_eq!(l.offset_of(&t, wrid, 1), 4);
+        let p = FieldPath::from_steps([1u32, 0]);
+        assert_eq!(l.offset_of_path(&t, wty, &p), 4);
+        let p = FieldPath::from_steps([1u32, 1]);
+        assert_eq!(l.offset_of_path(&t, wty, &p), 8);
+    }
+
+    #[test]
+    fn leaf_offsets_flatten() {
+        let mut t = TypeTable::new();
+        let int = t.int();
+        let ch = t.char();
+        let (rrid, rty) = t.new_record(Some("R".into()), false);
+        t.complete_record(rrid, vec![field("r1", int), field("r2", ch)]);
+        let (wrid, wty) = t.new_record(Some("W".into()), false);
+        t.complete_record(wrid, vec![field("w1", int), field("r", rty)]);
+        let l = Layout::ilp32();
+        let leaves = l.leaf_offsets(&t, wty);
+        assert_eq!(leaves.len(), 3);
+        assert_eq!(leaves[0].0, 0);
+        assert_eq!(leaves[1].0, 4);
+        assert_eq!(leaves[2].0, 8);
+    }
+
+    #[test]
+    fn canonical_offset_folds_arrays() {
+        // struct A { int hdr; int data[4]; }
+        let mut t = TypeTable::new();
+        let int = t.int();
+        let arr = t.array_of(int, Some(4));
+        let (rid, tid) = t.new_record(Some("A".into()), false);
+        t.complete_record(rid, vec![field("hdr", int), field("data", arr)]);
+        let l = Layout::ilp32();
+        // offset 12 = data[2] → canonicalizes to data[0] at offset 4
+        assert_eq!(l.canonical_offset(&t, tid, 12), 4);
+        assert_eq!(l.canonical_offset(&t, tid, 4), 4);
+        assert_eq!(l.canonical_offset(&t, tid, 0), 0);
+        // out-of-bounds offsets are untouched
+        assert_eq!(l.canonical_offset(&t, tid, 100), 100);
+    }
+
+    #[test]
+    fn incomplete_record_has_zero_size() {
+        let mut t = TypeTable::new();
+        let (_rid, tid) = t.new_record(Some("Fwd".into()), false);
+        assert_eq!(Layout::ilp32().size_of(&t, tid), 0);
+    }
+
+    #[test]
+    fn void_and_function_degenerate_sizes() {
+        let mut t = TypeTable::new();
+        let v = t.void();
+        let int = t.int();
+        let f = t.function(crate::FuncSig {
+            ret: int,
+            params: vec![],
+            variadic: false,
+        });
+        let l = Layout::ilp32();
+        assert_eq!(l.size_of(&t, v), 1);
+        assert_eq!(l.size_of(&t, f), 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-based tests over randomly generated type structures: layout
+//! arithmetic, normalization, and compatibility must satisfy their
+//! algebraic laws for *every* type shape, not just the handwritten ones.
+
+use proptest::prelude::*;
+use structcast_types::{
+    common_initial_len, compatible, enclosing_candidates, following_leaves, leaves,
+    normalize_path, type_of_path, CompatMode, Field, FieldPath, Layout, RecordId, TypeId,
+    TypeTable,
+};
+
+/// A recipe for building a random type tree (depth-bounded).
+#[derive(Debug, Clone)]
+enum TypeRecipe {
+    Int,
+    Char,
+    Double,
+    PtrInt,
+    Array(Box<TypeRecipe>, u64),
+    Struct(Vec<TypeRecipe>),
+    Union(Vec<TypeRecipe>),
+}
+
+fn recipe_strategy() -> impl Strategy<Value = TypeRecipe> {
+    let leaf = prop_oneof![
+        Just(TypeRecipe::Int),
+        Just(TypeRecipe::Char),
+        Just(TypeRecipe::Double),
+        Just(TypeRecipe::PtrInt),
+    ];
+    leaf.prop_recursive(3, 24, 5, |inner| {
+        prop_oneof![
+            (inner.clone(), 1u64..4).prop_map(|(t, n)| TypeRecipe::Array(Box::new(t), n)),
+            prop::collection::vec(inner.clone(), 1..5).prop_map(TypeRecipe::Struct),
+            prop::collection::vec(inner, 1..4).prop_map(TypeRecipe::Union),
+        ]
+    })
+}
+
+fn build(table: &mut TypeTable, r: &TypeRecipe, counter: &mut u32) -> TypeId {
+    match r {
+        TypeRecipe::Int => table.int(),
+        TypeRecipe::Char => table.char(),
+        TypeRecipe::Double => table.double(),
+        TypeRecipe::PtrInt => {
+            let i = table.int();
+            table.pointer_to(i)
+        }
+        TypeRecipe::Array(inner, n) => {
+            let t = build(table, inner, counter);
+            table.array_of(t, Some(*n))
+        }
+        TypeRecipe::Struct(fields) | TypeRecipe::Union(fields) => {
+            let is_union = matches!(r, TypeRecipe::Union(_));
+            let built: Vec<TypeId> = fields.iter().map(|f| build(table, f, counter)).collect();
+            *counter += 1;
+            let (rid, tid) = table.new_record(Some(format!("R{counter}")), is_union);
+            table.complete_record(
+                rid,
+                built
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, ty)| Field {
+                        name: format!("f{i}"),
+                        ty,
+                        anonymous: false,
+                    })
+                    .collect(),
+            );
+            tid
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn layout_size_and_alignment_laws(r in recipe_strategy()) {
+        let mut table = TypeTable::new();
+        let mut c = 0;
+        let ty = build(&mut table, &r, &mut c);
+        for layout in [Layout::ilp32(), Layout::lp64(), Layout::packed32()] {
+            let (size, align) = layout.size_align(&table, ty);
+            prop_assert!(align >= 1);
+            prop_assert!(size % align == 0, "size {size} not multiple of align {align}");
+            // Every leaf lies inside the object and is aligned (except in
+            // packed mode where alignment is 1 anyway).
+            for (off, lty) in layout.leaf_offsets(&table, ty) {
+                let (ls, la) = layout.size_align(&table, lty);
+                prop_assert!(off + ls <= size, "leaf at {off}+{ls} beyond size {size}");
+                prop_assert!(off % la == 0, "leaf offset {off} misaligned ({la})");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_offset_is_idempotent_and_bounded(r in recipe_strategy(), probe in 0u64..64) {
+        let mut table = TypeTable::new();
+        let mut c = 0;
+        let ty = build(&mut table, &r, &mut c);
+        let layout = Layout::ilp32();
+        let size = layout.size_of(&table, ty);
+        let off = if size == 0 { 0 } else { probe % size };
+        let once = layout.canonical_offset(&table, ty, off);
+        let twice = layout.canonical_offset(&table, ty, once);
+        prop_assert_eq!(once, twice, "canonical_offset not idempotent at {}", off);
+        prop_assert!(once < size.max(1), "canonical offset {} escaped object of size {}", once, size);
+    }
+
+    #[test]
+    fn normalize_path_is_idempotent_and_a_leaf(r in recipe_strategy()) {
+        let mut table = TypeTable::new();
+        let mut c = 0;
+        let ty = build(&mut table, &r, &mut c);
+        let ls = leaves(&table, ty);
+        prop_assert!(!ls.is_empty());
+        // normalize of the empty path is the first leaf and is idempotent.
+        let n1 = normalize_path(&table, ty, &FieldPath::empty());
+        let n2 = normalize_path(&table, ty, &n1);
+        prop_assert_eq!(&n1, &n2);
+        prop_assert_eq!(&n1, &ls[0]);
+        // Every leaf normalizes to itself.
+        for l in &ls {
+            prop_assert_eq!(&normalize_path(&table, ty, l), l);
+        }
+    }
+
+    #[test]
+    fn leaves_are_unique_and_typed(r in recipe_strategy()) {
+        let mut table = TypeTable::new();
+        let mut c = 0;
+        let ty = build(&mut table, &r, &mut c);
+        let ls = leaves(&table, ty);
+        let set: std::collections::HashSet<_> = ls.iter().collect();
+        prop_assert_eq!(set.len(), ls.len(), "duplicate leaves");
+        for l in &ls {
+            prop_assert!(type_of_path(&table, ty, l).is_some(), "leaf {l} untypable");
+        }
+    }
+
+    #[test]
+    fn following_leaves_contains_self_and_stays_in_type(r in recipe_strategy()) {
+        let mut table = TypeTable::new();
+        let mut c = 0;
+        let ty = build(&mut table, &r, &mut c);
+        let ls = leaves(&table, ty);
+        let all: std::collections::HashSet<_> = ls.iter().cloned().collect();
+        for l in &ls {
+            let fl = following_leaves(&table, ty, l);
+            prop_assert!(fl.contains(l), "followingFields must include the field itself");
+            for f in &fl {
+                prop_assert!(all.contains(f), "{f} is not a leaf of the type");
+            }
+        }
+    }
+
+    #[test]
+    fn enclosing_candidates_normalize_back(r in recipe_strategy()) {
+        let mut table = TypeTable::new();
+        let mut c = 0;
+        let ty = build(&mut table, &r, &mut c);
+        for beta in leaves(&table, ty) {
+            for delta in enclosing_candidates(&table, ty, &beta) {
+                prop_assert_eq!(normalize_path(&table, ty, &delta), beta.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn compatibility_is_reflexive_and_symmetric(a in recipe_strategy(), b in recipe_strategy()) {
+        let mut table = TypeTable::new();
+        let mut c = 0;
+        let ta = build(&mut table, &a, &mut c);
+        let tb = build(&mut table, &b, &mut c);
+        for mode in [CompatMode::Structural, CompatMode::TagBased] {
+            prop_assert!(compatible(&table, ta, ta, mode));
+            prop_assert!(compatible(&table, tb, tb, mode));
+            prop_assert_eq!(
+                compatible(&table, ta, tb, mode),
+                compatible(&table, tb, ta, mode)
+            );
+        }
+    }
+
+    #[test]
+    fn cis_is_symmetric_and_bounded(a in recipe_strategy(), b in recipe_strategy()) {
+        let mut table = TypeTable::new();
+        let mut c = 0;
+        let ta = build(&mut table, &a, &mut c);
+        let tb = build(&mut table, &b, &mut c);
+        let recs: Vec<RecordId> = [ta, tb]
+            .iter()
+            .filter_map(|&t| table.as_record(table.strip_arrays(t)))
+            .collect();
+        if recs.len() == 2 {
+            let n1 = common_initial_len(&table, recs[0], recs[1], CompatMode::Structural);
+            let n2 = common_initial_len(&table, recs[1], recs[0], CompatMode::Structural);
+            prop_assert_eq!(n1, n2, "CIS must be symmetric");
+            let f0 = table.record(recs[0]).fields.len();
+            let f1 = table.record(recs[1]).fields.len();
+            prop_assert!(n1 <= f0.min(f1));
+        }
+    }
+}

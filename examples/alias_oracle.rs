@@ -1,0 +1,95 @@
+//! Alias oracle: answers may-alias queries — the question downstream
+//! clients (slicers, optimizers) actually ask a pointer analysis — on a
+//! realistic device-driver-style scenario, and shows how the answer
+//! depends on the chosen framework instance.
+//!
+//! The scenario: two device structs share a common register-block prefix;
+//! a generic reset routine accesses them through the common view. A
+//! field-sensitive analysis can prove the data queues distinct; a
+//! collapsing analysis cannot.
+//!
+//! ```sh
+//! cargo run --example alias_oracle
+//! ```
+
+use structcast::{analyze_source, AnalysisConfig, ModelKind};
+
+const SCENARIO: &str = r#"
+    struct Regs { int *ctrl; int *status; };
+
+    struct NicDev {
+        int *ctrl;
+        int *status;
+        char *tx_queue;
+        char *rx_queue;
+    };
+
+    struct DiskDev {
+        int *ctrl;
+        int *status;
+        char *cache;
+    };
+
+    int nic_ctrl_reg, nic_status_reg;
+    int disk_ctrl_reg, disk_status_reg;
+    char nic_tx[64], nic_rx[64], disk_buf[128];
+
+    struct NicDev nic;
+    struct DiskDev disk;
+
+    int *reset_target;
+    char *queue_a, *queue_b;
+
+    void generic_reset(struct Regs *r) {
+        /* Accesses through the common initial sequence. */
+        reset_target = r->ctrl;
+        *r->status = 0;
+    }
+
+    void main(void) {
+        nic.ctrl = &nic_ctrl_reg;
+        nic.status = &nic_status_reg;
+        nic.tx_queue = nic_tx;
+        nic.rx_queue = nic_rx;
+        disk.ctrl = &disk_ctrl_reg;
+        disk.status = &disk_status_reg;
+        disk.cache = disk_buf;
+
+        generic_reset((struct Regs *)&nic);
+        generic_reset((struct Regs *)&disk);
+
+        queue_a = nic.tx_queue;
+        queue_b = nic.rx_queue;
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("scenario: two devices reset through a shared register-block view\n");
+    println!(
+        "{:<26} {:>22} {:>22} {:>26}",
+        "instance", "queue_a ~ queue_b?", "reset_target set", "reset covers both devs?"
+    );
+    for kind in ModelKind::ALL {
+        let (prog, res) = analyze_source(SCENARIO, &AnalysisConfig::new(kind))?;
+        let qa = prog.object_by_name("queue_a").unwrap();
+        let qb = prog.object_by_name("queue_b").unwrap();
+        let alias = res.may_alias(&prog, qa, qb);
+        let targets = res.points_to_names(&prog, "reset_target");
+        let covers = targets.contains(&"nic_ctrl_reg".to_string())
+            && targets.contains(&"disk_ctrl_reg".to_string());
+        println!(
+            "{:<26} {:>22} {:>22} {:>26}",
+            kind.paper_name(),
+            if alias { "may alias (imprecise)" } else { "NO (proved)" },
+            format!("{{{}}}", targets.join(",")),
+            if covers { "yes (sound)" } else { "MISSED (bug!)" }
+        );
+        assert!(covers, "soundness: reset must reach both devices");
+    }
+    println!(
+        "\nThe field-sensitive instances prove the two queues distinct while \
+         still seeing every register the generic reset can touch; \
+         \"Collapse Always\" gives up on the queue distinction."
+    );
+    Ok(())
+}

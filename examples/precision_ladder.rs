@@ -1,0 +1,46 @@
+//! Precision ladder: sweeps the synthetic generator's casting frequency
+//! from 0% to 100% and reports the average points-to set size per
+//! dereference for each instance — showing *when* the tunable framework's
+//! extra machinery pays off.
+//!
+//! At 0% casts all field-sensitive instances coincide; as casting grows,
+//! "Collapse on Cast" degrades first, "Common Initial Sequence" holds on
+//! longer, and "Offsets" bounds what any layout-aware analysis could do.
+//!
+//! ```sh
+//! cargo run --release --example precision_ladder
+//! ```
+
+use structcast::{analyze, AnalysisConfig, ModelKind};
+use structcast_progen::{generate, GenConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:>6} {:>7} | {:>12} {:>12} {:>12} {:>12}",
+        "cast%", "lines", "CollapseAlw", "CollapseCast", "CommonInit", "Offsets"
+    );
+    for pct in [0, 20, 40, 60, 80, 100] {
+        let cfg = GenConfig::small(1999).with_cast_ratio(pct as f64 / 100.0);
+        let src = generate(&cfg);
+        let prog = structcast::lower_source(&src)?;
+        let sizes: Vec<f64> = ModelKind::ALL
+            .iter()
+            .map(|k| analyze(&prog, &AnalysisConfig::new(*k)).average_deref_size(&prog))
+            .collect();
+        println!(
+            "{:>6} {:>7} | {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            pct,
+            src.lines().count(),
+            sizes[0],
+            sizes[1],
+            sizes[2],
+            sizes[3]
+        );
+    }
+    println!(
+        "\nReading the ladder: every row should be non-increasing left to \
+         right (coarser → finer instance), and the gap between columns \
+         grows with the cast percentage."
+    );
+    Ok(())
+}

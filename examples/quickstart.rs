@@ -1,0 +1,40 @@
+//! Quickstart: run all four analysis instances on the paper's introduction
+//! example and print each instance's answer for `p`.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use structcast::{analyze_source, AnalysisConfig, ModelKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let src = r#"
+        struct S { int *s1; int *s2; } s;
+        int x, y, *p;
+        void main(void) {
+            s.s1 = &x;
+            s.s2 = &y;
+            p = s.s1;   /* p can only point to x */
+        }
+    "#;
+
+    println!("source:\n{src}");
+    println!("{:<26} {:<18} {:>6} {:>10}", "instance", "pts(p)", "edges", "time");
+    for kind in ModelKind::ALL {
+        let cfg = AnalysisConfig::new(kind);
+        let (prog, result) = analyze_source(src, &cfg)?;
+        let pts = result.points_to_names(&prog, "p").join(", ");
+        println!(
+            "{:<26} {{{pts:<16}}} {:>6} {:>10.1?}",
+            kind.paper_name(),
+            result.edge_count(),
+            result.elapsed
+        );
+    }
+    println!();
+    println!(
+        "Field-sensitive instances answer {{x}}; \"Collapse Always\" answers \
+         {{x, y}} — the imprecision the paper's framework removes."
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Every corpus program must flow through the whole pipeline under all
+//! four instances, producing facts, with no lowering warnings for unknown
+//! functions (the corpus is written against our libc summaries).
+
+use structcast::{analyze, AnalysisConfig, ModelKind};
+use structcast_progen::corpus;
+
+#[test]
+fn corpus_lowers_cleanly() {
+    for p in corpus() {
+        let prog = structcast::lower_source(p.source)
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        assert!(
+            prog.warnings.is_empty(),
+            "{}: unexpected warnings {:?}",
+            p.name,
+            prog.warnings
+        );
+        assert!(
+            prog.assignment_count() > 20,
+            "{}: suspiciously few assignments",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn corpus_analyzes_under_all_models() {
+    for p in corpus() {
+        let prog = structcast::lower_source(p.source).unwrap();
+        for kind in ModelKind::ALL {
+            let res = analyze(&prog, &AnalysisConfig::new(kind));
+            assert!(
+                res.edge_count() > 0,
+                "{} under {kind}: no facts at all",
+                p.name
+            );
+            assert!(
+                res.average_deref_size(&prog) > 0.0,
+                "{} under {kind}: all deref sites empty",
+                p.name
+            );
+        }
+    }
+}
+
+#[test]
+fn casty_programs_show_model_separation() {
+    // Aggregate over the cast-heavy corpus: Collapse-Always must be strictly
+    // less precise (larger average deref sets) than the field-sensitive
+    // instances — the paper's headline result.
+    let mut collapse_total = 0.0;
+    let mut cis_total = 0.0;
+    let mut offsets_total = 0.0;
+    for p in corpus().iter().filter(|p| p.casty) {
+        let prog = structcast::lower_source(p.source).unwrap();
+        collapse_total += analyze(&prog, &AnalysisConfig::new(ModelKind::CollapseAlways))
+            .average_deref_size(&prog);
+        cis_total += analyze(&prog, &AnalysisConfig::new(ModelKind::CommonInitialSeq))
+            .average_deref_size(&prog);
+        offsets_total +=
+            analyze(&prog, &AnalysisConfig::new(ModelKind::Offsets)).average_deref_size(&prog);
+    }
+    assert!(
+        collapse_total > cis_total,
+        "collapse {collapse_total} should exceed CIS {cis_total}"
+    );
+    assert!(
+        collapse_total > offsets_total,
+        "collapse {collapse_total} should exceed offsets {offsets_total}"
+    );
+}

@@ -1,0 +1,361 @@
+//! End-to-end reproductions of every worked example in the paper:
+//! the introduction/§3 example, Problems 1–3 (§4.1), Complications 1–4
+//! (§4.2.1), and the §4.3.2 / §4.3.3 lookup examples.
+//!
+//! Direct structure casts like `b = (struct B)a` are written with the
+//! paper's own §2 indirection (`b = *(struct B *)&a`), which it notes is
+//! the legal-C equivalent.
+
+use structcast::{analyze_source, AnalysisConfig, FieldPath, ModelKind};
+
+fn pts(src: &str, kind: ModelKind, var: &str) -> Vec<String> {
+    let (prog, res) = analyze_source(src, &AnalysisConfig::new(kind)).unwrap();
+    res.points_to_names(&prog, var)
+}
+
+/// Size of the points-to set of `obj.path` (path by field indices).
+fn field_pts_len(src: &str, kind: ModelKind, var: &str, path: &[u32]) -> usize {
+    let (prog, res) = analyze_source(src, &AnalysisConfig::new(kind)).unwrap();
+    let obj = prog.object_by_name(var).unwrap();
+    res.points_to_field(&prog, obj, &FieldPath::from_steps(path.iter().copied()))
+        .len()
+}
+
+// ----- Introduction / §3 -----
+
+const INTRO: &str = r#"
+    struct S { int *s1; int *s2; } s;
+    int x, y, *p;
+    void main(void) {
+        s.s1 = &x;
+        s.s2 = &y;
+        p = s.s1;
+    }
+"#;
+
+#[test]
+fn intro_field_sensitive_instances_give_singleton() {
+    for kind in [
+        ModelKind::CollapseOnCast,
+        ModelKind::CommonInitialSeq,
+        ModelKind::Offsets,
+    ] {
+        assert_eq!(pts(INTRO, kind, "p"), vec!["x"], "{kind}");
+    }
+}
+
+#[test]
+fn intro_collapse_always_merges_fields() {
+    assert_eq!(pts(INTRO, ModelKind::CollapseAlways, "p"), vec!["x", "y"]);
+}
+
+// ----- Problem 1 (§4.1): a pointer to a struct points to its first field -----
+
+const PROBLEM1: &str = r#"
+    struct S { int *s1; } s, *p;
+    int x, *q, *r;
+    void main(void) {
+        p = &s;
+        q = &x;
+        *p = *(struct S *)&q;   /* the paper's *p = (struct S)q */
+        r = s.s1;
+    }
+"#;
+
+#[test]
+fn problem1_first_field_identification() {
+    // Every instance must infer that r may point to x; the naive rules of
+    // Figure 1 cannot (that is the point of `normalize`).
+    for kind in ModelKind::ALL {
+        let r = pts(PROBLEM1, kind, "r");
+        assert!(r.contains(&"x".to_string()), "{kind}: r -> {r:?}");
+    }
+}
+
+// ----- Problem 2 (§4.1): dereference at a mismatched type -----
+
+const PROBLEM2: &str = r#"
+    struct S { int *s1; int s2; char *s3; } *p;
+    struct T { int *t1; int *t2; char *t3; } t;
+    char **c;
+    char buf[8];
+    void main(void) {
+        t.t3 = buf;
+        p = (struct S *)&t;
+        c = &((*p).s3);
+    }
+"#;
+
+#[test]
+fn problem2_lookup_precision_ordering() {
+    // c points at some suffix of t's fields; the more precise the instance,
+    // the fewer positions it needs to assume.
+    let (prog, off) =
+        analyze_source(PROBLEM2, &AnalysisConfig::new(ModelKind::Offsets)).unwrap();
+    let c = prog.object_by_name("c").unwrap();
+    let off_n = off.points_to(&prog, c).len();
+
+    let (prog, cis) =
+        analyze_source(PROBLEM2, &AnalysisConfig::new(ModelKind::CommonInitialSeq)).unwrap();
+    let c = prog.object_by_name("c").unwrap();
+    let cis_n = cis.points_to(&prog, c).len();
+
+    let (prog, coc) =
+        analyze_source(PROBLEM2, &AnalysisConfig::new(ModelKind::CollapseOnCast)).unwrap();
+    let c = prog.object_by_name("c").unwrap();
+    let coc_n = coc.points_to(&prog, c).len();
+
+    assert_eq!(off_n, 1, "offsets resolves (*p).s3 to exactly one position");
+    // CIS: s1/t1 compatible, s2/t2 not → CIS length 1; s3 is beyond it,
+    // so everything from t2 on: 2 positions.
+    assert_eq!(cis_n, 2);
+    // Collapse-on-Cast: type mismatch → all fields from the start: 3.
+    assert_eq!(coc_n, 3);
+    assert!(off_n <= cis_n && cis_n <= coc_n);
+}
+
+// ----- Problem 3 (§4.1): copy between blocks of different types -----
+
+const PROBLEM3: &str = r#"
+    struct S { int *s1; int s2; char *s3; } s;
+    struct T { int *t1; int *t2; char *t3; } t;
+    int a, b;
+    char cbuf[4];
+    void main(void) {
+        t.t1 = &a;
+        t.t2 = &b;
+        t.t3 = cbuf;
+        s = *(struct S *)&t;    /* the paper's s = (struct S)t */
+    }
+"#;
+
+#[test]
+fn problem3_copy_matches_fields() {
+    // Offsets (ilp32): s.s1@0 <- t.t1@0, s.s2@4 <- t.t2@4, s.s3@8 <- t.t3@8.
+    assert_eq!(field_pts_len(PROBLEM3, ModelKind::Offsets, "s", &[0]), 1);
+    assert_eq!(field_pts_len(PROBLEM3, ModelKind::Offsets, "s", &[1]), 1);
+    assert_eq!(field_pts_len(PROBLEM3, ModelKind::Offsets, "s", &[2]), 1);
+    // Portable instances are allowed to smear, but must cover the precise
+    // answer: s.s1 must include a.
+    for kind in [ModelKind::CollapseOnCast, ModelKind::CommonInitialSeq] {
+        let (prog, res) = analyze_source(PROBLEM3, &AnalysisConfig::new(kind)).unwrap();
+        let s = prog.object_by_name("s").unwrap();
+        let f0 = res.points_to_field(&prog, s, &FieldPath::from_steps([0u32]));
+        let names: Vec<String> = f0
+            .iter()
+            .map(|l| prog.object(l.obj).name.clone())
+            .collect();
+        assert!(names.contains(&"a".to_string()), "{kind}: {names:?}");
+    }
+}
+
+// ----- Complication 1 (§4.2.1): access beyond a nested struct's bounds -----
+
+const COMPLICATION1: &str = r#"
+    struct R { int *r1; } ;
+    struct V { int *v1; int *v2; } v;
+    struct W { int *w0; struct R r; int *w2; } w;
+    int a, b, c0;
+    void main(void) {
+        w.w0 = &a;
+        w.r.r1 = &b;
+        w.w2 = &c0;
+        v = *(struct V *)&w.r;   /* reads r.r1 AND w.w2 (beyond w.r) */
+    }
+"#;
+
+#[test]
+fn complication1_reads_beyond_nested_bounds() {
+    // Offsets (ilp32): v@0 <- w@4 (= b), v@4 <- w@8 (= c0).
+    let (prog, res) =
+        analyze_source(COMPLICATION1, &AnalysisConfig::new(ModelKind::Offsets)).unwrap();
+    let v = prog.object_by_name("v").unwrap();
+    let f0 = res.points_to_field(&prog, v, &FieldPath::from_steps([0u32]));
+    let f1 = res.points_to_field(&prog, v, &FieldPath::from_steps([1u32]));
+    let name = |ls: &Vec<structcast::Loc>| -> Vec<String> {
+        ls.iter().map(|l| prog.object(l.obj).name.clone()).collect()
+    };
+    assert_eq!(name(&f0), vec!["b"]);
+    assert_eq!(name(&f1), vec!["c0"], "the copy escapes w.r into w.w2");
+    // Portable instances must also see that v can reach c0 somewhere.
+    for kind in [ModelKind::CollapseOnCast, ModelKind::CommonInitialSeq] {
+        let (prog, res) = analyze_source(COMPLICATION1, &AnalysisConfig::new(kind)).unwrap();
+        let v = prog.object_by_name("v").unwrap();
+        let all: Vec<String> = [0u32, 1]
+            .iter()
+            .flat_map(|&i| {
+                res.points_to_field(&prog, v, &FieldPath::from_steps([i]))
+                    .into_iter()
+                    .map(|l| prog.object(l.obj).name.clone())
+            })
+            .collect();
+        assert!(all.contains(&"c0".to_string()), "{kind}: {all:?}");
+    }
+}
+
+// ----- Complication 2 (§4.2.1): a double holding two pointers -----
+
+const COMPLICATION2: &str = r#"
+    struct R { int *r1; int *r2; } r, r2v;
+    double d;
+    int x, y;
+    void main(void) {
+        r.r1 = &x;
+        r.r2 = &y;
+        d = *(double *)&r;       /* the paper's d = (double)r */
+        r2v = *(struct R *)&d;   /* recover both pointers from d */
+    }
+"#;
+
+#[test]
+fn complication2_pointers_survive_double_roundtrip() {
+    // Offsets: d tracks both (at offsets 0 and 4 under ilp32), and the
+    // recovery is exact.
+    let (prog, res) =
+        analyze_source(COMPLICATION2, &AnalysisConfig::new(ModelKind::Offsets)).unwrap();
+    let r2v = prog.object_by_name("r2v").unwrap();
+    let f0 = res.points_to_field(&prog, r2v, &FieldPath::from_steps([0u32]));
+    let f1 = res.points_to_field(&prog, r2v, &FieldPath::from_steps([1u32]));
+    let names = |ls: Vec<structcast::Loc>| -> Vec<String> {
+        ls.into_iter()
+            .map(|l| prog.object(l.obj).name.clone())
+            .collect()
+    };
+    assert_eq!(names(f0), vec!["x"]);
+    assert_eq!(names(f1), vec!["y"]);
+    // Portable instances: the recovered struct must cover {x, y} in each
+    // field (they cannot tell which half of the double is which).
+    for kind in [ModelKind::CollapseOnCast, ModelKind::CommonInitialSeq] {
+        let (prog, res) = analyze_source(COMPLICATION2, &AnalysisConfig::new(kind)).unwrap();
+        let r2v = prog.object_by_name("r2v").unwrap();
+        let f0 = res.points_to_field(&prog, r2v, &FieldPath::from_steps([0u32]));
+        let ns: Vec<String> = f0
+            .iter()
+            .map(|l| prog.object(l.obj).name.clone())
+            .collect();
+        assert!(
+            ns.contains(&"x".to_string()) && ns.contains(&"y".to_string()),
+            "{kind}: {ns:?}"
+        );
+    }
+}
+
+// ----- Complication 3 (§4.2.1): pointer arithmetic spreads -----
+
+const COMPLICATION3: &str = r#"
+    struct G { int *g1; int *g2; int *g3; } g;
+    int j, k;
+    int *p;
+    void main(void) {
+        g.g2 = &j;
+        g.g3 = &k;
+        p = (int *)&g;
+        p = p + 1;          /* may now point at any field of g */
+    }
+"#;
+
+#[test]
+fn complication3_arithmetic_spreads_over_outermost_object() {
+    for kind in ModelKind::ALL {
+        let (prog, res) = analyze_source(COMPLICATION3, &AnalysisConfig::new(kind)).unwrap();
+        let p = prog.object_by_name("p").unwrap();
+        let targets = res.points_to(&prog, p);
+        // p must cover at least all field positions of g (3 for the
+        // field-sensitive instances, 1 whole-object for collapse).
+        let expected = match kind {
+            ModelKind::CollapseAlways => 1,
+            _ => 3,
+        };
+        assert!(
+            targets.len() >= expected,
+            "{kind}: {} targets",
+            targets.len()
+        );
+        assert!(targets.iter().all(|l| prog.object(l.obj).name == "g"));
+    }
+}
+
+// ----- Complication 4 (§4.2.1): the LHS type sizes the copy -----
+
+const COMPLICATION4: &str = r#"
+    struct R { int *r1; int *r2; char *r3; } r;
+    struct S { int *s1; int *s2; int *s3; } s;
+    struct T { int *t1; int *t2; } *p;
+    int a, b, c0;
+    void main(void) {
+        s.s1 = &a;
+        s.s2 = &b;
+        s.s3 = &c0;
+        p = (struct T *)&r;
+        *p = *(struct T *)&s;   /* copies only sizeof(struct T) bytes */
+    }
+"#;
+
+#[test]
+fn complication4_copy_length_from_declared_lhs_type() {
+    // Offsets: r.r1 <- {a}, r.r2 <- {b}, and crucially r.r3 stays empty.
+    assert_eq!(field_pts_len(COMPLICATION4, ModelKind::Offsets, "r", &[0]), 1);
+    assert_eq!(field_pts_len(COMPLICATION4, ModelKind::Offsets, "r", &[1]), 1);
+    assert_eq!(
+        field_pts_len(COMPLICATION4, ModelKind::Offsets, "r", &[2]),
+        0,
+        "the third field is beyond sizeof(struct T) and must not be copied"
+    );
+}
+
+// ----- §4.3.2 example (Collapse on Cast) -----
+
+const SEC432: &str = r#"
+    struct S { int s1; char s2; } *p, *q;
+    struct T { struct S t1; int t2; char t3; } t;
+    char *x, *y;
+    void main(void) {
+        p = &t.t1;
+        x = &(*p).s2;
+        q = (struct S *)&t.t2;
+        y = &(*q).s2;
+    }
+"#;
+
+#[test]
+fn sec432_lookup_examples_end_to_end() {
+    let (prog, res) =
+        analyze_source(SEC432, &AnalysisConfig::new(ModelKind::CollapseOnCast)).unwrap();
+    // x = &(*p).s2 with matching types: exactly one position (t.t1.s2).
+    let x = prog.object_by_name("x").unwrap();
+    assert_eq!(res.points_to(&prog, x).len(), 1);
+    // y = &(*q).s2 with mismatched types: { t.t2, t.t3 }.
+    let y = prog.object_by_name("y").unwrap();
+    assert_eq!(res.points_to(&prog, y).len(), 2);
+}
+
+// ----- §4.3.3 example (Common Initial Sequence) -----
+
+const SEC433: &str = r#"
+    struct S { int s1; int s2; int s3; } *p;
+    struct T { int t1; int t2; char t3; int t4; } t;
+    int *x, *y;
+    void main(void) {
+        p = (struct S *)&t;
+        x = &(*p).s2;
+        y = &(*p).s3;
+    }
+"#;
+
+#[test]
+fn sec433_cis_lookup_examples_end_to_end() {
+    let (prog, res) =
+        analyze_source(SEC433, &AnalysisConfig::new(ModelKind::CommonInitialSeq)).unwrap();
+    // s2 is within the common initial sequence: exactly { t.t2 }.
+    let x = prog.object_by_name("x").unwrap();
+    assert_eq!(res.points_to(&prog, x).len(), 1);
+    // s3 is beyond it: { t.t3, t.t4 }.
+    let y = prog.object_by_name("y").unwrap();
+    assert_eq!(res.points_to(&prog, y).len(), 2);
+
+    // Collapse-on-Cast cannot exploit the CIS: its x set is strictly larger.
+    let (prog2, coc) =
+        analyze_source(SEC433, &AnalysisConfig::new(ModelKind::CollapseOnCast)).unwrap();
+    let x2 = prog2.object_by_name("x").unwrap();
+    assert!(coc.points_to(&prog2, x2).len() > 1);
+}

@@ -1,0 +1,276 @@
+//! Soundness scenarios: adversarial programs where the ground-truth
+//! points-to relation is known by construction (a value demonstrably flows
+//! from `&target` into a pointer). Every instance must *cover* the ground
+//! truth — missing it would be a soundness bug, the one kind of bug a
+//! safe analysis may never have.
+
+use structcast::{analyze_source, AnalysisConfig, ModelKind};
+
+/// Asserts that under every instance, `var`'s points-to set covers all of
+/// `expected` object names.
+fn assert_covers(src: &str, var: &str, expected: &[&str]) {
+    for kind in ModelKind::ALL {
+        let (prog, res) = analyze_source(src, &AnalysisConfig::new(kind))
+            .unwrap_or_else(|e| panic!("{e}"));
+        let names = res.points_to_names(&prog, var);
+        for want in expected {
+            assert!(
+                names.iter().any(|n| n == want),
+                "{kind}: {var} -> {names:?} must cover {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn flow_through_double_indirection() {
+    assert_covers(
+        "int x, *p, **pp, *q;\n\
+         void main(void) { p = &x; pp = &p; q = *pp; }",
+        "q",
+        &["x"],
+    );
+}
+
+#[test]
+fn flow_through_struct_field_chain() {
+    assert_covers(
+        "struct A { struct B { int *leaf; } inner; } a;\n\
+         int x, *out;\n\
+         void main(void) { a.inner.leaf = &x; out = a.inner.leaf; }",
+        "out",
+        &["x"],
+    );
+}
+
+#[test]
+fn flow_through_cast_chain() {
+    // int* → char* → long → back to int*: Assumption 1 says the pointer
+    // survives every cast because all variables are tracked.
+    assert_covers(
+        "int x, *p, *q; char *c; long l;\n\
+         void main(void) {\n\
+           p = &x;\n\
+           c = (char *)p;\n\
+           l = (long)c;\n\
+           q = (int *)l;\n\
+         }",
+        "q",
+        &["x"],
+    );
+}
+
+#[test]
+fn flow_through_first_field_pun() {
+    // A struct whose first field is a pointer is used *as* that pointer.
+    assert_covers(
+        "struct Box { int *inner; } b; int x, *out;\n\
+         void main(void) {\n\
+           b.inner = &x;\n\
+           out = *(int **)&b;   /* reads b's first field */\n\
+         }",
+        "out",
+        &["x"],
+    );
+}
+
+#[test]
+fn flow_through_heap_roundtrip() {
+    assert_covers(
+        "struct Cell { int *val; } *c; int x, *out;\n\
+         void main(void) {\n\
+           c = (struct Cell *)malloc(sizeof(struct Cell));\n\
+           c->val = &x;\n\
+           out = c->val;\n\
+         }",
+        "out",
+        &["x"],
+    );
+}
+
+#[test]
+fn flow_through_function_return_and_param() {
+    assert_covers(
+        "int x;\n\
+         int *identity(int *a) { return a; }\n\
+         int *out;\n\
+         void main(void) { out = identity(&x); }",
+        "out",
+        &["x"],
+    );
+}
+
+#[test]
+fn flow_through_function_pointer_table() {
+    assert_covers(
+        "int x;\n\
+         int *get_x(void) { return &x; }\n\
+         struct Ops { int *(*getter)(void); } ops;\n\
+         int *out;\n\
+         void main(void) {\n\
+           ops.getter = get_x;\n\
+           out = ops.getter();\n\
+         }",
+        "out",
+        &["x"],
+    );
+}
+
+#[test]
+fn flow_through_void_star_context() {
+    assert_covers(
+        "struct Ctx { int *prize; } g_ctx; int x, *out;\n\
+         void handler(void *opaque) {\n\
+           struct Ctx *c;\n\
+           c = (struct Ctx *)opaque;\n\
+           c->prize = &x;\n\
+         }\n\
+         void main(void) {\n\
+           handler((void *)&g_ctx);\n\
+           out = g_ctx.prize;\n\
+         }",
+        "out",
+        &["x"],
+    );
+}
+
+#[test]
+fn flow_through_memcpy() {
+    assert_covers(
+        "struct P { int *a; int *b; } src, dst; int x, y, *out;\n\
+         void main(void) {\n\
+           src.a = &x;\n\
+           src.b = &y;\n\
+           memcpy(&dst, &src, sizeof(struct P));\n\
+           out = dst.b;\n\
+         }",
+        "out",
+        &["y"],
+    );
+}
+
+#[test]
+fn flow_through_array_representative() {
+    assert_covers(
+        "int x, y, *table[8], *out;\n\
+         void main(void) {\n\
+           table[2] = &x;\n\
+           table[5] = &y;\n\
+           out = table[0];\n\
+         }",
+        "out",
+        &["x", "y"],
+    );
+}
+
+#[test]
+fn flow_through_mismatched_struct_view() {
+    // Writing through one struct view, reading through another: every
+    // instance must still see the flow somewhere in the object.
+    assert_covers(
+        "struct A { int *a1; int *a2; } ;\n\
+         struct B { int *b1; int *b2; } b;\n\
+         int x, *out;\n\
+         struct A *pa;\n\
+         void main(void) {\n\
+           pa = (struct A *)&b;\n\
+           pa->a2 = &x;\n\
+           out = b.b2;\n\
+         }",
+        "out",
+        &["x"],
+    );
+}
+
+#[test]
+fn flow_through_union_members() {
+    assert_covers(
+        "union U { int *as_ptr; long as_long; } u;\n\
+         int x, *out;\n\
+         void main(void) {\n\
+           u.as_ptr = &x;\n\
+           out = u.as_ptr;\n\
+         }",
+        "out",
+        &["x"],
+    );
+}
+
+#[test]
+fn flow_through_conditional_and_loop() {
+    assert_covers(
+        "int x, y, *p, *out; int cond;\n\
+         void main(void) {\n\
+           int i;\n\
+           for (i = 0; i < 3; i++) {\n\
+             if (cond) p = &x; else p = &y;\n\
+             out = p;\n\
+           }\n\
+         }",
+        "out",
+        &["x", "y"],
+    );
+}
+
+#[test]
+fn flow_through_string_library() {
+    assert_covers(
+        "char buf[32]; char *hit;\n\
+         void main(void) { hit = strchr(buf, 65); }",
+        "hit",
+        &["buf"],
+    );
+}
+
+#[test]
+fn flow_through_qsort_comparator() {
+    // The comparator receives pointers into the array.
+    assert_covers(
+        "int data[10];\n\
+         const void *g_seen;\n\
+         int cmp(const void *a, const void *b) { g_seen = a; return 0; }\n\
+         void main(void) { qsort(data, 10, sizeof(int), cmp); }",
+        "g_seen",
+        &["data"],
+    );
+}
+
+#[test]
+fn flow_through_global_initializer() {
+    assert_covers(
+        "int x;\n\
+         struct Pair { int *fst; int *snd; } g = { &x, 0 };\n\
+         int *out;\n\
+         void main(void) { out = g.fst; }",
+        "out",
+        &["x"],
+    );
+}
+
+#[test]
+fn flow_through_return_of_struct() {
+    assert_covers(
+        "struct R { int *p; } ;\n\
+         int x;\n\
+         struct R make(void) { struct R r; r.p = &x; return r; }\n\
+         int *out;\n\
+         void main(void) { struct R got; got = make(); out = got.p; }",
+        "out",
+        &["x"],
+    );
+}
+
+#[test]
+fn flow_through_pointer_increment() {
+    assert_covers(
+        "struct Two { int *a; int *b; } t; int x, **walk, *out;\n\
+         void main(void) {\n\
+           t.b = &x;\n\
+           walk = (int **)&t;\n\
+           walk++;            /* now at t.b under common layouts */\n\
+           out = *walk;\n\
+         }",
+        "out",
+        &["x"],
+    );
+}

@@ -1,0 +1,100 @@
+//! Union handling. The paper notes its implementation "does handle unions
+//! safely" without giving the construction (§2); ours collapses a union
+//! object to a single location in the path instances and uses real
+//! (overlapping) offsets in the Offsets instance (DESIGN.md §3). These
+//! tests pin down that both choices are safe over-approximations.
+
+use structcast::{analyze_source, AnalysisConfig, ModelKind};
+
+fn pts(src: &str, kind: ModelKind, var: &str) -> Vec<String> {
+    let (prog, res) = analyze_source(src, &AnalysisConfig::new(kind)).unwrap();
+    res.points_to_names(&prog, var)
+}
+
+#[test]
+fn pointer_written_and_read_through_same_member() {
+    let src = "union U { int *p; long bits; } u; int x, *out;\n\
+               void main(void) { u.p = &x; out = u.p; }";
+    for kind in ModelKind::ALL {
+        assert!(
+            pts(src, kind, "out").contains(&"x".to_string()),
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn pointer_read_through_other_member_is_covered() {
+    // Type punning through the union: write as one member, read as another
+    // pointer member. Every instance must see the flow (members overlap).
+    let src = "union Pun { int *as_int_ptr; char *as_char_ptr; } u;\n\
+               int x; char *out;\n\
+               void main(void) { u.as_int_ptr = &x; out = u.as_char_ptr; }";
+    for kind in ModelKind::ALL {
+        assert!(
+            pts(src, kind, "out").contains(&"x".to_string()),
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn union_inside_struct_collapses_but_siblings_stay_distinct() {
+    let src = "struct Holder { union { int *a; long l; } u; int *clean; } h;\n\
+               int x, y, *from_union, *from_clean;\n\
+               void main(void) {\n\
+                 h.u.a = &x;\n\
+                 h.clean = &y;\n\
+                 from_union = h.u.a;\n\
+                 from_clean = h.clean;\n\
+               }";
+    for kind in [ModelKind::CommonInitialSeq, ModelKind::Offsets] {
+        let u = pts(src, kind, "from_union");
+        let c = pts(src, kind, "from_clean");
+        assert!(u.contains(&"x".to_string()), "{kind}: {u:?}");
+        assert_eq!(c, vec!["y"], "{kind}: the sibling field stays precise");
+    }
+}
+
+#[test]
+fn struct_members_of_unions_are_safe() {
+    // A union of two structs sharing a prefix: writing via one view and
+    // reading via the other must be covered.
+    let src = "struct A { int *a1; int tag; };\n\
+               struct B { int *b1; char tag; };\n\
+               union AB { struct A a; struct B b; } ab;\n\
+               int x, *out;\n\
+               void main(void) { ab.a.a1 = &x; out = ab.b.b1; }";
+    for kind in ModelKind::ALL {
+        assert!(
+            pts(src, kind, "out").contains(&"x".to_string()),
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn union_array_members() {
+    let src = "union Mix { int *slots[4]; long raw[4]; } m;\n\
+               int x, *out;\n\
+               void main(void) { m.slots[2] = &x; out = m.slots[0]; }";
+    for kind in ModelKind::ALL {
+        assert!(
+            pts(src, kind, "out").contains(&"x".to_string()),
+            "{kind}: array members collapse to a representative"
+        );
+    }
+}
+
+#[test]
+fn union_pointer_to_member_flows() {
+    let src = "union U { int *p; long l; } u, *up;\n\
+               int x, *out;\n\
+               void main(void) { up = &u; up->p = &x; out = u.p; }";
+    for kind in ModelKind::ALL {
+        assert!(
+            pts(src, kind, "out").contains(&"x".to_string()),
+            "{kind}"
+        );
+    }
+}
