@@ -17,8 +17,9 @@ pub struct TranslationUnit {
 /// A top-level item.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExternalDecl {
-    /// A function definition with a body.
-    Function(FunctionDef),
+    /// A function definition with a body (boxed: far larger than the other
+    /// variant).
+    Function(Box<FunctionDef>),
     /// Any other declaration: globals, prototypes, typedefs, tag declarations.
     Declaration(Declaration),
 }

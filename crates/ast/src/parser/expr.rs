@@ -137,16 +137,16 @@ impl Parser {
 
     fn parse_unary_expr(&mut self) -> Result<Expr> {
         let start = self.peek_span();
-        let un = |k| -> Option<UnOp> {
+        let un = |k: &TokenKind| -> Option<UnOp> {
             use TokenKind as T;
             use UnOp::*;
-            Some(match k {
-                &T::Minus => Neg,
-                &T::Plus => Plus,
-                &T::Bang => Not,
-                &T::Tilde => BitNot,
-                &T::Amp => AddrOf,
-                &T::Star => Deref,
+            Some(match *k {
+                T::Minus => Neg,
+                T::Plus => Plus,
+                T::Bang => Not,
+                T::Tilde => BitNot,
+                T::Amp => AddrOf,
+                T::Star => Deref,
                 _ => return None,
             })
         };

@@ -211,13 +211,13 @@ impl Parser {
             }
             let body = self.parse_block()?;
             self.pop_scope();
-            return Ok(ExternalDecl::Function(FunctionDef {
+            return Ok(ExternalDecl::Function(Box::new(FunctionDef {
                 name,
                 ty,
                 storage,
                 body,
                 span: name_span,
-            }));
+            })));
         }
 
         // Ordinary declaration list.

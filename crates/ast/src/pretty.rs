@@ -114,21 +114,21 @@ impl Printer {
     /// innermost base type (used when the base was already printed once for
     /// a comma-separated declarator list).
     fn declarator_only(&mut self, ty: &AstType, name: &str) -> String {
-        fn go(p: &mut Printer, ty: &AstType, inner: String) -> String {
+        fn go(ty: &AstType, inner: String) -> String {
             match ty {
                 AstType::Base(_) => inner,
                 AstType::Pointer(t) => {
                     let needs_paren = matches!(**t, AstType::Array(_, _) | AstType::Function { .. });
                     let s = format!("*{inner}");
                     let s = if needs_paren { format!("({s})") } else { s };
-                    go(p, t, s)
+                    go(t, s)
                 }
                 AstType::Array(t, n) => {
                     let dim = match n {
                         Some(e) => print_expr(e),
                         None => String::new(),
                     };
-                    go(p, t, format!("{inner}[{dim}]"))
+                    go(t, format!("{inner}[{dim}]"))
                 }
                 AstType::Function {
                     ret,
@@ -147,11 +147,11 @@ impl Printer {
                     if ps.is_empty() {
                         ps.push("void".to_string());
                     }
-                    go(p, ret, format!("{inner}({})", ps.join(", ")))
+                    go(ret, format!("{inner}({})", ps.join(", ")))
                 }
             }
         }
-        go(self, ty, name.to_string())
+        go(ty, name.to_string())
     }
 
     /// C declarator printing: builds `decl` around the name inside-out.

@@ -2,31 +2,23 @@
 //! strategies (ilp32 / lp64 / packed32) — quantifies how layout choice
 //! shifts its results, the paper's core argument for portable instances.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use structcast::{analyze, AnalysisConfig, Layout, ModelKind};
-use structcast_bench::lower_named;
+use structcast_bench::{lower_named, BenchGroup};
 use structcast_driver::{experiments, report};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", report::render_layout(&experiments::run_ablation_layout()));
 
     let layouts = [Layout::ilp32(), Layout::lp64(), Layout::packed32()];
-    let mut g = c.benchmark_group("ablation_layout");
-    g.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(250));
+    let mut g = BenchGroup::new("ablation_layout");
+    g.sample_size(20);
     for p in structcast_progen::casty_corpus().iter().take(6) {
         let prog = lower_named(p.name, p.source);
         for l in &layouts {
             let cfg = AnalysisConfig::new(ModelKind::Offsets).with_layout(l.clone());
-            g.bench_with_input(
-                BenchmarkId::new(l.name, p.name),
-                &(&prog, cfg),
-                |b, (prog, cfg)| b.iter(|| analyze(prog, cfg).edge_count()),
-            );
+            g.bench(&format!("{}/{}", l.name, p.name), || {
+                analyze(&prog, &cfg).edge_count()
+            });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,36 +2,26 @@
 //! unification baseline — speed vs precision trade-off (paper §6 relates
 //! the CIS instance to Steensgaard's algorithm).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use structcast::steensgaard::steensgaard;
 use structcast::ModelKind;
-use structcast_bench::{lower_named, solve};
+use structcast_bench::{lower_named, solve, BenchGroup};
 use structcast_driver::{experiments, report};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!(
         "{}",
         report::render_steensgaard(&experiments::run_ablation_steensgaard())
     );
 
-    let mut g = c.benchmark_group("ablation_steensgaard");
-    g.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(250));
+    let mut g = BenchGroup::new("ablation_steensgaard");
+    g.sample_size(20);
     for p in structcast_progen::casty_corpus() {
         let prog = lower_named(p.name, p.source);
-        g.bench_with_input(
-            BenchmarkId::new("steensgaard", p.name),
-            &prog,
-            |b, prog| b.iter(|| steensgaard(prog).class_count()),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("cis_inclusion", p.name),
-            &prog,
-            |b, prog| b.iter(|| solve(prog, ModelKind::CommonInitialSeq)),
-        );
+        g.bench(&format!("steensgaard/{}", p.name), || {
+            steensgaard(&prog).class_count()
+        });
+        g.bench(&format!("cis_inclusion/{}", p.name), || {
+            solve(&prog, ModelKind::CommonInitialSeq)
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

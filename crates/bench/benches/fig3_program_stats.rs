@@ -4,40 +4,27 @@
 //! stages that produce it (parse+lower front end, and the two instrumented
 //! portable analyses), and prints the full Figure 3 table once.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use structcast::ModelKind;
-use structcast_bench::{lower_named, solve};
+use structcast_bench::{lower_named, solve, BenchGroup};
 use structcast_driver::{experiments, report};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", report::render_fig3(&experiments::run_fig3()));
 
-    let mut g = c.benchmark_group("fig3_frontend");
-    g.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(250));
+    let mut g = BenchGroup::new("fig3_frontend");
+    g.sample_size(20);
     for p in structcast_progen::corpus() {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(p.name),
-            &p.source,
-            |b, src| b.iter(|| structcast::lower_source(src).unwrap().assignment_count()),
-        );
+        g.bench(p.name, || {
+            structcast::lower_source(p.source).unwrap().assignment_count()
+        });
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("fig3_instrumented");
-    g.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(250));
+    let mut g = BenchGroup::new("fig3_instrumented");
+    g.sample_size(20);
     for p in structcast_progen::corpus().iter().take(4) {
         let prog = lower_named(p.name, p.source);
         for kind in [ModelKind::CollapseOnCast, ModelKind::CommonInitialSeq] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{kind:?}"), p.name),
-                &prog,
-                |b, prog| b.iter(|| solve(prog, kind)),
-            );
+            g.bench(&format!("{kind:?}/{}", p.name), || solve(&prog, kind));
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

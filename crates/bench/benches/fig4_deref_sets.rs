@@ -3,30 +3,20 @@
 //! Benches the full solve per (cast-heavy program, instance) and prints the
 //! Figure 4 table once at startup so the run regenerates the paper's data.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use structcast::ModelKind;
-use structcast_bench::{lower_named, solve};
+use structcast_bench::{lower_named, solve, BenchGroup};
 use structcast_driver::{experiments, report};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     // Regenerate and print the table (the actual figure).
     println!("{}", report::render_fig4(&experiments::run_fig4()));
 
-    let mut g = c.benchmark_group("fig4");
-    g.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(250));
+    let mut g = BenchGroup::new("fig4");
+    g.sample_size(20);
     for p in structcast_progen::casty_corpus() {
         let prog = lower_named(p.name, p.source);
         for kind in ModelKind::ALL {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{kind:?}"), p.name),
-                &prog,
-                |b, prog| b.iter(|| solve(prog, kind)),
-            );
+            g.bench(&format!("{kind:?}/{}", p.name), || solve(&prog, kind));
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,31 +1,21 @@
 //! Figure 5: analysis-time ratios normalized to the Offsets instance.
 //!
-//! The Criterion measurements *are* the figure's data: compare the per-model
-//! groups for each program. The normalized table is also printed once.
+//! The measurements *are* the figure's data: compare the per-model rows
+//! for each program. The normalized table is also printed once.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use structcast::ModelKind;
-use structcast_bench::{lower_named, solve};
+use structcast_bench::{lower_named, solve, BenchGroup};
 use structcast_driver::{experiments, report};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", report::render_fig5(&experiments::run_fig5(3)));
 
-    let mut g = c.benchmark_group("fig5");
-    g.sample_size(30).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(250));
+    let mut g = BenchGroup::new("fig5");
+    g.sample_size(30);
     for p in structcast_progen::casty_corpus() {
         let prog = lower_named(p.name, p.source);
         for kind in ModelKind::ALL {
-            g.bench_with_input(
-                BenchmarkId::new(p.name, format!("{kind:?}")),
-                &prog,
-                |b, prog| b.iter(|| solve(prog, kind)),
-            );
+            g.bench(&format!("{}/{kind:?}", p.name), || solve(&prog, kind));
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,42 +1,102 @@
 //! Scaling: solver cost vs generated-program size and cast frequency,
 //! spanning the paper's 650–29,000-line benchmark size range with the
 //! synthetic generator.
+//!
+//! Besides the timing table, this bench writes `BENCH_solver.json` at the
+//! repo root — one record per (program, model) with edges, solver
+//! iterations, and median wall-clock — so the solver's perf trajectory is
+//! tracked across PRs. Set `SCAST_BENCH_LARGE=1` to include the `large`
+//! preset (tens of thousands of lines).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
 use structcast::ModelKind;
-use structcast_bench::solve;
+use structcast_bench::{solve, solve_full, BenchGroup};
 use structcast_driver::{experiments, report};
 use structcast_progen::{generate, GenConfig};
 
-fn bench(c: &mut Criterion) {
+struct Record {
+    preset: &'static str,
+    cast_ratio: f64,
+    lines: usize,
+    assignments: usize,
+    model: ModelKind,
+    edges: usize,
+    iterations: u64,
+    wall_clock_s: f64,
+}
+
+fn main() {
     println!("{}", report::render_scaling(&experiments::run_scaling(false)));
 
-    let cases = [
+    let mut cases = vec![
         ("small", GenConfig::small(97)),
         ("medium", GenConfig::medium(97)),
     ];
+    if std::env::var_os("SCAST_BENCH_LARGE").is_some() {
+        cases.push(("large", GenConfig::large(97)));
+    }
     let ratios = [0.0, 0.5, 1.0];
 
-    let mut g = c.benchmark_group("scaling");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
-    for (label, base) in cases {
+    let mut records: Vec<Record> = Vec::new();
+    let mut g = BenchGroup::new("scaling");
+    g.sample_size(10);
+    for (label, base) in &cases {
         for r in ratios {
             let cfg = base.clone().with_cast_ratio(r);
             let src = generate(&cfg);
+            let lines = src.lines().count();
             let prog = structcast::lower_source(&src).expect("generated code lowers");
-            g.throughput(Throughput::Elements(prog.assignment_count() as u64));
             for kind in [ModelKind::CommonInitialSeq, ModelKind::Offsets] {
-                g.bench_with_input(
-                    BenchmarkId::new(format!("{label}/{kind:?}"), format!("r{r}")),
-                    &prog,
-                    |b, prog| b.iter(|| solve(prog, kind)),
-                );
+                let (edges, iterations, _) = solve_full(&prog, kind);
+                let stats = g.bench(&format!("{label}/{kind:?}/r{r}"), || solve(&prog, kind));
+                records.push(Record {
+                    preset: label,
+                    cast_ratio: r,
+                    lines,
+                    assignments: prog.assignment_count(),
+                    model: kind,
+                    edges,
+                    iterations,
+                    wall_clock_s: stats.median.as_secs_f64(),
+                });
             }
         }
     }
-    g.finish();
+
+    let json = render_json(&records);
+    let path = repo_root_file("BENCH_solver.json");
+    std::fs::write(&path, json).expect("write BENCH_solver.json");
+    println!("\nwrote {}", path.display());
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+/// `BENCH_solver.json` lives at the repo root, two levels above this
+/// crate's manifest.
+fn repo_root_file(name: &str) -> std::path::PathBuf {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .unwrap_or(manifest)
+        .join(name)
+}
+
+fn render_json(records: &[Record]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"preset\": \"{}\", \"cast_ratio\": {}, \"lines\": {}, \
+             \"assignments\": {}, \"model\": \"{:?}\", \"edges\": {}, \
+             \"iterations\": {}, \"wall_clock_s\": {:.6}}}{}\n",
+            r.preset,
+            r.cast_ratio,
+            r.lines,
+            r.assignments,
+            r.model,
+            r.edges,
+            r.iterations,
+            r.wall_clock_s,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}

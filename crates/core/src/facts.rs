@@ -1,20 +1,37 @@
 //! The points-to fact store.
 //!
-//! Facts are edges `pointsTo(src, tgt)` between normalized [`Loc`]s, with a
-//! per-object index so the solver can re-fire statements when any fact
-//! rooted in an object they consume changes, and so the "Offsets" instance
-//! can enumerate fact sources within a byte range lazily.
+//! Facts are edges `pointsTo(src, tgt)` between normalized [`Loc`]s. The
+//! store owns an interner mapping each distinct `Loc` to a dense
+//! [`LocId`], and keeps one append-ordered target list per source id plus
+//! a global edge set for O(1) dedup. Append order is what makes the
+//! solver's *difference propagation* work: a subscriber remembers how far
+//! into a target list it has read (its cursor) and `targets_from` hands it
+//! exactly the facts added since, each drained once.
+//!
+//! The `Loc`-keyed query API of the original `HashMap<Loc, BTreeSet<Loc>>`
+//! store is preserved on top of the id layer, so clients (the driver, the
+//! figure benches, MOD/REF) are unchanged.
 
-use crate::loc::{FieldRep, Loc};
-use std::collections::{BTreeSet, HashMap};
+use crate::loc::{FieldRep, Loc, LocId};
+use std::collections::{HashMap, HashSet};
 use structcast_ir::ObjId;
 
-/// A set of `pointsTo` facts with source-object indexing.
+/// A set of `pointsTo` facts with source-object indexing and dense
+/// location interning.
 #[derive(Debug, Clone, Default)]
 pub struct FactStore {
-    pts: HashMap<Loc, BTreeSet<Loc>>,
-    /// Source locations that have at least one fact, grouped by object.
-    sources_by_obj: HashMap<ObjId, BTreeSet<Loc>>,
+    /// `Loc` → dense id.
+    intern: HashMap<Loc, LocId>,
+    /// Reverse side table: id → `Loc` (ids are indices).
+    locs: Vec<Loc>,
+    /// Per-source target list in *append order*, deduplicated via
+    /// `edge_set`. Indexed by source `LocId`.
+    targets: Vec<Vec<LocId>>,
+    /// All `(src, tgt)` pairs, packed as `src << 32 | tgt`.
+    edge_set: HashSet<u64>,
+    /// Source locations that have at least one fact, grouped by object,
+    /// in first-fact order.
+    sources_by_obj: HashMap<ObjId, Vec<LocId>>,
     edges: usize,
 }
 
@@ -24,54 +41,128 @@ impl FactStore {
         FactStore::default()
     }
 
-    /// Records `pointsTo(src, tgt)`. Returns true if the fact is new.
-    pub fn insert(&mut self, src: Loc, tgt: Loc) -> bool {
-        let set = self.pts.entry(src.clone()).or_default();
-        if set.insert(tgt) {
-            self.edges += 1;
-            self.sources_by_obj
-                .entry(src.obj)
-                .or_default()
-                .insert(src);
-            true
-        } else {
-            false
+    // ----- interner -----
+
+    /// Interns `loc`, returning its dense id. Ids are assigned in first-use
+    /// order and are stable for the lifetime of the store (one solver run).
+    pub fn intern(&mut self, loc: Loc) -> LocId {
+        if let Some(&id) = self.intern.get(&loc) {
+            return id;
         }
+        let id = LocId(self.locs.len() as u32);
+        self.intern.insert(loc.clone(), id);
+        self.locs.push(loc);
+        self.targets.push(Vec::new());
+        id
     }
 
-    /// The points-to set of `src` (empty if none).
+    /// The id of `loc`, if it has been interned.
+    pub fn try_id(&self, loc: &Loc) -> Option<LocId> {
+        self.intern.get(loc).copied()
+    }
+
+    /// The location behind an id (reverse side table).
+    pub fn loc(&self, id: LocId) -> &Loc {
+        &self.locs[id.index()]
+    }
+
+    /// The containing object of an interned location.
+    pub fn obj_of(&self, id: LocId) -> ObjId {
+        self.locs[id.index()].obj
+    }
+
+    /// Number of interned locations.
+    pub fn num_locs(&self) -> usize {
+        self.locs.len()
+    }
+
+    // ----- id-level fact API (the solver's hot path) -----
+
+    /// Records `pointsTo(src, tgt)` by id. Returns true if the fact is new.
+    pub fn insert_ids(&mut self, src: LocId, tgt: LocId) -> bool {
+        let key = ((src.0 as u64) << 32) | tgt.0 as u64;
+        if !self.edge_set.insert(key) {
+            return false;
+        }
+        self.edges += 1;
+        let list = &mut self.targets[src.index()];
+        if list.is_empty() {
+            self.sources_by_obj
+                .entry(self.locs[src.index()].obj)
+                .or_default()
+                .push(src);
+        }
+        list.push(tgt);
+        true
+    }
+
+    /// Number of targets of `src` so far (a subscriber's cursor bound).
+    pub fn targets_len(&self, src: LocId) -> usize {
+        self.targets[src.index()].len()
+    }
+
+    /// The `k`-th target of `src` in append order.
+    pub fn target_at(&self, src: LocId, k: usize) -> LocId {
+        self.targets[src.index()][k]
+    }
+
+    /// The targets of `src` added at or after position `from` — the
+    /// *delta* a subscriber whose cursor is `from` has not consumed yet.
+    pub fn targets_from(&self, src: LocId, from: usize) -> &[LocId] {
+        &self.targets[src.index()][from..]
+    }
+
+    // ----- Loc-level API (queries and clients; unchanged surface) -----
+
+    /// Records `pointsTo(src, tgt)`. Returns true if the fact is new.
+    pub fn insert(&mut self, src: Loc, tgt: Loc) -> bool {
+        let s = self.intern(src);
+        let t = self.intern(tgt);
+        self.insert_ids(s, t)
+    }
+
+    /// The points-to set of `src` (empty if none), in append order.
     pub fn points_to(&self, src: &Loc) -> impl Iterator<Item = &Loc> + '_ {
-        self.pts.get(src).into_iter().flatten()
+        self.try_id(src)
+            .into_iter()
+            .flat_map(move |id| self.targets[id.index()].iter().map(|t| self.loc(*t)))
     }
 
     /// Number of targets of `src`.
     pub fn points_to_len(&self, src: &Loc) -> usize {
-        self.pts.get(src).map_or(0, |s| s.len())
+        self.try_id(src).map_or(0, |id| self.targets[id.index()].len())
     }
 
-    /// A snapshot of the points-to set of `src` (for iteration while
-    /// mutating the store).
+    /// A snapshot of the points-to set of `src`, sorted by location (the
+    /// order the original `BTreeSet`-backed store produced).
     pub fn points_to_vec(&self, src: &Loc) -> Vec<Loc> {
-        self.pts.get(src).map_or_else(Vec::new, |s| s.iter().cloned().collect())
+        let mut v: Vec<Loc> = self.points_to(src).cloned().collect();
+        v.sort();
+        v
     }
 
-    /// All source locations within `obj` that currently have facts.
+    /// All source locations within `obj` that currently have facts, in
+    /// first-fact order.
     pub fn sources_in(&self, obj: ObjId) -> Vec<Loc> {
-        self.sources_by_obj
-            .get(&obj)
-            .map_or_else(Vec::new, |s| s.iter().cloned().collect())
+        self.sources_by_obj.get(&obj).map_or_else(Vec::new, |ids| {
+            ids.iter().map(|&i| self.locs[i.index()].clone()).collect()
+        })
     }
 
     /// Source locations in `obj` whose byte offset lies in `[lo, hi)`
     /// (offset-instance helper; non-offset locations are skipped).
     pub fn sources_in_range(&self, obj: ObjId, lo: u64, hi: u64) -> Vec<Loc> {
-        self.sources_in(obj)
-            .into_iter()
-            .filter(|l| match l.field {
-                FieldRep::Off(o) => o >= lo && o < hi,
-                _ => false,
-            })
-            .collect()
+        self.sources_by_obj.get(&obj).map_or_else(Vec::new, |ids| {
+            ids.iter()
+                .filter_map(|&i| {
+                    let l = &self.locs[i.index()];
+                    match l.field {
+                        FieldRep::Off(o) if o >= lo && o < hi => Some(l.clone()),
+                        _ => None,
+                    }
+                })
+                .collect()
+        })
     }
 
     /// Total number of points-to edges (Figure 6's metric).
@@ -86,14 +177,18 @@ impl FactStore {
 
     /// Iterates over all `(src, tgt)` edges.
     pub fn iter(&self) -> impl Iterator<Item = (&Loc, &Loc)> + '_ {
-        self.pts
-            .iter()
-            .flat_map(|(s, ts)| ts.iter().map(move |t| (s, t)))
+        self.targets.iter().enumerate().flat_map(move |(s, ts)| {
+            ts.iter().map(move |t| (&self.locs[s], self.loc(*t)))
+        })
     }
 
-    /// All distinct source locations.
+    /// All distinct source locations with at least one fact.
     pub fn sources(&self) -> impl Iterator<Item = &Loc> + '_ {
-        self.pts.keys()
+        self.targets
+            .iter()
+            .enumerate()
+            .filter(|(_, ts)| !ts.is_empty())
+            .map(move |(s, _)| &self.locs[s])
     }
 }
 
@@ -151,5 +246,54 @@ mod tests {
         fs.insert(l(3, 0), l(1, 0));
         assert_eq!(fs.iter().count(), 3);
         assert_eq!(fs.sources().count(), 2);
+    }
+
+    #[test]
+    fn interner_ids_are_dense_and_stable() {
+        let mut fs = FactStore::new();
+        let a = fs.intern(l(0, 0));
+        let b = fs.intern(l(1, 4));
+        let a2 = fs.intern(l(0, 0));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(fs.num_locs(), 2);
+        assert_eq!(fs.loc(a), &l(0, 0));
+        assert_eq!(fs.obj_of(b), ObjId(1));
+        assert_eq!(fs.try_id(&l(1, 4)), Some(b));
+        assert_eq!(fs.try_id(&l(9, 9)), None);
+    }
+
+    #[test]
+    fn delta_drains_exactly_once_per_cursor_advance() {
+        // Simulates one subscriber's wake cycle: read the delta, advance
+        // the cursor to the list length, and verify nothing is re-delivered
+        // until new facts arrive.
+        let mut fs = FactStore::new();
+        let src = fs.intern(l(0, 0));
+        let t1 = fs.intern(l(1, 0));
+        let t2 = fs.intern(l(2, 0));
+        let t3 = fs.intern(l(3, 0));
+
+        assert!(fs.insert_ids(src, t1));
+        assert!(fs.insert_ids(src, t2));
+        let mut cursor = 0usize;
+
+        // First wake: the delta is everything so far.
+        assert_eq!(fs.targets_from(src, cursor), &[t1, t2]);
+        cursor = fs.targets_len(src);
+
+        // Drained: a second read at the advanced cursor delivers nothing.
+        assert!(fs.targets_from(src, cursor).is_empty());
+
+        // Duplicate insert produces no delta...
+        assert!(!fs.insert_ids(src, t1));
+        assert!(fs.targets_from(src, cursor).is_empty());
+
+        // ...a genuinely new fact produces exactly that fact, once.
+        assert!(fs.insert_ids(src, t3));
+        assert_eq!(fs.targets_from(src, cursor), &[t3]);
+        cursor = fs.targets_len(src);
+        assert!(fs.targets_from(src, cursor).is_empty());
+        assert_eq!(fs.target_at(src, 2), t3);
     }
 }

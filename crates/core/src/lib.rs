@@ -79,7 +79,7 @@ pub mod steensgaard;
 
 pub use analysis::{analyze, analyze_source, AnalysisConfig, AnalysisResult};
 pub use facts::FactStore;
-pub use loc::{FieldRep, Loc};
+pub use loc::{FieldRep, Loc, LocId};
 pub use model::{FieldModel, ModelKind, ModelStats};
 pub use solver::{ArithMode, Solver, SolverOutput};
 

@@ -9,6 +9,23 @@ use std::fmt;
 use structcast_ir::{ObjId, Program};
 use structcast_types::FieldPath;
 
+/// Dense id of an interned [`Loc`].
+///
+/// Ids are assigned by the fact store's interner in first-use order and
+/// are stable *within one solver run* — a `LocId` from one `FactStore`
+/// must never be used against another. The solver's hot path works
+/// entirely in ids (4-byte copies) and converts back to `Loc`s only at
+/// the query boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocId(pub(crate) u32);
+
+impl LocId {
+    /// The id as a vector index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// The field component of a normalized location.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FieldRep {

@@ -8,17 +8,25 @@
 //! (object granularity), so a new fact only re-fires the statements that
 //! might derive more from it.
 //!
+//! The data plane works on dense interned [`LocId`]s with **difference
+//! propagation**: statements are compiled once into [`CStmt`]s holding
+//! pre-normalized operand ids, and each firing consumes only the *delta*
+//! of facts added since its last visit (per-pair copy cursors for Rules
+//! 3/4/5 and `CopyAll`, per-watched-location scan cursors for Rule 2,
+//! `PtrArith`, and indirect-call discovery). Re-firing a statement against
+//! an unchanged points-to set is a no-op that touches no `Loc` at all.
+//!
 //! Indirect calls are resolved inside the same fixpoint: when the points-to
 //! set of a call's function pointer grows a function object, parameter and
 //! return bindings are synthesized as fresh `Copy` statements (monotone, so
 //! the fixpoint remains well-defined).
 
 use crate::facts::FactStore;
-use crate::loc::Loc;
+use crate::loc::{Loc, LocId};
 use crate::model::{FieldModel, ModelStats};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use structcast_ir::{Callee, FuncId, ObjId, Program, Stmt};
-use structcast_types::FieldPath;
+use structcast_types::{FieldPath, TypeId};
 
 /// How pointer arithmetic is modeled (paper §4.2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -33,18 +41,62 @@ pub enum ArithMode {
     FlagUnknown,
 }
 
-/// The solver state for one analysis run.
-pub struct Solver<'p> {
+/// A statement compiled against the model: operand locations are
+/// normalized and interned once at construction, so a firing performs no
+/// normalization, no type-table scans, and no `Stmt` clones.
+enum CStmt {
+    /// Rule 1: `s = (τ)&t.β`.
+    AddrOf { d: LocId, t: LocId },
+    /// Rule 2: `s = (τ)&(*p).α`.
+    AddrField {
+        d: LocId,
+        p: LocId,
+        tau_p: TypeId,
+        path: FieldPath,
+    },
+    /// Rule 3: `s = (τ)t.β`.
+    Copy { d: LocId, s: LocId, tau: TypeId },
+    /// Rule 4: `s = (τ)*q`.
+    Load { d: LocId, p: LocId, tau: TypeId },
+    /// Rule 5: `*p = (τ_p)t`.
+    Store { p: LocId, s: LocId, tau_p: TypeId },
+    /// Extension: pointer arithmetic.
+    PtrArith {
+        d: LocId,
+        s: LocId,
+        pointee: Option<TypeId>,
+    },
+    /// Extension: memcpy-style bulk copy.
+    CopyAll { dp: LocId, sp: LocId },
+    /// Direct call: bindings synthesized on the first (only) firing.
+    CallDirect {
+        fid: FuncId,
+        args: Vec<ObjId>,
+        ret: Option<ObjId>,
+    },
+    /// Indirect call: callees discovered from the function pointer's
+    /// points-to delta.
+    CallIndirect {
+        p: LocId,
+        args: Vec<ObjId>,
+        ret: Option<ObjId>,
+    },
+}
+
+/// The mutable engine state, split from the compiled statement list so
+/// firing can borrow a `CStmt` while mutating everything else.
+struct Engine<'p> {
     prog: &'p Program,
     model: Box<dyn FieldModel>,
     facts: FactStore,
     stats: ModelStats,
-    /// Program statements plus bindings synthesized for indirect calls.
-    stmts: Vec<Stmt>,
-    /// Object → statements to re-fire when a fact rooted in it changes.
-    subs: HashMap<ObjId, HashSet<usize>>,
+    /// Object (by dense id) → statements to re-fire when a fact rooted in
+    /// it changes.
+    subs: Vec<Vec<u32>>,
+    /// Subscription dedup: `(stmt, obj)` pairs already registered.
+    subbed: HashSet<(u32, u32)>,
     queued: Vec<bool>,
-    worklist: VecDeque<usize>,
+    worklist: VecDeque<u32>,
     /// Indirect-call bindings already synthesized.
     bound_calls: HashSet<(usize, FuncId)>,
     /// Statement evaluations performed (a work measure).
@@ -53,7 +105,31 @@ pub struct Solver<'p> {
     arith_mode: ArithMode,
     /// Locations flagged as possibly holding corrupted pointers
     /// ([`ArithMode::FlagUnknown`] only).
-    unknown: BTreeSet<Loc>,
+    unknown: HashSet<LocId>,
+    /// Per-`(stmt, watched)` read position into `pts(watched)` for the
+    /// scan-style rules whose per-target work is independent of other
+    /// facts (Rule 2, `PtrArith` spread, callee discovery).
+    scan_cursors: HashMap<(u32, LocId), u32>,
+    /// Per-`(stmt, dst, src)` copy position into `pts(src)`. Keyed by the
+    /// full pair because one source location can feed different
+    /// destinations discovered at different times (e.g. overlapping
+    /// Offsets ranges), each needing its own replay point.
+    pair_cursors: HashMap<(u32, LocId, LocId), u32>,
+    /// `FieldModel::normalize` memo per `(obj, path)`.
+    norm_cache: HashMap<ObjId, HashMap<FieldPath, LocId>>,
+    /// The interned `char` type, resolved once (the byte fallback for
+    /// pointees of non-pointer values).
+    char_ty: Option<TypeId>,
+    /// Scratch for draining a delta while inserting facts.
+    delta_buf: Vec<LocId>,
+}
+
+/// The solver state for one analysis run.
+pub struct Solver<'p> {
+    en: Engine<'p>,
+    /// Compiled program statements plus bindings synthesized for indirect
+    /// calls.
+    cstmts: Vec<CStmt>,
 }
 
 /// What a finished run produced.
@@ -76,272 +152,435 @@ pub struct SolverOutput {
     pub call_edges: Vec<(structcast_ir::StmtId, FuncId)>,
 }
 
+impl<'p> Engine<'p> {
+    /// The declared pointee type of `ptr`, with a byte fallback for values
+    /// whose declared type is not a pointer (possible only through unions
+    /// of our own temps; the paper's τ_p is always defined).
+    fn pointee(&self, ptr: ObjId) -> TypeId {
+        match self.prog.pointee_of(ptr) {
+            Some(t) => t,
+            None => self.char_ty.unwrap_or_else(|| self.prog.type_of(ptr)),
+        }
+    }
+
+    /// Memoized `model.normalize(obj, path)`, interned.
+    fn norm_id(&mut self, obj: ObjId, path: &FieldPath) -> LocId {
+        if let Some(&id) = self.norm_cache.get(&obj).and_then(|m| m.get(path)) {
+            return id;
+        }
+        let loc = self.model.normalize(self.prog, obj, path);
+        let id = self.facts.intern(loc);
+        self.norm_cache
+            .entry(obj)
+            .or_default()
+            .insert(path.clone(), id);
+        id
+    }
+
+    /// Compiles one IR statement into its pre-normalized form.
+    fn compile(&mut self, stmt: &Stmt) -> CStmt {
+        let empty = FieldPath::empty();
+        match stmt {
+            Stmt::AddrOf { dst, src, path } => CStmt::AddrOf {
+                d: self.norm_id(*dst, &empty),
+                t: self.norm_id(*src, path),
+            },
+            Stmt::AddrField { dst, ptr, path } => CStmt::AddrField {
+                d: self.norm_id(*dst, &empty),
+                p: self.norm_id(*ptr, &empty),
+                tau_p: self.pointee(*ptr),
+                path: path.clone(),
+            },
+            Stmt::Copy { dst, src, path } => CStmt::Copy {
+                d: self.norm_id(*dst, &empty),
+                s: self.norm_id(*src, path),
+                tau: self.prog.type_of(*dst),
+            },
+            Stmt::Load { dst, ptr } => CStmt::Load {
+                d: self.norm_id(*dst, &empty),
+                p: self.norm_id(*ptr, &empty),
+                tau: self.prog.type_of(*dst),
+            },
+            Stmt::Store { ptr, src } => CStmt::Store {
+                p: self.norm_id(*ptr, &empty),
+                s: self.norm_id(*src, &empty),
+                tau_p: self.pointee(*ptr),
+            },
+            Stmt::PtrArith { dst, src } => CStmt::PtrArith {
+                d: self.norm_id(*dst, &empty),
+                s: self.norm_id(*src, &empty),
+                pointee: self.prog.pointee_of(*src),
+            },
+            Stmt::CopyAll { dst_ptr, src_ptr } => CStmt::CopyAll {
+                dp: self.norm_id(*dst_ptr, &empty),
+                sp: self.norm_id(*src_ptr, &empty),
+            },
+            Stmt::Call { callee, args, ret } => match callee {
+                Callee::Direct(fid) => CStmt::CallDirect {
+                    fid: *fid,
+                    args: args.clone(),
+                    ret: *ret,
+                },
+                Callee::Indirect(fp) => CStmt::CallIndirect {
+                    p: self.norm_id(*fp, &empty),
+                    args: args.clone(),
+                    ret: *ret,
+                },
+            },
+        }
+    }
+
+    fn enqueue(&mut self, idx: u32) {
+        if !self.queued[idx as usize] {
+            self.queued[idx as usize] = true;
+            self.worklist.push_back(idx);
+        }
+    }
+
+    /// Re-fires every subscriber of `obj` (index loop: no subscriber-set
+    /// copy).
+    fn wake_obj(&mut self, obj: ObjId) {
+        let oi = obj.0 as usize;
+        if oi >= self.subs.len() {
+            return;
+        }
+        for k in 0..self.subs[oi].len() {
+            let s = self.subs[oi][k];
+            if !self.queued[s as usize] {
+                self.queued[s as usize] = true;
+                self.worklist.push_back(s);
+            }
+        }
+    }
+
+    fn subscribe(&mut self, idx: u32, obj: ObjId) {
+        if self.subbed.insert((idx, obj.0)) {
+            let oi = obj.0 as usize;
+            if oi >= self.subs.len() {
+                self.subs.resize_with(oi + 1, Vec::new);
+            }
+            self.subs[oi].push(idx);
+        }
+    }
+
+    fn add_fact_ids(&mut self, src: LocId, tgt: LocId) {
+        if self.facts.insert_ids(src, tgt) {
+            self.wake_obj(self.facts.obj_of(src));
+        }
+    }
+
+    /// Flags a location as possibly holding a corrupted pointer.
+    fn mark_unknown(&mut self, l: LocId) {
+        if self.unknown.insert(l) {
+            self.wake_obj(self.facts.obj_of(l));
+        }
+    }
+
+    /// Reads this statement's scan cursor for `watched` and advances it to
+    /// the current list length, returning the unconsumed `[cur, total)`
+    /// window.
+    fn take_scan_window(&mut self, idx: u32, watched: LocId) -> (usize, usize) {
+        let total = self.facts.targets_len(watched);
+        let cur = self
+            .scan_cursors
+            .insert((idx, watched), total as u32)
+            .unwrap_or(0) as usize;
+        (cur, total)
+    }
+
+    /// Copies the unconsumed part of `pts(src)` into `pts(dst)` (the delta
+    /// since this `(stmt, dst, src)` pair last fired), and propagates the
+    /// corrupted-pointer flag alongside.
+    fn copy_pair(&mut self, idx: u32, dst: LocId, src: LocId) {
+        let total = self.facts.targets_len(src);
+        let cur = if total == 0 {
+            0
+        } else {
+            self.pair_cursors
+                .insert((idx, dst, src), total as u32)
+                .unwrap_or(0) as usize
+        };
+        if cur < total {
+            self.delta_buf.clear();
+            self.delta_buf
+                .extend_from_slice(self.facts.targets_from(src, cur));
+            for k in 0..self.delta_buf.len() {
+                let t = self.delta_buf[k];
+                self.add_fact_ids(dst, t);
+            }
+        }
+        if self.unknown.contains(&src) {
+            self.mark_unknown(dst);
+        }
+    }
+
+    // ----- rule firings -----
+
+    /// Rule 2: for each *new* target of `p`, look the field up.
+    fn fire_addr_field(&mut self, idx: u32, d: LocId, p: LocId, tau_p: TypeId, path: &FieldPath) {
+        self.subscribe(idx, self.facts.obj_of(p));
+        let (cur, total) = self.take_scan_window(idx, p);
+        for k in cur..total {
+            let tgt = self.facts.target_at(p, k);
+            let results = self.model.lookup(
+                self.prog,
+                tau_p,
+                path,
+                self.facts.loc(tgt),
+                &mut self.stats,
+            );
+            for r in results {
+                let rid = self.facts.intern(r);
+                self.add_fact_ids(d, rid);
+            }
+        }
+    }
+
+    /// Rule 3: a direct copy; the resolve pair set can grow (Offsets
+    /// consults the store), so pairs are recomputed but copied as deltas.
+    fn fire_copy(&mut self, idx: u32, d: LocId, s: LocId, tau: TypeId) {
+        self.subscribe(idx, self.facts.obj_of(s));
+        let pairs = self.model.resolve(
+            self.prog,
+            self.facts.loc(d),
+            self.facts.loc(s),
+            tau,
+            &self.facts,
+            &mut self.stats,
+        );
+        for (dl, sl) in pairs {
+            let di = self.facts.intern(dl);
+            let si = self.facts.intern(sl);
+            self.copy_pair(idx, di, si);
+        }
+    }
+
+    /// Rule 4: copy through each target of the dereferenced pointer.
+    fn fire_load(&mut self, idx: u32, d: LocId, p: LocId, tau: TypeId) {
+        self.subscribe(idx, self.facts.obj_of(p));
+        let total = self.facts.targets_len(p);
+        for k in 0..total {
+            let tgt = self.facts.target_at(p, k);
+            self.subscribe(idx, self.facts.obj_of(tgt));
+            let pairs = self.model.resolve(
+                self.prog,
+                self.facts.loc(d),
+                self.facts.loc(tgt),
+                tau,
+                &self.facts,
+                &mut self.stats,
+            );
+            for (dl, sl) in pairs {
+                let di = self.facts.intern(dl);
+                let si = self.facts.intern(sl);
+                self.copy_pair(idx, di, si);
+            }
+        }
+    }
+
+    /// Rule 5: copy the source into each target of the stored-through
+    /// pointer.
+    fn fire_store(&mut self, idx: u32, p: LocId, s: LocId, tau_p: TypeId) {
+        self.subscribe(idx, self.facts.obj_of(p));
+        self.subscribe(idx, self.facts.obj_of(s));
+        let total = self.facts.targets_len(p);
+        for k in 0..total {
+            let tgt = self.facts.target_at(p, k);
+            let pairs = self.model.resolve(
+                self.prog,
+                self.facts.loc(tgt),
+                self.facts.loc(s),
+                tau_p,
+                &self.facts,
+                &mut self.stats,
+            );
+            for (dl, sl) in pairs {
+                let di = self.facts.intern(dl);
+                let si = self.facts.intern(sl);
+                self.copy_pair(idx, di, si);
+            }
+        }
+    }
+
+    /// Pointer arithmetic. Under Assumption 1 the result spreads over the
+    /// outermost object (§4.2.1) — static per target, so only new targets
+    /// are spread; in FlagUnknown mode the destination is recorded as
+    /// potentially corrupted instead.
+    fn fire_ptr_arith(&mut self, idx: u32, d: LocId, s: LocId, pointee: Option<TypeId>) {
+        self.subscribe(idx, self.facts.obj_of(s));
+        match self.arith_mode {
+            ArithMode::Spread => {
+                let (cur, total) = self.take_scan_window(idx, s);
+                for k in cur..total {
+                    let tgt = self.facts.target_at(s, k);
+                    let spread = self.model.spread(self.prog, self.facts.loc(tgt), pointee);
+                    for l in spread {
+                        let li = self.facts.intern(l);
+                        self.add_fact_ids(d, li);
+                    }
+                }
+            }
+            ArithMode::FlagUnknown => {
+                self.mark_unknown(d);
+            }
+        }
+    }
+
+    /// memcpy-style bulk copy over the target cross product.
+    fn fire_copy_all(&mut self, idx: u32, dp: LocId, sp: LocId) {
+        self.subscribe(idx, self.facts.obj_of(dp));
+        self.subscribe(idx, self.facts.obj_of(sp));
+        let dn = self.facts.targets_len(dp);
+        let sn = self.facts.targets_len(sp);
+        for i in 0..dn {
+            let dt = self.facts.target_at(dp, i);
+            for j in 0..sn {
+                let st = self.facts.target_at(sp, j);
+                self.subscribe(idx, self.facts.obj_of(st));
+                let pairs = self.model.resolve_all(
+                    self.prog,
+                    self.facts.loc(dt),
+                    self.facts.loc(st),
+                    &self.facts,
+                    &mut self.stats,
+                );
+                for (dl, sl) in pairs {
+                    let di = self.facts.intern(dl);
+                    let si = self.facts.intern(sl);
+                    self.copy_pair(idx, di, si);
+                }
+            }
+        }
+    }
+
+    /// Function objects newly appearing in the call's function-pointer
+    /// points-to set.
+    fn scan_new_callees(&mut self, idx: u32, p: LocId) -> Vec<FuncId> {
+        self.subscribe(idx, self.facts.obj_of(p));
+        let (cur, total) = self.take_scan_window(idx, p);
+        let mut out = Vec::new();
+        for k in cur..total {
+            let tgt = self.facts.target_at(p, k);
+            if let Some(fid) = self.prog.as_function(self.facts.obj_of(tgt)) {
+                out.push(fid);
+            }
+        }
+        out
+    }
+}
+
 impl<'p> Solver<'p> {
-    /// Creates a solver over `prog` with the given framework instance.
+    /// Creates a solver over `prog` with the given framework instance. All
+    /// statements are compiled up front: operands normalized (memoized per
+    /// `(obj, path)`), interned, and paired with their pre-resolved types —
+    /// including the `char` fallback `TypeId`, located here once instead of
+    /// per `pointee()` call.
     pub fn new(prog: &'p Program, model: Box<dyn FieldModel>) -> Self {
-        let stmts: Vec<Stmt> = prog.stmts.clone();
-        let n = stmts.len();
-        Solver {
+        let n = prog.stmts.len();
+        let char_kind = structcast_types::TypeKind::Int(structcast_types::IntKind::Char);
+        let char_ty = (0..prog.types.len() as u32)
+            .map(structcast_types::TypeId)
+            .find(|t| prog.types.kind(*t) == &char_kind);
+        let mut en = Engine {
             prog,
             model,
             facts: FactStore::new(),
             stats: ModelStats::default(),
-            stmts,
-            subs: HashMap::new(),
+            subs: vec![Vec::new(); prog.objects.len()],
+            subbed: HashSet::new(),
             queued: vec![true; n],
-            worklist: (0..n).collect(),
+            worklist: (0..n as u32).collect(),
             bound_calls: HashSet::new(),
             iterations: 0,
             arith_mode: ArithMode::Spread,
-            unknown: BTreeSet::new(),
-        }
+            unknown: HashSet::new(),
+            scan_cursors: HashMap::new(),
+            pair_cursors: HashMap::new(),
+            norm_cache: HashMap::new(),
+            char_ty,
+            delta_buf: Vec::new(),
+        };
+        let cstmts: Vec<CStmt> = prog.stmts.iter().map(|s| en.compile(s)).collect();
+        Solver { en, cstmts }
     }
 
     /// Selects the pointer-arithmetic treatment (default: spread).
     pub fn with_arith_mode(mut self, mode: ArithMode) -> Self {
-        self.arith_mode = mode;
+        self.en.arith_mode = mode;
         self
     }
 
     /// Runs to fixpoint and returns the facts and instrumentation.
     pub fn run(mut self) -> SolverOutput {
-        while let Some(idx) = self.worklist.pop_front() {
-            self.queued[idx] = false;
-            self.iterations += 1;
+        while let Some(idx) = self.en.worklist.pop_front() {
+            self.en.queued[idx as usize] = false;
+            self.en.iterations += 1;
             self.process(idx);
         }
+        let en = self.en;
+        let unknown: BTreeSet<Loc> = en
+            .unknown
+            .iter()
+            .map(|&i| en.facts.loc(i).clone())
+            .collect();
+        let orig = en.prog.stmts.len();
+        let mut call_edges: Vec<(structcast_ir::StmtId, FuncId)> = en
+            .bound_calls
+            .iter()
+            .filter(|(idx, _)| *idx < orig)
+            .map(|(idx, f)| (structcast_ir::StmtId(*idx as u32), *f))
+            .collect();
+        call_edges.sort();
         SolverOutput {
-            facts: self.facts,
-            stats: self.stats,
-            iterations: self.iterations,
-            model: self.model,
-            resolved_indirect_calls: self.bound_calls.len(),
-            call_edges: {
-                let orig = self.prog.stmts.len();
-                let mut v: Vec<(structcast_ir::StmtId, FuncId)> = self
-                    .bound_calls
-                    .iter()
-                    .filter(|(idx, _)| *idx < orig)
-                    .map(|(idx, f)| (structcast_ir::StmtId(*idx as u32), *f))
-                    .collect();
-                v.sort();
-                v
-            },
-            unknown: self.unknown,
+            facts: en.facts,
+            stats: en.stats,
+            iterations: en.iterations,
+            model: en.model,
+            resolved_indirect_calls: en.bound_calls.len(),
+            unknown,
+            call_edges,
         }
     }
 
-    /// Flags a location as possibly holding a corrupted pointer.
-    fn mark_unknown(&mut self, loc: Loc) {
-        let obj = loc.obj;
-        if self.unknown.insert(loc) {
-            if let Some(subs) = self.subs.get(&obj) {
-                let to_wake: Vec<usize> = subs.iter().copied().collect();
-                for s in to_wake {
-                    self.enqueue(s);
-                }
+    /// Fires one compiled statement. The `CStmt` stays borrowed from
+    /// `self.cstmts` while the engine mutates — disjoint fields, so no
+    /// clone is needed; only the call arms copy their (small) operand
+    /// lists because binding pushes new compiled statements.
+    fn process(&mut self, idx: u32) {
+        match &self.cstmts[idx as usize] {
+            CStmt::AddrOf { d, t } => {
+                let (d, t) = (*d, *t);
+                self.en.add_fact_ids(d, t);
             }
-        }
-    }
-
-    fn enqueue(&mut self, idx: usize) {
-        if !self.queued[idx] {
-            self.queued[idx] = true;
-            self.worklist.push_back(idx);
-        }
-    }
-
-    fn subscribe(&mut self, idx: usize, obj: ObjId) {
-        self.subs.entry(obj).or_default().insert(idx);
-    }
-
-    fn add_fact(&mut self, src: Loc, tgt: Loc) {
-        let obj = src.obj;
-        if self.facts.insert(src, tgt) {
-            if let Some(subs) = self.subs.get(&obj) {
-                let to_wake: Vec<usize> = subs.iter().copied().collect();
-                for s in to_wake {
-                    self.enqueue(s);
-                }
+            CStmt::AddrField { d, p, tau_p, path } => {
+                self.en.fire_addr_field(idx, *d, *p, *tau_p, path);
             }
-        }
-    }
-
-    /// Copies `pts(src_loc)` into `pts(dst_loc)`, propagating the
-    /// corrupted-pointer flag alongside.
-    fn copy_facts(&mut self, dst_loc: &Loc, src_loc: &Loc) {
-        for t in self.facts.points_to_vec(src_loc) {
-            self.add_fact(dst_loc.clone(), t);
-        }
-        if self.unknown.contains(src_loc) {
-            self.mark_unknown(dst_loc.clone());
-        }
-    }
-
-    fn norm(&self, obj: ObjId, path: &FieldPath) -> Loc {
-        self.model.normalize(self.prog, obj, path)
-    }
-
-    fn norm_top(&self, obj: ObjId) -> Loc {
-        self.model.normalize(self.prog, obj, &FieldPath::empty())
-    }
-
-    /// The declared pointee type of `ptr`, with a byte fallback for values
-    /// whose declared type is not a pointer (possible only through unions
-    /// of our own temps; the paper's τ_p is always defined).
-    fn pointee(&self, ptr: ObjId) -> structcast_types::TypeId {
-        match self.prog.pointee_of(ptr) {
-            Some(t) => t,
-            None => {
-                // char: one byte, matching nothing struct-like.
-                let k = structcast_types::TypeKind::Int(structcast_types::IntKind::Char);
-                // The type table interns eagerly during lowering, so `char`
-                // exists in every program with char data; fall back to the
-                // object's own type otherwise.
-                self.find_interned(&k)
-                    .unwrap_or_else(|| self.prog.type_of(ptr))
+            CStmt::Copy { d, s, tau } => {
+                self.en.fire_copy(idx, *d, *s, *tau);
             }
-        }
-    }
-
-    fn find_interned(&self, kind: &structcast_types::TypeKind) -> Option<structcast_types::TypeId> {
-        (0..self.prog.types.len() as u32)
-            .map(structcast_types::TypeId)
-            .find(|t| self.prog.types.kind(*t) == kind)
-    }
-
-    fn process(&mut self, idx: usize) {
-        let stmt = self.stmts[idx].clone();
-        match stmt {
-            // Rule 1: s = (τ)&t.β
-            Stmt::AddrOf { dst, src, path } => {
-                let d = self.norm_top(dst);
-                let t = self.norm(src, &path);
-                self.add_fact(d, t);
+            CStmt::Load { d, p, tau } => {
+                self.en.fire_load(idx, *d, *p, *tau);
             }
-            // Rule 2: s = (τ)&(*p).α
-            Stmt::AddrField { dst, ptr, path } => {
-                let p = self.norm_top(ptr);
-                self.subscribe(idx, p.obj);
-                let tau_p = self.pointee(ptr);
-                let d = self.norm_top(dst);
-                for tgt in self.facts.points_to_vec(&p) {
-                    let results =
-                        self.model
-                            .lookup(self.prog, tau_p, &path, &tgt, &mut self.stats);
-                    for r in results {
-                        self.add_fact(d.clone(), r);
-                    }
-                }
+            CStmt::Store { p, s, tau_p } => {
+                self.en.fire_store(idx, *p, *s, *tau_p);
             }
-            // Rule 3: s = (τ)t.β
-            Stmt::Copy { dst, src, path } => {
-                let d = self.norm_top(dst);
-                let s = self.norm(src, &path);
-                self.subscribe(idx, s.obj);
-                let tau = self.prog.type_of(dst);
-                let pairs = self
-                    .model
-                    .resolve(self.prog, &d, &s, tau, &self.facts, &mut self.stats);
-                for (dl, sl) in pairs {
-                    self.copy_facts(&dl, &sl);
-                }
+            CStmt::PtrArith { d, s, pointee } => {
+                self.en.fire_ptr_arith(idx, *d, *s, *pointee);
             }
-            // Rule 4: s = (τ)*q
-            Stmt::Load { dst, ptr } => {
-                let p = self.norm_top(ptr);
-                self.subscribe(idx, p.obj);
-                let d = self.norm_top(dst);
-                let tau = self.prog.type_of(dst);
-                for tgt in self.facts.points_to_vec(&p) {
-                    self.subscribe(idx, tgt.obj);
-                    let pairs =
-                        self.model
-                            .resolve(self.prog, &d, &tgt, tau, &self.facts, &mut self.stats);
-                    for (dl, sl) in pairs {
-                        self.copy_facts(&dl, &sl);
-                    }
-                }
+            CStmt::CopyAll { dp, sp } => {
+                self.en.fire_copy_all(idx, *dp, *sp);
             }
-            // Rule 5: *p = (τ_p)t
-            Stmt::Store { ptr, src } => {
-                let p = self.norm_top(ptr);
-                self.subscribe(idx, p.obj);
-                self.subscribe(idx, src);
-                let s = self.norm_top(src);
-                let tau_p = self.pointee(ptr);
-                for tgt in self.facts.points_to_vec(&p) {
-                    let pairs = self.model.resolve(
-                        self.prog,
-                        &tgt,
-                        &s,
-                        tau_p,
-                        &self.facts,
-                        &mut self.stats,
-                    );
-                    for (dl, sl) in pairs {
-                        self.copy_facts(&dl, &sl);
-                    }
-                }
+            CStmt::CallDirect { fid, args, ret } => {
+                let (fid, ret) = (*fid, *ret);
+                let args = args.clone();
+                self.bind_call(idx as usize, fid, &args, ret);
             }
-            // Extension: pointer arithmetic. Under Assumption 1 the result
-            // spreads over the outermost object (§4.2.1); in FlagUnknown
-            // mode it is recorded as potentially corrupted instead.
-            Stmt::PtrArith { dst, src } => {
-                let s = self.norm_top(src);
-                self.subscribe(idx, s.obj);
-                let d = self.norm_top(dst);
-                match self.arith_mode {
-                    ArithMode::Spread => {
-                        let pointee = self.prog.pointee_of(src);
-                        for tgt in self.facts.points_to_vec(&s) {
-                            for l in self.model.spread(self.prog, &tgt, pointee) {
-                                self.add_fact(d.clone(), l);
-                            }
-                        }
-                    }
-                    ArithMode::FlagUnknown => {
-                        self.mark_unknown(d);
-                    }
-                }
-            }
-            // Extension: memcpy-style bulk copy.
-            Stmt::CopyAll { dst_ptr, src_ptr } => {
-                let dp = self.norm_top(dst_ptr);
-                let sp = self.norm_top(src_ptr);
-                self.subscribe(idx, dp.obj);
-                self.subscribe(idx, sp.obj);
-                for dt in self.facts.points_to_vec(&dp) {
-                    for st in self.facts.points_to_vec(&sp) {
-                        self.subscribe(idx, st.obj);
-                        let pairs = self.model.resolve_all(
-                            self.prog,
-                            &dt,
-                            &st,
-                            &self.facts,
-                            &mut self.stats,
-                        );
-                        for (dl, sl) in pairs {
-                            self.copy_facts(&dl, &sl);
-                        }
-                    }
-                }
-            }
-            // Indirect call: bind discovered callees inside the fixpoint.
-            Stmt::Call { callee, args, ret } => {
-                let fp = match callee {
-                    Callee::Indirect(fp) => fp,
-                    Callee::Direct(fid) => {
-                        self.bind_call(idx, fid, &args, ret);
-                        return;
-                    }
-                };
-                let p = self.norm_top(fp);
-                self.subscribe(idx, p.obj);
-                for tgt in self.facts.points_to_vec(&p) {
-                    if let Some(fid) = self.prog.as_function(tgt.obj) {
-                        self.bind_call(idx, fid, &args, ret);
-                    }
+            CStmt::CallIndirect { p, args, ret } => {
+                let (p, ret) = (*p, *ret);
+                let args = args.clone();
+                let callees = self.en.scan_new_callees(idx, p);
+                for fid in callees {
+                    self.bind_call(idx as usize, fid, &args, ret);
                 }
             }
         }
@@ -350,38 +589,32 @@ impl<'p> Solver<'p> {
     /// Synthesizes parameter/return `Copy` bindings for a call site's newly
     /// discovered callee (once per (site, callee) pair).
     fn bind_call(&mut self, idx: usize, fid: FuncId, args: &[ObjId], ret: Option<ObjId>) {
-        if !self.bound_calls.insert((idx, fid)) {
+        if !self.en.bound_calls.insert((idx, fid)) {
             return;
         }
-        let f = self.prog.function(fid);
-        let mut new_stmts = Vec::new();
+        let empty = FieldPath::empty();
+        let f = self.en.prog.function(fid);
+        let mut bindings: Vec<(ObjId, ObjId)> = Vec::new();
         for (i, &arg) in args.iter().enumerate() {
             if let Some(&param) = f.params.get(i) {
-                new_stmts.push(Stmt::Copy {
-                    dst: param,
-                    src: arg,
-                    path: FieldPath::empty(),
-                });
+                bindings.push((param, arg));
             } else if let Some(va) = f.varargs {
-                new_stmts.push(Stmt::Copy {
-                    dst: va,
-                    src: arg,
-                    path: FieldPath::empty(),
-                });
+                bindings.push((va, arg));
             }
         }
         if let (Some(r), Some(rs)) = (ret, f.ret_slot) {
-            new_stmts.push(Stmt::Copy {
-                dst: r,
-                src: rs,
-                path: FieldPath::empty(),
-            });
+            bindings.push((r, rs));
         }
-        for s in new_stmts {
-            let new_idx = self.stmts.len();
-            self.stmts.push(s);
-            self.queued.push(false);
-            self.enqueue(new_idx);
+        for (dst, src) in bindings {
+            let c = CStmt::Copy {
+                d: self.en.norm_id(dst, &empty),
+                s: self.en.norm_id(src, &empty),
+                tau: self.en.prog.type_of(dst),
+            };
+            let new_idx = self.cstmts.len() as u32;
+            self.cstmts.push(c);
+            self.en.queued.push(false);
+            self.en.enqueue(new_idx);
         }
     }
 }
@@ -389,8 +622,8 @@ impl<'p> Solver<'p> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::models::make_model;
     use crate::model::ModelKind;
+    use crate::models::make_model;
     use structcast_ir::lower_source;
     use structcast_types::{CompatMode, Layout};
 
@@ -486,5 +719,22 @@ mod tests {
                 "{kind}: head should reach the heap node, got {names:?}"
             );
         }
+    }
+
+    #[test]
+    fn refiring_consumes_only_deltas() {
+        // A chain a -> b -> c through loads: the second solve of each
+        // statement must not redo first-pass work. We can't observe the
+        // cursors directly, but iterations staying near the statement
+        // count (rather than quadratic blowup) plus a correct fixpoint is
+        // the behavioural contract.
+        let src = "int x, y, *p, *q, **pp;\n\
+                   void f(void) { p = &x; pp = &p; q = *pp; p = &y; }";
+        let (prog, out) = run(src, ModelKind::CommonInitialSeq);
+        assert_eq!(
+            pts_names(&prog, &out, "q"),
+            vec!["x".to_string(), "y".to_string()]
+        );
+        assert!(out.iterations < 100, "iterations {}", out.iterations);
     }
 }

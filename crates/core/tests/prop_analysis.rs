@@ -1,36 +1,53 @@
-//! Property-based analysis tests: the framework's algebraic invariants
-//! must hold on randomly generated programs (arbitrary seeds and casting
+//! Property analysis tests: the framework's algebraic invariants must
+//! hold on randomly generated programs (arbitrary seeds and casting
 //! ratios), not just the corpus.
+//!
+//! Cases draw (seed, ratio) pairs from the deterministic [`Rng64`], so
+//! the suite is hermetic and each case is reproducible from its index.
 
-use proptest::prelude::*;
 use structcast::models::make_model;
 use structcast::{analyze, AnalysisConfig, CompatMode, FieldPath, Layout, ModelKind};
 use structcast_progen::{generate, GenConfig};
+use structcast_types::rng::Rng64;
 
 fn gen_program(seed: u64, ratio: f64) -> structcast::Program {
     let src = generate(&GenConfig::small(seed).with_cast_ratio(ratio));
     structcast::lower_source(&src).expect("generated programs always lower")
 }
 
-proptest! {
-    // Each case runs 4 full analyses; keep the count moderate.
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Each case runs several full analyses; keep the count moderate.
+const CASES: u64 = 24;
 
-    #[test]
-    fn precision_ladder_on_random_programs(seed in 0u64..10_000, pct in 0u32..=100) {
-        let prog = gen_program(seed, pct as f64 / 100.0);
+/// Yields `CASES` random (program-seed, cast-ratio) pairs.
+fn case_params(salt: u64) -> Vec<(u64, f64)> {
+    let mut rng = Rng64::seed_from_u64(0xA11A5 ^ salt);
+    (0..CASES)
+        .map(|_| {
+            let seed = rng.gen_range(0..10_000) as u64;
+            let pct = rng.gen_range(0..101) as f64;
+            (seed, pct / 100.0)
+        })
+        .collect()
+}
+
+#[test]
+fn precision_ladder_on_random_programs() {
+    for (seed, ratio) in case_params(1) {
+        let prog = gen_program(seed, ratio);
         let sizes: Vec<f64> = ModelKind::ALL
             .iter()
             .map(|k| analyze(&prog, &AnalysisConfig::new(*k)).average_deref_size(&prog))
             .collect();
         // CollapseAlways ≥ CollapseOnCast ≥ CIS (weighted per-site sizes).
-        prop_assert!(sizes[0] >= sizes[1] - 1e-9, "CA {} < CoC {}", sizes[0], sizes[1]);
-        prop_assert!(sizes[1] >= sizes[2] - 1e-9, "CoC {} < CIS {}", sizes[1], sizes[2]);
+        assert!(sizes[0] >= sizes[1] - 1e-9, "CA {} < CoC {}", sizes[0], sizes[1]);
+        assert!(sizes[1] >= sizes[2] - 1e-9, "CoC {} < CIS {}", sizes[1], sizes[2]);
     }
+}
 
-    #[test]
-    fn cis_facts_subset_of_coc_on_random_programs(seed in 0u64..10_000, pct in 0u32..=100) {
-        let prog = gen_program(seed, pct as f64 / 100.0);
+#[test]
+fn cis_facts_subset_of_coc_on_random_programs() {
+    for (seed, ratio) in case_params(2) {
+        let prog = gen_program(seed, ratio);
         let cis = analyze(&prog, &AnalysisConfig::new(ModelKind::CommonInitialSeq));
         let coc = analyze(&prog, &AnalysisConfig::new(ModelKind::CollapseOnCast));
         let coc_set: std::collections::HashSet<(String, String)> = coc
@@ -39,15 +56,17 @@ proptest! {
             .map(|(s, t)| (s.to_string(), t.to_string()))
             .collect();
         for (s, t) in cis.facts.iter() {
-            prop_assert!(
+            assert!(
                 coc_set.contains(&(s.to_string(), t.to_string())),
                 "CIS-only fact {s} -> {t}"
             );
         }
     }
+}
 
-    #[test]
-    fn normalize_is_idempotent_for_every_object(seed in 0u64..10_000) {
+#[test]
+fn normalize_is_idempotent_for_every_object() {
+    for (seed, _) in case_params(3) {
         let prog = gen_program(seed, 0.5);
         for kind in ModelKind::ALL {
             let model = make_model(kind, Layout::ilp32(), CompatMode::Structural);
@@ -57,27 +76,31 @@ proptest! {
                 // Re-normalizing the normalized path must be stable.
                 if let structcast::FieldRep::Path(p) = &l1.field {
                     let l2 = model.normalize(&prog, obj, p);
-                    prop_assert_eq!(&l1, &l2, "{} not idempotent", kind);
+                    assert_eq!(&l1, &l2, "{kind} not idempotent");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn solver_is_deterministic_on_random_programs(seed in 0u64..10_000) {
+#[test]
+fn solver_is_deterministic_on_random_programs() {
+    for (seed, _) in case_params(4) {
         let prog = gen_program(seed, 0.7);
         for kind in [ModelKind::CommonInitialSeq, ModelKind::Offsets] {
             let a = analyze(&prog, &AnalysisConfig::new(kind));
             let b = analyze(&prog, &AnalysisConfig::new(kind));
-            prop_assert_eq!(a.edge_count(), b.edge_count());
+            assert_eq!(a.edge_count(), b.edge_count());
         }
     }
+}
 
-    #[test]
-    fn offsets_facts_lie_within_objects(seed in 0u64..10_000, pct in 0u32..=100) {
+#[test]
+fn offsets_facts_lie_within_objects() {
+    for (seed, ratio) in case_params(5) {
         // Every offset-instance fact must name a position inside its
         // object's actual extent (Assumption-1 bookkeeping).
-        let prog = gen_program(seed, pct as f64 / 100.0);
+        let prog = gen_program(seed, ratio);
         let layout = Layout::ilp32();
         let res = analyze(
             &prog,
@@ -87,7 +110,7 @@ proptest! {
             for l in [s, t] {
                 if let structcast::FieldRep::Off(o) = l.field {
                     let size = layout.size_of(&prog.types, prog.type_of(l.obj)).max(1);
-                    prop_assert!(
+                    assert!(
                         o < size,
                         "{} at offset {o} outside object of size {size}",
                         prog.object(l.obj).name
@@ -96,9 +119,11 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn steensgaard_covers_collapse_always_object_edges(seed in 0u64..10_000) {
+#[test]
+fn steensgaard_covers_collapse_always_object_edges() {
+    for (seed, _) in case_params(6) {
         // Unification merges aggressively: any (named pointer → object)
         // edge the inclusion Collapse-Always analysis finds must also be
         // found by Steensgaard.
@@ -124,7 +149,7 @@ proptest! {
                 .map(|o| o.0)
                 .collect();
             for o in &ca_objs {
-                prop_assert!(
+                assert!(
                     st_objs.contains(o),
                     "{}: inclusion found edge to {} that unification missed",
                     obj.name,

@@ -332,6 +332,8 @@ pub struct ScalingRow {
     pub times: [f64; 4],
     /// Edge counts per model.
     pub edges: [usize; 4],
+    /// Solver iterations (statement evaluations) per model.
+    pub iterations: [u64; 4],
 }
 
 /// Scaling sweep over generated programs (size × cast ratio).
@@ -357,10 +359,12 @@ pub fn run_scaling(include_large: bool) -> Vec<ScalingRow> {
             let prog = structcast::lower_source(&src).expect("generated program lowers");
             let mut times = [0.0; 4];
             let mut edges = [0usize; 4];
+            let mut iterations = [0u64; 4];
             for (i, kind) in ModelKind::ALL.iter().enumerate() {
                 let res = run_model(&prog, *kind);
                 times[i] = res.elapsed.as_secs_f64();
                 edges[i] = res.edge_count();
+                iterations[i] = res.iterations;
             }
             ScalingRow {
                 preset: label,
@@ -369,6 +373,7 @@ pub fn run_scaling(include_large: bool) -> Vec<ScalingRow> {
                 assignments: prog.assignment_count(),
                 times,
                 edges,
+                iterations,
             }
         })
         .collect()

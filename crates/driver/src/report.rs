@@ -243,14 +243,14 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
     let _ = writeln!(s, "Scaling: generated programs (size × cast ratio)");
     let _ = writeln!(
         s,
-        "{:<14} {:>7} {:>7} | {:>9} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8} {:>8}",
+        "{:<14} {:>7} {:>7} | {:>9} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
         "preset", "lines", "asgn", "tCA(s)", "tCoC(s)", "tCIS(s)", "tOff(s)", "eCA", "eCoC",
-        "eCIS", "eOff"
+        "eCIS", "eOff", "iCA", "iCoC", "iCIS", "iOff"
     );
     for r in rows {
         let _ = writeln!(
             s,
-            "{:<14} {:>7} {:>7} | {:>9.4} {:>9.4} {:>9.4} {:>9.4} | {:>8} {:>8} {:>8} {:>8}",
+            "{:<14} {:>7} {:>7} | {:>9.4} {:>9.4} {:>9.4} {:>9.4} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
             r.preset,
             r.lines,
             r.assignments,
@@ -261,7 +261,11 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
             r.edges[0],
             r.edges[1],
             r.edges[2],
-            r.edges[3]
+            r.edges[3],
+            r.iterations[0],
+            r.iterations[1],
+            r.iterations[2],
+            r.iterations[3]
         );
     }
     s

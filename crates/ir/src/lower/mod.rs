@@ -317,10 +317,10 @@ impl Lowerer {
     }
 
     fn is_more_complete(&self, newer: TypeId, older: TypeId) -> bool {
-        match (self.prog.types.kind(newer), self.prog.types.kind(older)) {
-            (TypeKind::Array(_, Some(_)), TypeKind::Array(_, None)) => true,
-            _ => false,
-        }
+        matches!(
+            (self.prog.types.kind(newer), self.prog.types.kind(older)),
+            (TypeKind::Array(_, Some(_)), TypeKind::Array(_, None))
+        )
     }
 
     /// Registers (or updates) a function from a declarator. `defining` marks
@@ -346,7 +346,7 @@ impl Lowerer {
             let need_params = sig_params.len();
             let have = self.prog.functions[fid.0 as usize].params.len();
             if need_params > have {
-                for i in have..need_params {
+                for (i, &pty) in sig_params.iter().enumerate().skip(have) {
                     let pname = param_names
                         .get(i)
                         .cloned()
@@ -354,7 +354,7 @@ impl Lowerer {
                         .unwrap_or_else(|| format!("{name}::p{i}"));
                     let p = self.new_object(
                         format!("{name}::{pname}"),
-                        sig_params[i],
+                        pty,
                         ObjKind::Param(fid, i as u32),
                     );
                     self.prog.functions[fid.0 as usize].params.push(p);

@@ -38,6 +38,7 @@ mod compat;
 mod fields;
 mod layout;
 mod repr;
+pub mod rng;
 
 pub use cis::{common_initial_len, match_via_cis, record_type, CisMatch};
 pub use compat::{compatible, CompatMode};

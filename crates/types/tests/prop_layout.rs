@@ -1,13 +1,19 @@
-//! Property-based tests over randomly generated type structures: layout
+//! Property tests over randomly generated type structures: layout
 //! arithmetic, normalization, and compatibility must satisfy their
 //! algebraic laws for *every* type shape, not just the handwritten ones.
+//!
+//! Cases are driven by the workspace's deterministic [`Rng64`] so the
+//! suite needs no external property-testing framework and every failure
+//! is reproducible from the case index alone.
 
-use proptest::prelude::*;
+use structcast_types::rng::Rng64;
 use structcast_types::{
     common_initial_len, compatible, enclosing_candidates, following_leaves, leaves,
     normalize_path, type_of_path, CompatMode, Field, FieldPath, Layout, RecordId, TypeId,
     TypeTable,
 };
+
+const CASES: u64 = 128;
 
 /// A recipe for building a random type tree (depth-bounded).
 #[derive(Debug, Clone)]
@@ -21,20 +27,32 @@ enum TypeRecipe {
     Union(Vec<TypeRecipe>),
 }
 
-fn recipe_strategy() -> impl Strategy<Value = TypeRecipe> {
-    let leaf = prop_oneof![
-        Just(TypeRecipe::Int),
-        Just(TypeRecipe::Char),
-        Just(TypeRecipe::Double),
-        Just(TypeRecipe::PtrInt),
-    ];
-    leaf.prop_recursive(3, 24, 5, |inner| {
-        prop_oneof![
-            (inner.clone(), 1u64..4).prop_map(|(t, n)| TypeRecipe::Array(Box::new(t), n)),
-            prop::collection::vec(inner.clone(), 1..5).prop_map(TypeRecipe::Struct),
-            prop::collection::vec(inner, 1..4).prop_map(TypeRecipe::Union),
-        ]
-    })
+/// Draws a random depth-bounded recipe. Leaves get likelier as the
+/// remaining depth shrinks, mirroring `prop_recursive`'s shape control.
+fn random_recipe(rng: &mut Rng64, depth: u32) -> TypeRecipe {
+    let leaf = |rng: &mut Rng64| match rng.gen_range(0..4) {
+        0 => TypeRecipe::Int,
+        1 => TypeRecipe::Char,
+        2 => TypeRecipe::Double,
+        _ => TypeRecipe::PtrInt,
+    };
+    if depth == 0 || rng.gen_bool(0.3) {
+        return leaf(rng);
+    }
+    match rng.gen_range(0..3) {
+        0 => TypeRecipe::Array(
+            Box::new(random_recipe(rng, depth - 1)),
+            rng.gen_range(1..4) as u64,
+        ),
+        1 => {
+            let n = rng.gen_range(1..5);
+            TypeRecipe::Struct((0..n).map(|_| random_recipe(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(1..4);
+            TypeRecipe::Union((0..n).map(|_| random_recipe(rng, depth - 1)).collect())
+        }
+    }
 }
 
 fn build(table: &mut TypeTable, r: &TypeRecipe, counter: &mut u32) -> TypeId {
@@ -72,123 +90,139 @@ fn build(table: &mut TypeTable, r: &TypeRecipe, counter: &mut u32) -> TypeId {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn layout_size_and_alignment_laws(r in recipe_strategy()) {
+/// Builds one random type per case and hands it to `check`.
+fn for_each_case(salt: u64, mut check: impl FnMut(&TypeTable, TypeId, &mut Rng64)) {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(salt.wrapping_mul(0x9E37).wrapping_add(case));
+        let recipe = random_recipe(&mut rng, 3);
         let mut table = TypeTable::new();
         let mut c = 0;
-        let ty = build(&mut table, &r, &mut c);
+        let ty = build(&mut table, &recipe, &mut c);
+        check(&table, ty, &mut rng);
+    }
+}
+
+#[test]
+fn layout_size_and_alignment_laws() {
+    for_each_case(1, |table, ty, _| {
         for layout in [Layout::ilp32(), Layout::lp64(), Layout::packed32()] {
-            let (size, align) = layout.size_align(&table, ty);
-            prop_assert!(align >= 1);
-            prop_assert!(size % align == 0, "size {size} not multiple of align {align}");
+            let (size, align) = layout.size_align(table, ty);
+            assert!(align >= 1);
+            assert!(size % align == 0, "size {size} not multiple of align {align}");
             // Every leaf lies inside the object and is aligned (except in
             // packed mode where alignment is 1 anyway).
-            for (off, lty) in layout.leaf_offsets(&table, ty) {
-                let (ls, la) = layout.size_align(&table, lty);
-                prop_assert!(off + ls <= size, "leaf at {off}+{ls} beyond size {size}");
-                prop_assert!(off % la == 0, "leaf offset {off} misaligned ({la})");
+            for (off, lty) in layout.leaf_offsets(table, ty) {
+                let (ls, la) = layout.size_align(table, lty);
+                assert!(off + ls <= size, "leaf at {off}+{ls} beyond size {size}");
+                assert!(off % la == 0, "leaf offset {off} misaligned ({la})");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn canonical_offset_is_idempotent_and_bounded(r in recipe_strategy(), probe in 0u64..64) {
-        let mut table = TypeTable::new();
-        let mut c = 0;
-        let ty = build(&mut table, &r, &mut c);
+#[test]
+fn canonical_offset_is_idempotent_and_bounded() {
+    for_each_case(2, |table, ty, rng| {
         let layout = Layout::ilp32();
-        let size = layout.size_of(&table, ty);
+        let size = layout.size_of(table, ty);
+        let probe = rng.gen_range(0..64) as u64;
         let off = if size == 0 { 0 } else { probe % size };
-        let once = layout.canonical_offset(&table, ty, off);
-        let twice = layout.canonical_offset(&table, ty, once);
-        prop_assert_eq!(once, twice, "canonical_offset not idempotent at {}", off);
-        prop_assert!(once < size.max(1), "canonical offset {} escaped object of size {}", once, size);
-    }
+        let once = layout.canonical_offset(table, ty, off);
+        let twice = layout.canonical_offset(table, ty, once);
+        assert_eq!(once, twice, "canonical_offset not idempotent at {off}");
+        assert!(
+            once < size.max(1),
+            "canonical offset {once} escaped object of size {size}"
+        );
+    });
+}
 
-    #[test]
-    fn normalize_path_is_idempotent_and_a_leaf(r in recipe_strategy()) {
-        let mut table = TypeTable::new();
-        let mut c = 0;
-        let ty = build(&mut table, &r, &mut c);
-        let ls = leaves(&table, ty);
-        prop_assert!(!ls.is_empty());
+#[test]
+fn normalize_path_is_idempotent_and_a_leaf() {
+    for_each_case(3, |table, ty, _| {
+        let ls = leaves(table, ty);
+        assert!(!ls.is_empty());
         // normalize of the empty path is the first leaf and is idempotent.
-        let n1 = normalize_path(&table, ty, &FieldPath::empty());
-        let n2 = normalize_path(&table, ty, &n1);
-        prop_assert_eq!(&n1, &n2);
-        prop_assert_eq!(&n1, &ls[0]);
+        let n1 = normalize_path(table, ty, &FieldPath::empty());
+        let n2 = normalize_path(table, ty, &n1);
+        assert_eq!(&n1, &n2);
+        assert_eq!(&n1, &ls[0]);
         // Every leaf normalizes to itself.
         for l in &ls {
-            prop_assert_eq!(&normalize_path(&table, ty, l), l);
+            assert_eq!(&normalize_path(table, ty, l), l);
         }
-    }
+    });
+}
 
-    #[test]
-    fn leaves_are_unique_and_typed(r in recipe_strategy()) {
-        let mut table = TypeTable::new();
-        let mut c = 0;
-        let ty = build(&mut table, &r, &mut c);
-        let ls = leaves(&table, ty);
+#[test]
+fn leaves_are_unique_and_typed() {
+    for_each_case(4, |table, ty, _| {
+        let ls = leaves(table, ty);
         let set: std::collections::HashSet<_> = ls.iter().collect();
-        prop_assert_eq!(set.len(), ls.len(), "duplicate leaves");
+        assert_eq!(set.len(), ls.len(), "duplicate leaves");
         for l in &ls {
-            prop_assert!(type_of_path(&table, ty, l).is_some(), "leaf {l} untypable");
+            assert!(type_of_path(table, ty, l).is_some(), "leaf {l} untypable");
         }
-    }
+    });
+}
 
-    #[test]
-    fn following_leaves_contains_self_and_stays_in_type(r in recipe_strategy()) {
-        let mut table = TypeTable::new();
-        let mut c = 0;
-        let ty = build(&mut table, &r, &mut c);
-        let ls = leaves(&table, ty);
+#[test]
+fn following_leaves_contains_self_and_stays_in_type() {
+    for_each_case(5, |table, ty, _| {
+        let ls = leaves(table, ty);
         let all: std::collections::HashSet<_> = ls.iter().cloned().collect();
         for l in &ls {
-            let fl = following_leaves(&table, ty, l);
-            prop_assert!(fl.contains(l), "followingFields must include the field itself");
+            let fl = following_leaves(table, ty, l);
+            assert!(fl.contains(l), "followingFields must include the field itself");
             for f in &fl {
-                prop_assert!(all.contains(f), "{f} is not a leaf of the type");
+                assert!(all.contains(f), "{f} is not a leaf of the type");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn enclosing_candidates_normalize_back(r in recipe_strategy()) {
-        let mut table = TypeTable::new();
-        let mut c = 0;
-        let ty = build(&mut table, &r, &mut c);
-        for beta in leaves(&table, ty) {
-            for delta in enclosing_candidates(&table, ty, &beta) {
-                prop_assert_eq!(normalize_path(&table, ty, &delta), beta.clone());
+#[test]
+fn enclosing_candidates_normalize_back() {
+    for_each_case(6, |table, ty, _| {
+        for beta in leaves(table, ty) {
+            for delta in enclosing_candidates(table, ty, &beta) {
+                assert_eq!(normalize_path(table, ty, &delta), beta.clone());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn compatibility_is_reflexive_and_symmetric(a in recipe_strategy(), b in recipe_strategy()) {
+#[test]
+fn compatibility_is_reflexive_and_symmetric() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x7000 + case);
+        let ra = random_recipe(&mut rng, 3);
+        let rb = random_recipe(&mut rng, 3);
         let mut table = TypeTable::new();
         let mut c = 0;
-        let ta = build(&mut table, &a, &mut c);
-        let tb = build(&mut table, &b, &mut c);
+        let ta = build(&mut table, &ra, &mut c);
+        let tb = build(&mut table, &rb, &mut c);
         for mode in [CompatMode::Structural, CompatMode::TagBased] {
-            prop_assert!(compatible(&table, ta, ta, mode));
-            prop_assert!(compatible(&table, tb, tb, mode));
-            prop_assert_eq!(
+            assert!(compatible(&table, ta, ta, mode));
+            assert!(compatible(&table, tb, tb, mode));
+            assert_eq!(
                 compatible(&table, ta, tb, mode),
                 compatible(&table, tb, ta, mode)
             );
         }
     }
+}
 
-    #[test]
-    fn cis_is_symmetric_and_bounded(a in recipe_strategy(), b in recipe_strategy()) {
+#[test]
+fn cis_is_symmetric_and_bounded() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x8000 + case);
+        let ra = random_recipe(&mut rng, 3);
+        let rb = random_recipe(&mut rng, 3);
         let mut table = TypeTable::new();
         let mut c = 0;
-        let ta = build(&mut table, &a, &mut c);
-        let tb = build(&mut table, &b, &mut c);
+        let ta = build(&mut table, &ra, &mut c);
+        let tb = build(&mut table, &rb, &mut c);
         let recs: Vec<RecordId> = [ta, tb]
             .iter()
             .filter_map(|&t| table.as_record(table.strip_arrays(t)))
@@ -196,10 +230,10 @@ proptest! {
         if recs.len() == 2 {
             let n1 = common_initial_len(&table, recs[0], recs[1], CompatMode::Structural);
             let n2 = common_initial_len(&table, recs[1], recs[0], CompatMode::Structural);
-            prop_assert_eq!(n1, n2, "CIS must be symmetric");
+            assert_eq!(n1, n2, "CIS must be symmetric");
             let f0 = table.record(recs[0]).fields.len();
             let f1 = table.record(recs[1]).fields.len();
-            prop_assert!(n1 <= f0.min(f1));
+            assert!(n1 <= f0.min(f1));
         }
     }
 }
