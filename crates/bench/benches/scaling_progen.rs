@@ -4,12 +4,18 @@
 //!
 //! Besides the timing table, this bench writes `BENCH_solver.json` at the
 //! repo root — one record per (program, model) with edges, solver
-//! iterations, and median wall-clock — so the solver's perf trajectory is
-//! tracked across PRs. Set `SCAST_BENCH_LARGE=1` to include the `large`
-//! preset (tens of thousands of lines).
+//! iterations, the one-time constraint-compilation time (`compile_s`,
+//! stage 1, shared by every model of that program), and the median
+//! per-model specialize+solve wall-clock (`wall_clock_s`) — so both the
+//! solver's perf trajectory and the compile-once-vs-per-model split are
+//! tracked across PRs.
+//!
+//! Env knobs: `SCAST_BENCH_LARGE=1` adds the `large` preset (tens of
+//! thousands of lines); `SCAST_BENCH_SMOKE=1` shrinks the run to one
+//! small case with a single sample (the CI smoke path).
 
 use structcast::ModelKind;
-use structcast_bench::{solve, solve_full, BenchGroup};
+use structcast_bench::{compile_session, session_solve, BenchGroup};
 use structcast_driver::{experiments, report};
 use structcast_progen::{generate, GenConfig};
 
@@ -21,41 +27,50 @@ struct Record {
     model: ModelKind,
     edges: usize,
     iterations: u64,
+    compile_s: f64,
     wall_clock_s: f64,
 }
 
 fn main() {
-    println!("{}", report::render_scaling(&experiments::run_scaling(false)));
-
-    let mut cases = vec![
-        ("small", GenConfig::small(97)),
-        ("medium", GenConfig::medium(97)),
-    ];
-    if std::env::var_os("SCAST_BENCH_LARGE").is_some() {
-        cases.push(("large", GenConfig::large(97)));
+    let smoke = std::env::var_os("SCAST_BENCH_SMOKE").is_some();
+    if !smoke {
+        println!("{}", report::render_scaling(&experiments::run_scaling(false)));
     }
-    let ratios = [0.0, 0.5, 1.0];
+
+    let mut cases = vec![("small", GenConfig::small(97))];
+    if !smoke {
+        cases.push(("medium", GenConfig::medium(97)));
+        if std::env::var_os("SCAST_BENCH_LARGE").is_some() {
+            cases.push(("large", GenConfig::large(97)));
+        }
+    }
+    let ratios: &[f64] = if smoke { &[0.5] } else { &[0.0, 0.5, 1.0] };
 
     let mut records: Vec<Record> = Vec::new();
     let mut g = BenchGroup::new("scaling");
-    g.sample_size(10);
+    g.sample_size(if smoke { 1 } else { 10 });
     for (label, base) in &cases {
-        for r in ratios {
+        for &r in ratios {
             let cfg = base.clone().with_cast_ratio(r);
             let src = generate(&cfg);
             let lines = src.lines().count();
             let prog = structcast::lower_source(&src).expect("generated code lowers");
+            // Stage 1 once per program; every model below reuses it.
+            let (session, compile_wall) = compile_session(&prog);
+            let compile_s = compile_wall.as_secs_f64();
             for kind in [ModelKind::CommonInitialSeq, ModelKind::Offsets] {
-                let (edges, iterations, _) = solve_full(&prog, kind);
-                let stats = g.bench(&format!("{label}/{kind:?}/r{r}"), || solve(&prog, kind));
+                let res = session.solve(&structcast::AnalysisConfig::new(kind));
+                let stats =
+                    g.bench(&format!("{label}/{kind:?}/r{r}"), || session_solve(&session, kind));
                 records.push(Record {
                     preset: label,
                     cast_ratio: r,
                     lines,
                     assignments: prog.assignment_count(),
                     model: kind,
-                    edges,
-                    iterations,
+                    edges: res.edge_count(),
+                    iterations: res.iterations,
+                    compile_s,
                     wall_clock_s: stats.median.as_secs_f64(),
                 });
             }
@@ -85,7 +100,7 @@ fn render_json(records: &[Record]) -> String {
         out.push_str(&format!(
             "  {{\"preset\": \"{}\", \"cast_ratio\": {}, \"lines\": {}, \
              \"assignments\": {}, \"model\": \"{:?}\", \"edges\": {}, \
-             \"iterations\": {}, \"wall_clock_s\": {:.6}}}{}\n",
+             \"iterations\": {}, \"compile_s\": {:.6}, \"wall_clock_s\": {:.6}}}{}\n",
             r.preset,
             r.cast_ratio,
             r.lines,
@@ -93,6 +108,7 @@ fn render_json(records: &[Record]) -> String {
             r.model,
             r.edges,
             r.iterations,
+            r.compile_s,
             r.wall_clock_s,
             if i + 1 == records.len() { "" } else { "," }
         ));

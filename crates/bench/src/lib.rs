@@ -22,7 +22,7 @@
 #![forbid(unsafe_code)]
 
 use std::time::{Duration, Instant};
-use structcast::{analyze, AnalysisConfig, ModelKind, Program};
+use structcast::{analyze, AnalysisConfig, AnalysisSession, ModelKind, Program};
 
 /// Lowers a corpus program, panicking with its name on failure (benches
 /// want loud, early errors).
@@ -40,6 +40,21 @@ pub fn solve_full(prog: &Program, kind: ModelKind) -> (usize, u64, Duration) {
     let start = Instant::now();
     let res = analyze(prog, &AnalysisConfig::new(kind));
     (res.edge_count(), res.iterations, start.elapsed())
+}
+
+/// Stage 1 alone: compiles the session and reports `(session, wall-clock)`
+/// so benches can split the one-time constraint compilation from the
+/// per-model solve cost.
+pub fn compile_session(prog: &Program) -> (AnalysisSession<'_>, Duration) {
+    let start = Instant::now();
+    let session = AnalysisSession::compile(prog);
+    (session, start.elapsed())
+}
+
+/// Stages 2+3 alone: specializes + solves one instance against an
+/// already-compiled session (the per-model unit of work).
+pub fn session_solve(session: &AnalysisSession<'_>, kind: ModelKind) -> usize {
+    session.solve(&AnalysisConfig::new(kind)).edge_count()
 }
 
 /// Summary statistics for one benchmark id.
@@ -136,6 +151,19 @@ mod tests {
         assert!(solve(&prog, ModelKind::CommonInitialSeq) > 0);
         let (edges, iters, wall) = solve_full(&prog, ModelKind::CommonInitialSeq);
         assert!(edges > 0 && iters > 0 && wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn session_helpers_split_compile_from_solve() {
+        let p = structcast_progen::corpus_program("bst").unwrap();
+        let prog = lower_named(p.name, p.source);
+        let (session, compile_wall) = compile_session(&prog);
+        assert!(compile_wall > Duration::ZERO);
+        // The split must not change the answer.
+        assert_eq!(
+            session_solve(&session, ModelKind::CommonInitialSeq),
+            solve(&prog, ModelKind::CommonInitialSeq)
+        );
     }
 
     #[test]

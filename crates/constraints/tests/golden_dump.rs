@@ -1,0 +1,60 @@
+//! Golden-file tests for the constraint dump: three corpus programs'
+//! dumps are pinned byte-for-byte. The dump is the debugging seam of the
+//! staged pipeline, so accidental format or compilation-order drift must
+//! be loud.
+//!
+//! Regenerate after an *intentional* change with
+//! `UPDATE_GOLDEN=1 cargo test -p structcast-constraints --test golden_dump`.
+
+use structcast_constraints::ConstraintSet;
+
+const GOLDEN: &[(&str, &str)] = &[
+    ("list-utils", include_str!("golden/list-utils.txt")),
+    ("tagged-union", include_str!("golden/tagged-union.txt")),
+    ("oop-shapes", include_str!("golden/oop-shapes.txt")),
+];
+
+fn dump_of(name: &str) -> String {
+    let p = structcast_progen::corpus_program(name)
+        .unwrap_or_else(|| panic!("{name} not in corpus"));
+    let prog = structcast_ir::lower_source(p.source)
+        .unwrap_or_else(|e| panic!("{name} fails to lower: {e}"));
+    ConstraintSet::compile(&prog).dump(&prog)
+}
+
+#[test]
+fn corpus_dumps_match_golden_files() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    for (name, want) in GOLDEN {
+        let got = dump_of(name);
+        if update {
+            let path = format!(
+                "{}/tests/golden/{name}.txt",
+                env!("CARGO_MANIFEST_DIR")
+            );
+            std::fs::write(&path, &got).expect("write golden file");
+            continue;
+        }
+        assert_eq!(
+            got.as_bytes(),
+            want.as_bytes(),
+            "{name}: constraint dump drifted from tests/golden/{name}.txt \
+             (rerun with UPDATE_GOLDEN=1 if the change is intentional)"
+        );
+    }
+}
+
+#[test]
+fn golden_dumps_are_wellformed() {
+    for (name, want) in GOLDEN {
+        let header: Vec<&str> = want.lines().take(2).collect();
+        assert_eq!(header[0], "# structcast-constraints v1", "{name}");
+        let count: usize = header[1]
+            .split("constraints=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("{name}: malformed header {:?}", header[1]));
+        assert_eq!(want.lines().count() - 2, count, "{name}: line count");
+    }
+}

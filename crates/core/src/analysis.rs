@@ -4,10 +4,9 @@
 use crate::facts::FactStore;
 use crate::loc::Loc;
 use crate::model::{FieldModel, ModelKind, ModelStats};
-use crate::models::{make_model_with, ModelOptions};
-use crate::solver::{ArithMode, Solver};
+use crate::solver::ArithMode;
 use std::collections::BTreeSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use structcast_ir::{ObjId, Program, StmtId};
 use structcast_types::{CompatMode, FieldPath, Layout};
 
@@ -84,32 +83,12 @@ impl Default for AnalysisConfig {
 /// Runs the analysis on a lowered program.
 ///
 /// This is the main entry point of the crate; see the crate docs for a
-/// complete example.
+/// complete example. Internally it is a one-model
+/// [`AnalysisSession`](crate::AnalysisSession): compile the constraint
+/// form, specialize it for `config.model`, solve. Multi-model runs should
+/// hold the session themselves so the compilation is shared.
 pub fn analyze(prog: &Program, config: &AnalysisConfig) -> AnalysisResult {
-    let model = make_model_with(
-        config.model,
-        &ModelOptions {
-            layout: config.layout.clone(),
-            compat: config.compat,
-            arith_stride: config.arith_stride,
-        },
-    );
-    let start = Instant::now();
-    let out = Solver::new(prog, model)
-        .with_arith_mode(config.arith_mode)
-        .run();
-    let elapsed = start.elapsed();
-    AnalysisResult {
-        kind: config.model,
-        facts: out.facts,
-        stats: out.stats,
-        iterations: out.iterations,
-        resolved_indirect_calls: out.resolved_indirect_calls,
-        elapsed,
-        unknown: out.unknown,
-        call_edges: out.call_edges,
-        model: out.model,
-    }
+    crate::session::AnalysisSession::compile(prog).solve(config)
 }
 
 /// Parses, lowers, and analyzes C source in one call.
@@ -151,6 +130,25 @@ pub struct AnalysisResult {
 }
 
 impl AnalysisResult {
+    /// Packages a finished solver run (used by the session's solve stage).
+    pub(crate) fn from_solver(
+        kind: ModelKind,
+        out: crate::solver::SolverOutput,
+        elapsed: Duration,
+    ) -> Self {
+        AnalysisResult {
+            kind,
+            facts: out.facts,
+            stats: out.stats,
+            iterations: out.iterations,
+            resolved_indirect_calls: out.resolved_indirect_calls,
+            elapsed,
+            unknown: out.unknown,
+            call_edges: out.call_edges,
+            model: out.model,
+        }
+    }
+
     /// Normalizes `obj.path` under this run's instance.
     pub fn normalize(&self, prog: &Program, obj: ObjId, path: &FieldPath) -> Loc {
         self.model.normalize(prog, obj, path)
@@ -322,10 +320,16 @@ mod tests {
 
     #[test]
     fn config_builders() {
+        // The full symmetric builder set: every config field has a
+        // `with_*` counterpart, so no caller needs struct-field pokes.
         let cfg = AnalysisConfig::new(ModelKind::Offsets)
             .with_layout(Layout::lp64())
-            .with_compat(CompatMode::TagBased);
+            .with_compat(CompatMode::TagBased)
+            .with_stride(true)
+            .with_arith_mode(ArithMode::FlagUnknown);
         assert_eq!(cfg.layout.name, "lp64");
         assert_eq!(cfg.compat, CompatMode::TagBased);
+        assert!(cfg.arith_stride);
+        assert_eq!(cfg.arith_mode, ArithMode::FlagUnknown);
     }
 }

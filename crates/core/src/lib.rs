@@ -58,10 +58,47 @@
 //! 1. [`parse`] (from `structcast-ast`) — C source → AST;
 //! 2. [`lower`] / [`lower_source`] (from `structcast-ir`) — AST → the five
 //!    normalized assignment forms of the paper's §2;
-//! 3. [`analyze`] — fixpoint over the inference rules of Figure 2,
-//!    parameterized by the chosen [`ModelKind`];
+//! 3. the staged analysis (below) — [`analyze`] for one instance, or an
+//!    [`AnalysisSession`] to solve several instances over one program;
 //! 4. [`AnalysisResult`] — points-to queries, alias queries, and the
 //!    metrics of the paper's Figures 3–6.
+//!
+//! ## Staged analysis: compile once, solve many
+//!
+//! The analysis itself runs in three explicit stages:
+//!
+//! ```text
+//!   Program ──compile──▶ ConstraintSet ──specialize(model)──▶ solver
+//!            (stage 1,    [constraints]    (stage 2, per        (stage 3,
+//!             once)                         instance)            fixpoint)
+//! ```
+//!
+//! 1. **Constraint compilation** (the [`constraints`] layer,
+//!    `structcast-constraints`): the IR is walked *once* into a
+//!    model-independent [`ConstraintSet`] — interned field paths,
+//!    pre-resolved `τ`/`τ_p`/pointee types, one constraint per statement —
+//!    with a stable dump for debugging and golden tests;
+//! 2. **Model specialization**: each constraint's operands are mapped
+//!    through the chosen instance's `normalize` and interned
+//!    ([`Solver::from_constraints`]);
+//! 3. **Solving**: the difference-propagation worklist fixpoint over the
+//!    inference rules of Figure 2.
+//!
+//! [`AnalysisSession`] packages the staging: `compile` a program once,
+//! then `solve` any number of configurations against the shared constraint
+//! form — the shape of the paper's four-instance evaluation:
+//!
+//! ```
+//! use structcast::{AnalysisConfig, AnalysisSession, ModelKind};
+//!
+//! let prog = structcast::lower_source("int x, *p; void f(void) { p = &x; }")?;
+//! let session = AnalysisSession::compile(&prog); // stage 1, paid once
+//! for kind in ModelKind::ALL {
+//!     let res = session.solve(&AnalysisConfig::new(kind)); // stages 2+3
+//!     assert_eq!(res.points_to_names(&prog, "p"), vec!["x".to_string()]);
+//! }
+//! # Ok::<(), structcast::LowerError>(())
+//! ```
 //!
 //! A Steensgaard-style unification ablation lives in [`steensgaard`].
 
@@ -74,6 +111,7 @@ mod loc;
 mod model;
 pub mod models;
 pub mod modref;
+mod session;
 mod solver;
 pub mod steensgaard;
 
@@ -81,7 +119,13 @@ pub use analysis::{analyze, analyze_source, AnalysisConfig, AnalysisResult};
 pub use facts::FactStore;
 pub use loc::{FieldRep, Loc, LocId};
 pub use model::{FieldModel, ModelKind, ModelStats};
+pub use session::AnalysisSession;
 pub use solver::{ArithMode, Solver, SolverOutput};
+
+/// The model-independent constraint layer (re-export of
+/// `structcast-constraints`): [`ConstraintSet`] and friends.
+pub use structcast_constraints as constraints;
+pub use structcast_constraints::ConstraintSet;
 
 // Re-export the pipeline so `structcast` is a one-stop dependency.
 pub use structcast_ast::{parse, ParseError, TranslationUnit};

@@ -1,0 +1,181 @@
+//! The compile-once, solve-many [`AnalysisSession`].
+//!
+//! The paper's evaluation (Figures 4–6) runs **all four** framework
+//! instances over every program. The IR walk, type resolution, and field
+//! path interning are identical across instances, so a session hoists them
+//! into one [`ConstraintSet`] compilation and lets each
+//! [`AnalysisSession::solve`] call pay only for model specialization and
+//! the fixpoint itself.
+
+use crate::analysis::{AnalysisConfig, AnalysisResult};
+use crate::models::{make_model_with, ModelOptions};
+use crate::solver::Solver;
+use std::time::Instant;
+use structcast_constraints::ConstraintSet;
+use structcast_ir::Program;
+
+/// A compiled analysis session over one program: the model-independent
+/// constraint form, computed once, plus the program it came from.
+///
+/// ```text
+///   Program ──compile──▶ ConstraintSet ──specialize(model)──▶ solver
+///            (once)                      (per solve call)
+/// ```
+///
+/// # Examples
+///
+/// Solving all four instances through one session compiles the IR exactly
+/// once and yields the same results as four independent
+/// [`analyze`](crate::analyze) calls:
+///
+/// ```
+/// use structcast::{AnalysisConfig, AnalysisSession, ModelKind};
+///
+/// let prog = structcast::lower_source(
+///     "struct S { int *s1; int *s2; } s;\n\
+///      int x, y, *p;\n\
+///      void f(void) { s.s1 = &x; s.s2 = &y; p = s.s1; }",
+/// )?;
+/// let session = AnalysisSession::compile(&prog);
+/// for kind in ModelKind::ALL {
+///     let res = session.solve(&AnalysisConfig::new(kind));
+///     assert!(res.edge_count() > 0, "{kind}");
+/// }
+/// // The constraint layer is inspectable: one constraint per statement.
+/// assert_eq!(session.constraints().len(), prog.stmts.len());
+/// # Ok::<(), structcast::LowerError>(())
+/// ```
+pub struct AnalysisSession<'p> {
+    prog: &'p Program,
+    constraints: ConstraintSet,
+}
+
+impl<'p> AnalysisSession<'p> {
+    /// Stage 1: lowers `prog` into its model-independent constraint form.
+    /// This is the only step that walks the IR; every subsequent
+    /// [`solve`](AnalysisSession::solve) reuses the compiled set.
+    pub fn compile(prog: &'p Program) -> Self {
+        AnalysisSession {
+            prog,
+            constraints: ConstraintSet::compile(prog),
+        }
+    }
+
+    /// Wraps an externally compiled constraint set (e.g. one that was just
+    /// dumped or transformed) instead of recompiling `prog`.
+    ///
+    /// The set must have been compiled from this exact program; constraint
+    /// object/type ids are meaningless against any other.
+    pub fn from_parts(prog: &'p Program, constraints: ConstraintSet) -> Self {
+        AnalysisSession { prog, constraints }
+    }
+
+    /// The program this session was compiled from.
+    pub fn program(&self) -> &'p Program {
+        self.prog
+    }
+
+    /// The shared model-independent constraint form (stage-1 output) —
+    /// also the debugging seam: see [`ConstraintSet::dump`].
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// Stages 2+3: specializes the shared constraints for `config`'s
+    /// instance and runs the difference-propagation solver to fixpoint.
+    ///
+    /// `AnalysisResult::elapsed` covers specialization + solving (the
+    /// per-model cost); the one-time constraint compilation is paid by
+    /// [`compile`](AnalysisSession::compile) and shared by every solve.
+    pub fn solve(&self, config: &AnalysisConfig) -> AnalysisResult {
+        let model = make_model_with(
+            config.model,
+            &ModelOptions {
+                layout: config.layout.clone(),
+                compat: config.compat,
+                arith_stride: config.arith_stride,
+            },
+        );
+        let start = Instant::now();
+        let out = Solver::from_constraints(self.prog, &self.constraints, model)
+            .with_arith_mode(config.arith_mode)
+            .run();
+        let elapsed = start.elapsed();
+        AnalysisResult::from_solver(config.model, out, elapsed)
+    }
+
+    /// Solves every instance in [`ModelKind::ALL`](crate::ModelKind::ALL)
+    /// order with default options — the common Figure 4–6 shape.
+    pub fn solve_all(&self) -> Vec<AnalysisResult> {
+        crate::model::ModelKind::ALL
+            .iter()
+            .map(|k| self.solve(&AnalysisConfig::new(*k)))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for AnalysisSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisSession")
+            .field("constraints", &self.constraints.len())
+            .field("paths", &self.constraints.num_paths())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelKind;
+    use structcast_constraints::compiles_on_thread;
+
+    const SRC: &str = "struct S { int *s1; int *s2; } s;\n\
+        int x, y, *p;\n\
+        void f(void) { s.s1 = &x; s.s2 = &y; p = s.s1; }";
+
+    #[test]
+    fn compile_once_solve_many() {
+        let prog = structcast_ir::lower_source(SRC).unwrap();
+        let before = compiles_on_thread();
+        let session = AnalysisSession::compile(&prog);
+        let results = session.solve_all();
+        assert_eq!(
+            compiles_on_thread() - before,
+            1,
+            "4 solves must share one IR->constraint compilation"
+        );
+        assert_eq!(results.len(), 4);
+        for (kind, res) in ModelKind::ALL.iter().zip(&results) {
+            assert_eq!(res.kind, *kind);
+            assert!(res.edge_count() > 0);
+        }
+        // CIS stays precise, Collapse-Always merges the fields.
+        let names = |i: usize| results[i].points_to_names(&prog, "p");
+        assert_eq!(names(2), vec!["x".to_string()]);
+        assert_eq!(names(0), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn session_matches_independent_analyze() {
+        let prog = structcast_ir::lower_source(SRC).unwrap();
+        let session = AnalysisSession::compile(&prog);
+        for kind in ModelKind::ALL {
+            let cfg = AnalysisConfig::new(kind);
+            let a = session.solve(&cfg);
+            let b = crate::analysis::analyze(&prog, &cfg);
+            assert_eq!(a.edge_count(), b.edge_count(), "{kind}");
+            assert_eq!(a.iterations, b.iterations, "{kind}");
+        }
+    }
+
+    #[test]
+    fn from_parts_reuses_an_external_set(){
+        let prog = structcast_ir::lower_source(SRC).unwrap();
+        let cset = ConstraintSet::compile(&prog);
+        let session = AnalysisSession::from_parts(&prog, cset);
+        assert_eq!(session.constraints().len(), prog.stmts.len());
+        assert!(session.solve(&AnalysisConfig::default()).edge_count() > 0);
+        assert!(format!("{session:?}").contains("AnalysisSession"));
+        assert!(std::ptr::eq(session.program(), &prog));
+    }
+}

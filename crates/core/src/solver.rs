@@ -8,8 +8,15 @@
 //! (object granularity), so a new fact only re-fires the statements that
 //! might derive more from it.
 //!
+//! The solver is the **third stage** of the pipeline: it consumes the
+//! model-independent [`ConstraintSet`] produced by `structcast-constraints`
+//! (stage 1, one IR walk per program) after *specializing* each constraint
+//! against the chosen [`FieldModel`] (stage 2: operands normalized through
+//! the instance's `normalize` and interned). The solver itself never walks
+//! the IR.
+//!
 //! The data plane works on dense interned [`LocId`]s with **difference
-//! propagation**: statements are compiled once into [`CStmt`]s holding
+//! propagation**: constraints are specialized once into [`CStmt`]s holding
 //! pre-normalized operand ids, and each firing consumes only the *delta*
 //! of facts added since its last visit (per-pair copy cursors for Rules
 //! 3/4/5 and `CopyAll`, per-watched-location scan cursors for Rule 2,
@@ -25,7 +32,8 @@ use crate::facts::FactStore;
 use crate::loc::{Loc, LocId};
 use crate::model::{FieldModel, ModelStats};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
-use structcast_ir::{Callee, FuncId, ObjId, Program, Stmt};
+use structcast_constraints::{Constraint, ConstraintSet};
+use structcast_ir::{FuncId, ObjId, Program};
 use structcast_types::{FieldPath, TypeId};
 
 /// How pointer arithmetic is modeled (paper §4.2.1).
@@ -41,7 +49,7 @@ pub enum ArithMode {
     FlagUnknown,
 }
 
-/// A statement compiled against the model: operand locations are
+/// A constraint specialized against the model: operand locations are
 /// normalized and interned once at construction, so a firing performs no
 /// normalization, no type-table scans, and no `Stmt` clones.
 enum CStmt {
@@ -117,9 +125,6 @@ struct Engine<'p> {
     pair_cursors: HashMap<(u32, LocId, LocId), u32>,
     /// `FieldModel::normalize` memo per `(obj, path)`.
     norm_cache: HashMap<ObjId, HashMap<FieldPath, LocId>>,
-    /// The interned `char` type, resolved once (the byte fallback for
-    /// pointees of non-pointer values).
-    char_ty: Option<TypeId>,
     /// Scratch for draining a delta while inserting facts.
     delta_buf: Vec<LocId>,
 }
@@ -153,16 +158,6 @@ pub struct SolverOutput {
 }
 
 impl<'p> Engine<'p> {
-    /// The declared pointee type of `ptr`, with a byte fallback for values
-    /// whose declared type is not a pointer (possible only through unions
-    /// of our own temps; the paper's τ_p is always defined).
-    fn pointee(&self, ptr: ObjId) -> TypeId {
-        match self.prog.pointee_of(ptr) {
-            Some(t) => t,
-            None => self.char_ty.unwrap_or_else(|| self.prog.type_of(ptr)),
-        }
-    }
-
     /// Memoized `model.normalize(obj, path)`, interned.
     fn norm_id(&mut self, obj: ObjId, path: &FieldPath) -> LocId {
         if let Some(&id) = self.norm_cache.get(&obj).and_then(|m| m.get(path)) {
@@ -177,55 +172,57 @@ impl<'p> Engine<'p> {
         id
     }
 
-    /// Compiles one IR statement into its pre-normalized form.
-    fn compile(&mut self, stmt: &Stmt) -> CStmt {
+    /// Stage-2 **model specialization**: maps one model-independent
+    /// constraint to its pre-normalized, interned form. Types (`τ`,
+    /// `τ_p`, arithmetic pointee) were already resolved by the constraint
+    /// compiler, so this only runs the instance's `normalize` (memoized)
+    /// and interns the results — no IR or type-table access.
+    fn specialize(&mut self, cset: &ConstraintSet, c: &Constraint) -> CStmt {
         let empty = FieldPath::empty();
-        match stmt {
-            Stmt::AddrOf { dst, src, path } => CStmt::AddrOf {
+        match c {
+            Constraint::AddrOf { dst, src } => CStmt::AddrOf {
                 d: self.norm_id(*dst, &empty),
-                t: self.norm_id(*src, path),
+                t: self.norm_id(src.obj, cset.path(src.path)),
             },
-            Stmt::AddrField { dst, ptr, path } => CStmt::AddrField {
-                d: self.norm_id(*dst, &empty),
-                p: self.norm_id(*ptr, &empty),
-                tau_p: self.pointee(*ptr),
-                path: path.clone(),
-            },
-            Stmt::Copy { dst, src, path } => CStmt::Copy {
-                d: self.norm_id(*dst, &empty),
-                s: self.norm_id(*src, path),
-                tau: self.prog.type_of(*dst),
-            },
-            Stmt::Load { dst, ptr } => CStmt::Load {
+            Constraint::AddrField { dst, ptr, tau_p, path } => CStmt::AddrField {
                 d: self.norm_id(*dst, &empty),
                 p: self.norm_id(*ptr, &empty),
-                tau: self.prog.type_of(*dst),
+                tau_p: *tau_p,
+                path: cset.path(*path).clone(),
             },
-            Stmt::Store { ptr, src } => CStmt::Store {
+            Constraint::Copy { dst, src, tau } => CStmt::Copy {
+                d: self.norm_id(*dst, &empty),
+                s: self.norm_id(src.obj, cset.path(src.path)),
+                tau: *tau,
+            },
+            Constraint::Load { dst, ptr, tau } => CStmt::Load {
+                d: self.norm_id(*dst, &empty),
+                p: self.norm_id(*ptr, &empty),
+                tau: *tau,
+            },
+            Constraint::Store { ptr, src, tau_p } => CStmt::Store {
                 p: self.norm_id(*ptr, &empty),
                 s: self.norm_id(*src, &empty),
-                tau_p: self.pointee(*ptr),
+                tau_p: *tau_p,
             },
-            Stmt::PtrArith { dst, src } => CStmt::PtrArith {
+            Constraint::PtrArith { dst, src, pointee } => CStmt::PtrArith {
                 d: self.norm_id(*dst, &empty),
                 s: self.norm_id(*src, &empty),
-                pointee: self.prog.pointee_of(*src),
+                pointee: *pointee,
             },
-            Stmt::CopyAll { dst_ptr, src_ptr } => CStmt::CopyAll {
+            Constraint::CopyAll { dst_ptr, src_ptr } => CStmt::CopyAll {
                 dp: self.norm_id(*dst_ptr, &empty),
                 sp: self.norm_id(*src_ptr, &empty),
             },
-            Stmt::Call { callee, args, ret } => match callee {
-                Callee::Direct(fid) => CStmt::CallDirect {
-                    fid: *fid,
-                    args: args.clone(),
-                    ret: *ret,
-                },
-                Callee::Indirect(fp) => CStmt::CallIndirect {
-                    p: self.norm_id(*fp, &empty),
-                    args: args.clone(),
-                    ret: *ret,
-                },
+            Constraint::CallDirect { fid, args, ret } => CStmt::CallDirect {
+                fid: *fid,
+                args: args.clone(),
+                ret: *ret,
+            },
+            Constraint::CallIndirect { ptr, args, ret } => CStmt::CallIndirect {
+                p: self.norm_id(*ptr, &empty),
+                args: args.clone(),
+                ret: *ret,
             },
         }
     }
@@ -470,17 +467,29 @@ impl<'p> Engine<'p> {
 }
 
 impl<'p> Solver<'p> {
-    /// Creates a solver over `prog` with the given framework instance. All
-    /// statements are compiled up front: operands normalized (memoized per
-    /// `(obj, path)`), interned, and paired with their pre-resolved types —
-    /// including the `char` fallback `TypeId`, located here once instead of
-    /// per `pointee()` call.
+    /// Creates a solver over `prog` with the given framework instance,
+    /// compiling a fresh [`ConstraintSet`] internally.
+    ///
+    /// One-shot convenience: a multi-model run should compile the set once
+    /// (via `AnalysisSession` or [`ConstraintSet::compile`]) and call
+    /// [`Solver::from_constraints`] per instance instead of paying the IR
+    /// walk each time.
     pub fn new(prog: &'p Program, model: Box<dyn FieldModel>) -> Self {
-        let n = prog.stmts.len();
-        let char_kind = structcast_types::TypeKind::Int(structcast_types::IntKind::Char);
-        let char_ty = (0..prog.types.len() as u32)
-            .map(structcast_types::TypeId)
-            .find(|t| prog.types.kind(*t) == &char_kind);
+        let cset = ConstraintSet::compile(prog);
+        Solver::from_constraints(prog, &cset, model)
+    }
+
+    /// Creates a solver from an already-compiled constraint set (stage 2 of
+    /// the pipeline): every constraint is specialized against `model` —
+    /// operands normalized (memoized per `(obj, path)`) and interned — so
+    /// firing performs no normalization and no type-table scans. The set is
+    /// not retained; it can be reused for further models.
+    pub fn from_constraints(
+        prog: &'p Program,
+        cset: &ConstraintSet,
+        model: Box<dyn FieldModel>,
+    ) -> Self {
+        let n = cset.len();
         let mut en = Engine {
             prog,
             model,
@@ -497,10 +506,9 @@ impl<'p> Solver<'p> {
             scan_cursors: HashMap::new(),
             pair_cursors: HashMap::new(),
             norm_cache: HashMap::new(),
-            char_ty,
             delta_buf: Vec::new(),
         };
-        let cstmts: Vec<CStmt> = prog.stmts.iter().map(|s| en.compile(s)).collect();
+        let cstmts: Vec<CStmt> = cset.iter().map(|c| en.specialize(cset, c)).collect();
         Solver { en, cstmts }
     }
 

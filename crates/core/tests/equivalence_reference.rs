@@ -294,6 +294,69 @@ fn progen_programs_match_reference_for_all_models() {
     }
 }
 
+/// A store's sorted edge list rendered to bytes, for literal byte-identity
+/// comparisons across solve paths.
+fn edge_bytes(facts: &FactStore) -> Vec<u8> {
+    let mut s = String::new();
+    for (src, tgt) in sorted_edges(facts) {
+        s.push_str(&format!("{src}->{tgt}\n"));
+    }
+    s.into_bytes()
+}
+
+/// The compile-once, solve-many session must (a) perform the IR→constraint
+/// compilation exactly once for a 4-model run, and (b) produce edge sets
+/// byte-identical to four independent `analyze` calls — over both corpus
+/// and generated programs.
+#[test]
+fn session_compile_once_matches_independent_analyze() {
+    use structcast::{analyze, AnalysisConfig, AnalysisSession};
+
+    let corpus: Vec<(String, String)> = casty_corpus()
+        .iter()
+        .take(3)
+        .map(|p| (p.name.to_string(), p.source.to_string()))
+        .collect();
+    let generated = (
+        "progen(seed=11, r=0.5)".to_string(),
+        generate(&GenConfig::small(11).with_cast_ratio(0.5)),
+    );
+    for (name, src) in corpus.into_iter().chain([generated]) {
+        let prog = lower_source(&src).expect("program lowers");
+
+        // Compile-once: the counter is thread-local, so only this test's
+        // own compilations are visible here.
+        let before = structcast::constraints::compiles_on_thread();
+        let session = AnalysisSession::compile(&prog);
+        let shared: Vec<_> = ModelKind::ALL
+            .iter()
+            .map(|kind| session.solve(&AnalysisConfig::new(*kind)))
+            .collect();
+        assert_eq!(
+            structcast::constraints::compiles_on_thread() - before,
+            1,
+            "{name}: a 4-model session run must compile constraints exactly once"
+        );
+
+        for (kind, from_session) in ModelKind::ALL.iter().zip(&shared) {
+            let independent = analyze(&prog, &AnalysisConfig::new(*kind));
+            assert_eq!(
+                edge_bytes(&from_session.facts),
+                edge_bytes(&independent.facts),
+                "{name}/{kind}: session vs independent analyze edge sets"
+            );
+            assert_eq!(
+                from_session.iterations, independent.iterations,
+                "{name}/{kind}: iteration counts"
+            );
+            assert_eq!(
+                from_session.resolved_indirect_calls, independent.resolved_indirect_calls,
+                "{name}/{kind}: indirect-call bindings"
+            );
+        }
+    }
+}
+
 #[test]
 fn flag_unknown_mode_matches_reference() {
     let cfg = GenConfig::small(42).with_cast_ratio(0.6);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! scast <file.c> [--model collapse|cast|cis|offsets] [--layout ilp32|lp64|packed32]
-//!       [--var NAME]... [--deref-stats] [--dump-ir] [--steensgaard]
+//!       [--var NAME]... [--deref-stats] [--dump-ir] [--dump-constraints] [--steensgaard]
 //! scast --corpus            # list the embedded benchmark corpus
 //! ```
 
@@ -14,7 +14,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: scast <file.c> [--model collapse|cast|cis|offsets] \
          [--layout ilp32|lp64|packed32] [--var NAME]... [--deref-stats] \
-         [--dump-ir] [--steensgaard] [--stride] [--flag-unknown] [--dot] [--modref]\n       scast --corpus"
+         [--dump-ir] [--dump-constraints] [--steensgaard] [--stride] \
+         [--flag-unknown] [--dot] [--modref]\n       scast --corpus"
     );
     std::process::exit(2);
 }
@@ -63,6 +64,7 @@ fn main() -> ExitCode {
     let mut vars: Vec<String> = Vec::new();
     let mut deref_stats = false;
     let mut dump_ir = false;
+    let mut dump_constraints = false;
     let mut steens = false;
     let mut stride = false;
     let mut flag_unknown = false;
@@ -76,6 +78,7 @@ fn main() -> ExitCode {
             "--var" => vars.push(it.next().unwrap_or_else(|| usage())),
             "--deref-stats" => deref_stats = true,
             "--dump-ir" => dump_ir = true,
+            "--dump-constraints" => dump_constraints = true,
             "--steensgaard" => steens = true,
             "--stride" => stride = true,
             "--flag-unknown" => flag_unknown = true,
@@ -121,6 +124,13 @@ fn main() -> ExitCode {
     }
     if dump_ir {
         print!("{}", prog.dump());
+        return ExitCode::SUCCESS;
+    }
+    if dump_constraints {
+        // Stage-1 output only: the model-independent constraint form,
+        // printed in deterministic statement order. No solving happens.
+        let session = structcast::AnalysisSession::compile(&prog);
+        print!("{}", session.constraints().dump(&prog));
         return ExitCode::SUCCESS;
     }
 

@@ -5,9 +5,9 @@
 //! Each `run_*` function returns structured rows; rendering lives in
 //! [`crate::report`].
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use structcast::steensgaard::steensgaard;
-use structcast::{analyze, AnalysisConfig, Layout, ModelKind, Program};
+use structcast::{AnalysisConfig, AnalysisSession, Layout, ModelKind, Program};
 use structcast_progen::{casty_corpus, corpus, generate, CorpusProgram, GenConfig};
 
 /// One row of Figure 3: program characteristics and the share of
@@ -76,8 +76,8 @@ fn lower(p: &CorpusProgram) -> Program {
         .unwrap_or_else(|e| panic!("corpus program {} failed to lower: {e}", p.name))
 }
 
-fn run_model(prog: &Program, kind: ModelKind) -> structcast::AnalysisResult {
-    analyze(prog, &AnalysisConfig::new(kind))
+fn run_model(session: &AnalysisSession<'_>, kind: ModelKind) -> structcast::AnalysisResult {
+    session.solve(&AnalysisConfig::new(kind))
 }
 
 /// Figure 3: program stats + struct/cast call ratios for all 20 programs.
@@ -86,8 +86,9 @@ pub fn run_fig3() -> Vec<Fig3Row> {
         .iter()
         .map(|p| {
             let prog = lower(p);
-            let coc = run_model(&prog, ModelKind::CollapseOnCast);
-            let cis = run_model(&prog, ModelKind::CommonInitialSeq);
+            let session = AnalysisSession::compile(&prog);
+            let coc = run_model(&session, ModelKind::CollapseOnCast);
+            let cis = run_model(&session, ModelKind::CommonInitialSeq);
             Fig3Row {
                 name: p.name.to_string(),
                 casty: p.casty,
@@ -114,8 +115,9 @@ pub fn run_fig4() -> Vec<ModelRow> {
         .iter()
         .map(|p| {
             let prog = lower(p);
-            let values = ModelKind::ALL
-                .map(|kind| run_model(&prog, kind).average_deref_size(&prog));
+            let session = AnalysisSession::compile(&prog);
+            let values =
+                ModelKind::ALL.map(|kind| run_model(&session, kind).average_deref_size(&prog));
             ModelRow {
                 name: p.name.to_string(),
                 values,
@@ -131,11 +133,12 @@ pub fn run_fig5(repeats: usize) -> Vec<ModelRow> {
         .iter()
         .map(|p| {
             let prog = lower(p);
+            let session = AnalysisSession::compile(&prog);
             let values = ModelKind::ALL.map(|kind| {
-                let _ = run_model(&prog, kind); // warmup
+                let _ = run_model(&session, kind); // warmup
                 let mut total = Duration::ZERO;
                 for _ in 0..repeats.max(1) {
-                    total += run_model(&prog, kind).elapsed;
+                    total += run_model(&session, kind).elapsed;
                 }
                 total.as_secs_f64() / repeats.max(1) as f64
             });
@@ -153,7 +156,8 @@ pub fn run_fig6() -> Vec<ModelRow> {
         .iter()
         .map(|p| {
             let prog = lower(p);
-            let values = ModelKind::ALL.map(|kind| run_model(&prog, kind).edge_count() as f64);
+            let session = AnalysisSession::compile(&prog);
+            let values = ModelKind::ALL.map(|kind| run_model(&session, kind).edge_count() as f64);
             ModelRow {
                 name: p.name.to_string(),
                 values,
@@ -186,8 +190,9 @@ pub fn run_ablation_steensgaard() -> Vec<SteensRow> {
         .iter()
         .map(|p| {
             let prog = lower(p);
-            let ca = run_model(&prog, ModelKind::CollapseAlways);
-            let cis = run_model(&prog, ModelKind::CommonInitialSeq);
+            let session = AnalysisSession::compile(&prog);
+            let ca = run_model(&session, ModelKind::CollapseAlways);
+            let cis = run_model(&session, ModelKind::CommonInitialSeq);
             let st = steensgaard(&prog);
             SteensRow {
                 name: p.name.to_string(),
@@ -220,11 +225,12 @@ pub fn run_ablation_layout() -> Vec<LayoutRow> {
         .iter()
         .map(|p| {
             let prog = lower(p);
+            let session = AnalysisSession::compile(&prog);
             let mut avg_sizes = [0.0; 3];
             let mut edges = [0usize; 3];
             for (i, l) in layouts.iter().enumerate() {
                 let cfg = AnalysisConfig::new(ModelKind::Offsets).with_layout(l.clone());
-                let res = analyze(&prog, &cfg);
+                let res = session.solve(&cfg);
                 avg_sizes[i] = res.average_deref_size(&prog);
                 edges[i] = res.edge_count();
             }
@@ -263,17 +269,19 @@ pub fn run_ablation_stride() -> Vec<StrideRow> {
         .iter()
         .map(|p| {
             let prog = lower(p);
+            let session = AnalysisSession::compile(&prog);
             let avg = |kind: ModelKind, stride: bool| {
-                analyze(&prog, &AnalysisConfig::new(kind).with_stride(stride))
+                session
+                    .solve(&AnalysisConfig::new(kind).with_stride(stride))
                     .average_deref_size(&prog)
             };
-            let unknown = analyze(
-                &prog,
-                &AnalysisConfig::new(ModelKind::CommonInitialSeq)
-                    .with_arith_mode(ArithMode::FlagUnknown),
-            )
-            .unknown_deref_sites(&prog)
-            .len();
+            let unknown = session
+                .solve(
+                    &AnalysisConfig::new(ModelKind::CommonInitialSeq)
+                        .with_arith_mode(ArithMode::FlagUnknown),
+                )
+                .unknown_deref_sites(&prog)
+                .len();
             StrideRow {
                 name: p.name.to_string(),
                 off_plain: avg(ModelKind::Offsets, false),
@@ -305,8 +313,9 @@ pub fn run_modref() -> Vec<ModRefRow> {
         .iter()
         .map(|p| {
             let prog = lower(p);
+            let session = AnalysisSession::compile(&prog);
             let avg_mod = ModelKind::ALL.map(|kind| {
-                let res = run_model(&prog, kind);
+                let res = run_model(&session, kind);
                 mod_ref(&prog, &res, true).average_mod_size(&prog)
             });
             ModRefRow {
@@ -328,7 +337,10 @@ pub struct ScalingRow {
     pub lines: usize,
     /// Normalized assignments.
     pub assignments: usize,
-    /// Solve time (seconds) and edges per model, in [`ModelKind::ALL`] order.
+    /// One-time IR→constraint compilation (stage 1), seconds — paid once
+    /// and shared by all four solves below.
+    pub compile_s: f64,
+    /// Per-model specialize+solve time (seconds), in [`ModelKind::ALL`] order.
     pub times: [f64; 4],
     /// Edge counts per model.
     pub edges: [usize; 4],
@@ -357,11 +369,14 @@ pub fn run_scaling(include_large: bool) -> Vec<ScalingRow> {
         .map(|(label, cfg)| {
             let src = generate(&cfg);
             let prog = structcast::lower_source(&src).expect("generated program lowers");
+            let start = Instant::now();
+            let session = AnalysisSession::compile(&prog);
+            let compile_s = start.elapsed().as_secs_f64();
             let mut times = [0.0; 4];
             let mut edges = [0usize; 4];
             let mut iterations = [0u64; 4];
             for (i, kind) in ModelKind::ALL.iter().enumerate() {
-                let res = run_model(&prog, *kind);
+                let res = run_model(&session, *kind);
                 times[i] = res.elapsed.as_secs_f64();
                 edges[i] = res.edge_count();
                 iterations[i] = res.iterations;
@@ -371,6 +386,7 @@ pub fn run_scaling(include_large: bool) -> Vec<ScalingRow> {
                 cast_ratio: cfg.cast_ratio,
                 lines: src.lines().count(),
                 assignments: prog.assignment_count(),
+                compile_s,
                 times,
                 edges,
                 iterations,

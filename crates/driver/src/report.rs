@@ -243,17 +243,18 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
     let _ = writeln!(s, "Scaling: generated programs (size × cast ratio)");
     let _ = writeln!(
         s,
-        "{:<14} {:>7} {:>7} | {:>9} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
-        "preset", "lines", "asgn", "tCA(s)", "tCoC(s)", "tCIS(s)", "tOff(s)", "eCA", "eCoC",
-        "eCIS", "eOff", "iCA", "iCoC", "iCIS", "iOff"
+        "{:<14} {:>7} {:>7} | {:>9} | {:>9} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
+        "preset", "lines", "asgn", "compile", "tCA(s)", "tCoC(s)", "tCIS(s)", "tOff(s)", "eCA",
+        "eCoC", "eCIS", "eOff", "iCA", "iCoC", "iCIS", "iOff"
     );
     for r in rows {
         let _ = writeln!(
             s,
-            "{:<14} {:>7} {:>7} | {:>9.4} {:>9.4} {:>9.4} {:>9.4} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
+            "{:<14} {:>7} {:>7} | {:>9.4} | {:>9.4} {:>9.4} {:>9.4} {:>9.4} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
             r.preset,
             r.lines,
             r.assignments,
+            r.compile_s,
             r.times[0],
             r.times[1],
             r.times[2],

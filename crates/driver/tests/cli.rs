@@ -96,6 +96,27 @@ fn dump_ir_shows_normalized_forms() {
 }
 
 #[test]
+fn dump_constraints_prints_the_stage1_dump() {
+    let (stdout, _, ok) = scast(&["list-utils", "--dump-constraints"]);
+    assert!(ok);
+    assert!(stdout.starts_with("# structcast-constraints v1\n"), "{stdout}");
+    assert!(stdout.contains("addrof"), "{stdout}");
+    // Deterministic: two runs print byte-identical dumps.
+    let (again, _, ok2) = scast(&["list-utils", "--dump-constraints"]);
+    assert!(ok2);
+    assert_eq!(stdout, again);
+    // Sorted: zero-padded indices make lexicographic == statement order.
+    let ids: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with('c'))
+        .map(|l| l.split_whitespace().next().unwrap())
+        .collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(ids, sorted);
+}
+
+#[test]
 fn steensgaard_mode() {
     let (stdout, _, ok) = scast(&["bst", "--steensgaard", "--var", "g_tree"]);
     assert!(ok);
