@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Server smoke test: start `scast serve` on an ephemeral port, run a
+# scripted `scast query` pass covering every request type, run the same
+# pass again, and assert (a) the second pass added zero cache misses and
+# (b) the server shuts down cleanly with its summary line.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+cargo build --release -p structcast-driver
+SCAST=target/release/scast
+
+LOG=$(mktemp)
+"$SCAST" serve --addr 127.0.0.1:0 --threads 4 >"$LOG" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+# The first stdout line is `listening on HOST:PORT`.
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on //p' "$LOG" | head -n1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server never reported its address"; cat "$LOG"; exit 1; }
+echo "server at $ADDR"
+
+query_pass() {
+    "$SCAST" query --addr "$ADDR" - <<'EOF'
+{"op":"load","name":"bst"}
+{"op":"load","name":"x","source":"int v, *w; void f(void) { w = &v; }"}
+{"op":"points_to","program":"bst","var":"g_tree"}
+{"op":"points_to","program":"bst","var":"g_tree","model":"offsets","layout":"lp64"}
+{"op":"alias","program":"bst","a":"g_tree","b":"g_tree"}
+{"op":"modref","program":"bst"}
+{"op":"compare_models","program":"bst"}
+EOF
+}
+
+misses() {
+    # Sum of program_misses + solve_misses from a stats response.
+    "$SCAST" query --addr "$ADDR" '{"op":"stats"}' |
+        tr ',{' '\n\n' |
+        awk -F': ' '/"(program|solve)_misses"/ { sum += $2 } END { print sum+0 }'
+}
+
+PASS1=$(query_pass)
+echo "$PASS1" | grep -vq '"ok": false' || { echo "pass 1 had errors:"; echo "$PASS1"; exit 1; }
+[ "$(echo "$PASS1" | wc -l)" -eq 7 ] || { echo "expected 7 responses"; echo "$PASS1"; exit 1; }
+COLD=$(misses)
+[ "$COLD" -gt 0 ] || { echo "cold pass should have missed"; exit 1; }
+
+PASS2=$(query_pass)
+[ "$PASS1" = "$PASS2" ] || {
+    echo "warm pass responses differ from cold pass:"
+    diff <(echo "$PASS1") <(echo "$PASS2") || true
+    exit 1
+}
+WARM=$(misses)
+[ "$WARM" -eq "$COLD" ] || { echo "warm pass added misses: $COLD -> $WARM"; exit 1; }
+echo "warm pass: identical responses, zero new misses (total misses: $WARM)"
+
+"$SCAST" query --addr "$ADDR" '{"op":"shutdown"}' | grep -q '"shutdown": true'
+wait "$SERVER_PID"
+trap - EXIT
+grep -q "structcast-server: served" "$LOG" || { echo "missing summary line"; cat "$LOG"; exit 1; }
+echo "clean shutdown:"
+tail -n1 "$LOG"
+rm -f "$LOG"

@@ -1,0 +1,135 @@
+//! Query throughput of the structcast-server on a warm cache: 4 client
+//! threads over real TCP connections, each firing a mix of `points_to`
+//! and `alias` requests against programs the server has already compiled
+//! and solved — so every request is a pure cache lookup and the number
+//! measures the service overhead (framing, dispatch, lock traffic), not
+//! the solver.
+//!
+//! Writes `BENCH_server.json` at the repo root: queries/sec per scenario
+//! plus the miss counters proving the measured section ran fully warm.
+//!
+//! Env knobs: `SCAST_BENCH_SMOKE=1` shrinks the per-thread query count to
+//! the CI smoke size.
+
+use std::time::Instant;
+use structcast_server::json::Json;
+use structcast_server::{serve, Client, Metrics, ServerConfig};
+
+const CLIENT_THREADS: usize = 4;
+
+/// (program, var to query) — all embedded corpus programs, so the server
+/// auto-loads them on first touch.
+const TARGETS: [(&str, &str); 3] = [
+    ("bst", "g_tree"),
+    ("tagged-union", "g_registry"),
+    ("list-utils", "g_head"),
+];
+
+fn main() {
+    let smoke = std::env::var_os("SCAST_BENCH_SMOKE").is_some();
+    let per_thread: usize = if smoke { 50 } else { 2000 };
+
+    let handle = serve(&ServerConfig::default()).expect("bind ephemeral port");
+    let addr = handle.addr();
+    let metrics = handle.metrics();
+
+    // Warm every (program, default-options) entry the measured section
+    // will touch, from a single connection.
+    let mut warm = Client::connect(addr).expect("connect");
+    for (prog, var) in TARGETS {
+        let resp = warm
+            .request_line(&format!(
+                r#"{{"op":"points_to","program":"{prog}","var":"{var}"}}"#
+            ))
+            .expect("warm query");
+        assert!(resp.contains("\"ok\": true"), "{resp}");
+    }
+    // Close the warming connection: graceful shutdown waits for open
+    // connections to drain, so a client held across `handle.wait()` would
+    // deadlock the bench.
+    drop(warm);
+    let misses_before = metrics.total_misses();
+
+    let mut records = Vec::new();
+    for (scenario, alias_every) in [("points_to", usize::MAX), ("mixed", 3)] {
+        let start = Instant::now();
+        let threads: Vec<_> = (0..CLIENT_THREADS)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    for i in 0..per_thread {
+                        let (prog, var) = TARGETS[(t + i) % TARGETS.len()];
+                        let req = if alias_every != usize::MAX && i % alias_every == 0 {
+                            format!(
+                                r#"{{"op":"alias","program":"{prog}","a":"{var}","b":"{var}"}}"#
+                            )
+                        } else {
+                            format!(r#"{{"op":"points_to","program":"{prog}","var":"{var}"}}"#)
+                        };
+                        let resp = c.request_line(&req).expect("query");
+                        assert!(resp.contains("\"ok\": true"), "{resp}");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("client thread");
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let total = (CLIENT_THREADS * per_thread) as f64;
+        let qps = total / elapsed;
+        println!(
+            "{scenario:>10}: {CLIENT_THREADS} threads x {per_thread} queries \
+             in {elapsed:.3}s = {qps:.0} queries/sec"
+        );
+        records.push(record(scenario, per_thread, elapsed, qps, &metrics));
+    }
+
+    // Warm means warm: the measured sections must not have compiled or
+    // solved anything.
+    assert_eq!(
+        metrics.total_misses(),
+        misses_before,
+        "measured queries must all be cache hits"
+    );
+
+    let mut shut = Client::connect(addr).expect("connect");
+    shut.shutdown_server().expect("shutdown");
+    handle.wait();
+
+    let json = format!("{}\n", Json::Arr(records));
+    let path = repo_root_file("BENCH_server.json");
+    std::fs::write(&path, json).expect("write BENCH_server.json");
+    println!("\nwrote {}", path.display());
+}
+
+fn record(scenario: &str, per_thread: usize, elapsed: f64, qps: f64, metrics: &Metrics) -> Json {
+    Json::obj([
+        ("scenario", Json::str(scenario)),
+        ("client_threads", Json::count(CLIENT_THREADS as u64)),
+        ("queries_per_thread", Json::count(per_thread as u64)),
+        ("elapsed_s", Json::num(elapsed)),
+        ("queries_per_sec", Json::num(qps)),
+        ("program_misses", Json::count(metrics_field(metrics, "program_misses"))),
+        ("solve_misses", Json::count(metrics_field(metrics, "solve_misses"))),
+    ])
+}
+
+fn metrics_field(metrics: &Metrics, key: &str) -> u64 {
+    metrics
+        .snapshot()
+        .get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+/// `BENCH_server.json` lives at the repo root, two levels above this
+/// crate's manifest.
+fn repo_root_file(name: &str) -> std::path::PathBuf {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .unwrap_or(manifest)
+        .join(name)
+}

@@ -179,6 +179,38 @@ impl AnalysisResult {
         out.into_iter().collect()
     }
 
+    /// The points-to set of the named variable `var`, or `None` if the
+    /// program has no object of that name. The `Loc` form (unlike
+    /// [`points_to_names`](AnalysisResult::points_to_names)) keeps field
+    /// positions, so two targets inside the same object stay distinct —
+    /// what the alias query and the query server need.
+    pub fn points_to_named(&self, prog: &Program, var: &str) -> Option<Vec<Loc>> {
+        prog.object_by_name(var).map(|o| self.points_to(prog, o))
+    }
+
+    /// [`may_alias`](AnalysisResult::may_alias) by variable name; `None` if
+    /// either name does not resolve to an object.
+    pub fn may_alias_named(&self, prog: &Program, a: &str, b: &str) -> Option<bool> {
+        let oa = prog.object_by_name(a)?;
+        let ob = prog.object_by_name(b)?;
+        Some(self.may_alias(prog, oa, ob))
+    }
+
+    /// Every points-to edge rendered with source-level names (via
+    /// [`Loc::display`]), sorted and deduplicated — the deterministic
+    /// machine-readable form shared by `scast --json` and the query
+    /// server.
+    pub fn edge_displays(&self, prog: &Program) -> Vec<(String, String)> {
+        let mut v: Vec<(String, String)> = self
+            .facts
+            .iter()
+            .map(|(s, t)| (s.display(prog), t.display(prog)))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
     /// May `a` and `b` (top-level objects) point to a common location?
     ///
     /// Locations are compared for exact equality (same object and same
@@ -316,6 +348,34 @@ mod tests {
         let cfg = AnalysisConfig::default();
         let (prog, res) = analyze_source(INTRO, &cfg).unwrap();
         assert!(res.points_to_names(&prog, "nonexistent").is_empty());
+    }
+
+    #[test]
+    fn named_lookup_queries() {
+        let src = "int x, y, *p, *q, *r;\n\
+                   void f(void) { p = &x; q = &x; r = &y; }";
+        let cfg = AnalysisConfig::default();
+        let (prog, res) = analyze_source(src, &cfg).unwrap();
+        let pts = res.points_to_named(&prog, "p").unwrap();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].obj, prog.object_by_name("x").unwrap());
+        assert!(res.points_to_named(&prog, "no_such_var").is_none());
+        assert_eq!(res.may_alias_named(&prog, "p", "q"), Some(true));
+        assert_eq!(res.may_alias_named(&prog, "p", "r"), Some(false));
+        assert_eq!(res.may_alias_named(&prog, "p", "ghost"), None);
+    }
+
+    #[test]
+    fn edge_displays_are_sorted_and_named() {
+        let cfg = AnalysisConfig::default();
+        let (prog, res) = analyze_source(INTRO, &cfg).unwrap();
+        let edges = res.edge_displays(&prog);
+        assert!(!edges.is_empty());
+        let mut sorted = edges.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(edges, sorted);
+        assert!(edges.iter().any(|(s, t)| s == "p" && t == "x"), "{edges:?}");
     }
 
     #[test]

@@ -119,8 +119,8 @@ pub use analysis::{analyze, analyze_source, AnalysisConfig, AnalysisResult};
 pub use facts::FactStore;
 pub use loc::{FieldRep, Loc, LocId};
 pub use model::{FieldModel, ModelKind, ModelStats};
-pub use session::AnalysisSession;
-pub use solver::{ArithMode, Solver, SolverOutput};
+pub use session::{solve_compiled, AnalysisSession};
+pub use solver::{solves_on_thread, ArithMode, Solver, SolverOutput};
 
 /// The model-independent constraint layer (re-export of
 /// `structcast-constraints`): [`ConstraintSet`] and friends.

@@ -88,20 +88,7 @@ impl<'p> AnalysisSession<'p> {
     /// per-model cost); the one-time constraint compilation is paid by
     /// [`compile`](AnalysisSession::compile) and shared by every solve.
     pub fn solve(&self, config: &AnalysisConfig) -> AnalysisResult {
-        let model = make_model_with(
-            config.model,
-            &ModelOptions {
-                layout: config.layout.clone(),
-                compat: config.compat,
-                arith_stride: config.arith_stride,
-            },
-        );
-        let start = Instant::now();
-        let out = Solver::from_constraints(self.prog, &self.constraints, model)
-            .with_arith_mode(config.arith_mode)
-            .run();
-        let elapsed = start.elapsed();
-        AnalysisResult::from_solver(config.model, out, elapsed)
+        solve_compiled(self.prog, &self.constraints, config)
     }
 
     /// Solves every instance in [`ModelKind::ALL`](crate::ModelKind::ALL)
@@ -112,6 +99,36 @@ impl<'p> AnalysisSession<'p> {
             .map(|k| self.solve(&AnalysisConfig::new(*k)))
             .collect()
     }
+}
+
+/// Stages 2+3 against an externally held constraint set: specializes
+/// `constraints` for `config`'s instance and runs the solver to fixpoint.
+///
+/// This is [`AnalysisSession::solve`] without the session wrapper, for
+/// callers that keep `Program` and [`ConstraintSet`] in owned storage —
+/// the query server's session cache holds both in one map entry and solves
+/// on demand, which a borrowing `AnalysisSession<'p>` cannot express.
+///
+/// `constraints` must have been compiled from this exact `prog`.
+pub fn solve_compiled(
+    prog: &Program,
+    constraints: &ConstraintSet,
+    config: &AnalysisConfig,
+) -> AnalysisResult {
+    let model = make_model_with(
+        config.model,
+        &ModelOptions {
+            layout: config.layout.clone(),
+            compat: config.compat,
+            arith_stride: config.arith_stride,
+        },
+    );
+    let start = Instant::now();
+    let out = Solver::from_constraints(prog, constraints, model)
+        .with_arith_mode(config.arith_mode)
+        .run();
+    let elapsed = start.elapsed();
+    AnalysisResult::from_solver(config.model, out, elapsed)
 }
 
 impl std::fmt::Debug for AnalysisSession<'_> {

@@ -31,10 +31,28 @@
 use crate::facts::FactStore;
 use crate::loc::{Loc, LocId};
 use crate::model::{FieldModel, ModelStats};
+use std::cell::Cell;
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use structcast_constraints::{Constraint, ConstraintSet};
 use structcast_ir::{FuncId, ObjId, Program};
 use structcast_types::{FieldPath, TypeId};
+
+thread_local! {
+    /// Fixpoint runs performed on this thread (see [`solves_on_thread`]).
+    static SOLVES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of [`Solver::run`] fixpoints performed **on the current thread**
+/// since it started.
+///
+/// The counterpart of `structcast_constraints::compiles_on_thread` for
+/// stage 3: tests (and the query server's cache tests) assert that a
+/// memoized result is served without re-running the solver by taking the
+/// counter's delta around the code under test. Thread-local on purpose, so
+/// parallel test threads don't race each other's counts.
+pub fn solves_on_thread() -> u64 {
+    SOLVES.with(|c| c.get())
+}
 
 /// How pointer arithmetic is modeled (paper §4.2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -520,6 +538,7 @@ impl<'p> Solver<'p> {
 
     /// Runs to fixpoint and returns the facts and instrumentation.
     pub fn run(mut self) -> SolverOutput {
+        SOLVES.with(|c| c.set(c.get() + 1));
         while let Some(idx) = self.en.worklist.pop_front() {
             self.en.queued[idx as usize] = false;
             self.en.iterations += 1;

@@ -357,6 +357,64 @@ fn session_compile_once_matches_independent_analyze() {
     }
 }
 
+/// `AnalysisSession::solve` must honor every `ModelOptions` knob, not just
+/// the defaults: for each non-default (layout, compat, stride) combination
+/// the session path must produce edge sets byte-identical to a direct
+/// `Solver::new(prog, make_model_with(...))` run. A specialization bug that
+/// drops an option (e.g. always building the ilp32 model) shows up here as
+/// a byte diff on the layout-sensitive Offsets model or the
+/// compat-sensitive CIS/cast models.
+#[test]
+fn session_solve_honors_non_default_model_options() {
+    use structcast::models::{make_model_with, ModelOptions};
+    use structcast::{AnalysisConfig, AnalysisSession};
+
+    let option_grid = [
+        ("lp64", Layout::lp64(), CompatMode::Structural, false),
+        ("packed32", Layout::packed32(), CompatMode::Structural, false),
+        ("tag-based", Layout::ilp32(), CompatMode::TagBased, false),
+        ("stride", Layout::ilp32(), CompatMode::Structural, true),
+        ("lp64+tag+stride", Layout::lp64(), CompatMode::TagBased, true),
+    ];
+    let programs: Vec<(String, String)> = casty_corpus()
+        .iter()
+        .take(2)
+        .map(|p| (p.name.to_string(), p.source.to_string()))
+        .chain([(
+            "progen(seed=23, r=0.7)".to_string(),
+            generate(&GenConfig::small(23).with_cast_ratio(0.7)),
+        )])
+        .collect();
+    for (name, src) in &programs {
+        let prog = lower_source(src).expect("program lowers");
+        let session = AnalysisSession::compile(&prog);
+        for (what, layout, compat, stride) in &option_grid {
+            for kind in ModelKind::ALL {
+                let cfg = AnalysisConfig::new(kind)
+                    .with_layout(layout.clone())
+                    .with_compat(*compat)
+                    .with_stride(*stride);
+                let from_session = session.solve(&cfg);
+                let opts = ModelOptions {
+                    layout: layout.clone(),
+                    compat: *compat,
+                    arith_stride: *stride,
+                };
+                let direct = Solver::new(&prog, make_model_with(kind, &opts)).run();
+                assert_eq!(
+                    edge_bytes(&from_session.facts),
+                    edge_bytes(&direct.facts),
+                    "{name}/{kind}/{what}: session vs direct solver edge sets"
+                );
+                assert_eq!(
+                    from_session.iterations, direct.iterations,
+                    "{name}/{kind}/{what}: iteration counts"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn flag_unknown_mode_matches_reference() {
     let cfg = GenConfig::small(42).with_cast_ratio(0.6);

@@ -3,19 +3,28 @@
 //! ```text
 //! scast <file.c> [--model collapse|cast|cis|offsets] [--layout ilp32|lp64|packed32]
 //!       [--var NAME]... [--deref-stats] [--dump-ir] [--dump-constraints] [--steensgaard]
+//!       [--json]
 //! scast --corpus            # list the embedded benchmark corpus
+//! scast serve [--addr HOST:PORT] [--threads N]
+//! scast query --addr HOST:PORT <request-json>... | -
 //! ```
 
+use std::io::Write as _;
 use std::process::ExitCode;
 use structcast::steensgaard::steensgaard;
-use structcast::{analyze, AnalysisConfig, Layout, ModelKind};
+use structcast::{analyze, AnalysisConfig, AnalysisResult, Layout, ModelKind, Program};
+use structcast_server::json::Json;
+use structcast_server::{serve, Client, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: scast <file.c> [--model collapse|cast|cis|offsets] \
          [--layout ilp32|lp64|packed32] [--var NAME]... [--deref-stats] \
          [--dump-ir] [--dump-constraints] [--steensgaard] [--stride] \
-         [--flag-unknown] [--dot] [--modref]\n       scast --corpus"
+         [--flag-unknown] [--dot] [--modref] [--json]\
+         \n       scast --corpus\
+         \n       scast serve [--addr HOST:PORT] [--threads N]\
+         \n       scast query --addr HOST:PORT <request-json>... | -"
     );
     std::process::exit(2);
 }
@@ -50,12 +59,116 @@ fn main() -> ExitCode {
     if args.is_empty() {
         usage();
     }
+    let outcome = match args[0].as_str() {
+        "serve" => cmd_serve(&args[1..]),
+        "query" => cmd_query(&args[1..]),
+        _ => run(args),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("scast: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `scast serve`: run the analysis-query service in the foreground until a
+/// client sends `{"op": "shutdown"}`.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => cfg.addr = it.next().cloned().unwrap_or_else(|| usage()),
+            "--threads" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                cfg.threads = n.parse().map_err(|_| format!("serve: bad --threads `{n}`"))?;
+            }
+            _ => usage(),
+        }
+    }
+    let handle = serve(&cfg).map_err(|e| format!("serve: cannot bind {}: {e}", cfg.addr))?;
+    println!("listening on {}", handle.addr());
+    // Scripts scrape that line from a pipe, so force it out now.
+    let _ = std::io::stdout().flush();
+    handle.wait(); // the accept thread prints the final summary line
+    Ok(())
+}
+
+/// `scast query`: send request lines to a running server and print the
+/// response lines. Requests come from the argument list, or from stdin
+/// (one per line) when the single argument `-` is given.
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let mut addr = None;
+    let mut reqs: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            other => reqs.push(other.to_string()),
+        }
+    }
+    let addr = addr.ok_or("query: --addr HOST:PORT is required")?;
+    if reqs.is_empty() {
+        return Err("query: no requests given (pass JSON objects, or `-` for stdin)".into());
+    }
+    if reqs == ["-"] {
+        reqs = std::io::read_to_string(std::io::stdin())
+            .map_err(|e| format!("query: cannot read stdin: {e}"))?
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(str::to_string)
+            .collect();
+    }
+    let mut client =
+        Client::connect(&addr).map_err(|e| format!("query: cannot connect to {addr}: {e}"))?;
+    for req in &reqs {
+        let resp = client
+            .request_line(req)
+            .map_err(|e| format!("query: {addr}: {e}"))?;
+        println!("{resp}");
+    }
+    Ok(())
+}
+
+/// Renders one analysis as a machine-readable JSON object: the full
+/// points-to edge list plus per-dereference-site points-to sizes. Shares
+/// the server's emitter so the output grammar is identical.
+fn render_json(file: &str, model: ModelKind, prog: &Program, res: &AnalysisResult) -> Json {
+    let edges = res
+        .edge_displays(prog)
+        .into_iter()
+        .map(|(from, to)| Json::Arr(vec![Json::Str(from), Json::Str(to)]))
+        .collect();
+    let derefs = res
+        .deref_site_sizes(prog)
+        .into_iter()
+        .map(|(sid, size)| {
+            Json::obj([
+                ("stmt", Json::str(prog.display_stmt(&prog.stmts[sid.0 as usize]))),
+                ("size", Json::count(size as u64)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("file", Json::str(file)),
+        ("model", Json::str(model.paper_name())),
+        ("edge_count", Json::count(res.edge_count() as u64)),
+        ("iterations", Json::count(res.iterations)),
+        ("avg_deref_size", Json::num(res.average_deref_size(prog))),
+        ("edges", Json::Arr(edges)),
+        ("deref_sites", Json::Arr(derefs)),
+    ])
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
     if args[0] == "--corpus" {
         println!("{:<18} {:>6} {:>6}", "name", "lines", "casty");
         for p in structcast_progen::corpus() {
             println!("{:<18} {:>6} {:>6}", p.name, p.line_count(), p.casty);
         }
-        return ExitCode::SUCCESS;
+        return Ok(());
     }
 
     let mut file = None;
@@ -70,6 +183,7 @@ fn main() -> ExitCode {
     let mut flag_unknown = false;
     let mut dot = false;
     let mut modref = false;
+    let mut json = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -84,6 +198,7 @@ fn main() -> ExitCode {
             "--flag-unknown" => flag_unknown = true,
             "--dot" => dot = true,
             "--modref" => modref = true,
+            "--json" => json = true,
             other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
             _ => usage(),
         }
@@ -105,33 +220,24 @@ fn main() -> ExitCode {
                     std::fs::read_to_string(base.join(name)).ok()
                 })
             }
-            Err(e) => {
-                eprintln!("scast: cannot read {file}: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return Err(format!("cannot read {file}: {e}")),
         },
     };
 
-    let prog = match structcast::lower_source(&source) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("scast: {file}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let prog = structcast::lower_source(&source).map_err(|e| format!("{file}: {e}"))?;
     for w in &prog.warnings {
         eprintln!("scast: warning: {w}");
     }
     if dump_ir {
         print!("{}", prog.dump());
-        return ExitCode::SUCCESS;
+        return Ok(());
     }
     if dump_constraints {
         // Stage-1 output only: the model-independent constraint form,
         // printed in deterministic statement order. No solving happens.
         let session = structcast::AnalysisSession::compile(&prog);
         print!("{}", session.constraints().dump(&prog));
-        return ExitCode::SUCCESS;
+        return Ok(());
     }
 
     if steens {
@@ -145,7 +251,7 @@ fn main() -> ExitCode {
         for v in &vars {
             println!("  {v} -> {{{}}}", res.points_to_names(&prog, v).join(", "));
         }
-        return ExitCode::SUCCESS;
+        return Ok(());
     }
 
     let mut cfg = AnalysisConfig::new(model).with_layout(layout).with_stride(stride);
@@ -153,9 +259,13 @@ fn main() -> ExitCode {
         cfg = cfg.with_arith_mode(structcast::ArithMode::FlagUnknown);
     }
     let res = analyze(&prog, &cfg);
+    if json {
+        println!("{}", render_json(&file, model, &prog, &res));
+        return Ok(());
+    }
     if dot {
         print!("{}", structcast::modref::to_dot(&prog, &res));
-        return ExitCode::SUCCESS;
+        return Ok(());
     }
     if modref {
         let mr = structcast::modref::mod_ref(&prog, &res, true);
@@ -174,7 +284,7 @@ fn main() -> ExitCode {
             println!("  {:<20} MOD {{{}}}", f.name, names(&sets.mods));
             println!("  {:<20} REF {{{}}}", "", names(&sets.refs));
         }
-        return ExitCode::SUCCESS;
+        return Ok(());
     }
     if flag_unknown {
         let sites = res.unknown_deref_sites(&prog);
@@ -203,15 +313,13 @@ fn main() -> ExitCode {
     }
     if vars.is_empty() {
         // Print points-to sets of all named pointers with nonempty sets.
-        for (i, obj) in prog.objects.iter().enumerate() {
+        for obj in prog.objects.iter() {
             if !obj.kind.is_named_variable() {
                 continue;
             }
-            let id = structcast::ObjId(i as u32);
             let names = res.points_to_names(&prog, &obj.name);
             if !names.is_empty() {
                 println!("  {} -> {{{}}}", obj.name, names.join(", "));
-                let _ = id;
             }
         }
     } else {
@@ -219,5 +327,5 @@ fn main() -> ExitCode {
             println!("  {v} -> {{{}}}", res.points_to_names(&prog, v).join(", "));
         }
     }
-    ExitCode::SUCCESS
+    Ok(())
 }

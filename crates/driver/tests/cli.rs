@@ -138,6 +138,141 @@ fn bad_file_fails_cleanly() {
 }
 
 #[test]
+fn malformed_input_fails_with_parse_error_on_stderr() {
+    let dir = std::env::temp_dir().join("scast_cli_bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.c");
+    std::fs::write(&path, "int x = ;;; garbage(((").unwrap();
+    let (stdout, stderr, ok) = scast(&[path.to_str().unwrap()]);
+    assert!(!ok, "malformed input must exit nonzero");
+    assert!(stderr.contains("parse error"), "{stderr}");
+    assert!(stderr.contains("bad.c"), "{stderr}");
+    assert!(stdout.is_empty(), "diagnostics go to stderr, not stdout: {stdout}");
+}
+
+#[test]
+fn json_output_is_machine_readable_and_deterministic() {
+    use structcast_server::json::Json;
+    let (stdout, _, ok) = scast(&["tagged-union", "--json", "--model", "offsets"]);
+    assert!(ok);
+    assert_eq!(stdout.lines().count(), 1, "one JSON object per run: {stdout}");
+    let v = Json::parse(stdout.trim()).expect("valid JSON");
+    assert_eq!(v.get("model").and_then(Json::as_str), Some("Offsets"));
+    let edges = v.get("edges").and_then(Json::as_arr).unwrap();
+    assert_eq!(
+        edges.len() as u64,
+        v.get("edge_count").and_then(Json::as_u64).unwrap()
+    );
+    assert!(edges.iter().any(|e| {
+        e.as_arr().is_some_and(|pair| {
+            pair[0].as_str() == Some("g_registry")
+        })
+    }), "{stdout}");
+    assert!(!v.get("deref_sites").and_then(Json::as_arr).unwrap().is_empty());
+    let (again, _, ok2) = scast(&["tagged-union", "--json", "--model", "offsets"]);
+    assert!(ok2);
+    assert_eq!(stdout, again, "--json output must be byte-deterministic");
+}
+
+#[test]
+fn serve_and_query_round_trip() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_scast"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("scast serve starts");
+    let mut lines = BufReader::new(server.stdout.take().unwrap()).lines();
+    let banner = lines.next().unwrap().unwrap();
+    let addr = banner.strip_prefix("listening on ").expect(&banner).to_string();
+
+    let query = |reqs: &[&str]| -> Vec<String> {
+        let mut args = vec!["query", "--addr", &addr];
+        args.extend_from_slice(reqs);
+        let (stdout, stderr, ok) = scast(&args);
+        assert!(ok, "{stderr}");
+        stdout.lines().map(str::to_string).collect()
+    };
+    let pass = || {
+        query(&[
+            r#"{"op":"load","name":"bst"}"#,
+            r#"{"op":"points_to","program":"bst","var":"g_tree"}"#,
+            r#"{"op":"alias","program":"bst","a":"g_tree","b":"g_tree"}"#,
+            r#"{"op":"modref","program":"bst"}"#,
+            r#"{"op":"compare_models","program":"bst"}"#,
+        ])
+    };
+    let first = pass();
+    assert_eq!(first.len(), 5);
+    assert!(first.iter().all(|l| l.starts_with(r#"{"ok": true"#)), "{first:?}");
+
+    let misses = |stats: &str| {
+        let v = structcast_server::json::Json::parse(stats).unwrap();
+        let g = |k| v.get(k).and_then(structcast_server::json::Json::as_u64).unwrap();
+        g("program_misses") + g("solve_misses")
+    };
+    let cold = misses(&query(&[r#"{"op":"stats"}"#])[0]);
+    assert!(cold > 0);
+    // Second identical pass: byte-identical answers, no new cache misses.
+    assert_eq!(first, pass());
+    assert_eq!(misses(&query(&[r#"{"op":"stats"}"#])[0]), cold);
+
+    let bye = query(&[r#"{"op":"shutdown"}"#]);
+    assert!(bye[0].contains("\"shutdown\": true"), "{bye:?}");
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "clean exit after shutdown: {status:?}");
+    let summary: Vec<String> = lines.map(|l| l.unwrap()).collect();
+    assert!(
+        summary.iter().any(|l| l.contains("structcast-server: served")),
+        "{summary:?}"
+    );
+}
+
+#[test]
+fn query_reads_requests_from_stdin() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::Stdio;
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_scast"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut lines = BufReader::new(server.stdout.take().unwrap()).lines();
+    let banner = lines.next().unwrap().unwrap();
+    let addr = banner.strip_prefix("listening on ").unwrap().to_string();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_scast"))
+        .args(["query", "--addr", &addr, "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"{\"op\":\"points_to\",\"program\":\"tagged-union\",\"var\":\"g_registry\"}\n{\"op\":\"shutdown\"}\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 2, "{stdout}");
+    assert!(stdout.contains("\"points_to\": ["), "{stdout}");
+    assert!(server.wait().unwrap().success());
+}
+
+#[test]
+fn query_without_server_fails_cleanly() {
+    // Port 9 (discard) on loopback is virtually never listening.
+    let (_, stderr, ok) = scast(&["query", "--addr", "127.0.0.1:9", r#"{"op":"stats"}"#]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot connect"), "{stderr}");
+}
+
+#[test]
 fn bad_model_usage_error() {
     let out = Command::new(env!("CARGO_BIN_EXE_scast"))
         .args(["bst", "--model", "telepathy"])

@@ -1,0 +1,351 @@
+//! The compile-once, solve-once, query-many session cache.
+//!
+//! Layer 1 (`ProgramEntry`, keyed by **source hash**) holds a lowered
+//! `Program` plus its stage-1 `ConstraintSet` — one entry per distinct
+//! source text, so reloading a program is free and queries never recompile.
+//! Layer 2 (`Solved`, keyed by source hash × [`QueryOpts::cache_key`])
+//! memoizes one solved instance as a plain-data summary: points-to sets of
+//! every named variable, MOD/REF tables, and the figure metrics. Workers
+//! answer queries from these immutable summaries without touching the
+//! solver, so a warm query is a map lookup behind an `RwLock` read guard.
+//!
+//! Both layers live behind `RwLock`s with the **miss work done outside the
+//! lock**: concurrent queries for different keys solve in parallel, and a
+//! rare same-key race costs one redundant solve (both compute the same
+//! deterministic result; the first insert wins).
+
+use crate::metrics::Metrics;
+use crate::proto::QueryOpts;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+use structcast::{modref, solve_compiled, AnalysisResult, ConstraintSet, Loc, ModelKind, Program};
+
+/// FNV-1a over the source text — the cache key of a loaded program.
+pub fn source_hash(src: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in src.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A compiled program: stage 1 paid once, shared by every query.
+#[derive(Debug)]
+pub struct ProgramEntry {
+    /// The source hash (cache key).
+    pub key: u64,
+    /// The key as the hex string clients see (`"a1b2..."`).
+    pub hash_hex: String,
+    /// The name the program was loaded under (or the hash when unnamed).
+    pub name: String,
+    /// The lowered program.
+    pub prog: Program,
+    /// Its model-independent constraint form.
+    pub constraints: ConstraintSet,
+    /// Stage-1 wall-clock paid at load time.
+    pub compile: Duration,
+}
+
+/// One solved instance, reduced to the immutable plain-data summary the
+/// query handlers read. Holding summaries (rather than `AnalysisResult`,
+/// whose boxed model is not `Sync`) is what lets entries be shared freely
+/// across worker threads.
+#[derive(Debug)]
+pub struct Solved {
+    /// Which instance this is.
+    pub kind: ModelKind,
+    /// Total points-to edges (Figure 6 metric).
+    pub edges: usize,
+    /// Solver statement evaluations.
+    pub iterations: u64,
+    /// Specialize+solve wall-clock paid when this entry was built.
+    pub solve: Duration,
+    /// Every named variable in the program (for existence checks).
+    pub vars: BTreeSet<String>,
+    /// Points-to sets rendered for display, nonempty sets only.
+    pub points_to: BTreeMap<String, Vec<String>>,
+    /// Exact points-to sets, nonempty sets only (alias queries compare
+    /// `Loc`s for equality, not display strings).
+    pub pt_locs: BTreeMap<String, BTreeSet<Loc>>,
+    /// Per-defined-function `(MOD, REF)` object-name sets.
+    pub modref: BTreeMap<String, (Vec<String>, Vec<String>)>,
+    /// Average points-to set size over dereference sites (Figure 4).
+    pub avg_deref: f64,
+    /// Number of static dereference sites.
+    pub deref_sites: usize,
+}
+
+impl Solved {
+    fn build(entry: &ProgramEntry, res: &AnalysisResult) -> Solved {
+        let prog = &entry.prog;
+        let mut vars = BTreeSet::new();
+        let mut points_to = BTreeMap::new();
+        let mut pt_locs = BTreeMap::new();
+        for obj in &prog.objects {
+            if !obj.kind.is_named_variable() {
+                continue;
+            }
+            vars.insert(obj.name.clone());
+            let locs = match res.points_to_named(prog, &obj.name) {
+                Some(l) if !l.is_empty() => l,
+                _ => continue,
+            };
+            let mut shown: Vec<String> = locs.iter().map(|l| l.display(prog)).collect();
+            shown.sort();
+            shown.dedup();
+            points_to.insert(obj.name.clone(), shown);
+            pt_locs.insert(obj.name.clone(), locs.into_iter().collect());
+        }
+        let mr = modref::mod_ref(prog, res, true);
+        let mut modref_map = BTreeMap::new();
+        for f in &prog.functions {
+            if !f.defined {
+                continue;
+            }
+            let sets = mr.of(f.id);
+            let names = |set: &BTreeSet<structcast::ObjId>| {
+                set.iter().map(|o| prog.object(*o).name.clone()).collect::<Vec<_>>()
+            };
+            modref_map.insert(f.name.clone(), (names(&sets.mods), names(&sets.refs)));
+        }
+        Solved {
+            kind: res.kind,
+            edges: res.edge_count(),
+            iterations: res.iterations,
+            solve: res.elapsed,
+            vars,
+            points_to,
+            pt_locs,
+            modref: modref_map,
+            avg_deref: res.average_deref_size(prog),
+            deref_sites: prog.deref_sites().len(),
+        }
+    }
+
+    /// May `a` and `b` point to a common location? `None` when either
+    /// variable does not exist in the program.
+    pub fn may_alias(&self, a: &str, b: &str) -> Option<bool> {
+        if !self.vars.contains(a) || !self.vars.contains(b) {
+            return None;
+        }
+        let (pa, pb) = match (self.pt_locs.get(a), self.pt_locs.get(b)) {
+            (Some(pa), Some(pb)) => (pa, pb),
+            _ => return Some(false),
+        };
+        Some(pa.intersection(pb).next().is_some())
+    }
+}
+
+/// The concurrent two-layer cache; see the module docs.
+pub struct SessionCache {
+    metrics: Arc<Metrics>,
+    programs: RwLock<HashMap<u64, Arc<ProgramEntry>>>,
+    names: RwLock<HashMap<String, u64>>,
+    solved: RwLock<HashMap<(u64, String), Arc<Solved>>>,
+}
+
+impl SessionCache {
+    /// An empty cache recording into `metrics`.
+    pub fn new(metrics: Arc<Metrics>) -> SessionCache {
+        SessionCache {
+            metrics,
+            programs: RwLock::new(HashMap::new()),
+            names: RwLock::new(HashMap::new()),
+            solved: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Loads (compiles) `source`, reusing the cached entry when the same
+    /// text was loaded before. `name` registers an alias for later queries
+    /// (latest load of a name wins); unnamed programs are addressed by
+    /// their hash. Lower failures are reported, not cached.
+    pub fn load(&self, name: Option<&str>, source: &str) -> Result<Arc<ProgramEntry>, String> {
+        let key = source_hash(source);
+        let cached = self.programs.read().unwrap().get(&key).cloned();
+        let (entry, hit) = match cached {
+            Some(e) => (e, true),
+            None => {
+                let start = Instant::now();
+                let prog = structcast::lower_source(source).map_err(|e| e.to_string())?;
+                let constraints = ConstraintSet::compile(&prog);
+                let compile = start.elapsed();
+                let hash_hex = format!("{key:016x}");
+                let entry = Arc::new(ProgramEntry {
+                    key,
+                    name: name.unwrap_or(&hash_hex).to_string(),
+                    hash_hex,
+                    prog,
+                    constraints,
+                    compile,
+                });
+                // Double-checked insert: a racing loader's entry is
+                // identical (same source), so first-in wins.
+                let mut programs = self.programs.write().unwrap();
+                let entry = programs.entry(key).or_insert(entry).clone();
+                drop(programs);
+                (entry, false)
+            }
+        };
+        self.metrics.record_program(hit, entry.compile);
+        let mut names = self.names.write().unwrap();
+        if let Some(n) = name {
+            names.insert(n.to_string(), key);
+        }
+        names.insert(entry.hash_hex.clone(), key);
+        Ok(entry)
+    }
+
+    /// Resolves a loaded program by name or hash.
+    pub fn entry(&self, program: &str) -> Option<Arc<ProgramEntry>> {
+        let key = *self.names.read().unwrap().get(program)?;
+        self.programs.read().unwrap().get(&key).cloned()
+    }
+
+    /// The solved summary for `(entry, opts)`, memoized. A hit re-runs
+    /// neither stage 1 nor the fixpoint; a miss pays stages 2+3 once,
+    /// outside the lock. Returns the summary plus the solve time this
+    /// particular call paid (zero on a hit) so request handlers can
+    /// separate lookup time from solve time.
+    pub fn solved(&self, entry: &ProgramEntry, opts: &QueryOpts) -> (Arc<Solved>, Duration) {
+        let key = (entry.key, opts.cache_key());
+        if let Some(s) = self.solved.read().unwrap().get(&key).cloned() {
+            self.metrics.record_solve(true, Duration::ZERO);
+            return (s, Duration::ZERO);
+        }
+        let start = Instant::now();
+        let res = solve_compiled(&entry.prog, &entry.constraints, &opts.to_config());
+        let solved = Arc::new(Solved::build(entry, &res));
+        let paid = start.elapsed();
+        self.metrics.record_solve(false, paid);
+        let mut map = self.solved.write().unwrap();
+        let solved = map.entry(key).or_insert(solved).clone();
+        (solved, paid)
+    }
+
+    /// `(programs, solved instances)` currently cached.
+    pub fn sizes(&self) -> (usize, usize) {
+        (
+            self.programs.read().unwrap().len(),
+            self.solved.read().unwrap().len(),
+        )
+    }
+}
+
+impl std::fmt::Debug for SessionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (p, s) = self.sizes();
+        f.debug_struct("SessionCache")
+            .field("programs", &p)
+            .field("solved", &s)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use structcast::constraints::compiles_on_thread;
+    use structcast::solves_on_thread;
+
+    const SRC: &str = "struct S { int *s1; int *s2; } s;\n\
+        int x, y, *p, *q;\n\
+        void f(void) { s.s1 = &x; s.s2 = &y; p = s.s1; q = &x; }";
+
+    fn cache() -> SessionCache {
+        SessionCache::new(Arc::new(Metrics::new()))
+    }
+
+    #[test]
+    fn warm_queries_skip_compile_and_solve() {
+        let c = cache();
+        let opts = QueryOpts::default();
+        let (compiles0, solves0) = (compiles_on_thread(), solves_on_thread());
+        let entry = c.load(Some("intro"), SRC).unwrap();
+        let (first, paid) = c.solved(&entry, &opts);
+        assert!(paid > Duration::ZERO);
+        assert_eq!(first.points_to.get("p").unwrap(), &vec!["x".to_string()]);
+        // Second pass: same source, same options — the thread-local stage
+        // counters must not move at all.
+        let (compiles1, solves1) = (compiles_on_thread(), solves_on_thread());
+        let entry2 = c.load(Some("intro"), SRC).unwrap();
+        let (second, paid2) = c.solved(&entry2, &opts);
+        assert_eq!(compiles_on_thread(), compiles1);
+        assert_eq!(solves_on_thread(), solves1);
+        assert_eq!(paid2, Duration::ZERO);
+        assert!(Arc::ptr_eq(&first, &second));
+        // And the whole exercise performed exactly one compile + one solve.
+        assert_eq!(compiles1 - compiles0, 1);
+        assert_eq!(solves1 - solves0, 1);
+    }
+
+    #[test]
+    fn distinct_options_solve_separately() {
+        let c = cache();
+        let entry = c.load(None, SRC).unwrap();
+        let cis = c.solved(&entry, &QueryOpts::default()).0;
+        let off = c
+            .solved(&entry, &QueryOpts::from_json(
+                &crate::json::Json::parse(r#"{"model":"offsets"}"#).unwrap(),
+            ).unwrap())
+            .0;
+        assert_eq!(cis.kind, ModelKind::CommonInitialSeq);
+        assert_eq!(off.kind, ModelKind::Offsets);
+        assert_eq!(c.sizes(), (1, 2));
+        // Unnamed programs are addressable by hash.
+        assert!(c.entry(&entry.hash_hex).is_some());
+        assert!(c.entry("never-loaded").is_none());
+    }
+
+    #[test]
+    fn summary_answers_alias_and_modref() {
+        let c = cache();
+        let entry = c.load(Some("intro"), SRC).unwrap();
+        let (s, _) = c.solved(&entry, &QueryOpts::default());
+        assert_eq!(s.may_alias("p", "q"), Some(true));
+        // `s` normalizes to its first field (Problem 1), which also points
+        // to x — so it aliases p. `y` holds no pointer at all.
+        assert_eq!(s.may_alias("p", "s"), Some(true));
+        assert_eq!(s.may_alias("p", "y"), Some(false));
+        assert_eq!(s.may_alias("p", "ghost"), None);
+        let (mods, refs) = s.modref.get("f").expect("f has modref sets");
+        assert!(mods.iter().any(|m| m == "s" || m == "p"), "{mods:?}");
+        assert!(refs.iter().any(|r| r == "x" || r == "s"), "{refs:?}");
+        assert!(s.vars.contains("x"));
+        assert!(s.edges > 0 && s.iterations > 0);
+    }
+
+    #[test]
+    fn lower_errors_are_reported_not_cached() {
+        let c = cache();
+        let err = c.load(Some("bad"), "int x = ;;;").unwrap_err();
+        assert!(err.contains("parse error"), "{err}");
+        assert_eq!(c.sizes(), (0, 0));
+        assert!(c.entry("bad").is_none());
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SessionCache>();
+        assert_send_sync::<ProgramEntry>();
+        assert_send_sync::<Solved>();
+
+        let c = Arc::new(cache());
+        let entry = c.load(Some("intro"), SRC).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (c, entry) = (Arc::clone(&c), Arc::clone(&entry));
+                std::thread::spawn(move || {
+                    let (s, _) = c.solved(&entry, &QueryOpts::default());
+                    s.points_to.get("p").cloned()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Some(vec!["x".to_string()]));
+        }
+        assert_eq!(c.sizes(), (1, 1));
+    }
+}

@@ -1,0 +1,70 @@
+//! A blocking protocol client: one connection, request/response in
+//! lockstep. Used by `scast query`, the integration tests, and the
+//! throughput bench.
+
+use crate::json::Json;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        // Request/response lockstep: Nagle would hold each small request
+        // back ~40ms waiting for an ACK that only comes with the response.
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one raw request line and returns the raw response line.
+    /// The line must be a complete JSON object without embedded newlines.
+    pub fn request_line(&mut self, line: &str) -> io::Result<String> {
+        debug_assert!(!line.contains('\n'), "requests are one line each");
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut resp = String::new();
+        if self.reader.read_line(&mut resp)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while resp.ends_with('\n') || resp.ends_with('\r') {
+            resp.pop();
+        }
+        Ok(resp)
+    }
+
+    /// Sends a request value and parses the response.
+    pub fn request(&mut self, req: &Json) -> io::Result<Json> {
+        let line = self.request_line(&req.to_string())?;
+        Json::parse(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e} in {line:?}")))
+    }
+
+    /// Convenience: `{"op":"stats"}`.
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.request(&Json::obj([("op", Json::str("stats"))]))
+    }
+
+    /// Convenience: asks the server to shut down gracefully and returns
+    /// its acknowledgement.
+    pub fn shutdown_server(&mut self) -> io::Result<Json> {
+        self.request(&Json::obj([("op", Json::str("shutdown"))]))
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.writer.peer_addr().ok())
+            .finish()
+    }
+}

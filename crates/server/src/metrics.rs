@@ -1,0 +1,168 @@
+//! Per-request and aggregate server metrics.
+//!
+//! Everything is a relaxed atomic counter: workers bump them on their own
+//! threads and the `stats` query (or the shutdown summary) reads a
+//! snapshot. Relaxed ordering is fine — the counters are monotone tallies,
+//! not synchronization.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// The request kinds the server tallies individually.
+pub const OP_NAMES: [&str; 7] = [
+    "load",
+    "points_to",
+    "alias",
+    "modref",
+    "compare_models",
+    "stats",
+    "shutdown",
+];
+
+/// Aggregate counters for one server lifetime.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    by_op: [AtomicU64; OP_NAMES.len()],
+    program_hits: AtomicU64,
+    program_misses: AtomicU64,
+    solve_hits: AtomicU64,
+    solve_misses: AtomicU64,
+    compile_ns: AtomicU64,
+    solve_ns: AtomicU64,
+    lookup_ns: AtomicU64,
+}
+
+impl Metrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records one request of kind `op` (an index into [`OP_NAMES`]).
+    pub fn record_op(&self, op: usize) {
+        self.requests.fetch_add(1, Relaxed);
+        self.by_op[op].fetch_add(1, Relaxed);
+    }
+
+    /// Records a request that failed to parse or dispatch.
+    pub fn record_error(&self) {
+        self.requests.fetch_add(1, Relaxed);
+        self.errors.fetch_add(1, Relaxed);
+    }
+
+    /// Records a program-cache (stage 1) hit or miss; misses also record
+    /// the compile time paid.
+    pub fn record_program(&self, hit: bool, compile: Duration) {
+        if hit {
+            self.program_hits.fetch_add(1, Relaxed);
+        } else {
+            self.program_misses.fetch_add(1, Relaxed);
+            self.compile_ns.fetch_add(compile.as_nanos() as u64, Relaxed);
+        }
+    }
+
+    /// Records a solve-cache (stages 2+3) hit or miss; misses also record
+    /// the specialize+solve time paid.
+    pub fn record_solve(&self, hit: bool, solve: Duration) {
+        if hit {
+            self.solve_hits.fetch_add(1, Relaxed);
+        } else {
+            self.solve_misses.fetch_add(1, Relaxed);
+            self.solve_ns.fetch_add(solve.as_nanos() as u64, Relaxed);
+        }
+    }
+
+    /// Records time spent answering a query from cached summaries (request
+    /// handling minus any compile/solve the request triggered).
+    pub fn record_lookup(&self, d: Duration) {
+        self.lookup_ns.fetch_add(d.as_nanos() as u64, Relaxed);
+    }
+
+    /// Total requests seen (including malformed ones).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Relaxed)
+    }
+
+    /// Total cache misses (program compiles + solves).
+    pub fn total_misses(&self) -> u64 {
+        self.program_misses.load(Relaxed) + self.solve_misses.load(Relaxed)
+    }
+
+    /// The `stats` response payload.
+    pub fn snapshot(&self) -> Json {
+        let secs = |ns: &AtomicU64| Json::num(ns.load(Relaxed) as f64 / 1e9);
+        Json::obj([
+            ("requests", Json::count(self.requests.load(Relaxed))),
+            ("errors", Json::count(self.errors.load(Relaxed))),
+            (
+                "by_op",
+                Json::obj(
+                    OP_NAMES
+                        .iter()
+                        .zip(&self.by_op)
+                        .map(|(name, n)| (*name, Json::count(n.load(Relaxed)))),
+                ),
+            ),
+            ("program_hits", Json::count(self.program_hits.load(Relaxed))),
+            ("program_misses", Json::count(self.program_misses.load(Relaxed))),
+            ("solve_hits", Json::count(self.solve_hits.load(Relaxed))),
+            ("solve_misses", Json::count(self.solve_misses.load(Relaxed))),
+            ("compile_s", secs(&self.compile_ns)),
+            ("solve_s", secs(&self.solve_ns)),
+            ("lookup_s", secs(&self.lookup_ns)),
+        ])
+    }
+
+    /// The one-line shutdown summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "structcast-server: served {} requests ({} errors); cache \
+             program {}h/{}m solve {}h/{}m; compile {:.3}s solve {:.3}s lookup {:.3}s",
+            self.requests.load(Relaxed),
+            self.errors.load(Relaxed),
+            self.program_hits.load(Relaxed),
+            self.program_misses.load(Relaxed),
+            self.solve_hits.load(Relaxed),
+            self.solve_misses.load(Relaxed),
+            self.compile_ns.load(Relaxed) as f64 / 1e9,
+            self.solve_ns.load(Relaxed) as f64 / 1e9,
+            self.lookup_ns.load(Relaxed) as f64 / 1e9,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_recorded_events() {
+        let m = Metrics::new();
+        m.record_op(0);
+        m.record_op(1);
+        m.record_op(1);
+        m.record_error();
+        m.record_program(false, Duration::from_millis(10));
+        m.record_program(true, Duration::ZERO);
+        m.record_solve(false, Duration::from_millis(20));
+        m.record_solve(true, Duration::ZERO);
+        m.record_lookup(Duration::from_micros(5));
+        let s = m.snapshot();
+        assert_eq!(s.get("requests").and_then(Json::as_u64), Some(4));
+        assert_eq!(s.get("errors").and_then(Json::as_u64), Some(1));
+        let by_op = s.get("by_op").unwrap();
+        assert_eq!(by_op.get("load").and_then(Json::as_u64), Some(1));
+        assert_eq!(by_op.get("points_to").and_then(Json::as_u64), Some(2));
+        assert_eq!(s.get("program_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(s.get("program_misses").and_then(Json::as_u64), Some(1));
+        assert_eq!(s.get("solve_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(s.get("solve_misses").and_then(Json::as_u64), Some(1));
+        assert!(s.get("compile_s").and_then(Json::as_f64).unwrap() > 0.0);
+        assert_eq!(m.total_misses(), 2);
+        let line = m.summary_line();
+        assert!(line.contains("served 4 requests"), "{line}");
+    }
+}

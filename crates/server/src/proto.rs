@@ -1,0 +1,334 @@
+//! The request grammar of the query protocol.
+//!
+//! One request per line, one JSON object per request, dispatched on its
+//! `"op"` field. See `DESIGN.md` §7 for the full grammar with example
+//! responses; parsing is strict about types but lenient about extra keys
+//! (clients may tag requests with their own bookkeeping fields).
+
+use crate::json::Json;
+use structcast::{AnalysisConfig, CompatMode, Layout, ModelKind};
+
+/// Per-query analysis options: which instance to solve and how. Every
+/// query carries (defaulted) options, so one loaded program can be queried
+/// under any precision/portability trade-off — the cache memoizes each
+/// distinct combination separately.
+#[derive(Debug, Clone)]
+pub struct QueryOpts {
+    /// The framework instance (`"model"`, default CIS).
+    pub model: ModelKind,
+    /// Layout strategy (`"layout"`, Offsets instance only).
+    pub layout: Layout,
+    /// Compatibility mode (`"compat"`, portable instances).
+    pub compat: CompatMode,
+    /// Wilson–Lam stride refinement (`"stride"`).
+    pub stride: bool,
+}
+
+impl Default for QueryOpts {
+    fn default() -> Self {
+        QueryOpts {
+            model: ModelKind::CommonInitialSeq,
+            layout: Layout::ilp32(),
+            compat: CompatMode::Structural,
+            stride: false,
+        }
+    }
+}
+
+/// Parses a model name (the same spellings `scast --model` accepts).
+pub fn parse_model(s: &str) -> Result<ModelKind, String> {
+    match s {
+        "collapse" | "collapse-always" => Ok(ModelKind::CollapseAlways),
+        "cast" | "collapse-on-cast" => Ok(ModelKind::CollapseOnCast),
+        "cis" | "common-initial-seq" => Ok(ModelKind::CommonInitialSeq),
+        "offsets" => Ok(ModelKind::Offsets),
+        other => Err(format!("unknown model `{other}`")),
+    }
+}
+
+/// Parses a layout name (the same spellings `scast --layout` accepts).
+pub fn parse_layout(s: &str) -> Result<Layout, String> {
+    match s {
+        "ilp32" => Ok(Layout::ilp32()),
+        "lp64" => Ok(Layout::lp64()),
+        "packed32" => Ok(Layout::packed32()),
+        other => Err(format!("unknown layout `{other}`")),
+    }
+}
+
+impl QueryOpts {
+    /// Extracts the options from a request object, defaulting absent keys.
+    pub fn from_json(req: &Json) -> Result<QueryOpts, String> {
+        let mut opts = QueryOpts::default();
+        if let Some(v) = req.get("model") {
+            let s = v.as_str().ok_or("\"model\" must be a string")?;
+            opts.model = parse_model(s)?;
+        }
+        if let Some(v) = req.get("layout") {
+            let s = v.as_str().ok_or("\"layout\" must be a string")?;
+            opts.layout = parse_layout(s)?;
+        }
+        if let Some(v) = req.get("compat") {
+            opts.compat = match v.as_str().ok_or("\"compat\" must be a string")? {
+                "structural" => CompatMode::Structural,
+                "tag" | "tag-based" => CompatMode::TagBased,
+                other => return Err(format!("unknown compat mode `{other}`")),
+            };
+        }
+        if let Some(v) = req.get("stride") {
+            opts.stride = v.as_bool().ok_or("\"stride\" must be a boolean")?;
+        }
+        Ok(opts)
+    }
+
+    /// Replaces the model, keeping the other options (the
+    /// `compare_models` sweep reuses one request's options for all four
+    /// instances).
+    pub fn with_model(&self, model: ModelKind) -> QueryOpts {
+        QueryOpts {
+            model,
+            ..self.clone()
+        }
+    }
+
+    /// The solve-cache key component: every field that can change the
+    /// result. Two option sets with equal keys are interchangeable.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "{:?}/{}/{:?}/stride={}",
+            self.model, self.layout.name, self.compat, self.stride
+        )
+    }
+
+    /// The equivalent [`AnalysisConfig`].
+    pub fn to_config(&self) -> AnalysisConfig {
+        AnalysisConfig::new(self.model)
+            .with_layout(self.layout.clone())
+            .with_compat(self.compat)
+            .with_stride(self.stride)
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Compile a program into the cache: `{"op":"load","name":"bst"}`
+    /// (embedded corpus) or `{"op":"load","source":"int x; ...",
+    /// "name":"mine"}` (inline source, optional alias).
+    Load {
+        /// Cache alias (and corpus name when no source is given).
+        name: Option<String>,
+        /// Inline C source; when absent, `name` must be a corpus program.
+        source: Option<String>,
+    },
+    /// Points-to set of a named variable.
+    PointsTo {
+        /// Loaded program (name, corpus name, or source hash).
+        program: String,
+        /// Variable to query.
+        var: String,
+        /// Analysis options.
+        opts: QueryOpts,
+    },
+    /// May two named variables point to a common location?
+    Alias {
+        /// Loaded program.
+        program: String,
+        /// First variable.
+        a: String,
+        /// Second variable.
+        b: String,
+        /// Analysis options.
+        opts: QueryOpts,
+    },
+    /// MOD/REF sets, for one function or all defined functions.
+    ModRef {
+        /// Loaded program.
+        program: String,
+        /// Restrict to this function (all defined functions when absent).
+        func: Option<String>,
+        /// Analysis options.
+        opts: QueryOpts,
+    },
+    /// Solve all four instances through the one cached session and diff
+    /// their edge counts.
+    CompareModels {
+        /// Loaded program.
+        program: String,
+        /// Shared non-model options (layout/compat/stride).
+        opts: QueryOpts,
+    },
+    /// Metrics snapshot.
+    Stats,
+    /// Graceful shutdown.
+    Shutdown,
+}
+
+fn req_str(req: &Json, key: &str) -> Result<String, String> {
+    req.get(key)
+        .ok_or_else(|| format!("missing \"{key}\""))?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("\"{key}\" must be a string"))
+}
+
+fn opt_str(req: &Json, key: &str) -> Result<Option<String>, String> {
+    match req.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("\"{key}\" must be a string")),
+    }
+}
+
+impl Request {
+    /// Parses one request object.
+    pub fn from_json(req: &Json) -> Result<Request, String> {
+        if !matches!(req, Json::Obj(_)) {
+            return Err("request must be a json object".to_string());
+        }
+        let op = req_str(req, "op")?;
+        match op.as_str() {
+            "load" => {
+                let name = opt_str(req, "name")?;
+                let source = opt_str(req, "source")?;
+                if name.is_none() && source.is_none() {
+                    return Err("load needs \"name\" (corpus) or \"source\"".to_string());
+                }
+                Ok(Request::Load { name, source })
+            }
+            "points_to" => Ok(Request::PointsTo {
+                program: req_str(req, "program")?,
+                var: req_str(req, "var")?,
+                opts: QueryOpts::from_json(req)?,
+            }),
+            "alias" => Ok(Request::Alias {
+                program: req_str(req, "program")?,
+                a: req_str(req, "a")?,
+                b: req_str(req, "b")?,
+                opts: QueryOpts::from_json(req)?,
+            }),
+            "modref" => Ok(Request::ModRef {
+                program: req_str(req, "program")?,
+                func: opt_str(req, "func")?,
+                opts: QueryOpts::from_json(req)?,
+            }),
+            "compare_models" => Ok(Request::CompareModels {
+                program: req_str(req, "program")?,
+                opts: QueryOpts::from_json(req)?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    /// This request's index into [`crate::metrics::OP_NAMES`].
+    pub fn op_index(&self) -> usize {
+        match self {
+            Request::Load { .. } => 0,
+            Request::PointsTo { .. } => 1,
+            Request::Alias { .. } => 2,
+            Request::ModRef { .. } => 3,
+            Request::CompareModels { .. } => 4,
+            Request::Stats => 5,
+            Request::Shutdown => 6,
+        }
+    }
+}
+
+/// An `{"ok": false, "error": ...}` response.
+pub fn error_response(msg: &str) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::str(msg))])
+}
+
+/// An `{"ok": true, ...fields}` response.
+pub fn ok_response<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Json {
+    let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
+    pairs.extend(fields.into_iter().map(|(k, v)| (k.into(), v)));
+    Json::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<Request, String> {
+        Request::from_json(&Json::parse(line).map_err(|e| e.to_string())?)
+    }
+
+    #[test]
+    fn parses_every_op() {
+        assert!(matches!(
+            parse(r#"{"op":"load","name":"bst"}"#).unwrap(),
+            Request::Load { name: Some(n), source: None } if n == "bst"
+        ));
+        assert!(matches!(
+            parse(r#"{"op":"points_to","program":"bst","var":"p","model":"offsets"}"#).unwrap(),
+            Request::PointsTo { opts, .. } if opts.model == ModelKind::Offsets
+        ));
+        assert!(matches!(
+            parse(r#"{"op":"alias","program":"bst","a":"p","b":"q"}"#).unwrap(),
+            Request::Alias { .. }
+        ));
+        assert!(matches!(
+            parse(r#"{"op":"modref","program":"bst","func":"main"}"#).unwrap(),
+            Request::ModRef { func: Some(f), .. } if f == "main"
+        ));
+        assert!(matches!(
+            parse(r#"{"op":"compare_models","program":"bst"}"#).unwrap(),
+            Request::CompareModels { .. }
+        ));
+        assert!(matches!(parse(r#"{"op":"stats"}"#).unwrap(), Request::Stats));
+        assert!(matches!(parse(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse(r#"{"no_op": 1}"#).is_err());
+        assert!(parse(r#"{"op":"levitate"}"#).is_err());
+        assert!(parse(r#"{"op":"points_to","program":"bst"}"#).is_err()); // no var
+        assert!(parse(r#"{"op":"points_to","program":"bst","var":7}"#).is_err());
+        assert!(parse(r#"{"op":"load"}"#).is_err()); // neither name nor source
+        assert!(parse(r#"{"op":"points_to","program":"b","var":"v","model":"x"}"#).is_err());
+        assert!(Request::from_json(&Json::Arr(vec![])).is_err());
+    }
+
+    #[test]
+    fn options_default_and_key() {
+        let req = Json::parse(r#"{"op":"points_to","program":"p","var":"v"}"#).unwrap();
+        let opts = QueryOpts::from_json(&req).unwrap();
+        assert_eq!(opts.model, ModelKind::CommonInitialSeq);
+        assert_eq!(opts.cache_key(), "CommonInitialSeq/ilp32/Structural/stride=false");
+
+        let req = Json::parse(
+            r#"{"model":"offsets","layout":"lp64","compat":"tag","stride":true}"#,
+        )
+        .unwrap();
+        let opts = QueryOpts::from_json(&req).unwrap();
+        assert_eq!(opts.cache_key(), "Offsets/lp64/TagBased/stride=true");
+        let cfg = opts.to_config();
+        assert_eq!(cfg.model, ModelKind::Offsets);
+        assert_eq!(cfg.layout.name, "lp64");
+        assert_eq!(cfg.compat, CompatMode::TagBased);
+        assert!(cfg.arith_stride);
+        // with_model swaps only the instance.
+        assert_eq!(
+            opts.with_model(ModelKind::CollapseAlways).cache_key(),
+            "CollapseAlways/lp64/TagBased/stride=true"
+        );
+    }
+
+    #[test]
+    fn response_builders() {
+        assert_eq!(
+            error_response("boom").to_string(),
+            r#"{"ok": false, "error": "boom"}"#
+        );
+        assert_eq!(
+            ok_response([("n", Json::count(1))]).to_string(),
+            r#"{"ok": true, "n": 1}"#
+        );
+    }
+}

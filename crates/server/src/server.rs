@@ -1,0 +1,352 @@
+//! The TCP front end: accept loop, worker pool, request dispatch.
+//!
+//! The protocol is newline-delimited JSON over a plain `TcpStream`: one
+//! request object per line, one response object per line, in order, on a
+//! connection a client may hold for many requests. The accept loop hands
+//! connections to a fixed pool of `std::thread` workers through an mpsc
+//! channel, so up to `threads` clients are served concurrently and the
+//! rest queue. All state a worker touches — the [`SessionCache`] and the
+//! [`Metrics`] block — is shared behind `RwLock`/atomics.
+//!
+//! A `shutdown` request is acknowledged on the requesting connection,
+//! then: the shutdown flag flips, a loopback connection unblocks the
+//! accept loop, the channel closes, workers finish their open connections
+//! and exit, and the accept thread prints the final metrics summary line.
+
+use crate::cache::{ProgramEntry, SessionCache, Solved};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::proto::{error_response, ok_response, QueryOpts, Request};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use structcast::ModelKind;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`] for the bound one).
+    pub addr: String,
+    /// Worker threads = maximum concurrently served connections.
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 8,
+        }
+    }
+}
+
+struct Shared {
+    cache: SessionCache,
+    metrics: Arc<Metrics>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// send a `shutdown` request (or use
+/// [`Client::shutdown_server`](crate::Client::shutdown_server)) and then
+/// [`wait`](ServerHandle::wait).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    accept: JoinHandle<()>,
+    metrics: Arc<Metrics>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live metrics block (shared with the workers).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Blocks until the server has shut down, then returns the final
+    /// summary line (which the accept thread also printed to stdout).
+    ///
+    /// Shutdown lets workers finish their open connections, so drop any
+    /// other live [`Client`](crate::Client)s before calling this — a
+    /// connection held across `wait` blocks it indefinitely.
+    pub fn wait(self) -> String {
+        let _ = self.accept.join();
+        self.metrics.summary_line()
+    }
+}
+
+/// Binds `cfg.addr` and starts the accept loop plus worker pool in
+/// background threads, returning immediately.
+pub fn serve(cfg: &ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let metrics = Arc::new(Metrics::new());
+    let shared = Arc::new(Shared {
+        cache: SessionCache::new(Arc::clone(&metrics)),
+        metrics: Arc::clone(&metrics),
+        shutdown: AtomicBool::new(false),
+        addr,
+    });
+
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers: Vec<JoinHandle<()>> = (0..cfg.threads.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || loop {
+                // Hold the receiver lock only for the dequeue, not while
+                // serving the connection.
+                let conn = rx.lock().unwrap().recv();
+                match conn {
+                    Ok(stream) => handle_connection(&shared, stream),
+                    Err(_) => break, // channel closed: shutting down
+                }
+            })
+        })
+        .collect();
+
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shared.shutdown.load(Ordering::SeqCst) {
+                break; // the loopback poke (or any later connect) lands here
+            }
+            if let Ok(stream) = stream {
+                // Workers have static lifetime; a send only fails if every
+                // worker already exited, which implies shutdown.
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+        }
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        println!("{}", accept_shared.metrics.summary_line());
+    });
+
+    Ok(ServerHandle {
+        addr,
+        accept,
+        metrics,
+    })
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    // One small response per request line; don't let Nagle delay it.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (resp, shutdown) = dispatch(shared, &line);
+        if writeln!(writer, "{resp}").and_then(|()| writer.flush()).is_err() {
+            break;
+        }
+        if shutdown {
+            initiate_shutdown(shared);
+            break;
+        }
+    }
+}
+
+fn initiate_shutdown(shared: &Shared) {
+    // Flag first, then poke: the accept loop re-checks the flag on the
+    // connection the poke produces, so the ordering closes the race.
+    shared.shutdown.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(shared.addr);
+}
+
+/// Handles one request line; returns the response and whether a graceful
+/// shutdown was requested.
+fn dispatch(shared: &Shared, line: &str) -> (Json, bool) {
+    let start = Instant::now();
+    let parsed = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            shared.metrics.record_error();
+            return (error_response(&e.to_string()), false);
+        }
+    };
+    let req = match Request::from_json(&parsed) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.metrics.record_error();
+            return (error_response(&e), false);
+        }
+    };
+    shared.metrics.record_op(req.op_index());
+    let shutdown = matches!(req, Request::Shutdown);
+    let mut paid = Duration::ZERO; // compile/solve time, excluded from lookup time
+    let resp = handle(shared, req, &mut paid).unwrap_or_else(|e| error_response(&e));
+    shared
+        .metrics
+        .record_lookup(start.elapsed().saturating_sub(paid));
+    (resp, shutdown)
+}
+
+/// Resolves `program` to a cache entry, auto-loading embedded corpus
+/// programs by name so scripted clients need no explicit `load`.
+fn resolve_program(
+    shared: &Shared,
+    program: &str,
+    paid: &mut Duration,
+) -> Result<Arc<ProgramEntry>, String> {
+    if let Some(entry) = shared.cache.entry(program) {
+        return Ok(entry);
+    }
+    if let Some(p) = structcast_progen::corpus_program(program) {
+        let start = Instant::now();
+        let entry = shared.cache.load(Some(program), p.source)?;
+        *paid += start.elapsed();
+        return Ok(entry);
+    }
+    Err(format!("unknown program `{program}` (load it first)"))
+}
+
+fn solved_for(
+    shared: &Shared,
+    program: &str,
+    opts: &QueryOpts,
+    paid: &mut Duration,
+) -> Result<Arc<Solved>, String> {
+    let entry = resolve_program(shared, program, paid)?;
+    let (solved, solve_paid) = shared.cache.solved(&entry, opts);
+    *paid += solve_paid;
+    Ok(solved)
+}
+
+fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, String> {
+    match req {
+        Request::Load { name, source } => {
+            let entry = match (&name, &source) {
+                (_, Some(src)) => shared.cache.load(name.as_deref(), src)?,
+                (Some(n), None) => {
+                    let p = structcast_progen::corpus_program(n)
+                        .ok_or_else(|| format!("unknown corpus program `{n}`"))?;
+                    shared.cache.load(Some(n), p.source)?
+                }
+                (None, None) => unreachable!("parser requires name or source"),
+            };
+            *paid += entry.compile;
+            Ok(ok_response([
+                ("program", Json::str(&entry.name)),
+                ("hash", Json::str(&entry.hash_hex)),
+                ("objects", Json::count(entry.prog.objects.len() as u64)),
+                ("functions", Json::count(entry.prog.functions.len() as u64)),
+                ("constraints", Json::count(entry.constraints.len() as u64)),
+                ("compile_s", Json::num(entry.compile.as_secs_f64())),
+            ]))
+        }
+        Request::PointsTo { program, var, opts } => {
+            let solved = solved_for(shared, &program, &opts, paid)?;
+            if !solved.vars.contains(&var) {
+                return Err(format!("unknown variable `{var}` in `{program}`"));
+            }
+            let targets = solved.points_to.get(&var).cloned().unwrap_or_default();
+            Ok(ok_response([
+                ("program", Json::str(&program)),
+                ("var", Json::str(&var)),
+                ("config", Json::str(opts.cache_key())),
+                (
+                    "points_to",
+                    Json::Arr(targets.into_iter().map(Json::Str).collect()),
+                ),
+            ]))
+        }
+        Request::Alias { program, a, b, opts } => {
+            let solved = solved_for(shared, &program, &opts, paid)?;
+            let alias = solved
+                .may_alias(&a, &b)
+                .ok_or_else(|| format!("unknown variable `{a}` or `{b}` in `{program}`"))?;
+            Ok(ok_response([
+                ("program", Json::str(&program)),
+                ("a", Json::str(&a)),
+                ("b", Json::str(&b)),
+                ("config", Json::str(opts.cache_key())),
+                ("alias", Json::Bool(alias)),
+            ]))
+        }
+        Request::ModRef { program, func, opts } => {
+            let solved = solved_for(shared, &program, &opts, paid)?;
+            let render = |name: &str, sets: &(Vec<String>, Vec<String>)| {
+                Json::obj([
+                    ("func", Json::str(name)),
+                    ("mod", Json::Arr(sets.0.iter().map(Json::str).collect())),
+                    ("ref", Json::Arr(sets.1.iter().map(Json::str).collect())),
+                ])
+            };
+            let functions = match func {
+                Some(f) => {
+                    let sets = solved
+                        .modref
+                        .get(&f)
+                        .ok_or_else(|| format!("unknown function `{f}` in `{program}`"))?;
+                    vec![render(&f, sets)]
+                }
+                None => solved.modref.iter().map(|(f, sets)| render(f, sets)).collect(),
+            };
+            Ok(ok_response([
+                ("program", Json::str(&program)),
+                ("config", Json::str(opts.cache_key())),
+                ("functions", Json::Arr(functions)),
+            ]))
+        }
+        Request::CompareModels { program, opts } => {
+            let mut rows = Vec::new();
+            let mut offsets_edges = None;
+            let mut summaries = Vec::new();
+            for kind in ModelKind::ALL {
+                let solved = solved_for(shared, &program, &opts.with_model(kind), paid)?;
+                if kind == ModelKind::Offsets {
+                    offsets_edges = Some(solved.edges);
+                }
+                summaries.push(solved);
+            }
+            for (kind, solved) in ModelKind::ALL.iter().zip(&summaries) {
+                let vs = offsets_edges
+                    .filter(|&o| o > 0)
+                    .map_or(Json::Null, |o| Json::num(solved.edges as f64 / o as f64));
+                rows.push(Json::obj([
+                    ("model", Json::str(format!("{kind:?}"))),
+                    ("edges", Json::count(solved.edges as u64)),
+                    ("iterations", Json::count(solved.iterations)),
+                    ("avg_deref_size", Json::num(solved.avg_deref)),
+                    ("edges_vs_offsets", vs),
+                ]));
+            }
+            Ok(ok_response([
+                ("program", Json::str(&program)),
+                ("models", Json::Arr(rows)),
+            ]))
+        }
+        Request::Stats => {
+            let (programs, solved) = shared.cache.sizes();
+            let Json::Obj(mut pairs) = shared.metrics.snapshot() else {
+                unreachable!("snapshot is an object");
+            };
+            pairs.push(("cached_programs".to_string(), Json::count(programs as u64)));
+            pairs.push(("cached_solves".to_string(), Json::count(solved as u64)));
+            Ok(ok_response(pairs))
+        }
+        Request::Shutdown => Ok(ok_response([("shutdown", Json::Bool(true))])),
+    }
+}

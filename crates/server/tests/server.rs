@@ -1,0 +1,190 @@
+//! End-to-end server tests over real TCP connections: every request type,
+//! concurrent clients, cache warmth, error paths, and graceful shutdown.
+
+use structcast_server::json::Json;
+use structcast_server::{serve, Client, ServerConfig};
+
+fn start() -> (structcast_server::ServerHandle, std::net::SocketAddr) {
+    let handle = serve(&ServerConfig::default()).expect("bind ephemeral port");
+    let addr = handle.addr();
+    (handle, addr)
+}
+
+fn ok(resp: &Json) -> bool {
+    resp.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+#[test]
+fn every_request_type_end_to_end() {
+    let (handle, addr) = start();
+    let mut c = Client::connect(addr).unwrap();
+
+    let load = c
+        .request(&Json::parse(r#"{"op":"load","name":"bst"}"#).unwrap())
+        .unwrap();
+    assert!(ok(&load), "{load}");
+    assert!(load.get("constraints").and_then(Json::as_u64).unwrap() > 0);
+    let hash = load.get("hash").and_then(Json::as_str).unwrap().to_string();
+
+    let pt = c
+        .request(
+            &Json::parse(r#"{"op":"points_to","program":"bst","var":"g_tree"}"#).unwrap(),
+        )
+        .unwrap();
+    assert!(ok(&pt), "{pt}");
+    assert!(!pt.get("points_to").and_then(Json::as_arr).unwrap().is_empty());
+
+    // The hash returned by load addresses the same cached program.
+    let by_hash = c
+        .request(&Json::parse(&format!(
+            r#"{{"op":"points_to","program":"{hash}","var":"g_tree"}}"#
+        )).unwrap())
+        .unwrap();
+    assert_eq!(by_hash.get("points_to"), pt.get("points_to"));
+
+    let alias = c
+        .request(&Json::parse(r#"{"op":"alias","program":"bst","a":"g_tree","b":"g_tree"}"#).unwrap())
+        .unwrap();
+    assert!(ok(&alias), "{alias}");
+    assert_eq!(alias.get("alias").and_then(Json::as_bool), Some(true));
+
+    let mr = c
+        .request(&Json::parse(r#"{"op":"modref","program":"bst"}"#).unwrap())
+        .unwrap();
+    assert!(ok(&mr), "{mr}");
+    assert!(!mr.get("functions").and_then(Json::as_arr).unwrap().is_empty());
+
+    let cmp = c
+        .request(&Json::parse(r#"{"op":"compare_models","program":"bst"}"#).unwrap())
+        .unwrap();
+    assert!(ok(&cmp), "{cmp}");
+    let models = cmp.get("models").and_then(Json::as_arr).unwrap();
+    assert_eq!(models.len(), 4);
+    for m in models {
+        assert!(m.get("edges").and_then(Json::as_u64).unwrap() > 0, "{m}");
+    }
+
+    // Inline source load under an alias.
+    let inline = c
+        .request(&Json::parse(
+            r#"{"op":"load","name":"mine","source":"int x, *p; void f(void) { p = &x; }"}"#,
+        ).unwrap())
+        .unwrap();
+    assert!(ok(&inline), "{inline}");
+    let pt2 = c
+        .request(&Json::parse(r#"{"op":"points_to","program":"mine","var":"p"}"#).unwrap())
+        .unwrap();
+    assert_eq!(
+        pt2.get("points_to").and_then(Json::as_arr).unwrap(),
+        &[Json::str("x")]
+    );
+
+    let stats = c.stats().unwrap();
+    assert!(ok(&stats), "{stats}");
+    assert!(stats.get("requests").and_then(Json::as_u64).unwrap() >= 8);
+    assert!(stats.get("cached_programs").and_then(Json::as_u64).unwrap() >= 2);
+
+    let bye = c.shutdown_server().unwrap();
+    assert_eq!(bye.get("shutdown").and_then(Json::as_bool), Some(true));
+    let summary = handle.wait();
+    assert!(summary.contains("structcast-server: served"), "{summary}");
+}
+
+#[test]
+fn warm_cache_serves_without_new_misses() {
+    let (handle, addr) = start();
+    let mut c = Client::connect(addr).unwrap();
+    let queries = [
+        r#"{"op":"load","name":"tagged-union"}"#,
+        r#"{"op":"points_to","program":"tagged-union","var":"g_registry"}"#,
+        r#"{"op":"points_to","program":"tagged-union","var":"g_registry","model":"offsets"}"#,
+        r#"{"op":"alias","program":"tagged-union","a":"g_registry","b":"g_registry"}"#,
+        r#"{"op":"modref","program":"tagged-union"}"#,
+        r#"{"op":"compare_models","program":"tagged-union"}"#,
+    ];
+    let pass = |c: &mut Client| -> Vec<String> {
+        queries.iter().map(|q| c.request_line(q).unwrap()).collect()
+    };
+    let first = pass(&mut c);
+    let miss_after_first = handle.metrics().total_misses();
+    assert!(miss_after_first > 0, "cold pass must miss");
+    // Second pass: byte-identical responses, zero new misses.
+    let second = pass(&mut c);
+    assert_eq!(first, second);
+    assert_eq!(handle.metrics().total_misses(), miss_after_first);
+    c.shutdown_server().unwrap();
+    handle.wait();
+}
+
+#[test]
+fn four_concurrent_clients_get_deterministic_answers() {
+    let (handle, addr) = start();
+    // Mixed query stream, intentionally overlapping across clients so the
+    // same keys are raced from four threads.
+    let queries: Vec<String> = vec![
+        r#"{"op":"load","name":"bst"}"#.into(),
+        r#"{"op":"points_to","program":"bst","var":"g_tree"}"#.into(),
+        r#"{"op":"points_to","program":"bst","var":"g_tree","model":"offsets"}"#.into(),
+        r#"{"op":"points_to","program":"bst","var":"g_tree","model":"collapse"}"#.into(),
+        r#"{"op":"alias","program":"bst","a":"g_tree","b":"g_tree"}"#.into(),
+        r#"{"op":"modref","program":"bst"}"#.into(),
+        r#"{"op":"compare_models","program":"bst"}"#.into(),
+        r#"{"op":"points_to","program":"list-utils","var":"g_head"}"#.into(),
+    ];
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                // Stagger the order per client so the cache is hit both
+                // cold and warm from different threads.
+                let mut order: Vec<usize> = (0..queries.len()).collect();
+                order.rotate_left(i % queries.len());
+                let mut out = vec![String::new(); queries.len()];
+                for idx in order {
+                    out[idx] = c.request_line(&queries[idx]).unwrap();
+                }
+                out
+            })
+        })
+        .collect();
+    let all: Vec<Vec<String>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for other in &all[1..] {
+        assert_eq!(&all[0], other, "responses must not depend on scheduling");
+    }
+    // Sanity: the points_to answers really carry data.
+    assert!(all[0][1].contains("points_to"), "{}", all[0][1]);
+
+    let mut c = Client::connect(addr).unwrap();
+    c.shutdown_server().unwrap();
+    handle.wait();
+}
+
+#[test]
+fn protocol_error_paths() {
+    let (handle, addr) = start();
+    let mut c = Client::connect(addr).unwrap();
+    for (req, needle) in [
+        ("this is not json", "invalid json"),
+        (r#"{"op":"levitate"}"#, "unknown op"),
+        (r#"{"op":"points_to","program":"bst"}"#, "missing \\\"var\\\""),
+        (r#"{"op":"points_to","program":"nope","var":"v"}"#, "unknown program"),
+        (r#"{"op":"points_to","program":"bst","var":"ghost"}"#, "unknown variable"),
+        (r#"{"op":"alias","program":"bst","a":"ghost","b":"g_tree"}"#, "unknown variable"),
+        (r#"{"op":"modref","program":"bst","func":"ghost"}"#, "unknown function"),
+        (r#"{"op":"load","name":"no-such-corpus"}"#, "unknown corpus"),
+        (r#"{"op":"load","source":"int x = ;;;"}"#, "parse error"),
+    ] {
+        let resp = c.request_line(req).unwrap();
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{req}");
+        assert!(resp.contains(needle), "{req} -> {resp}");
+    }
+    // The connection survives every error, and valid requests still work.
+    let pt = c
+        .request_line(r#"{"op":"points_to","program":"bst","var":"g_tree"}"#)
+        .unwrap();
+    assert!(pt.contains("\"ok\": true"), "{pt}");
+    c.shutdown_server().unwrap();
+    handle.wait();
+}
