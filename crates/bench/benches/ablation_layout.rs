@@ -7,7 +7,7 @@ use structcast_bench::{lower_named, BenchGroup};
 use structcast_driver::{experiments, report};
 
 fn main() {
-    println!("{}", report::render_layout(&experiments::run_ablation_layout()));
+    println!("{}", report::render_layout(&experiments::run_ablation_layout(3)));
 
     let layouts = [Layout::ilp32(), Layout::lp64(), Layout::packed32()];
     let mut g = BenchGroup::new("ablation_layout");

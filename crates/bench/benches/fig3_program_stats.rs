@@ -9,7 +9,7 @@ use structcast_bench::{lower_named, solve, BenchGroup};
 use structcast_driver::{experiments, report};
 
 fn main() {
-    println!("{}", report::render_fig3(&experiments::run_fig3()));
+    println!("{}", report::render_fig3(&experiments::run_fig3(2)));
 
     let mut g = BenchGroup::new("fig3_frontend");
     g.sample_size(20);

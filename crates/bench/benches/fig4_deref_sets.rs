@@ -9,7 +9,7 @@ use structcast_driver::{experiments, report};
 
 fn main() {
     // Regenerate and print the table (the actual figure).
-    println!("{}", report::render_fig4(&experiments::run_fig4()));
+    println!("{}", report::render_fig4(&experiments::run_fig4(4)));
 
     let mut g = BenchGroup::new("fig4");
     g.sample_size(20);

@@ -8,23 +8,36 @@
 //! stage 1, shared by every model of that program), and the median
 //! per-model specialize+solve wall-clock (`wall_clock_s`) — so both the
 //! solver's perf trajectory and the compile-once-vs-per-model split are
-//! tracked across PRs.
+//! tracked across PRs. Each record also carries `threads`: the per-model
+//! rows are sequential (`threads: 1`), and every program additionally gets
+//! two `AllModels` rows timing the four default instances solved
+//! back-to-back (`threads: 1`) vs fanned out via `solve_all`
+//! (`threads: 4`), so the multi-model speedup is tracked across PRs too.
+//! Every record carries `host_cpus` (the parallelism actually available
+//! when the numbers were taken): the t4/t1 ratio is only meaningful up to
+//! that bound — on a single-CPU host the parallel rows measure pure
+//! scheduling overhead, not speedup.
 //!
 //! Env knobs: `SCAST_BENCH_LARGE=1` adds the `large` preset (tens of
 //! thousands of lines); `SCAST_BENCH_SMOKE=1` shrinks the run to one
 //! small case with a single sample (the CI smoke path).
 
 use structcast::ModelKind;
-use structcast_bench::{compile_session, session_solve, BenchGroup};
+use structcast_bench::{compile_session, session_solve, session_solve_all, BenchGroup};
 use structcast_driver::{experiments, report};
 use structcast_progen::{generate, GenConfig};
+
+/// Fan-out width for the parallel `AllModels` rows: one worker per model.
+const PAR_THREADS: usize = 4;
 
 struct Record {
     preset: &'static str,
     cast_ratio: f64,
     lines: usize,
     assignments: usize,
-    model: ModelKind,
+    model: String,
+    threads: usize,
+    host_cpus: usize,
     edges: usize,
     iterations: u64,
     compile_s: f64,
@@ -33,8 +46,18 @@ struct Record {
 
 fn main() {
     let smoke = std::env::var_os("SCAST_BENCH_SMOKE").is_some();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if host_cpus < PAR_THREADS {
+        println!(
+            "note: only {host_cpus} CPU(s) available — the AllModels/t{PAR_THREADS} \
+             rows cannot show real speedup on this host"
+        );
+    }
     if !smoke {
-        println!("{}", report::render_scaling(&experiments::run_scaling(false)));
+        println!(
+            "{}",
+            report::render_scaling(&experiments::run_scaling(false, PAR_THREADS))
+        );
     }
 
     let mut cases = vec![("small", GenConfig::small(97))];
@@ -67,9 +90,37 @@ fn main() {
                     cast_ratio: r,
                     lines,
                     assignments: prog.assignment_count(),
-                    model: kind,
+                    model: format!("{kind:?}"),
+                    threads: 1,
+                    host_cpus,
                     edges: res.edge_count(),
                     iterations: res.iterations,
+                    compile_s,
+                    wall_clock_s: stats.median.as_secs_f64(),
+                });
+            }
+            // Multi-model rows: the four default instances as one batch,
+            // sequential vs `solve_all` at PAR_THREADS workers. Identical
+            // answers by construction; only wall-clock differs.
+            let configs = structcast::AnalysisConfig::default().for_all_kinds();
+            let all = session.solve_all(&configs, 1);
+            let (all_edges, all_iters) = all
+                .iter()
+                .fold((0usize, 0u64), |(e, i), r| (e + r.edge_count(), i + r.iterations));
+            for threads in [1usize, PAR_THREADS] {
+                let stats = g.bench(&format!("{label}/AllModels/t{threads}/r{r}"), || {
+                    session_solve_all(&session, threads)
+                });
+                records.push(Record {
+                    preset: label,
+                    cast_ratio: r,
+                    lines,
+                    assignments: prog.assignment_count(),
+                    model: "AllModels".to_string(),
+                    threads,
+                    host_cpus,
+                    edges: all_edges,
+                    iterations: all_iters,
                     compile_s,
                     wall_clock_s: stats.median.as_secs_f64(),
                 });
@@ -99,13 +150,16 @@ fn render_json(records: &[Record]) -> String {
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"preset\": \"{}\", \"cast_ratio\": {}, \"lines\": {}, \
-             \"assignments\": {}, \"model\": \"{:?}\", \"edges\": {}, \
+             \"assignments\": {}, \"model\": \"{}\", \"threads\": {}, \
+             \"host_cpus\": {}, \"edges\": {}, \
              \"iterations\": {}, \"compile_s\": {:.6}, \"wall_clock_s\": {:.6}}}{}\n",
             r.preset,
             r.cast_ratio,
             r.lines,
             r.assignments,
             r.model,
+            r.threads,
+            r.host_cpus,
             r.edges,
             r.iterations,
             r.compile_s,

@@ -57,6 +57,19 @@ pub fn session_solve(session: &AnalysisSession<'_>, kind: ModelKind) -> usize {
     session.solve(&AnalysisConfig::new(kind)).edge_count()
 }
 
+/// The multi-model unit of work: all four default instances solved over
+/// one compiled session, fanned out `threads`-wide (`threads == 1` is the
+/// plain sequential loop). Returns the summed edge count so the solves
+/// cannot be optimized away.
+pub fn session_solve_all(session: &AnalysisSession<'_>, threads: usize) -> usize {
+    let configs = AnalysisConfig::default().for_all_kinds();
+    session
+        .solve_all(&configs, threads)
+        .iter()
+        .map(|r| r.edge_count())
+        .sum()
+}
+
 /// Summary statistics for one benchmark id.
 #[derive(Debug, Clone, Copy)]
 pub struct BenchStats {
@@ -164,6 +177,16 @@ mod tests {
             session_solve(&session, ModelKind::CommonInitialSeq),
             solve(&prog, ModelKind::CommonInitialSeq)
         );
+    }
+
+    #[test]
+    fn multi_model_unit_of_work_is_thread_count_invariant() {
+        let p = structcast_progen::corpus_program("bst").unwrap();
+        let prog = lower_named(p.name, p.source);
+        let (session, _) = compile_session(&prog);
+        let seq = session_solve_all(&session, 1);
+        assert!(seq > 0);
+        assert_eq!(seq, session_solve_all(&session, 4));
     }
 
     #[test]

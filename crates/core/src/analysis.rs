@@ -33,6 +33,12 @@ pub struct AnalysisConfig {
     /// How pointer arithmetic is treated (spread vs corrupted-pointer
     /// flagging; see [`ArithMode`]).
     pub arith_mode: ArithMode,
+    /// Solver threads for this run: 1 (the default) takes the sequential
+    /// worklist path; more run the deterministic sharded fixpoint, whose
+    /// edge set is identical for every thread count. The default comes
+    /// from `SCAST_SOLVER_THREADS` (see [`env_solver_threads`]) so a test
+    /// or CI matrix can exercise the parallel paths without code changes.
+    pub threads: usize,
 }
 
 impl AnalysisConfig {
@@ -45,6 +51,7 @@ impl AnalysisConfig {
             compat: CompatMode::Structural,
             arith_stride: false,
             arith_mode: ArithMode::Spread,
+            threads: env_solver_threads(),
         }
     }
 
@@ -71,6 +78,37 @@ impl AnalysisConfig {
         self.arith_mode = mode;
         self
     }
+
+    /// Replaces the solver thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// A config list covering all four instances (paper order), sharing
+    /// every other setting with `self` — the shape
+    /// [`AnalysisSession::solve_all`](crate::AnalysisSession::solve_all)
+    /// consumes.
+    pub fn for_all_kinds(&self) -> Vec<AnalysisConfig> {
+        ModelKind::ALL
+            .iter()
+            .map(|&k| {
+                let mut c = self.clone();
+                c.model = k;
+                c
+            })
+            .collect()
+    }
+}
+
+/// The solver thread count selected by the `SCAST_SOLVER_THREADS`
+/// environment variable; 1 (sequential) when unset or unparsable.
+pub fn env_solver_threads() -> usize {
+    std::env::var("SCAST_SOLVER_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl Default for AnalysisConfig {
@@ -386,10 +424,27 @@ mod tests {
             .with_layout(Layout::lp64())
             .with_compat(CompatMode::TagBased)
             .with_stride(true)
-            .with_arith_mode(ArithMode::FlagUnknown);
+            .with_arith_mode(ArithMode::FlagUnknown)
+            .with_threads(4);
         assert_eq!(cfg.layout.name, "lp64");
         assert_eq!(cfg.compat, CompatMode::TagBased);
         assert!(cfg.arith_stride);
         assert_eq!(cfg.arith_mode, ArithMode::FlagUnknown);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.with_threads(0).threads, 1, "clamped to sequential");
+    }
+
+    #[test]
+    fn for_all_kinds_shares_settings() {
+        let base = AnalysisConfig::new(ModelKind::CollapseAlways)
+            .with_layout(Layout::lp64())
+            .with_stride(true);
+        let all = base.for_all_kinds();
+        assert_eq!(all.len(), 4);
+        for (cfg, kind) in all.iter().zip(ModelKind::ALL) {
+            assert_eq!(cfg.model, kind);
+            assert_eq!(cfg.layout.name, "lp64");
+            assert!(cfg.arith_stride);
+        }
     }
 }

@@ -115,11 +115,11 @@ mod session;
 mod solver;
 pub mod steensgaard;
 
-pub use analysis::{analyze, analyze_source, AnalysisConfig, AnalysisResult};
+pub use analysis::{analyze, analyze_source, env_solver_threads, AnalysisConfig, AnalysisResult};
 pub use facts::FactStore;
 pub use loc::{FieldRep, Loc, LocId};
 pub use model::{FieldModel, ModelKind, ModelStats};
-pub use session::{solve_compiled, AnalysisSession};
+pub use session::{solve_compiled, solve_compiled_parallel, AnalysisSession};
 pub use solver::{solves_on_thread, ArithMode, Solver, SolverOutput};
 
 /// The model-independent constraint layer (re-export of

@@ -115,7 +115,13 @@ fn pct(n: u64, d: u64) -> f64 {
 ///
 /// All methods receive the [`Program`] for type information; locations
 /// passed in are already normalized (solver invariant).
-pub trait FieldModel {
+///
+/// Instances are plain data (`Send + Sync`): the parallel solving layer
+/// shares one instance across shard workers and ships solved results
+/// between threads, so every model must be safely shareable. All methods
+/// take `&self`; mutable instrumentation goes through the explicit
+/// [`ModelStats`] parameter instead.
+pub trait FieldModel: Send + Sync {
     /// Which instance this is.
     fn kind(&self) -> ModelKind;
 

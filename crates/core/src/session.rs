@@ -91,13 +91,27 @@ impl<'p> AnalysisSession<'p> {
         solve_compiled(self.prog, &self.constraints, config)
     }
 
-    /// Solves every instance in [`ModelKind::ALL`](crate::ModelKind::ALL)
-    /// order with default options — the common Figure 4–6 shape.
-    pub fn solve_all(&self) -> Vec<AnalysisResult> {
-        crate::model::ModelKind::ALL
-            .iter()
-            .map(|k| self.solve(&AnalysisConfig::new(*k)))
-            .collect()
+    /// Solves several configurations over the shared constraint set, up to
+    /// `threads` of them concurrently — the common Figure 4–6 shape with
+    /// multi-model parallelism.
+    ///
+    /// Results come back in `configs` order regardless of scheduling, and
+    /// each is identical to a [`solve`](AnalysisSession::solve) of the same
+    /// config (each worker runs the ordinary specialize+solve pipeline on
+    /// plain data; nothing is shared but the read-only constraint set).
+    /// `threads <= 1` or a single config degenerate to a sequential map.
+    /// Solves performed on the workers are credited to the calling
+    /// thread's [`solves_on_thread`](crate::solves_on_thread) counter.
+    pub fn solve_all(&self, configs: &[AnalysisConfig], threads: usize) -> Vec<AnalysisResult> {
+        solve_compiled_parallel(self.prog, &self.constraints, configs, threads)
+    }
+
+    /// [`solve_all`](AnalysisSession::solve_all) over the four paper
+    /// instances with default options, solved concurrently on one thread
+    /// per model.
+    pub fn solve_all_kinds(&self) -> Vec<AnalysisResult> {
+        let configs = AnalysisConfig::default().for_all_kinds();
+        self.solve_all(&configs, configs.len())
     }
 }
 
@@ -126,9 +140,67 @@ pub fn solve_compiled(
     let start = Instant::now();
     let out = Solver::from_constraints(prog, constraints, model)
         .with_arith_mode(config.arith_mode)
-        .run();
+        .run_with_threads(config.threads);
     let elapsed = start.elapsed();
     AnalysisResult::from_solver(config.model, out, elapsed)
+}
+
+/// Multi-model parallelism over an externally held constraint set: solves
+/// each of `configs` with [`solve_compiled`], distributing them over up to
+/// `threads` scoped worker threads pulling from a shared work index.
+///
+/// Results are placed by config index, so the output order is `configs`
+/// order no matter how the solves interleave. Worker-thread solve counts
+/// are measured per worker and credited back to the calling thread, so
+/// [`solves_on_thread`](crate::solves_on_thread) deltas observed by the
+/// caller include every solve this call performed.
+pub fn solve_compiled_parallel(
+    prog: &Program,
+    constraints: &ConstraintSet,
+    configs: &[AnalysisConfig],
+    threads: usize,
+) -> Vec<AnalysisResult> {
+    if threads <= 1 || configs.len() <= 1 {
+        return configs
+            .iter()
+            .map(|c| solve_compiled(prog, constraints, c))
+            .collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<AnalysisResult>>> =
+        configs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let workers = threads.min(configs.len());
+    let credited: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let slots = &slots;
+                scope.spawn(move || {
+                    let before = crate::solver::solves_on_thread();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(config) = configs.get(i) else { break };
+                        let res = solve_compiled(prog, constraints, config);
+                        *slots[i].lock().expect("result slot poisoned") = Some(res);
+                    }
+                    crate::solver::solves_on_thread() - before
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("solver worker panicked"))
+            .sum()
+    });
+    crate::solver::credit_solves(credited);
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every config solved")
+        })
+        .collect()
 }
 
 impl std::fmt::Debug for AnalysisSession<'_> {
@@ -155,7 +227,7 @@ mod tests {
         let prog = structcast_ir::lower_source(SRC).unwrap();
         let before = compiles_on_thread();
         let session = AnalysisSession::compile(&prog);
-        let results = session.solve_all();
+        let results = session.solve_all_kinds();
         assert_eq!(
             compiles_on_thread() - before,
             1,
@@ -170,6 +242,46 @@ mod tests {
         let names = |i: usize| results[i].points_to_names(&prog, "p");
         assert_eq!(names(2), vec!["x".to_string()]);
         assert_eq!(names(0), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn solve_all_matches_sequential_solves_and_credits_the_caller() {
+        let prog = structcast_ir::lower_source(SRC).unwrap();
+        let session = AnalysisSession::compile(&prog);
+        let configs = AnalysisConfig::default().for_all_kinds();
+        let before = crate::solver::solves_on_thread();
+        let par = session.solve_all(&configs, 4);
+        assert_eq!(
+            crate::solver::solves_on_thread() - before,
+            4,
+            "worker-thread solves must be credited to the caller"
+        );
+        let seq = session.solve_all(&configs, 1);
+        assert_eq!(crate::solver::solves_on_thread() - before, 8);
+        for ((p, s), cfg) in par.iter().zip(&seq).zip(&configs) {
+            assert_eq!(p.kind, cfg.model, "results must come back in config order");
+            assert_eq!(p.edge_count(), s.edge_count(), "{}", cfg.model);
+            assert_eq!(p.iterations, s.iterations, "{}", cfg.model);
+            assert_eq!(
+                p.edge_displays(&prog),
+                s.edge_displays(&prog),
+                "{}",
+                cfg.model
+            );
+        }
+    }
+
+    #[test]
+    fn solve_all_handles_more_threads_than_configs_and_duplicates() {
+        let prog = structcast_ir::lower_source(SRC).unwrap();
+        let session = AnalysisSession::compile(&prog);
+        // Duplicate configs are solved independently; extra threads idle.
+        let cfg = AnalysisConfig::new(ModelKind::Offsets);
+        let configs = vec![cfg.clone(), cfg.clone(), cfg];
+        let results = session.solve_all(&configs, 16);
+        assert_eq!(results.len(), 3);
+        let e = results[0].edge_count();
+        assert!(results.iter().all(|r| r.edge_count() == e));
     }
 
     #[test]

@@ -37,6 +37,8 @@ use structcast_constraints::{Constraint, ConstraintSet};
 use structcast_ir::{FuncId, ObjId, Program};
 use structcast_types::{FieldPath, TypeId};
 
+mod par;
+
 thread_local! {
     /// Fixpoint runs performed on this thread (see [`solves_on_thread`]).
     static SOLVES: Cell<u64> = const { Cell::new(0) };
@@ -52,6 +54,16 @@ thread_local! {
 /// parallel test threads don't race each other's counts.
 pub fn solves_on_thread() -> u64 {
     SOLVES.with(|c| c.get())
+}
+
+/// Credits `n` fixpoint runs to the **current** thread's counter.
+///
+/// The parallel solving layer runs fixpoints on short-lived worker threads
+/// whose thread-local counters die with them; it measures each worker's
+/// delta and credits the sum back to the thread that requested the work, so
+/// callers observing [`solves_on_thread`] see every solve they caused.
+pub(crate) fn credit_solves(n: u64) {
+    SOLVES.with(|c| c.set(c.get() + n));
 }
 
 /// How pointer arithmetic is modeled (paper §4.2.1).
@@ -468,6 +480,25 @@ impl<'p> Engine<'p> {
         }
     }
 
+    /// The parameter/return copy `(dst, src)` pairs a call with `args`/`ret`
+    /// induces when it binds to `fid` (extra args spill into the varargs
+    /// slot; the return flows out of the callee's return slot).
+    fn call_bindings(&self, fid: FuncId, args: &[ObjId], ret: Option<ObjId>) -> Vec<(ObjId, ObjId)> {
+        let f = self.prog.function(fid);
+        let mut bindings: Vec<(ObjId, ObjId)> = Vec::new();
+        for (i, &arg) in args.iter().enumerate() {
+            if let Some(&param) = f.params.get(i) {
+                bindings.push((param, arg));
+            } else if let Some(va) = f.varargs {
+                bindings.push((va, arg));
+            }
+        }
+        if let (Some(r), Some(rs)) = (ret, f.ret_slot) {
+            bindings.push((r, rs));
+        }
+        bindings
+    }
+
     /// Function objects newly appearing in the call's function-pointer
     /// points-to set.
     fn scan_new_callees(&mut self, idx: u32, p: LocId) -> Vec<FuncId> {
@@ -544,28 +575,20 @@ impl<'p> Solver<'p> {
             self.en.iterations += 1;
             self.process(idx);
         }
-        let en = self.en;
-        let unknown: BTreeSet<Loc> = en
-            .unknown
-            .iter()
-            .map(|&i| en.facts.loc(i).clone())
-            .collect();
-        let orig = en.prog.stmts.len();
-        let mut call_edges: Vec<(structcast_ir::StmtId, FuncId)> = en
-            .bound_calls
-            .iter()
-            .filter(|(idx, _)| *idx < orig)
-            .map(|(idx, f)| (structcast_ir::StmtId(*idx as u32), *f))
-            .collect();
-        call_edges.sort();
-        SolverOutput {
-            facts: en.facts,
-            stats: en.stats,
-            iterations: en.iterations,
-            model: en.model,
-            resolved_indirect_calls: en.bound_calls.len(),
-            unknown,
-            call_edges,
+        finish(self.en)
+    }
+
+    /// Runs to fixpoint on `threads` shards (see the `par` module). One thread takes
+    /// the sequential [`Solver::run`] path unchanged; more shard the
+    /// statements and propagate deltas in rendezvous rounds. Both compute
+    /// the same least fixpoint, so the resulting edge set is identical
+    /// regardless of the thread count (the `iterations` work measure and
+    /// per-shard stats aggregation order differ).
+    pub fn run_with_threads(self, threads: usize) -> SolverOutput {
+        if threads <= 1 {
+            self.run()
+        } else {
+            par::run_sharded(self, threads)
         }
     }
 
@@ -620,19 +643,7 @@ impl<'p> Solver<'p> {
             return;
         }
         let empty = FieldPath::empty();
-        let f = self.en.prog.function(fid);
-        let mut bindings: Vec<(ObjId, ObjId)> = Vec::new();
-        for (i, &arg) in args.iter().enumerate() {
-            if let Some(&param) = f.params.get(i) {
-                bindings.push((param, arg));
-            } else if let Some(va) = f.varargs {
-                bindings.push((va, arg));
-            }
-        }
-        if let (Some(r), Some(rs)) = (ret, f.ret_slot) {
-            bindings.push((r, rs));
-        }
-        for (dst, src) in bindings {
+        for (dst, src) in self.en.call_bindings(fid, args, ret) {
             let c = CStmt::Copy {
                 d: self.en.norm_id(dst, &empty),
                 s: self.en.norm_id(src, &empty),
@@ -643,6 +654,33 @@ impl<'p> Solver<'p> {
             self.en.queued.push(false);
             self.en.enqueue(new_idx);
         }
+    }
+}
+
+/// Packages a drained engine into the run's output (shared by the
+/// sequential and sharded drivers).
+fn finish(en: Engine<'_>) -> SolverOutput {
+    let unknown: BTreeSet<Loc> = en
+        .unknown
+        .iter()
+        .map(|&i| en.facts.loc(i).clone())
+        .collect();
+    let orig = en.prog.stmts.len();
+    let mut call_edges: Vec<(structcast_ir::StmtId, FuncId)> = en
+        .bound_calls
+        .iter()
+        .filter(|(idx, _)| *idx < orig)
+        .map(|(idx, f)| (structcast_ir::StmtId(*idx as u32), *f))
+        .collect();
+    call_edges.sort();
+    SolverOutput {
+        facts: en.facts,
+        stats: en.stats,
+        iterations: en.iterations,
+        model: en.model,
+        resolved_indirect_calls: en.bound_calls.len(),
+        unknown,
+        call_edges,
     }
 }
 

@@ -1,0 +1,418 @@
+//! Deterministic sharded fixpoint: the parallel driver behind
+//! [`Solver::run_with_threads`].
+//!
+//! Statements are split into `threads` shards by a fixed round-robin over
+//! statement indices ([`ConstraintSet::shard_of`]), and the fixpoint runs
+//! in **rendezvous rounds**:
+//!
+//! 1. the pending statements are sorted and partitioned by shard;
+//! 2. each shard's worker fires its statements *read-only* against the
+//!    fact store frozen at the rendezvous, emitting an ordered list of
+//!    [`Op`]s instead of mutating shared state;
+//! 3. the main thread merges the out-queues **in shard order** — first
+//!    every subscription, then every edge/unknown/call-binding — waking
+//!    subscribers into the next round's pending set.
+//!
+//! Subscriptions merge before facts so a statement that subscribed this
+//! round is woken by this round's facts; per-statement delta cursors live
+//! in the owning shard (the assignment never changes), so re-firing still
+//! consumes only deltas. Both drivers compute the unique least fixpoint of
+//! the same monotone rule system, so the final edge set — and therefore
+//! any sorted dump of it — is identical to the sequential solver's for
+//! every thread count; with the thread count fixed, the round structure,
+//! merge order, and iteration counts are deterministic as well.
+
+use super::{finish, CStmt, Engine, Solver, SolverOutput, ArithMode, SOLVES};
+use crate::facts::FactStore;
+use crate::loc::{Loc, LocId};
+use crate::model::{FieldModel, ModelStats};
+use std::collections::{HashMap, HashSet};
+use structcast_constraints::ConstraintSet;
+use structcast_ir::{FuncId, ObjId, Program};
+use structcast_types::FieldPath;
+
+/// One unit of work emitted by a shard worker, applied by the merge step.
+enum Op {
+    /// Register `stmt` as a subscriber of `obj` (merge pass 1).
+    Sub { stmt: u32, obj: ObjId },
+    /// Add the points-to edge `src → tgt` (merge pass 2). Carries `Loc`s,
+    /// not ids, because model results may not be interned yet.
+    Edge { src: Loc, tgt: Loc },
+    /// Flag `loc` as a possibly-corrupted pointer (merge pass 2).
+    Unknown { loc: Loc },
+    /// Bind call site `site` to callee `fid` (merge pass 2).
+    Bind { site: u32, fid: FuncId },
+}
+
+/// Per-shard state that persists across rounds: the delta cursors of the
+/// statements the shard owns, and its share of the Figure 3 counters.
+/// Cursors mirror the sequential engine's, except the copy-pair key holds
+/// the destination as a `Loc` — resolve-produced destinations may not be
+/// interned in the frozen store the worker reads.
+#[derive(Default)]
+struct ShardState {
+    scan_cursors: HashMap<(u32, LocId), u32>,
+    pair_cursors: HashMap<(u32, Loc, LocId), u32>,
+    stats: ModelStats,
+}
+
+/// The engine state a worker is allowed to see: everything frozen at the
+/// rendezvous. Shared by `&` across the round's workers.
+struct Frozen<'a> {
+    prog: &'a Program,
+    model: &'a dyn FieldModel,
+    facts: &'a FactStore,
+    unknown: &'a HashSet<LocId>,
+    arith_mode: ArithMode,
+}
+
+/// One shard's view for one round: the frozen snapshot, the shard's
+/// persistent cursors, and the out-queue being built.
+struct Worker<'a, 'f> {
+    fz: &'a Frozen<'f>,
+    st: &'a mut ShardState,
+    ops: Vec<Op>,
+}
+
+impl Worker<'_, '_> {
+    fn sub(&mut self, stmt: u32, obj: ObjId) {
+        self.ops.push(Op::Sub { stmt, obj });
+    }
+
+    fn edge(&mut self, src: &Loc, tgt: Loc) {
+        self.ops.push(Op::Edge { src: src.clone(), tgt });
+    }
+
+    fn edge_ids(&mut self, src: LocId, tgt: LocId) {
+        let facts = self.fz.facts;
+        self.ops.push(Op::Edge {
+            src: facts.loc(src).clone(),
+            tgt: facts.loc(tgt).clone(),
+        });
+    }
+
+    /// Mirror of the sequential engine's scan cursor, against the frozen
+    /// target list.
+    fn take_scan_window(&mut self, idx: u32, watched: LocId) -> (usize, usize) {
+        let total = self.fz.facts.targets_len(watched);
+        let cur = self
+            .st
+            .scan_cursors
+            .insert((idx, watched), total as u32)
+            .unwrap_or(0) as usize;
+        (cur, total)
+    }
+
+    /// Mirror of the sequential engine's pair-cursor copy. A source the
+    /// frozen store has never interned has no targets yet, so the cursor
+    /// is not created until the source exists.
+    fn copy_pair(&mut self, idx: u32, dst: &Loc, src: &Loc) {
+        let facts = self.fz.facts;
+        let Some(sid) = facts.try_id(src) else { return };
+        let total = facts.targets_len(sid);
+        let cur = if total == 0 {
+            0
+        } else {
+            self.st
+                .pair_cursors
+                .insert((idx, dst.clone(), sid), total as u32)
+                .unwrap_or(0) as usize
+        };
+        for &t in facts.targets_from(sid, cur) {
+            self.edge(dst, facts.loc(t).clone());
+        }
+        if self.fz.unknown.contains(&sid) {
+            self.ops.push(Op::Unknown { loc: dst.clone() });
+        }
+    }
+
+    /// Fires one statement read-only, emitting ops. Mirrors
+    /// [`Solver::process`] rule for rule.
+    fn process(&mut self, idx: u32, c: &CStmt) {
+        let fz = self.fz;
+        let facts = fz.facts;
+        match c {
+            CStmt::AddrOf { d, t } => {
+                // No delta to track: re-emitting the single edge is a
+                // merge-side no-op.
+                self.edge_ids(*d, *t);
+            }
+            CStmt::AddrField { d, p, tau_p, path } => {
+                self.sub(idx, facts.obj_of(*p));
+                let (cur, total) = self.take_scan_window(idx, *p);
+                for k in cur..total {
+                    let tgt = facts.target_at(*p, k);
+                    let results =
+                        fz.model
+                            .lookup(fz.prog, *tau_p, path, facts.loc(tgt), &mut self.st.stats);
+                    let dloc = facts.loc(*d);
+                    for r in results {
+                        self.ops.push(Op::Edge { src: dloc.clone(), tgt: r });
+                    }
+                }
+            }
+            CStmt::Copy { d, s, tau } => {
+                self.sub(idx, facts.obj_of(*s));
+                let pairs = fz.model.resolve(
+                    fz.prog,
+                    facts.loc(*d),
+                    facts.loc(*s),
+                    *tau,
+                    facts,
+                    &mut self.st.stats,
+                );
+                for (dl, sl) in pairs {
+                    self.copy_pair(idx, &dl, &sl);
+                }
+            }
+            CStmt::Load { d, p, tau } => {
+                self.sub(idx, facts.obj_of(*p));
+                let total = facts.targets_len(*p);
+                for k in 0..total {
+                    let tgt = facts.target_at(*p, k);
+                    self.sub(idx, facts.obj_of(tgt));
+                    let pairs = fz.model.resolve(
+                        fz.prog,
+                        facts.loc(*d),
+                        facts.loc(tgt),
+                        *tau,
+                        facts,
+                        &mut self.st.stats,
+                    );
+                    for (dl, sl) in pairs {
+                        self.copy_pair(idx, &dl, &sl);
+                    }
+                }
+            }
+            CStmt::Store { p, s, tau_p } => {
+                self.sub(idx, facts.obj_of(*p));
+                self.sub(idx, facts.obj_of(*s));
+                let total = facts.targets_len(*p);
+                for k in 0..total {
+                    let tgt = facts.target_at(*p, k);
+                    let pairs = fz.model.resolve(
+                        fz.prog,
+                        facts.loc(tgt),
+                        facts.loc(*s),
+                        *tau_p,
+                        facts,
+                        &mut self.st.stats,
+                    );
+                    for (dl, sl) in pairs {
+                        self.copy_pair(idx, &dl, &sl);
+                    }
+                }
+            }
+            CStmt::PtrArith { d, s, pointee } => {
+                self.sub(idx, facts.obj_of(*s));
+                match fz.arith_mode {
+                    ArithMode::Spread => {
+                        let (cur, total) = self.take_scan_window(idx, *s);
+                        for k in cur..total {
+                            let tgt = facts.target_at(*s, k);
+                            let spread = fz.model.spread(fz.prog, facts.loc(tgt), *pointee);
+                            let dloc = facts.loc(*d);
+                            for l in spread {
+                                self.ops.push(Op::Edge { src: dloc.clone(), tgt: l });
+                            }
+                        }
+                    }
+                    ArithMode::FlagUnknown => {
+                        self.ops.push(Op::Unknown { loc: facts.loc(*d).clone() });
+                    }
+                }
+            }
+            CStmt::CopyAll { dp, sp } => {
+                self.sub(idx, facts.obj_of(*dp));
+                self.sub(idx, facts.obj_of(*sp));
+                let dn = facts.targets_len(*dp);
+                let sn = facts.targets_len(*sp);
+                for i in 0..dn {
+                    let dt = facts.target_at(*dp, i);
+                    for j in 0..sn {
+                        let st = facts.target_at(*sp, j);
+                        self.sub(idx, facts.obj_of(st));
+                        let pairs = fz.model.resolve_all(
+                            fz.prog,
+                            facts.loc(dt),
+                            facts.loc(st),
+                            facts,
+                            &mut self.st.stats,
+                        );
+                        for (dl, sl) in pairs {
+                            self.copy_pair(idx, &dl, &sl);
+                        }
+                    }
+                }
+            }
+            CStmt::CallDirect { fid, .. } => {
+                self.ops.push(Op::Bind { site: idx, fid: *fid });
+            }
+            CStmt::CallIndirect { p, .. } => {
+                self.sub(idx, facts.obj_of(*p));
+                let (cur, total) = self.take_scan_window(idx, *p);
+                for k in cur..total {
+                    let tgt = facts.target_at(*p, k);
+                    if let Some(fid) = fz.prog.as_function(facts.obj_of(tgt)) {
+                        self.ops.push(Op::Bind { site: idx, fid });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Wakes every subscriber of `obj` into `next`.
+fn wake(en: &mut Engine<'_>, obj: ObjId, next: &mut Vec<u32>) {
+    let oi = obj.0 as usize;
+    if oi >= en.subs.len() {
+        return;
+    }
+    for k in 0..en.subs[oi].len() {
+        let s = en.subs[oi][k];
+        if !en.queued[s as usize] {
+            en.queued[s as usize] = true;
+            next.push(s);
+        }
+    }
+}
+
+/// Synthesizes the parameter/return `Copy` bindings for a discovered
+/// (site, callee) pair — the merge-side twin of [`Solver::bind_call`], with
+/// the new statements queued for the next round.
+fn apply_bind(
+    en: &mut Engine<'_>,
+    cstmts: &mut Vec<CStmt>,
+    next: &mut Vec<u32>,
+    site: u32,
+    fid: FuncId,
+) {
+    if !en.bound_calls.insert((site as usize, fid)) {
+        return;
+    }
+    let (args, ret) = match &cstmts[site as usize] {
+        CStmt::CallDirect { args, ret, .. } => (args.clone(), *ret),
+        CStmt::CallIndirect { args, ret, .. } => (args.clone(), *ret),
+        _ => unreachable!("bind op from a non-call statement"),
+    };
+    let empty = FieldPath::empty();
+    for (dst, src) in en.call_bindings(fid, &args, ret) {
+        let c = CStmt::Copy {
+            d: en.norm_id(dst, &empty),
+            s: en.norm_id(src, &empty),
+            tau: en.prog.type_of(dst),
+        };
+        let new_idx = cstmts.len() as u32;
+        cstmts.push(c);
+        en.queued.push(true);
+        next.push(new_idx);
+    }
+}
+
+/// Runs the sharded fixpoint. Called by [`Solver::run_with_threads`] with
+/// `threads >= 2`.
+pub(super) fn run_sharded(solver: Solver<'_>, threads: usize) -> SolverOutput {
+    SOLVES.with(|c| c.set(c.get() + 1));
+    let Solver { mut en, mut cstmts } = solver;
+    let nshards = threads;
+    let mut shards: Vec<ShardState> = (0..nshards).map(|_| ShardState::default()).collect();
+
+    // Round 0's pending set is the constructor-seeded worklist (all
+    // original statements, already flagged queued).
+    let mut pending: Vec<u32> = en.worklist.drain(..).collect();
+    let mut next: Vec<u32> = Vec::new();
+
+    while !pending.is_empty() {
+        // Deterministic round shape: ascending statement order, fixed
+        // shard assignment.
+        pending.sort_unstable();
+        en.iterations += pending.len() as u64;
+        let mut parts: Vec<Vec<u32>> = vec![Vec::new(); nshards];
+        for &i in &pending {
+            en.queued[i as usize] = false;
+            parts[ConstraintSet::shard_of(i, nshards)].push(i);
+        }
+
+        // Fan out: workers read the frozen snapshot, build out-queues.
+        let frozen = Frozen {
+            prog: en.prog,
+            model: &*en.model,
+            facts: &en.facts,
+            unknown: &en.unknown,
+            arith_mode: en.arith_mode,
+        };
+        let cstmts_ref: &[CStmt] = &cstmts;
+        let out_queues: Vec<Vec<Op>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter_mut()
+                .zip(&parts)
+                .map(|(st, part)| {
+                    let fz = &frozen;
+                    scope.spawn(move || {
+                        let mut w = Worker { fz, st, ops: Vec::new() };
+                        for &i in part {
+                            w.process(i, &cstmts_ref[i as usize]);
+                        }
+                        w.ops
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        // Rendezvous: merge in shard order. Subscriptions first, so a
+        // statement that subscribed this round is woken by this round's
+        // facts; then edges, unknown flags, and call bindings.
+        next.clear();
+        for ops in &out_queues {
+            for op in ops {
+                if let Op::Sub { stmt, obj } = op {
+                    en.subscribe(*stmt, *obj);
+                }
+            }
+        }
+        for ops in out_queues {
+            for op in ops {
+                match op {
+                    Op::Sub { .. } => {}
+                    Op::Edge { src, tgt } => {
+                        let s = en.facts.intern(src);
+                        let t = en.facts.intern(tgt);
+                        if en.facts.insert_ids(s, t) {
+                            let o = en.facts.obj_of(s);
+                            wake(&mut en, o, &mut next);
+                        }
+                    }
+                    Op::Unknown { loc } => {
+                        let l = en.facts.intern(loc);
+                        if en.unknown.insert(l) {
+                            let o = en.facts.obj_of(l);
+                            wake(&mut en, o, &mut next);
+                        }
+                    }
+                    Op::Bind { site, fid } => {
+                        apply_bind(&mut en, &mut cstmts, &mut next, site, fid);
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut pending, &mut next);
+    }
+
+    // Fold the per-shard Figure 3 counters into the engine's, in shard
+    // order (deterministic for a fixed thread count).
+    for st in &shards {
+        let s = &st.stats;
+        en.stats.lookup_calls += s.lookup_calls;
+        en.stats.lookup_struct += s.lookup_struct;
+        en.stats.lookup_mismatch += s.lookup_mismatch;
+        en.stats.resolve_calls += s.resolve_calls;
+        en.stats.resolve_struct += s.resolve_struct;
+        en.stats.resolve_mismatch += s.resolve_mismatch;
+        en.stats.out_of_bounds += s.out_of_bounds;
+    }
+    finish(en)
+}

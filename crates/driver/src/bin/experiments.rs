@@ -2,8 +2,12 @@
 //!
 //! ```text
 //! scast-experiments fig3|fig4|fig5|fig6|ablation-steens|ablation-layout|ablation-stride|modref|scaling|all
-//!                   [--repeats N] [--large]
+//!                   [--repeats N] [--large] [--threads N]
 //! ```
+//!
+//! `--threads` sets how many workers the multi-model runners fan out over
+//! (default: `SCAST_SOLVER_THREADS`, else 4). Results are identical at any
+//! count; only wall-clock changes.
 
 use std::process::ExitCode;
 use structcast_driver::{experiments as ex, report};
@@ -11,7 +15,8 @@ use structcast_driver::{experiments as ex, report};
 fn usage() -> ! {
     eprintln!(
         "usage: scast-experiments <fig3|fig4|fig5|fig6|ablation-steens|\
-         ablation-layout|ablation-stride|modref|scaling|all> [--repeats N] [--large]"
+         ablation-layout|ablation-stride|modref|scaling|all> [--repeats N] \
+         [--large] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -23,6 +28,11 @@ fn main() -> ExitCode {
     }
     let mut repeats = 3usize;
     let mut large = false;
+    // Multi-model fan-out width; the env default keeps CI matrices simple.
+    let mut threads = match structcast::env_solver_threads() {
+        1 => 4,
+        n => n,
+    };
     let mut cmd = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -33,6 +43,13 @@ fn main() -> ExitCode {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
             "--large" => large = true,
             c if cmd.is_none() => cmd = Some(c.to_string()),
             _ => usage(),
@@ -40,15 +57,15 @@ fn main() -> ExitCode {
     }
     let cmd = cmd.unwrap_or_else(|| usage());
 
-    let fig3 = || println!("{}", report::render_fig3(&ex::run_fig3()));
-    let fig4 = || println!("{}", report::render_fig4(&ex::run_fig4()));
+    let fig3 = || println!("{}", report::render_fig3(&ex::run_fig3(threads)));
+    let fig4 = || println!("{}", report::render_fig4(&ex::run_fig4(threads)));
     let fig5 = |r: usize| println!("{}", report::render_fig5(&ex::run_fig5(r)));
-    let fig6 = || println!("{}", report::render_fig6(&ex::run_fig6()));
+    let fig6 = || println!("{}", report::render_fig6(&ex::run_fig6(threads)));
     let abl_s = || println!("{}", report::render_steensgaard(&ex::run_ablation_steensgaard()));
-    let abl_l = || println!("{}", report::render_layout(&ex::run_ablation_layout()));
-    let abl_c = || println!("{}", report::render_stride(&ex::run_ablation_stride()));
-    let modref = || println!("{}", report::render_modref(&ex::run_modref()));
-    let scaling = |l: bool| println!("{}", report::render_scaling(&ex::run_scaling(l)));
+    let abl_l = || println!("{}", report::render_layout(&ex::run_ablation_layout(threads)));
+    let abl_c = || println!("{}", report::render_stride(&ex::run_ablation_stride(threads)));
+    let modref = || println!("{}", report::render_modref(&ex::run_modref(threads)));
+    let scaling = |l: bool| println!("{}", report::render_scaling(&ex::run_scaling(l, threads)));
 
     match cmd.as_str() {
         "fig3" => fig3(),

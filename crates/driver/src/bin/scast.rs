@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! scast <file.c> [--model collapse|cast|cis|offsets] [--layout ilp32|lp64|packed32]
-//!       [--var NAME]... [--deref-stats] [--dump-ir] [--dump-constraints] [--steensgaard]
-//!       [--json]
+//!       [--var NAME]... [--threads N] [--deref-stats] [--dump-ir] [--dump-constraints]
+//!       [--steensgaard] [--json]
 //! scast --corpus            # list the embedded benchmark corpus
 //! scast serve [--addr HOST:PORT] [--threads N]
 //! scast query --addr HOST:PORT <request-json>... | -
@@ -19,9 +19,9 @@ use structcast_server::{serve, Client, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: scast <file.c> [--model collapse|cast|cis|offsets] \
-         [--layout ilp32|lp64|packed32] [--var NAME]... [--deref-stats] \
-         [--dump-ir] [--dump-constraints] [--steensgaard] [--stride] \
-         [--flag-unknown] [--dot] [--modref] [--json]\
+         [--layout ilp32|lp64|packed32] [--var NAME]... [--threads N] \
+         [--deref-stats] [--dump-ir] [--dump-constraints] [--steensgaard] \
+         [--stride] [--flag-unknown] [--dot] [--modref] [--json]\
          \n       scast --corpus\
          \n       scast serve [--addr HOST:PORT] [--threads N]\
          \n       scast query --addr HOST:PORT <request-json>... | -"
@@ -180,6 +180,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut dump_constraints = false;
     let mut steens = false;
     let mut stride = false;
+    let mut threads = None;
     let mut flag_unknown = false;
     let mut dot = false;
     let mut modref = false;
@@ -195,6 +196,11 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--dump-constraints" => dump_constraints = true,
             "--steensgaard" => steens = true,
             "--stride" => stride = true,
+            "--threads" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                threads =
+                    Some(n.parse::<usize>().map_err(|_| format!("bad --threads `{n}`"))?);
+            }
             "--flag-unknown" => flag_unknown = true,
             "--dot" => dot = true,
             "--modref" => modref = true,
@@ -255,6 +261,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
     }
 
     let mut cfg = AnalysisConfig::new(model).with_layout(layout).with_stride(stride);
+    if let Some(n) = threads {
+        // Explicit flag beats the SCAST_SOLVER_THREADS default.
+        cfg = cfg.with_threads(n);
+    }
     if flag_unknown {
         cfg = cfg.with_arith_mode(structcast::ArithMode::FlagUnknown);
     }

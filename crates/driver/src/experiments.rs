@@ -4,6 +4,14 @@
 //!
 //! Each `run_*` function returns structured rows; rendering lives in
 //! [`crate::report`].
+//!
+//! Runners that collect *metrics* (figures 3, 4, 6, the layout and stride
+//! ablations, MOD/REF) take a `threads` knob and solve their per-program
+//! model batch through [`AnalysisSession::solve_all`] — the deterministic
+//! parallel layer guarantees the rows are identical to a sequential run.
+//! Runners whose per-model **wall-clock** feeds a figure (figure 5, the
+//! Steensgaard ablation) keep strictly sequential timing loops so the
+//! reported times are uncontended.
 
 use std::time::{Duration, Instant};
 use structcast::steensgaard::steensgaard;
@@ -80,15 +88,29 @@ fn run_model(session: &AnalysisSession<'_>, kind: ModelKind) -> structcast::Anal
     session.solve(&AnalysisConfig::new(kind))
 }
 
+/// Solves all four default model configs over one session, `threads`-wide,
+/// returning results in [`ModelKind::ALL`] order.
+fn run_all_models(
+    session: &AnalysisSession<'_>,
+    threads: usize,
+) -> Vec<structcast::AnalysisResult> {
+    let configs = AnalysisConfig::default().for_all_kinds();
+    session.solve_all(&configs, threads)
+}
+
 /// Figure 3: program stats + struct/cast call ratios for all 20 programs.
-pub fn run_fig3() -> Vec<Fig3Row> {
+pub fn run_fig3(threads: usize) -> Vec<Fig3Row> {
     corpus()
         .iter()
         .map(|p| {
             let prog = lower(p);
             let session = AnalysisSession::compile(&prog);
-            let coc = run_model(&session, ModelKind::CollapseOnCast);
-            let cis = run_model(&session, ModelKind::CommonInitialSeq);
+            let configs = [
+                AnalysisConfig::new(ModelKind::CollapseOnCast),
+                AnalysisConfig::new(ModelKind::CommonInitialSeq),
+            ];
+            let mut results = session.solve_all(&configs, threads).into_iter();
+            let (coc, cis) = (results.next().unwrap(), results.next().unwrap());
             Fig3Row {
                 name: p.name.to_string(),
                 casty: p.casty,
@@ -110,14 +132,17 @@ pub fn run_fig3() -> Vec<Fig3Row> {
 /// Figure 4: average points-to set size per static dereference, for the 12
 /// cast-heavy programs, under all four instances (Collapse-Always expanded
 /// per-field for fairness).
-pub fn run_fig4() -> Vec<ModelRow> {
+pub fn run_fig4(threads: usize) -> Vec<ModelRow> {
     casty_corpus()
         .iter()
         .map(|p| {
             let prog = lower(p);
             let session = AnalysisSession::compile(&prog);
-            let values =
-                ModelKind::ALL.map(|kind| run_model(&session, kind).average_deref_size(&prog));
+            let results = run_all_models(&session, threads);
+            let mut values = [0.0; 4];
+            for (v, res) in values.iter_mut().zip(&results) {
+                *v = res.average_deref_size(&prog);
+            }
             ModelRow {
                 name: p.name.to_string(),
                 values,
@@ -151,13 +176,17 @@ pub fn run_fig5(repeats: usize) -> Vec<ModelRow> {
 }
 
 /// Figure 6: total points-to edges per program and model.
-pub fn run_fig6() -> Vec<ModelRow> {
+pub fn run_fig6(threads: usize) -> Vec<ModelRow> {
     casty_corpus()
         .iter()
         .map(|p| {
             let prog = lower(p);
             let session = AnalysisSession::compile(&prog);
-            let values = ModelKind::ALL.map(|kind| run_model(&session, kind).edge_count() as f64);
+            let results = run_all_models(&session, threads);
+            let mut values = [0.0; 4];
+            for (v, res) in values.iter_mut().zip(&results) {
+                *v = res.edge_count() as f64;
+            }
             ModelRow {
                 name: p.name.to_string(),
                 values,
@@ -219,18 +248,21 @@ pub struct LayoutRow {
 }
 
 /// Runs Ablation B over the cast-heavy corpus.
-pub fn run_ablation_layout() -> Vec<LayoutRow> {
+pub fn run_ablation_layout(threads: usize) -> Vec<LayoutRow> {
     let layouts = [Layout::ilp32(), Layout::lp64(), Layout::packed32()];
     casty_corpus()
         .iter()
         .map(|p| {
             let prog = lower(p);
             let session = AnalysisSession::compile(&prog);
+            let configs: Vec<AnalysisConfig> = layouts
+                .iter()
+                .map(|l| AnalysisConfig::new(ModelKind::Offsets).with_layout(l.clone()))
+                .collect();
+            let results = session.solve_all(&configs, threads);
             let mut avg_sizes = [0.0; 3];
             let mut edges = [0usize; 3];
-            for (i, l) in layouts.iter().enumerate() {
-                let cfg = AnalysisConfig::new(ModelKind::Offsets).with_layout(l.clone());
-                let res = session.solve(&cfg);
+            for (i, res) in results.iter().enumerate() {
                 avg_sizes[i] = res.average_deref_size(&prog);
                 edges[i] = res.edge_count();
             }
@@ -263,32 +295,30 @@ pub struct StrideRow {
 }
 
 /// Runs Ablation C over the cast-heavy corpus.
-pub fn run_ablation_stride() -> Vec<StrideRow> {
+pub fn run_ablation_stride(threads: usize) -> Vec<StrideRow> {
     use structcast::ArithMode;
     casty_corpus()
         .iter()
         .map(|p| {
             let prog = lower(p);
             let session = AnalysisSession::compile(&prog);
-            let avg = |kind: ModelKind, stride: bool| {
-                session
-                    .solve(&AnalysisConfig::new(kind).with_stride(stride))
-                    .average_deref_size(&prog)
-            };
-            let unknown = session
-                .solve(
-                    &AnalysisConfig::new(ModelKind::CommonInitialSeq)
-                        .with_arith_mode(ArithMode::FlagUnknown),
-                )
-                .unknown_deref_sites(&prog)
-                .len();
+            let configs = [
+                AnalysisConfig::new(ModelKind::Offsets),
+                AnalysisConfig::new(ModelKind::Offsets).with_stride(true),
+                AnalysisConfig::new(ModelKind::CommonInitialSeq),
+                AnalysisConfig::new(ModelKind::CommonInitialSeq).with_stride(true),
+                AnalysisConfig::new(ModelKind::CommonInitialSeq)
+                    .with_arith_mode(ArithMode::FlagUnknown),
+            ];
+            let results = session.solve_all(&configs, threads);
+            let avg = |i: usize| results[i].average_deref_size(&prog);
             StrideRow {
                 name: p.name.to_string(),
-                off_plain: avg(ModelKind::Offsets, false),
-                off_stride: avg(ModelKind::Offsets, true),
-                cis_plain: avg(ModelKind::CommonInitialSeq, false),
-                cis_stride: avg(ModelKind::CommonInitialSeq, true),
-                unknown_sites: unknown,
+                off_plain: avg(0),
+                off_stride: avg(1),
+                cis_plain: avg(2),
+                cis_stride: avg(3),
+                unknown_sites: results[4].unknown_deref_sites(&prog).len(),
             }
         })
         .collect()
@@ -307,17 +337,18 @@ pub struct ModRefRow {
 }
 
 /// Runs Experiment D over the cast-heavy corpus (transitive MOD/REF).
-pub fn run_modref() -> Vec<ModRefRow> {
+pub fn run_modref(threads: usize) -> Vec<ModRefRow> {
     use structcast::modref::mod_ref;
     casty_corpus()
         .iter()
         .map(|p| {
             let prog = lower(p);
             let session = AnalysisSession::compile(&prog);
-            let avg_mod = ModelKind::ALL.map(|kind| {
-                let res = run_model(&session, kind);
-                mod_ref(&prog, &res, true).average_mod_size(&prog)
-            });
+            let results = run_all_models(&session, threads);
+            let mut avg_mod = [0.0; 4];
+            for (v, res) in avg_mod.iter_mut().zip(&results) {
+                *v = mod_ref(&prog, res, true).average_mod_size(&prog);
+            }
             ModRefRow {
                 name: p.name.to_string(),
                 avg_mod,
@@ -346,10 +377,28 @@ pub struct ScalingRow {
     pub edges: [usize; 4],
     /// Solver iterations (statement evaluations) per model.
     pub iterations: [u64; 4],
+    /// Worker threads used for the multi-model parallel measurement.
+    pub threads: usize,
+    /// Wall-clock seconds to solve all four models sequentially.
+    pub seq4_s: f64,
+    /// Wall-clock seconds to solve all four models via `solve_all` at
+    /// `threads` workers (same compiled constraints).
+    pub par4_s: f64,
+}
+
+impl ScalingRow {
+    /// Multi-model speedup: sequential 4-model wall-clock over parallel.
+    pub fn speedup(&self) -> f64 {
+        if self.par4_s > 0.0 {
+            self.seq4_s / self.par4_s
+        } else {
+            1.0
+        }
+    }
 }
 
 /// Scaling sweep over generated programs (size × cast ratio).
-pub fn run_scaling(include_large: bool) -> Vec<ScalingRow> {
+pub fn run_scaling(include_large: bool, threads: usize) -> Vec<ScalingRow> {
     let mut cases: Vec<(String, GenConfig)> = vec![];
     for ratio in [0.0, 0.3, 0.8] {
         cases.push((
@@ -381,6 +430,17 @@ pub fn run_scaling(include_large: bool) -> Vec<ScalingRow> {
                 edges[i] = res.edge_count();
                 iterations[i] = res.iterations;
             }
+            // Multi-model wall-clock: the same four solves back-to-back vs
+            // fanned out `threads`-wide over the shared constraint set.
+            let configs = AnalysisConfig::default().for_all_kinds();
+            let start = Instant::now();
+            for cfg in &configs {
+                let _ = session.solve(cfg);
+            }
+            let seq4_s = start.elapsed().as_secs_f64();
+            let start = Instant::now();
+            let _ = session.solve_all(&configs, threads);
+            let par4_s = start.elapsed().as_secs_f64();
             ScalingRow {
                 preset: label,
                 cast_ratio: cfg.cast_ratio,
@@ -390,6 +450,9 @@ pub fn run_scaling(include_large: bool) -> Vec<ScalingRow> {
                 times,
                 edges,
                 iterations,
+                threads,
+                seq4_s,
+                par4_s,
             }
         })
         .collect()
@@ -401,7 +464,7 @@ mod tests {
 
     #[test]
     fn fig3_has_twenty_rows_in_paper_order() {
-        let rows = run_fig3();
+        let rows = run_fig3(2);
         assert_eq!(rows.len(), 20);
         assert!(rows[..8].iter().all(|r| !r.casty));
         assert!(rows[8..].iter().all(|r| r.casty));
@@ -415,7 +478,7 @@ mod tests {
 
     #[test]
     fn fig4_collapse_always_dominates() {
-        let rows = run_fig4();
+        let rows = run_fig4(4);
         assert_eq!(rows.len(), 12);
         // In aggregate, Collapse-Always sets are the largest; per program
         // they are never smaller than the CIS sets.
@@ -435,7 +498,7 @@ mod tests {
 
     #[test]
     fn fig6_normalization() {
-        let rows = run_fig6();
+        let rows = run_fig6(4);
         for r in &rows {
             let norm = r.normalized_to_offsets();
             assert!((norm[3] - 1.0).abs() < 1e-9, "{}: {:?}", r.name, norm);
@@ -452,18 +515,34 @@ mod tests {
         let cis_sum: f64 = st.iter().map(|r| r.cis).sum();
         assert!(steens_sum >= cis_sum);
 
-        let lay = run_ablation_layout();
+        let lay = run_ablation_layout(3);
         assert_eq!(lay.len(), 12);
         assert!(lay.iter().all(|r| r.edges.iter().all(|&e| e > 0)));
     }
 
     #[test]
+    fn parallel_runners_match_sequential_runners() {
+        // threads=1 takes the sequential path; higher counts must not
+        // change a single figure value.
+        let seq = run_fig4(1);
+        let par = run_fig4(4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.values, b.values, "{}", a.name);
+        }
+    }
+
+    #[test]
     fn scaling_small_runs() {
-        let rows = run_scaling(false);
+        let rows = run_scaling(false, 4);
         assert!(rows.len() >= 6);
         for r in &rows {
             assert!(r.lines > 0 && r.assignments > 0);
             assert!(r.edges.iter().all(|&e| e > 0), "{r:?}");
+            assert_eq!(r.threads, 4);
+            assert!(r.seq4_s > 0.0 && r.par4_s > 0.0, "{r:?}");
+            assert!(r.speedup() > 0.0);
         }
     }
 }

@@ -13,7 +13,7 @@
 //! use structcast_driver::experiments::run_fig4;
 //! use structcast_driver::report::render_fig4;
 //!
-//! let rows = run_fig4();
+//! let rows = run_fig4(4); // solve the four models 4-wide per program
 //! assert_eq!(rows.len(), 12); // the 12 cast-heavy corpus programs
 //! let table = render_fig4(&rows);
 //! assert!(table.contains("Figure 4"));

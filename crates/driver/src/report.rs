@@ -243,14 +243,14 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
     let _ = writeln!(s, "Scaling: generated programs (size × cast ratio)");
     let _ = writeln!(
         s,
-        "{:<14} {:>7} {:>7} | {:>9} | {:>9} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
+        "{:<14} {:>7} {:>7} | {:>9} | {:>9} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8} | {:>9} {:>9} {:>6}",
         "preset", "lines", "asgn", "compile", "tCA(s)", "tCoC(s)", "tCIS(s)", "tOff(s)", "eCA",
-        "eCoC", "eCIS", "eOff", "iCA", "iCoC", "iCIS", "iOff"
+        "eCoC", "eCIS", "eOff", "iCA", "iCoC", "iCIS", "iOff", "seq4(s)", "par4(s)", "spd"
     );
     for r in rows {
         let _ = writeln!(
             s,
-            "{:<14} {:>7} {:>7} | {:>9.4} | {:>9.4} {:>9.4} {:>9.4} {:>9.4} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
+            "{:<14} {:>7} {:>7} | {:>9.4} | {:>9.4} {:>9.4} {:>9.4} {:>9.4} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8} | {:>9.4} {:>9.4} {:>5.2}x",
             r.preset,
             r.lines,
             r.assignments,
@@ -266,8 +266,14 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
             r.iterations[0],
             r.iterations[1],
             r.iterations[2],
-            r.iterations[3]
+            r.iterations[3],
+            r.seq4_s,
+            r.par4_s,
+            r.speedup()
         );
+    }
+    if let Some(t) = rows.first().map(|r| r.threads) {
+        let _ = writeln!(s, "multi-model fan-out: {t} threads (seq4 = four solves back-to-back)");
     }
     s
 }

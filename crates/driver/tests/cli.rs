@@ -273,6 +273,34 @@ fn query_without_server_fails_cleanly() {
 }
 
 #[test]
+fn threads_flag_does_not_change_answers() {
+    // --threads selects the sharded fixpoint; every *answer* (edges, deref
+    // sites, averages) must be identical. Only the iteration count — how
+    // many statement evaluations the schedule needed — may differ, so
+    // strip that one field before comparing byte-for-byte.
+    let strip_iterations = |s: &str| -> String {
+        let start = s.find("\"iterations\":").expect("iterations field");
+        let end = start + s[start..].find(',').unwrap();
+        format!("{}{}", &s[..start], &s[end + 2..])
+    };
+    let (seq, _, ok1) = scast(&["tagged-union", "--json", "--threads", "1"]);
+    let (par, _, ok2) = scast(&["tagged-union", "--json", "--threads", "8"]);
+    assert!(ok1 && ok2);
+    assert_eq!(
+        strip_iterations(&seq),
+        strip_iterations(&par),
+        "sharded solve must match sequential answers byte-for-byte"
+    );
+}
+
+#[test]
+fn bad_threads_value_fails_cleanly() {
+    let (_, stderr, ok) = scast(&["tagged-union", "--threads", "many"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --threads"), "{stderr}");
+}
+
+#[test]
 fn bad_model_usage_error() {
     let out = Command::new(env!("CARGO_BIN_EXE_scast"))
         .args(["bst", "--model", "telepathy"])

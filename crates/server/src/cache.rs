@@ -19,7 +19,10 @@ use crate::proto::QueryOpts;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
-use structcast::{modref, solve_compiled, AnalysisResult, ConstraintSet, Loc, ModelKind, Program};
+use structcast::{
+    modref, solve_compiled, solve_compiled_parallel, AnalysisResult, ConstraintSet, Loc,
+    ModelKind, Program,
+};
 
 /// FNV-1a over the source text — the cache key of a loaded program.
 pub fn source_hash(src: &str) -> u64 {
@@ -49,9 +52,8 @@ pub struct ProgramEntry {
 }
 
 /// One solved instance, reduced to the immutable plain-data summary the
-/// query handlers read. Holding summaries (rather than `AnalysisResult`,
-/// whose boxed model is not `Sync`) is what lets entries be shared freely
-/// across worker threads.
+/// query handlers read: everything a query needs is precomputed here, so a
+/// warm query never touches the solver, the model, or the program.
 #[derive(Debug)]
 pub struct Solved {
     /// Which instance this is.
@@ -224,6 +226,56 @@ impl SessionCache {
         (solved, paid)
     }
 
+    /// The solved summaries for `(entry, opts)` for **several** option
+    /// sets at once — `compare_models`' shape — solving the misses
+    /// concurrently on up to `threads` worker threads via the core's
+    /// multi-model parallel layer. Hits are served from the cache exactly
+    /// as [`solved`](SessionCache::solved) would; each miss is recorded in
+    /// the metrics with its own solve time. Returns the summaries in
+    /// `opts_list` order plus the total wall-clock this call paid solving
+    /// (zero when everything was warm).
+    pub fn solved_many(
+        &self,
+        entry: &ProgramEntry,
+        opts_list: &[QueryOpts],
+        threads: usize,
+    ) -> (Vec<Arc<Solved>>, Duration) {
+        let mut out: Vec<Option<Arc<Solved>>> = vec![None; opts_list.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            let map = self.solved.read().unwrap();
+            for (i, opts) in opts_list.iter().enumerate() {
+                match map.get(&(entry.key, opts.cache_key())).cloned() {
+                    Some(s) => out[i] = Some(s),
+                    None => misses.push(i),
+                }
+            }
+        }
+        for _ in 0..opts_list.len() - misses.len() {
+            self.metrics.record_solve(true, Duration::ZERO);
+        }
+        let mut paid = Duration::ZERO;
+        if !misses.is_empty() {
+            let configs: Vec<structcast::AnalysisConfig> =
+                misses.iter().map(|&i| opts_list[i].to_config()).collect();
+            let start = Instant::now();
+            let results =
+                solve_compiled_parallel(&entry.prog, &entry.constraints, &configs, threads);
+            paid = start.elapsed();
+            let mut map = self.solved.write().unwrap();
+            for (&i, res) in misses.iter().zip(&results) {
+                // `res.elapsed` is the per-solve time measured on its
+                // worker; the batch wall-clock `paid` is what the caller
+                // actually waited.
+                self.metrics.record_solve(false, res.elapsed);
+                let solved = Arc::new(Solved::build(entry, res));
+                let key = (entry.key, opts_list[i].cache_key());
+                out[i] = Some(map.entry(key).or_insert(solved).clone());
+            }
+        }
+        (out.into_iter().map(|s| s.expect("slot filled")).collect(), paid)
+    }
+
     /// `(programs, solved instances)` currently cached.
     pub fn sizes(&self) -> (usize, usize) {
         (
@@ -278,6 +330,59 @@ mod tests {
         // And the whole exercise performed exactly one compile + one solve.
         assert_eq!(compiles1 - compiles0, 1);
         assert_eq!(solves1 - solves0, 1);
+    }
+
+    #[test]
+    fn parallel_compare_models_counts_one_compile_and_n_solves() {
+        let c = cache();
+        let (compiles0, solves0) = (compiles_on_thread(), solves_on_thread());
+        let entry = c.load(Some("intro"), SRC).unwrap();
+        let all: Vec<QueryOpts> = ModelKind::ALL
+            .iter()
+            .map(|&k| QueryOpts::default().with_model(k))
+            .collect();
+        let (solved, paid) = c.solved_many(&entry, &all, 4);
+        assert!(paid > Duration::ZERO);
+        assert_eq!(solved.len(), 4);
+        for (s, k) in solved.iter().zip(ModelKind::ALL) {
+            assert_eq!(s.kind, k, "summaries must come back in request order");
+        }
+        assert_eq!(
+            compiles_on_thread() - compiles0,
+            1,
+            "compare_models must share one compilation"
+        );
+        assert_eq!(
+            solves_on_thread() - solves0,
+            4,
+            "solves on pool workers must be credited to the requesting thread"
+        );
+        // Warm pass: no further compiles or solves, same Arcs, zero paid.
+        let (solved2, paid2) = c.solved_many(&entry, &all, 4);
+        assert_eq!(compiles_on_thread() - compiles0, 1);
+        assert_eq!(solves_on_thread() - solves0, 4);
+        assert_eq!(paid2, Duration::ZERO);
+        for (a, b) in solved.iter().zip(&solved2) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+        // A batch overlapping the warm entries solves only the cold one.
+        let stride = QueryOpts::from_json(
+            &crate::json::Json::parse(r#"{"model":"offsets","stride":true}"#).unwrap(),
+        )
+        .unwrap();
+        let (solved3, _) = c.solved_many(&entry, &[all[0].clone(), stride], 4);
+        assert_eq!(solves_on_thread() - solves0, 5);
+        assert!(Arc::ptr_eq(&solved3[0], &solved[0]));
+        assert_eq!(solved3[1].kind, ModelKind::Offsets);
+        // And the per-model summaries agree with the sequential path.
+        let c2 = cache();
+        let entry2 = c2.load(Some("intro"), SRC).unwrap();
+        for (s, opts) in solved.iter().zip(&all) {
+            let (seq, _) = c2.solved(&entry2, opts);
+            assert_eq!(s.edges, seq.edges, "{}", s.kind);
+            assert_eq!(s.points_to, seq.points_to, "{}", s.kind);
+            assert_eq!(s.avg_deref, seq.avg_deref, "{}", s.kind);
+        }
     }
 
     #[test]

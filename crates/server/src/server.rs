@@ -311,16 +311,19 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, St
             ]))
         }
         Request::CompareModels { program, opts } => {
+            // The four instances are independent solves over one shared
+            // constraint set — solve the cold ones concurrently, one
+            // worker per model.
+            let entry = resolve_program(shared, &program, paid)?;
+            let all: Vec<QueryOpts> =
+                ModelKind::ALL.iter().map(|&k| opts.with_model(k)).collect();
+            let (summaries, solve_paid) = shared.cache.solved_many(&entry, &all, all.len());
+            *paid += solve_paid;
             let mut rows = Vec::new();
-            let mut offsets_edges = None;
-            let mut summaries = Vec::new();
-            for kind in ModelKind::ALL {
-                let solved = solved_for(shared, &program, &opts.with_model(kind), paid)?;
-                if kind == ModelKind::Offsets {
-                    offsets_edges = Some(solved.edges);
-                }
-                summaries.push(solved);
-            }
+            let offsets_edges = summaries
+                .iter()
+                .find(|s| s.kind == ModelKind::Offsets)
+                .map(|s| s.edges);
             for (kind, solved) in ModelKind::ALL.iter().zip(&summaries) {
                 let vs = offsets_edges
                     .filter(|&o| o > 0)

@@ -14,7 +14,7 @@
 //! * **Determinism**: re-running an analysis yields identical results.
 
 use std::collections::BTreeSet;
-use structcast::{analyze, AnalysisConfig, Layout, ModelKind, Program};
+use structcast::{analyze, AnalysisConfig, AnalysisSession, Layout, ModelKind, Program};
 use structcast_progen::{corpus, generate, GenConfig};
 
 fn obj_edges(prog: &Program, kind: ModelKind, layout: Layout) -> BTreeSet<(u32, u32)> {
@@ -141,6 +141,64 @@ fn analysis_is_deterministic() {
             let eb: BTreeSet<String> =
                 b.facts.iter().map(|(s, t)| format!("{s}->{t}")).collect();
             assert_eq!(ea, eb, "{name} {kind}");
+        }
+    }
+}
+
+/// The precision ladder on the *fuzz-harness-style* generated corpus,
+/// solved through one session with multi-model parallelism: the ordering
+/// properties must hold on the exact results the parallel layer hands
+/// back, not only on independent sequential `analyze` calls.
+#[test]
+fn generated_corpus_ladder_holds_under_parallel_solving() {
+    for seed in [0x5eed_0101u64, 0x5eed_0202, 0x5eed_0303, 0x5eed_0404] {
+        for ratio in [0.4, 0.9] {
+            let name = format!("gen-{seed:#x}-{ratio}");
+            let mut cfg = GenConfig::small(seed).with_cast_ratio(ratio);
+            cfg.malloc_ratio = 0.2;
+            let src = generate(&cfg);
+            let prog = structcast::lower_source(&src).unwrap();
+            let session = AnalysisSession::compile(&prog);
+            let configs = AnalysisConfig::default().for_all_kinds();
+            let results = session.solve_all(&configs, configs.len());
+
+            // Collapse-Always object edges over-approximate the CoC and
+            // CIS projections (the paper's lattice, coarsest at the top).
+            let proj = |i: usize| -> BTreeSet<(u32, u32)> {
+                results[i]
+                    .facts
+                    .iter()
+                    .map(|(s, t)| (s.obj.0, t.obj.0))
+                    .collect()
+            };
+            let (ca, coc, cis) = (proj(0), proj(1), proj(2));
+            for (finer, label) in [(&coc, "CoC"), (&cis, "CIS")] {
+                let extra: Vec<_> = finer.difference(&ca).take(5).collect();
+                assert!(
+                    extra.is_empty(),
+                    "{name}: {label} object edges outside Collapse-Always: {extra:?}"
+                );
+            }
+            let extra: Vec<_> = cis.difference(&coc).take(5).collect();
+            assert!(extra.is_empty(), "{name}: CIS ⊄ CoC: {extra:?}");
+
+            // Per-deref average sizes are monotone down the ladder.
+            let sizes: Vec<f64> = results
+                .iter()
+                .map(|r| r.average_deref_size(&prog))
+                .collect();
+            assert!(
+                sizes[0] >= sizes[1] - 1e-9,
+                "{name}: CollapseAlways {} < CoC {}",
+                sizes[0],
+                sizes[1]
+            );
+            assert!(
+                sizes[1] >= sizes[2] - 1e-9,
+                "{name}: CoC {} < CIS {}",
+                sizes[1],
+                sizes[2]
+            );
         }
     }
 }
