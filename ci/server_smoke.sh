@@ -2,7 +2,11 @@
 # Server smoke test: start `scast serve` on an ephemeral port, run a
 # scripted `scast query` pass covering every request type, run the same
 # pass again, and assert (a) the second pass added zero cache misses and
-# (b) the server shuts down cleanly with its summary line.
+# (b) the server shuts down cleanly with its summary line. Then exercise
+# the resource-governance paths: a budgeted query trips a typed
+# `edge_limit` error on a cold config but a warm hit ignores the budget,
+# and a byte-capped server evicts under load yet still answers for the
+# evicted program.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -59,6 +63,21 @@ WARM=$(misses)
 [ "$WARM" -eq "$COLD" ] || { echo "warm pass added misses: $COLD -> $WARM"; exit 1; }
 echo "warm pass: identical responses, zero new misses (total misses: $WARM)"
 
+# A budget that cannot fit any fixpoint trips a typed error — but only on
+# a cold config (packed32 is not cached yet); the same impossible budget
+# against a warm config is served from cache and succeeds.
+COLD_BUDGET=$("$SCAST" query --addr "$ADDR" \
+    '{"op":"points_to","program":"bst","var":"g_tree","layout":"packed32","max_edges":1}')
+echo "$COLD_BUDGET" | grep -q '"kind": "edge_limit"' || {
+    echo "cold budgeted query should trip edge_limit:"; echo "$COLD_BUDGET"; exit 1
+}
+WARM_BUDGET=$("$SCAST" query --addr "$ADDR" \
+    '{"op":"points_to","program":"bst","var":"g_tree","max_edges":1}')
+echo "$WARM_BUDGET" | grep -q '"ok": true' || {
+    echo "warm budgeted query should hit the cache:"; echo "$WARM_BUDGET"; exit 1
+}
+echo "budgeted query: cold trips edge_limit, warm hit ignores the budget"
+
 "$SCAST" query --addr "$ADDR" '{"op":"shutdown"}' | grep -q '"shutdown": true'
 wait "$SERVER_PID"
 trap - EXIT
@@ -66,3 +85,36 @@ grep -q "structcast-server: served" "$LOG" || { echo "missing summary line"; cat
 echo "clean shutdown:"
 tail -n1 "$LOG"
 rm -f "$LOG"
+
+# Eviction round-trip: a server whose cache holds only a couple of entries
+# must evict while a sweep of corpus programs loads, and still answer a
+# query for the evicted first program (corpus programs reload on miss).
+LOG2=$(mktemp)
+SCAST_MAX_CACHE_BYTES=60000 "$SCAST" serve --addr 127.0.0.1:0 --threads 2 >"$LOG2" &
+SERVER2_PID=$!
+trap 'kill "$SERVER2_PID" 2>/dev/null || true' EXIT
+ADDR2=""
+for _ in $(seq 1 100); do
+    ADDR2=$(sed -n 's/^listening on //p' "$LOG2" | head -n1)
+    [ -n "$ADDR2" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR2" ] || { echo "capped server never reported its address"; cat "$LOG2"; exit 1; }
+
+for name in bst list-utils matrix stack-calc queue-sim hashmap; do
+    "$SCAST" query --addr "$ADDR2" "{\"op\":\"load\",\"name\":\"$name\"}" |
+        grep -q '"ok": true' || { echo "load $name failed"; exit 1; }
+done
+STATS=$("$SCAST" query --addr "$ADDR2" '{"op":"stats"}')
+EVICTED=$(echo "$STATS" | tr ',{' '\n\n' | awk -F': ' '/"program_evictions"/ { print $2+0 }')
+[ "$EVICTED" -gt 0 ] || { echo "capped sweep should have evicted:"; echo "$STATS"; exit 1; }
+"$SCAST" query --addr "$ADDR2" '{"op":"points_to","program":"bst","var":"g_tree"}' |
+    grep -q '"ok": true' || { echo "re-query of evicted program failed"; exit 1; }
+echo "eviction round-trip: $EVICTED programs evicted, evicted program still answers"
+
+"$SCAST" query --addr "$ADDR2" '{"op":"shutdown"}' | grep -q '"shutdown": true'
+wait "$SERVER2_PID"
+trap - EXIT
+grep -q "structcast-server: served" "$LOG2" || { echo "missing summary line"; cat "$LOG2"; exit 1; }
+tail -n1 "$LOG2"
+rm -f "$LOG2"

@@ -1,6 +1,7 @@
 //! The top-level analysis API: configure an instance, run it, query the
 //! results.
 
+use crate::budget::{Budget, SolveError};
 use crate::facts::FactStore;
 use crate::loc::Loc;
 use crate::model::{FieldModel, ModelKind, ModelStats};
@@ -39,6 +40,12 @@ pub struct AnalysisConfig {
     /// from `SCAST_SOLVER_THREADS` (see [`env_solver_threads`]) so a test
     /// or CI matrix can exercise the parallel paths without code changes.
     pub threads: usize,
+    /// Cooperative resource budget for the solve (default unlimited).
+    /// Budgeted configs must be solved through the fallible entry points
+    /// ([`try_analyze`], [`AnalysisSession::try_solve`](crate::AnalysisSession::try_solve),
+    /// [`try_solve_compiled`](crate::session::try_solve_compiled)); the
+    /// infallible ones panic if a budget trips.
+    pub budget: Budget,
 }
 
 impl AnalysisConfig {
@@ -52,6 +59,7 @@ impl AnalysisConfig {
             arith_stride: false,
             arith_mode: ArithMode::Spread,
             threads: env_solver_threads(),
+            budget: Budget::unlimited(),
         }
     }
 
@@ -82,6 +90,12 @@ impl AnalysisConfig {
     /// Replaces the solver thread count (clamped to at least 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Replaces the solve budget (see [`Budget`]).
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -127,6 +141,17 @@ impl Default for AnalysisConfig {
 /// hold the session themselves so the compilation is shared.
 pub fn analyze(prog: &Program, config: &AnalysisConfig) -> AnalysisResult {
     crate::session::AnalysisSession::compile(prog).solve(config)
+}
+
+/// [`analyze`] for budgeted configs: returns the typed [`SolveError`] when
+/// `config.budget` trips instead of panicking.
+///
+/// # Errors
+///
+/// [`SolveError`] when the deadline, edge cap, or cancellation flag of
+/// `config.budget` fires before the fixpoint completes.
+pub fn try_analyze(prog: &Program, config: &AnalysisConfig) -> Result<AnalysisResult, SolveError> {
+    crate::session::AnalysisSession::compile(prog).try_solve(config)
 }
 
 /// Parses, lowers, and analyzes C source in one call.
@@ -425,12 +450,14 @@ mod tests {
             .with_compat(CompatMode::TagBased)
             .with_stride(true)
             .with_arith_mode(ArithMode::FlagUnknown)
-            .with_threads(4);
+            .with_threads(4)
+            .with_budget(Budget::unlimited().with_max_edges(10));
         assert_eq!(cfg.layout.name, "lp64");
         assert_eq!(cfg.compat, CompatMode::TagBased);
         assert!(cfg.arith_stride);
         assert_eq!(cfg.arith_mode, ArithMode::FlagUnknown);
         assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.budget.max_edges, Some(10));
         assert_eq!(cfg.with_threads(0).threads, 1, "clamped to sequential");
     }
 

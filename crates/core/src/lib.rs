@@ -106,6 +106,7 @@
 #![forbid(unsafe_code)]
 
 mod analysis;
+mod budget;
 mod facts;
 mod loc;
 mod model;
@@ -115,11 +116,17 @@ mod session;
 mod solver;
 pub mod steensgaard;
 
-pub use analysis::{analyze, analyze_source, env_solver_threads, AnalysisConfig, AnalysisResult};
+pub use analysis::{
+    analyze, analyze_source, env_solver_threads, try_analyze, AnalysisConfig, AnalysisResult,
+};
+pub use budget::{Budget, SolveError, TIME_CHECK_INTERVAL};
 pub use facts::FactStore;
 pub use loc::{FieldRep, Loc, LocId};
 pub use model::{FieldModel, ModelKind, ModelStats};
-pub use session::{solve_compiled, solve_compiled_parallel, AnalysisSession};
+pub use session::{
+    solve_compiled, solve_compiled_parallel, try_solve_compiled, try_solve_compiled_parallel,
+    AnalysisSession,
+};
 pub use solver::{solves_on_thread, ArithMode, Solver, SolverOutput};
 
 /// The model-independent constraint layer (re-export of

@@ -8,6 +8,7 @@
 //! the fixpoint itself.
 
 use crate::analysis::{AnalysisConfig, AnalysisResult};
+use crate::budget::SolveError;
 use crate::models::{make_model_with, ModelOptions};
 use crate::solver::Solver;
 use std::time::Instant;
@@ -91,6 +92,18 @@ impl<'p> AnalysisSession<'p> {
         solve_compiled(self.prog, &self.constraints, config)
     }
 
+    /// [`solve`](AnalysisSession::solve) for budgeted configs. An aborted
+    /// solve discards only its own partial state — the session (and its
+    /// shared constraint set) stays valid for further solves, budgeted or
+    /// not.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError`] when `config.budget` trips before the fixpoint.
+    pub fn try_solve(&self, config: &AnalysisConfig) -> Result<AnalysisResult, SolveError> {
+        try_solve_compiled(self.prog, &self.constraints, config)
+    }
+
     /// Solves several configurations over the shared constraint set, up to
     /// `threads` of them concurrently — the common Figure 4–6 shape with
     /// multi-model parallelism.
@@ -104,6 +117,19 @@ impl<'p> AnalysisSession<'p> {
     /// thread's [`solves_on_thread`](crate::solves_on_thread) counter.
     pub fn solve_all(&self, configs: &[AnalysisConfig], threads: usize) -> Vec<AnalysisResult> {
         solve_compiled_parallel(self.prog, &self.constraints, configs, threads)
+    }
+
+    /// [`solve_all`](AnalysisSession::solve_all) for budgeted configs:
+    /// each config's budget violation is reported in its own slot, and a
+    /// tripped budget never aborts the sibling configs — the other solves
+    /// run (and are cached by callers) exactly as if the failing config
+    /// had not been requested.
+    pub fn try_solve_all(
+        &self,
+        configs: &[AnalysisConfig],
+        threads: usize,
+    ) -> Vec<Result<AnalysisResult, SolveError>> {
+        try_solve_compiled_parallel(self.prog, &self.constraints, configs, threads)
     }
 
     /// [`solve_all`](AnalysisSession::solve_all) over the four paper
@@ -129,6 +155,22 @@ pub fn solve_compiled(
     constraints: &ConstraintSet,
     config: &AnalysisConfig,
 ) -> AnalysisResult {
+    try_solve_compiled(prog, constraints, config)
+        .expect("budgeted config solved through the infallible path; use try_solve_compiled")
+}
+
+/// [`solve_compiled`] for budgeted configs: the typed error surfaces
+/// instead of panicking when `config.budget` trips.
+///
+/// # Errors
+///
+/// [`SolveError`] when the deadline, edge cap, or cancellation flag of
+/// `config.budget` fires before the fixpoint completes.
+pub fn try_solve_compiled(
+    prog: &Program,
+    constraints: &ConstraintSet,
+    config: &AnalysisConfig,
+) -> Result<AnalysisResult, SolveError> {
     let model = make_model_with(
         config.model,
         &ModelOptions {
@@ -140,9 +182,9 @@ pub fn solve_compiled(
     let start = Instant::now();
     let out = Solver::from_constraints(prog, constraints, model)
         .with_arith_mode(config.arith_mode)
-        .run_with_threads(config.threads);
+        .run_with_threads_budgeted(config.threads, &config.budget)?;
     let elapsed = start.elapsed();
-    AnalysisResult::from_solver(config.model, out, elapsed)
+    Ok(AnalysisResult::from_solver(config.model, out, elapsed))
 }
 
 /// Multi-model parallelism over an externally held constraint set: solves
@@ -160,14 +202,32 @@ pub fn solve_compiled_parallel(
     configs: &[AnalysisConfig],
     threads: usize,
 ) -> Vec<AnalysisResult> {
+    try_solve_compiled_parallel(prog, constraints, configs, threads)
+        .into_iter()
+        .map(|r| {
+            r.expect("budgeted config solved through the infallible path; use try_solve_compiled_parallel")
+        })
+        .collect()
+}
+
+/// [`solve_compiled_parallel`] for budgeted configs: each config's budget
+/// violation is reported in its own output slot, and a tripped budget never
+/// aborts sibling configs — the worker that hit it just moves on to the
+/// next work item.
+pub fn try_solve_compiled_parallel(
+    prog: &Program,
+    constraints: &ConstraintSet,
+    configs: &[AnalysisConfig],
+    threads: usize,
+) -> Vec<Result<AnalysisResult, SolveError>> {
     if threads <= 1 || configs.len() <= 1 {
         return configs
             .iter()
-            .map(|c| solve_compiled(prog, constraints, c))
+            .map(|c| try_solve_compiled(prog, constraints, c))
             .collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<AnalysisResult>>> =
+    let slots: Vec<std::sync::Mutex<Option<Result<AnalysisResult, SolveError>>>> =
         configs.iter().map(|_| std::sync::Mutex::new(None)).collect();
     let workers = threads.min(configs.len());
     let credited: u64 = std::thread::scope(|scope| {
@@ -180,7 +240,7 @@ pub fn solve_compiled_parallel(
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         let Some(config) = configs.get(i) else { break };
-                        let res = solve_compiled(prog, constraints, config);
+                        let res = try_solve_compiled(prog, constraints, config);
                         *slots[i].lock().expect("result slot poisoned") = Some(res);
                     }
                     crate::solver::solves_on_thread() - before

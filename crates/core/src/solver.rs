@@ -28,6 +28,7 @@
 //! return bindings are synthesized as fresh `Copy` statements (monotone, so
 //! the fixpoint remains well-defined).
 
+use crate::budget::{Budget, SolveError, TIME_CHECK_INTERVAL};
 use crate::facts::FactStore;
 use crate::loc::{Loc, LocId};
 use crate::model::{FieldModel, ModelStats};
@@ -568,14 +569,45 @@ impl<'p> Solver<'p> {
     }
 
     /// Runs to fixpoint and returns the facts and instrumentation.
-    pub fn run(mut self) -> SolverOutput {
+    pub fn run(self) -> SolverOutput {
+        self.run_budgeted(&Budget::unlimited())
+            .expect("an unlimited budget cannot be exceeded")
+    }
+
+    /// Runs to fixpoint under a [`Budget`]. The budget is checked at
+    /// iteration boundaries only — cancellation and the edge cap after
+    /// every statement firing, the deadline before the first firing and
+    /// then every [`TIME_CHECK_INTERVAL`] firings — so a run that
+    /// *completes* produces exactly the facts an unbudgeted run would,
+    /// while an exceeded run returns a typed [`SolveError`] instead of
+    /// continuing.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::DeadlineExceeded`], [`SolveError::EdgeLimit`], or
+    /// [`SolveError::Cancelled`] when the corresponding limit trips.
+    pub fn run_budgeted(mut self, budget: &Budget) -> Result<SolverOutput, SolveError> {
         SOLVES.with(|c| c.set(c.get() + 1));
+        if let Some(e) = budget.time_exceeded() {
+            return Err(e);
+        }
+        let mut until_time_check = TIME_CHECK_INTERVAL;
         while let Some(idx) = self.en.worklist.pop_front() {
             self.en.queued[idx as usize] = false;
             self.en.iterations += 1;
             self.process(idx);
+            if let Some(e) = budget.exceeded(self.en.facts.len()) {
+                return Err(e);
+            }
+            until_time_check -= 1;
+            if until_time_check == 0 {
+                until_time_check = TIME_CHECK_INTERVAL;
+                if let Some(e) = budget.time_exceeded() {
+                    return Err(e);
+                }
+            }
         }
-        finish(self.en)
+        Ok(finish(self.en))
     }
 
     /// Runs to fixpoint on `threads` shards (see the `par` module). One thread takes
@@ -585,10 +617,28 @@ impl<'p> Solver<'p> {
     /// regardless of the thread count (the `iterations` work measure and
     /// per-shard stats aggregation order differ).
     pub fn run_with_threads(self, threads: usize) -> SolverOutput {
+        self.run_with_threads_budgeted(threads, &Budget::unlimited())
+            .expect("an unlimited budget cannot be exceeded")
+    }
+
+    /// [`run_with_threads`](Solver::run_with_threads) under a [`Budget`].
+    /// The sharded path checks the budget at round boundaries (every merge
+    /// is an iteration boundary for every shard), so completed runs remain
+    /// byte-identical across thread counts and exceeded runs return the
+    /// same typed error at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_budgeted`](Solver::run_budgeted).
+    pub fn run_with_threads_budgeted(
+        self,
+        threads: usize,
+        budget: &Budget,
+    ) -> Result<SolverOutput, SolveError> {
         if threads <= 1 {
-            self.run()
+            self.run_budgeted(budget)
         } else {
-            par::run_sharded(self, threads)
+            par::run_sharded(self, threads, budget)
         }
     }
 

@@ -23,6 +23,7 @@
 //! merge order, and iteration counts are deterministic as well.
 
 use super::{finish, CStmt, Engine, Solver, SolverOutput, ArithMode, SOLVES};
+use crate::budget::{Budget, SolveError};
 use crate::facts::FactStore;
 use crate::loc::{Loc, LocId};
 use crate::model::{FieldModel, ModelStats};
@@ -309,10 +310,22 @@ fn apply_bind(
     }
 }
 
-/// Runs the sharded fixpoint. Called by [`Solver::run_with_threads`] with
-/// `threads >= 2`.
-pub(super) fn run_sharded(solver: Solver<'_>, threads: usize) -> SolverOutput {
+/// Runs the sharded fixpoint. Called by
+/// [`Solver::run_with_threads_budgeted`] with `threads >= 2`.
+///
+/// The budget is checked once per rendezvous round — before the fan-out
+/// (deadline/cancellation) and after the merge (edge cap) — mirroring the
+/// sequential driver's iteration-boundary checks. A round is the sharded
+/// path's natural iteration boundary: no shared state mutates inside one.
+pub(super) fn run_sharded(
+    solver: Solver<'_>,
+    threads: usize,
+    budget: &Budget,
+) -> Result<SolverOutput, SolveError> {
     SOLVES.with(|c| c.set(c.get() + 1));
+    if let Some(e) = budget.time_exceeded() {
+        return Err(e);
+    }
     let Solver { mut en, mut cstmts } = solver;
     let nshards = threads;
     let mut shards: Vec<ShardState> = (0..nshards).map(|_| ShardState::default()).collect();
@@ -323,6 +336,9 @@ pub(super) fn run_sharded(solver: Solver<'_>, threads: usize) -> SolverOutput {
     let mut next: Vec<u32> = Vec::new();
 
     while !pending.is_empty() {
+        if let Some(e) = budget.time_exceeded() {
+            return Err(e);
+        }
         // Deterministic round shape: ascending statement order, fixed
         // shard assignment.
         pending.sort_unstable();
@@ -399,6 +415,9 @@ pub(super) fn run_sharded(solver: Solver<'_>, threads: usize) -> SolverOutput {
                 }
             }
         }
+        if let Some(e) = budget.exceeded(en.facts.len()) {
+            return Err(e);
+        }
         std::mem::swap(&mut pending, &mut next);
     }
 
@@ -414,5 +433,5 @@ pub(super) fn run_sharded(solver: Solver<'_>, threads: usize) -> SolverOutput {
         en.stats.resolve_mismatch += s.resolve_mismatch;
         en.stats.out_of_bounds += s.out_of_bounds;
     }
-    finish(en)
+    Ok(finish(en))
 }

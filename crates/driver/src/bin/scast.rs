@@ -2,17 +2,20 @@
 //!
 //! ```text
 //! scast <file.c> [--model collapse|cast|cis|offsets] [--layout ilp32|lp64|packed32]
-//!       [--var NAME]... [--threads N] [--deref-stats] [--dump-ir] [--dump-constraints]
-//!       [--steensgaard] [--json]
+//!       [--var NAME]... [--threads N] [--deadline-ms N] [--max-edges N]
+//!       [--deref-stats] [--dump-ir] [--dump-constraints] [--steensgaard] [--json]
 //! scast --corpus            # list the embedded benchmark corpus
-//! scast serve [--addr HOST:PORT] [--threads N]
-//! scast query --addr HOST:PORT <request-json>... | -
+//! scast serve [--addr HOST:PORT] [--threads N] [--max-cache-mb N]
+//! scast query --addr HOST:PORT [--timeout-ms N] <request-json>... | -
 //! ```
 
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
 use structcast::steensgaard::steensgaard;
-use structcast::{analyze, AnalysisConfig, AnalysisResult, Layout, ModelKind, Program};
+use structcast::{
+    try_analyze, AnalysisConfig, AnalysisResult, Budget, Layout, ModelKind, Program,
+};
 use structcast_server::json::Json;
 use structcast_server::{serve, Client, ServerConfig};
 
@@ -20,11 +23,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: scast <file.c> [--model collapse|cast|cis|offsets] \
          [--layout ilp32|lp64|packed32] [--var NAME]... [--threads N] \
+         [--deadline-ms N] [--max-edges N] \
          [--deref-stats] [--dump-ir] [--dump-constraints] [--steensgaard] \
          [--stride] [--flag-unknown] [--dot] [--modref] [--json]\
          \n       scast --corpus\
-         \n       scast serve [--addr HOST:PORT] [--threads N]\
-         \n       scast query --addr HOST:PORT <request-json>... | -"
+         \n       scast serve [--addr HOST:PORT] [--threads N] [--max-cache-mb N]\
+         \n       scast query --addr HOST:PORT [--timeout-ms N] <request-json>... | -"
     );
     std::process::exit(2);
 }
@@ -77,6 +81,12 @@ fn main() -> ExitCode {
 /// client sends `{"op": "shutdown"}`.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut cfg = ServerConfig::default();
+    // Byte-granular override for scripts and tests; the flag below wins.
+    if let Ok(bytes) = std::env::var("SCAST_MAX_CACHE_BYTES") {
+        cfg.max_cache_bytes = bytes
+            .parse()
+            .map_err(|_| format!("serve: bad SCAST_MAX_CACHE_BYTES `{bytes}`"))?;
+    }
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -84,6 +94,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--threads" => {
                 let n = it.next().unwrap_or_else(|| usage());
                 cfg.threads = n.parse().map_err(|_| format!("serve: bad --threads `{n}`"))?;
+            }
+            "--max-cache-mb" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                let mb: usize =
+                    n.parse().map_err(|_| format!("serve: bad --max-cache-mb `{n}`"))?;
+                // 0 = unbounded, matching the cache's convention.
+                cfg.max_cache_bytes = mb.saturating_mul(1024 * 1024);
             }
             _ => usage(),
         }
@@ -101,11 +118,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 /// (one per line) when the single argument `-` is given.
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut addr = None;
+    let mut timeout_ms: u64 = 5000;
     let mut reqs: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" => addr = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--timeout-ms" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                timeout_ms =
+                    n.parse().map_err(|_| format!("query: bad --timeout-ms `{n}`"))?;
+            }
             other => reqs.push(other.to_string()),
         }
     }
@@ -121,8 +144,14 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             .map(str::to_string)
             .collect();
     }
-    let mut client =
-        Client::connect(&addr).map_err(|e| format!("query: cannot connect to {addr}: {e}"))?;
+    // --timeout-ms 0 opts back into blocking forever (e.g. a query that is
+    // expected to solve a huge program on a cold cache).
+    let mut client = if timeout_ms == 0 {
+        Client::connect(&addr)
+    } else {
+        Client::connect_timeout(&addr, Duration::from_millis(timeout_ms))
+    }
+    .map_err(|e| format!("query: cannot connect to {addr}: {e}"))?;
     for req in &reqs {
         let resp = client
             .request_line(req)
@@ -181,6 +210,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut steens = false;
     let mut stride = false;
     let mut threads = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut max_edges: Option<usize> = None;
     let mut flag_unknown = false;
     let mut dot = false;
     let mut modref = false;
@@ -200,6 +231,16 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 let n = it.next().unwrap_or_else(|| usage());
                 threads =
                     Some(n.parse::<usize>().map_err(|_| format!("bad --threads `{n}`"))?);
+            }
+            "--deadline-ms" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                deadline_ms =
+                    Some(n.parse::<u64>().map_err(|_| format!("bad --deadline-ms `{n}`"))?);
+            }
+            "--max-edges" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                max_edges =
+                    Some(n.parse::<usize>().map_err(|_| format!("bad --max-edges `{n}`"))?);
             }
             "--flag-unknown" => flag_unknown = true,
             "--dot" => dot = true,
@@ -268,7 +309,17 @@ fn run(args: Vec<String>) -> Result<(), String> {
     if flag_unknown {
         cfg = cfg.with_arith_mode(structcast::ArithMode::FlagUnknown);
     }
-    let res = analyze(&prog, &cfg);
+    if deadline_ms.is_some() || max_edges.is_some() {
+        let mut budget = Budget::unlimited();
+        if let Some(ms) = deadline_ms {
+            budget = budget.with_deadline_in(Duration::from_millis(ms));
+        }
+        if let Some(max) = max_edges {
+            budget = budget.with_max_edges(max);
+        }
+        cfg = cfg.with_budget(budget);
+    }
+    let res = try_analyze(&prog, &cfg).map_err(|e| format!("{file}: {e}"))?;
     if json {
         println!("{}", render_json(&file, model, &prog, &res));
         return Ok(());

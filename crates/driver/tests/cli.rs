@@ -301,6 +301,35 @@ fn bad_threads_value_fails_cleanly() {
 }
 
 #[test]
+fn tripped_budgets_fail_with_typed_errors() {
+    let (_, stderr, ok) = scast(&["bst", "--max-edges", "1"]);
+    assert!(!ok, "one edge cannot fit the fixpoint");
+    assert!(stderr.contains("edge limit (1)"), "{stderr}");
+    let (_, stderr, ok) = scast(&["bst", "--deadline-ms", "0"]);
+    assert!(!ok, "a zero deadline trips before the first pop");
+    assert!(stderr.contains("deadline exceeded"), "{stderr}");
+}
+
+#[test]
+fn a_roomy_budget_does_not_change_answers() {
+    let (free, _, ok1) = scast(&["bst", "--json"]);
+    let (budgeted, _, ok2) =
+        scast(&["bst", "--json", "--deadline-ms", "600000", "--max-edges", "1000000"]);
+    assert!(ok1 && ok2);
+    assert_eq!(free, budgeted, "a budget that completes must not perturb the result");
+}
+
+#[test]
+fn bad_budget_values_fail_cleanly() {
+    let (_, stderr, ok) = scast(&["bst", "--max-edges", "lots"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --max-edges"), "{stderr}");
+    let (_, stderr, ok) = scast(&["bst", "--deadline-ms", "soon"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --deadline-ms"), "{stderr}");
+}
+
+#[test]
 fn bad_model_usage_error() {
     let out = Command::new(env!("CARGO_BIN_EXE_scast"))
         .args(["bst", "--model", "telepathy"])

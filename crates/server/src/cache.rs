@@ -13,16 +13,40 @@
 //! lock**: concurrent queries for different keys solve in parallel, and a
 //! rare same-key race costs one redundant solve (both compute the same
 //! deterministic result; the first insert wins).
+//!
+//! # Bounding
+//!
+//! The cache is bounded by an approximate byte budget shared across both
+//! layers. Each slot carries a size estimate (computed once at insert) and
+//! a last-use tick bumped on every hit; when an insert pushes the total
+//! past [`SessionCache::max_bytes`], the globally least-recently-used
+//! slots are evicted — never the slot the inserting call is about to
+//! return — until the total fits again. Eviction is *forgetting*, not
+//! invalidation: entries are keyed by content hash, so an evicted program
+//! that is loaded again recompiles once and yields identical results, and
+//! a racing query that held an `Arc` to an evicted entry keeps a fully
+//! valid (just no longer shared) value. Evicting a program does not evict
+//! its solved summaries — they are self-contained plain data and stay
+//! correct for any future reload of the same source.
+//!
+//! Locks recover from poisoning (`PoisonError::into_inner`): every cached
+//! value is immutable once inserted and the maps are structurally valid
+//! after any panic-at-insert, so a poisoned guard's data is still sound.
 
 use crate::metrics::Metrics;
 use crate::proto::QueryOpts;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 use structcast::{
-    modref, solve_compiled, solve_compiled_parallel, AnalysisResult, ConstraintSet, Loc,
-    ModelKind, Program,
+    modref, try_solve_compiled, try_solve_compiled_parallel, AnalysisResult, ConstraintSet, Loc,
+    ModelKind, Program, SolveError,
 };
+
+/// Default cache budget: generous enough that eviction never fires in
+/// ordinary interactive use (override with `--max-cache-mb`).
+pub const DEFAULT_MAX_BYTES: usize = 512 * 1024 * 1024;
 
 /// FNV-1a over the source text — the cache key of a loaded program.
 pub fn source_hash(src: &str) -> u64 {
@@ -32,6 +56,14 @@ pub fn source_hash(src: &str) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A compiled program: stage 1 paid once, shared by every query.
@@ -49,6 +81,22 @@ pub struct ProgramEntry {
     pub constraints: ConstraintSet,
     /// Stage-1 wall-clock paid at load time.
     pub compile: Duration,
+}
+
+impl ProgramEntry {
+    /// Approximate resident bytes: per-object/statement/constraint
+    /// heuristics plus string payloads. Deliberately coarse — the cap
+    /// bounds memory to the right order of magnitude, it is not an
+    /// allocator audit.
+    pub fn approx_bytes(&self) -> usize {
+        let names: usize = self.prog.objects.iter().map(|o| o.name.len()).sum();
+        4096 + names
+            + self.prog.objects.len() * 96
+            + self.prog.stmts.len() * 80
+            + self.prog.functions.len() * 128
+            + self.constraints.len() * 96
+            + self.constraints.num_paths() * 48
+    }
 }
 
 /// One solved instance, reduced to the immutable plain-data summary the
@@ -126,6 +174,24 @@ impl Solved {
         }
     }
 
+    /// Approximate resident bytes of the summary (string payloads plus
+    /// per-element set overheads).
+    pub fn approx_bytes(&self) -> usize {
+        let strs = |v: &Vec<String>| v.iter().map(|s| s.len() + 32).sum::<usize>();
+        let mut n = 1024;
+        n += self.vars.iter().map(|s| s.len() + 48).sum::<usize>();
+        for (k, v) in &self.points_to {
+            n += k.len() + 64 + strs(v);
+        }
+        for (k, v) in &self.pt_locs {
+            n += k.len() + 64 + v.len() * 48;
+        }
+        for (k, (m, r)) in &self.modref {
+            n += k.len() + 96 + strs(m) + strs(r);
+        }
+        n
+    }
+
     /// May `a` and `b` point to a common location? `None` when either
     /// variable does not exist in the program.
     pub fn may_alias(&self, a: &str, b: &str) -> Option<bool> {
@@ -140,23 +206,134 @@ impl Solved {
     }
 }
 
+/// A cached value plus the bookkeeping the evictor reads: its (fixed) size
+/// estimate and a last-use tick bumped on every hit. The tick is an atomic
+/// so hits can record recency under the cheap *read* lock.
+struct Slot<T> {
+    value: Arc<T>,
+    bytes: usize,
+    last_use: AtomicU64,
+}
+
+/// Which map a victim lives in (cross-layer LRU picks globally).
+enum Victim {
+    Program(u64),
+    Solved((u64, String)),
+}
+
 /// The concurrent two-layer cache; see the module docs.
 pub struct SessionCache {
     metrics: Arc<Metrics>,
-    programs: RwLock<HashMap<u64, Arc<ProgramEntry>>>,
+    max_bytes: usize,
+    tick: AtomicU64,
+    bytes: AtomicUsize,
+    programs: RwLock<HashMap<u64, Slot<ProgramEntry>>>,
     names: RwLock<HashMap<String, u64>>,
-    solved: RwLock<HashMap<(u64, String), Arc<Solved>>>,
+    solved: RwLock<HashMap<(u64, String), Slot<Solved>>>,
 }
 
 impl SessionCache {
-    /// An empty cache recording into `metrics`.
+    /// An empty cache recording into `metrics`, bounded by
+    /// [`DEFAULT_MAX_BYTES`].
     pub fn new(metrics: Arc<Metrics>) -> SessionCache {
+        SessionCache::with_max_bytes(metrics, DEFAULT_MAX_BYTES)
+    }
+
+    /// An empty cache bounded by `max_bytes` (approximate; `0` disables
+    /// the bound entirely).
+    pub fn with_max_bytes(metrics: Arc<Metrics>, max_bytes: usize) -> SessionCache {
         SessionCache {
             metrics,
+            max_bytes,
+            tick: AtomicU64::new(0),
+            bytes: AtomicUsize::new(0),
             programs: RwLock::new(HashMap::new()),
             names: RwLock::new(HashMap::new()),
             solved: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// The configured byte budget (`0` = unbounded).
+    pub fn max_bytes(&self) -> usize {
+        self.max_bytes
+    }
+
+    /// The current approximate resident bytes across both layers.
+    pub fn bytes(&self) -> usize {
+        self.bytes.load(Relaxed)
+    }
+
+    /// Marks a slot used now and clones out its value.
+    fn touch<T>(&self, slot: &Slot<T>) -> Arc<T> {
+        slot.last_use.store(self.tick.fetch_add(1, Relaxed) + 1, Relaxed);
+        Arc::clone(&slot.value)
+    }
+
+    /// Wraps `value` in a slot stamped with a fresh tick.
+    fn slot<T>(&self, value: Arc<T>, bytes: usize) -> Slot<T> {
+        Slot {
+            value,
+            bytes,
+            last_use: AtomicU64::new(self.tick.fetch_add(1, Relaxed) + 1),
+        }
+    }
+
+    /// Evicts least-recently-used slots (across both layers) until the
+    /// total fits the budget again, sparing the just-inserted keys — a
+    /// single entry larger than the whole budget stays resident rather
+    /// than thrashing. Lock order is programs → solved, everywhere.
+    fn enforce_cap(&self, keep_program: Option<u64>, keep_solved: Option<&(u64, String)>) {
+        if self.max_bytes == 0 {
+            return;
+        }
+        if self.bytes.load(Relaxed) <= self.max_bytes {
+            self.metrics.set_cache_bytes(self.bytes.load(Relaxed) as u64);
+            return;
+        }
+        let mut programs = write(&self.programs);
+        let mut solved = write(&self.solved);
+        let (mut evicted_p, mut evicted_s) = (0u64, 0u64);
+        while self.bytes.load(Relaxed) > self.max_bytes {
+            let mut best: Option<(u64, Victim)> = None;
+            for (k, s) in programs.iter() {
+                if keep_program == Some(*k) {
+                    continue;
+                }
+                let lu = s.last_use.load(Relaxed);
+                if best.as_ref().is_none_or(|(b, _)| lu < *b) {
+                    best = Some((lu, Victim::Program(*k)));
+                }
+            }
+            for (k, s) in solved.iter() {
+                if keep_solved == Some(k) {
+                    continue;
+                }
+                let lu = s.last_use.load(Relaxed);
+                if best.as_ref().is_none_or(|(b, _)| lu < *b) {
+                    best = Some((lu, Victim::Solved(k.clone())));
+                }
+            }
+            match best {
+                Some((_, Victim::Program(k))) => {
+                    let slot = programs.remove(&k).expect("victim was just seen");
+                    self.bytes.fetch_sub(slot.bytes, Relaxed);
+                    evicted_p += 1;
+                }
+                Some((_, Victim::Solved(k))) => {
+                    let slot = solved.remove(&k).expect("victim was just seen");
+                    self.bytes.fetch_sub(slot.bytes, Relaxed);
+                    evicted_s += 1;
+                }
+                // Everything left is protected: over budget but stuck.
+                None => break,
+            }
+        }
+        drop(solved);
+        drop(programs);
+        if evicted_p + evicted_s > 0 {
+            self.metrics.record_evictions(evicted_p, evicted_s);
+        }
+        self.metrics.set_cache_bytes(self.bytes.load(Relaxed) as u64);
     }
 
     /// Loads (compiles) `source`, reusing the cached entry when the same
@@ -165,7 +342,7 @@ impl SessionCache {
     /// their hash. Lower failures are reported, not cached.
     pub fn load(&self, name: Option<&str>, source: &str) -> Result<Arc<ProgramEntry>, String> {
         let key = source_hash(source);
-        let cached = self.programs.read().unwrap().get(&key).cloned();
+        let cached = read(&self.programs).get(&key).map(|s| self.touch(s));
         let (entry, hit) = match cached {
             Some(e) => (e, true),
             None => {
@@ -183,15 +360,26 @@ impl SessionCache {
                     compile,
                 });
                 // Double-checked insert: a racing loader's entry is
-                // identical (same source), so first-in wins.
-                let mut programs = self.programs.write().unwrap();
-                let entry = programs.entry(key).or_insert(entry).clone();
+                // identical (same source), so first-in wins. An eviction
+                // racing in between simply means both see a miss — each
+                // recompiles, first insert still wins.
+                let mut programs = write(&self.programs);
+                let entry = match programs.get(&key) {
+                    Some(s) => self.touch(s),
+                    None => {
+                        let bytes = entry.approx_bytes();
+                        self.bytes.fetch_add(bytes, Relaxed);
+                        programs.insert(key, self.slot(Arc::clone(&entry), bytes));
+                        entry
+                    }
+                };
                 drop(programs);
+                self.enforce_cap(Some(key), None);
                 (entry, false)
             }
         };
         self.metrics.record_program(hit, entry.compile);
-        let mut names = self.names.write().unwrap();
+        let mut names = write(&self.names);
         if let Some(n) = name {
             names.insert(n.to_string(), key);
         }
@@ -199,10 +387,11 @@ impl SessionCache {
         Ok(entry)
     }
 
-    /// Resolves a loaded program by name or hash.
+    /// Resolves a loaded program by name or hash. An evicted program
+    /// resolves to `None` exactly like one never loaded — callers reload.
     pub fn entry(&self, program: &str) -> Option<Arc<ProgramEntry>> {
-        let key = *self.names.read().unwrap().get(program)?;
-        self.programs.read().unwrap().get(&key).cloned()
+        let key = *read(&self.names).get(program)?;
+        read(&self.programs).get(&key).map(|s| self.touch(s))
     }
 
     /// The solved summary for `(entry, opts)`, memoized. A hit re-runs
@@ -210,20 +399,46 @@ impl SessionCache {
     /// outside the lock. Returns the summary plus the solve time this
     /// particular call paid (zero on a hit) so request handlers can
     /// separate lookup time from solve time.
-    pub fn solved(&self, entry: &ProgramEntry, opts: &QueryOpts) -> (Arc<Solved>, Duration) {
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError`] when `opts` carries a budget and it trips. Failed
+    /// solves are never cached (the same query retried with a looser
+    /// budget computes fresh), and hits are served from the cache
+    /// regardless of budget — the budget bounds *computation*, and a hit
+    /// computes nothing.
+    pub fn solved(
+        &self,
+        entry: &ProgramEntry,
+        opts: &QueryOpts,
+    ) -> Result<(Arc<Solved>, Duration), SolveError> {
         let key = (entry.key, opts.cache_key());
-        if let Some(s) = self.solved.read().unwrap().get(&key).cloned() {
+        if let Some(s) = read(&self.solved).get(&key).map(|s| self.touch(s)) {
             self.metrics.record_solve(true, Duration::ZERO);
-            return (s, Duration::ZERO);
+            return Ok((s, Duration::ZERO));
         }
         let start = Instant::now();
-        let res = solve_compiled(&entry.prog, &entry.constraints, &opts.to_config());
+        let res = try_solve_compiled(&entry.prog, &entry.constraints, &opts.to_config())?;
         let solved = Arc::new(Solved::build(entry, &res));
         let paid = start.elapsed();
         self.metrics.record_solve(false, paid);
-        let mut map = self.solved.write().unwrap();
-        let solved = map.entry(key).or_insert(solved).clone();
-        (solved, paid)
+        let solved = self.insert_solved(&key, solved);
+        self.enforce_cap(None, Some(&key));
+        Ok((solved, paid))
+    }
+
+    /// Double-checked solved-map insert; first-in wins, recency stamped.
+    fn insert_solved(&self, key: &(u64, String), solved: Arc<Solved>) -> Arc<Solved> {
+        let mut map = write(&self.solved);
+        match map.get(key) {
+            Some(s) => self.touch(s),
+            None => {
+                let bytes = solved.approx_bytes();
+                self.bytes.fetch_add(bytes, Relaxed);
+                map.insert(key.clone(), self.slot(Arc::clone(&solved), bytes));
+                solved
+            }
+        }
     }
 
     /// The solved summaries for `(entry, opts)` for **several** option
@@ -234,18 +449,24 @@ impl SessionCache {
     /// the metrics with its own solve time. Returns the summaries in
     /// `opts_list` order plus the total wall-clock this call paid solving
     /// (zero when everything was warm).
+    ///
+    /// # Errors
+    ///
+    /// The first (by request order) budget violation among the misses.
+    /// Sibling successes are still cached before the error returns, so a
+    /// retry with a looser budget pays only for the config that failed.
     pub fn solved_many(
         &self,
         entry: &ProgramEntry,
         opts_list: &[QueryOpts],
         threads: usize,
-    ) -> (Vec<Arc<Solved>>, Duration) {
+    ) -> Result<(Vec<Arc<Solved>>, Duration), SolveError> {
         let mut out: Vec<Option<Arc<Solved>>> = vec![None; opts_list.len()];
         let mut misses: Vec<usize> = Vec::new();
         {
-            let map = self.solved.read().unwrap();
+            let map = read(&self.solved);
             for (i, opts) in opts_list.iter().enumerate() {
-                match map.get(&(entry.key, opts.cache_key())).cloned() {
+                match map.get(&(entry.key, opts.cache_key())).map(|s| self.touch(s)) {
                     Some(s) => out[i] = Some(s),
                     None => misses.push(i),
                 }
@@ -255,33 +476,43 @@ impl SessionCache {
             self.metrics.record_solve(true, Duration::ZERO);
         }
         let mut paid = Duration::ZERO;
+        let mut first_err: Option<SolveError> = None;
         if !misses.is_empty() {
             let configs: Vec<structcast::AnalysisConfig> =
                 misses.iter().map(|&i| opts_list[i].to_config()).collect();
             let start = Instant::now();
             let results =
-                solve_compiled_parallel(&entry.prog, &entry.constraints, &configs, threads);
+                try_solve_compiled_parallel(&entry.prog, &entry.constraints, &configs, threads);
             paid = start.elapsed();
-            let mut map = self.solved.write().unwrap();
             for (&i, res) in misses.iter().zip(&results) {
-                // `res.elapsed` is the per-solve time measured on its
-                // worker; the batch wall-clock `paid` is what the caller
-                // actually waited.
-                self.metrics.record_solve(false, res.elapsed);
-                let solved = Arc::new(Solved::build(entry, res));
-                let key = (entry.key, opts_list[i].cache_key());
-                out[i] = Some(map.entry(key).or_insert(solved).clone());
+                match res {
+                    Ok(res) => {
+                        // `res.elapsed` is the per-solve time measured on
+                        // its worker; the batch wall-clock `paid` is what
+                        // the caller actually waited.
+                        self.metrics.record_solve(false, res.elapsed);
+                        let solved = Arc::new(Solved::build(entry, res));
+                        let key = (entry.key, opts_list[i].cache_key());
+                        out[i] = Some(self.insert_solved(&key, solved));
+                        self.enforce_cap(None, Some(&key));
+                    }
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(*e);
+                        }
+                    }
+                }
             }
         }
-        (out.into_iter().map(|s| s.expect("slot filled")).collect(), paid)
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok((out.into_iter().map(|s| s.expect("slot filled")).collect(), paid))
     }
 
     /// `(programs, solved instances)` currently cached.
     pub fn sizes(&self) -> (usize, usize) {
-        (
-            self.programs.read().unwrap().len(),
-            self.solved.read().unwrap().len(),
-        )
+        (read(&self.programs).len(), read(&self.solved).len())
     }
 }
 
@@ -291,6 +522,8 @@ impl std::fmt::Debug for SessionCache {
         f.debug_struct("SessionCache")
             .field("programs", &p)
             .field("solved", &s)
+            .field("bytes", &self.bytes())
+            .field("max_bytes", &self.max_bytes)
             .finish()
     }
 }
@@ -309,20 +542,25 @@ mod tests {
         SessionCache::new(Arc::new(Metrics::new()))
     }
 
+    /// A family of distinct small programs (distinct hashes, same shape).
+    fn variant(i: usize) -> String {
+        format!("int x{i}, *p{i}; void f{i}(void) {{ p{i} = &x{i}; }}")
+    }
+
     #[test]
     fn warm_queries_skip_compile_and_solve() {
         let c = cache();
         let opts = QueryOpts::default();
         let (compiles0, solves0) = (compiles_on_thread(), solves_on_thread());
         let entry = c.load(Some("intro"), SRC).unwrap();
-        let (first, paid) = c.solved(&entry, &opts);
+        let (first, paid) = c.solved(&entry, &opts).unwrap();
         assert!(paid > Duration::ZERO);
         assert_eq!(first.points_to.get("p").unwrap(), &vec!["x".to_string()]);
         // Second pass: same source, same options — the thread-local stage
         // counters must not move at all.
         let (compiles1, solves1) = (compiles_on_thread(), solves_on_thread());
         let entry2 = c.load(Some("intro"), SRC).unwrap();
-        let (second, paid2) = c.solved(&entry2, &opts);
+        let (second, paid2) = c.solved(&entry2, &opts).unwrap();
         assert_eq!(compiles_on_thread(), compiles1);
         assert_eq!(solves_on_thread(), solves1);
         assert_eq!(paid2, Duration::ZERO);
@@ -341,7 +579,7 @@ mod tests {
             .iter()
             .map(|&k| QueryOpts::default().with_model(k))
             .collect();
-        let (solved, paid) = c.solved_many(&entry, &all, 4);
+        let (solved, paid) = c.solved_many(&entry, &all, 4).unwrap();
         assert!(paid > Duration::ZERO);
         assert_eq!(solved.len(), 4);
         for (s, k) in solved.iter().zip(ModelKind::ALL) {
@@ -358,7 +596,7 @@ mod tests {
             "solves on pool workers must be credited to the requesting thread"
         );
         // Warm pass: no further compiles or solves, same Arcs, zero paid.
-        let (solved2, paid2) = c.solved_many(&entry, &all, 4);
+        let (solved2, paid2) = c.solved_many(&entry, &all, 4).unwrap();
         assert_eq!(compiles_on_thread() - compiles0, 1);
         assert_eq!(solves_on_thread() - solves0, 4);
         assert_eq!(paid2, Duration::ZERO);
@@ -370,7 +608,7 @@ mod tests {
             &crate::json::Json::parse(r#"{"model":"offsets","stride":true}"#).unwrap(),
         )
         .unwrap();
-        let (solved3, _) = c.solved_many(&entry, &[all[0].clone(), stride], 4);
+        let (solved3, _) = c.solved_many(&entry, &[all[0].clone(), stride], 4).unwrap();
         assert_eq!(solves_on_thread() - solves0, 5);
         assert!(Arc::ptr_eq(&solved3[0], &solved[0]));
         assert_eq!(solved3[1].kind, ModelKind::Offsets);
@@ -378,7 +616,7 @@ mod tests {
         let c2 = cache();
         let entry2 = c2.load(Some("intro"), SRC).unwrap();
         for (s, opts) in solved.iter().zip(&all) {
-            let (seq, _) = c2.solved(&entry2, opts);
+            let (seq, _) = c2.solved(&entry2, opts).unwrap();
             assert_eq!(s.edges, seq.edges, "{}", s.kind);
             assert_eq!(s.points_to, seq.points_to, "{}", s.kind);
             assert_eq!(s.avg_deref, seq.avg_deref, "{}", s.kind);
@@ -389,11 +627,12 @@ mod tests {
     fn distinct_options_solve_separately() {
         let c = cache();
         let entry = c.load(None, SRC).unwrap();
-        let cis = c.solved(&entry, &QueryOpts::default()).0;
+        let cis = c.solved(&entry, &QueryOpts::default()).unwrap().0;
         let off = c
             .solved(&entry, &QueryOpts::from_json(
                 &crate::json::Json::parse(r#"{"model":"offsets"}"#).unwrap(),
             ).unwrap())
+            .unwrap()
             .0;
         assert_eq!(cis.kind, ModelKind::CommonInitialSeq);
         assert_eq!(off.kind, ModelKind::Offsets);
@@ -407,7 +646,7 @@ mod tests {
     fn summary_answers_alias_and_modref() {
         let c = cache();
         let entry = c.load(Some("intro"), SRC).unwrap();
-        let (s, _) = c.solved(&entry, &QueryOpts::default());
+        let (s, _) = c.solved(&entry, &QueryOpts::default()).unwrap();
         assert_eq!(s.may_alias("p", "q"), Some(true));
         // `s` normalizes to its first field (Problem 1), which also points
         // to x — so it aliases p. `y` holds no pointer at all.
@@ -443,7 +682,7 @@ mod tests {
             .map(|_| {
                 let (c, entry) = (Arc::clone(&c), Arc::clone(&entry));
                 std::thread::spawn(move || {
-                    let (s, _) = c.solved(&entry, &QueryOpts::default());
+                    let (s, _) = c.solved(&entry, &QueryOpts::default()).unwrap();
                     s.points_to.get("p").cloned()
                 })
             })
@@ -452,5 +691,116 @@ mod tests {
             assert_eq!(h.join().unwrap(), Some(vec!["x".to_string()]));
         }
         assert_eq!(c.sizes(), (1, 1));
+    }
+
+    #[test]
+    fn budgeted_miss_reports_error_and_caches_nothing() {
+        let c = cache();
+        let entry = c.load(Some("intro"), SRC).unwrap();
+        let mut opts = QueryOpts::default();
+        opts.max_edges = Some(0);
+        let err = c.solved(&entry, &opts).unwrap_err();
+        assert_eq!(err, SolveError::EdgeLimit { limit: 0 });
+        assert_eq!(c.sizes(), (1, 0), "failed solves are not cached");
+        // Retried with no budget, the same opts key solves and caches.
+        opts.max_edges = None;
+        let (s, _) = c.solved(&entry, &opts).unwrap();
+        assert!(s.edges > 0);
+        assert_eq!(c.sizes(), (1, 1));
+        // ...and a *hit* is served even under an impossible budget: a hit
+        // computes nothing, so the budget has nothing to bound.
+        opts.max_edges = Some(0);
+        let (hit, paid) = c.solved(&entry, &opts).unwrap();
+        assert!(Arc::ptr_eq(&s, &hit));
+        assert_eq!(paid, Duration::ZERO);
+    }
+
+    #[test]
+    fn budgeted_compare_models_keeps_sibling_successes() {
+        let c = cache();
+        let entry = c.load(Some("intro"), SRC).unwrap();
+        let mut capped = QueryOpts::default().with_model(ModelKind::CollapseAlways);
+        capped.max_edges = Some(0);
+        let fine = QueryOpts::default().with_model(ModelKind::Offsets);
+        let err = c.solved_many(&entry, &[capped, fine.clone()], 2).unwrap_err();
+        assert_eq!(err, SolveError::EdgeLimit { limit: 0 });
+        // The sibling's success was cached before the error surfaced.
+        let solves0 = solves_on_thread();
+        let (s, paid) = c.solved(&entry, &fine).unwrap();
+        assert_eq!(s.kind, ModelKind::Offsets);
+        assert_eq!(paid, Duration::ZERO);
+        assert_eq!(solves_on_thread(), solves0);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_recompile_is_exactly_once() {
+        let metrics = Arc::new(Metrics::new());
+        // Budget sized to hold roughly 3 of the small variants.
+        let probe = cache();
+        let probe_entry = probe.load(None, &variant(0)).unwrap();
+        let per_entry = probe_entry.approx_bytes();
+        let c = SessionCache::with_max_bytes(Arc::clone(&metrics), per_entry * 3 + per_entry / 2);
+
+        let a = c.load(Some("a"), &variant(1)).unwrap();
+        let _b = c.load(Some("b"), &variant(2)).unwrap();
+        let _c3 = c.load(Some("c"), &variant(3)).unwrap();
+        assert_eq!(metrics.evictions(), (0, 0), "under budget: no eviction");
+        // Touch `a` so `b` becomes the LRU victim when `d` arrives.
+        assert!(c.entry("a").is_some());
+        let _d = c.load(Some("d"), &variant(4)).unwrap();
+        let (pe, _) = metrics.evictions();
+        assert!(pe >= 1, "inserting past the cap must evict");
+        assert!(c.entry("b").is_none(), "b was least-recently used");
+        assert!(c.entry("a").is_some(), "a was touched and must survive");
+        assert!(c.entry("d").is_some(), "the inserted entry is never the victim");
+        assert!(
+            c.bytes() <= c.max_bytes(),
+            "bytes {} must fit budget {}",
+            c.bytes(),
+            c.max_bytes()
+        );
+        // The Arc a caller held across the eviction stays valid.
+        assert_eq!(a.name, "a");
+
+        // Re-loading the evicted program recompiles exactly once.
+        let compiles0 = compiles_on_thread();
+        let again = c.load(Some("b"), &variant(2)).unwrap();
+        assert_eq!(compiles_on_thread() - compiles0, 1);
+        assert_eq!(again.name, "b");
+        let yet_again = c.load(Some("b"), &variant(2)).unwrap();
+        assert_eq!(compiles_on_thread() - compiles0, 1, "second load is warm");
+        assert!(Arc::ptr_eq(&again, &yet_again));
+    }
+
+    #[test]
+    fn solved_summaries_participate_in_the_byte_budget() {
+        let metrics = Arc::new(Metrics::new());
+        // Budget below a single program entry: every insert immediately
+        // evicts the previous tenants, but the inserted key itself always
+        // survives its own insert.
+        let c = SessionCache::with_max_bytes(Arc::clone(&metrics), 1);
+        let entry = c.load(Some("intro"), SRC).unwrap();
+        // The program itself is over budget but protected during insert;
+        // enforce_cap leaves a sole oversized tenant resident.
+        assert_eq!(c.sizes().0, 1);
+        let (s, _) = c.solved(&entry, &QueryOpts::default()).unwrap();
+        assert!(s.edges > 0);
+        let (pe, se) = metrics.evictions();
+        assert!(
+            pe + se >= 1,
+            "a 1-byte budget must evict on the second insert ({pe}p/{se}s)"
+        );
+        assert!(s.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let metrics = Arc::new(Metrics::new());
+        let c = SessionCache::with_max_bytes(Arc::clone(&metrics), 0);
+        for i in 0..8 {
+            c.load(None, &variant(i)).unwrap();
+        }
+        assert_eq!(metrics.evictions(), (0, 0));
+        assert_eq!(c.sizes().0, 8);
     }
 }

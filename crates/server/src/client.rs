@@ -5,6 +5,7 @@
 use crate::json::Json;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A connected client.
 pub struct Client {
@@ -13,9 +14,40 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server with no timeout: blocks indefinitely
+    /// against an unresponsive peer. Interactive callers (`scast query`)
+    /// should prefer [`connect_timeout`](Client::connect_timeout).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
         let writer = TcpStream::connect(addr)?;
+        Client::wrap(writer)
+    }
+
+    /// Connects with a bound on both the connect and every subsequent
+    /// read: a dead or wedged server yields a timeout error naming the
+    /// address instead of hanging forever.
+    pub fn connect_timeout<A: ToSocketAddrs>(addr: A, timeout: Duration) -> io::Result<Client> {
+        let mut last = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, timeout) {
+                Ok(writer) => {
+                    writer.set_read_timeout(Some(timeout))?;
+                    writer.set_write_timeout(Some(timeout))?;
+                    return Client::wrap(writer);
+                }
+                Err(e) => {
+                    last = Some(io::Error::new(
+                        e.kind(),
+                        format!("connecting to {resolved}: {e}"),
+                    ))
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
+    fn wrap(writer: TcpStream) -> io::Result<Client> {
         // Request/response lockstep: Nagle would hold each small request
         // back ~40ms waiting for an ACK that only comes with the response.
         writer.set_nodelay(true)?;
@@ -30,7 +62,17 @@ impl Client {
         writeln!(self.writer, "{line}")?;
         self.writer.flush()?;
         let mut resp = String::new();
-        if self.reader.read_line(&mut resp)? == 0 {
+        let n = self.reader.read_line(&mut resp).map_err(|e| {
+            if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
+                io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "timed out waiting for the server's reply",
+                )
+            } else {
+                e
+            }
+        })?;
+        if n == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",

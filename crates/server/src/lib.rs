@@ -54,6 +54,7 @@
 
 pub mod cache;
 mod client;
+pub mod faults;
 pub mod json;
 pub mod metrics;
 pub mod proto;
@@ -61,6 +62,7 @@ mod server;
 
 pub use cache::{source_hash, ProgramEntry, SessionCache, Solved};
 pub use client::Client;
+pub use faults::FaultPlan;
 pub use metrics::Metrics;
 pub use proto::{QueryOpts, Request};
 pub use server::{serve, ServerConfig, ServerHandle};

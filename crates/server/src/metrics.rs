@@ -4,6 +4,12 @@
 //! threads and the `stats` query (or the shutdown summary) reads a
 //! snapshot. Relaxed ordering is fine — the counters are monotone tallies,
 //! not synchronization.
+//!
+//! The counters reconcile: every reply the server emits records exactly
+//! one of [`record_ok`](Metrics::record_ok) or
+//! [`record_error`](Metrics::record_error), so
+//! `requests == ok + errors` and `errors == Σ errors_by_kind` hold at any
+//! quiescent point — the chaos harness asserts exactly this.
 
 use crate::json::Json;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -20,16 +26,34 @@ pub const OP_NAMES: [&str; 7] = [
     "shutdown",
 ];
 
+/// The failure taxonomy: every error reply carries exactly one of these
+/// kinds (see DESIGN.md §7). Unknown kinds are tallied as `internal`.
+pub const ERROR_KINDS: [&str; 7] = [
+    "bad_request",
+    "deadline",
+    "edge_limit",
+    "cancelled",
+    "timeout",
+    "overloaded",
+    "internal",
+];
+
 /// Aggregate counters for one server lifetime.
 #[derive(Debug, Default)]
 pub struct Metrics {
     requests: AtomicU64,
+    ok: AtomicU64,
     errors: AtomicU64,
+    errors_by_kind: [AtomicU64; ERROR_KINDS.len()],
     by_op: [AtomicU64; OP_NAMES.len()],
+    panics: AtomicU64,
     program_hits: AtomicU64,
     program_misses: AtomicU64,
     solve_hits: AtomicU64,
     solve_misses: AtomicU64,
+    program_evictions: AtomicU64,
+    solve_evictions: AtomicU64,
+    cache_bytes: AtomicU64,
     compile_ns: AtomicU64,
     solve_ns: AtomicU64,
     lookup_ns: AtomicU64,
@@ -41,16 +65,36 @@ impl Metrics {
         Metrics::default()
     }
 
-    /// Records one request of kind `op` (an index into [`OP_NAMES`]).
+    /// Tallies one request of kind `op` (an index into [`OP_NAMES`]).
+    /// This classifies the request; the outcome is recorded separately by
+    /// [`record_ok`](Metrics::record_ok) /
+    /// [`record_error`](Metrics::record_error) when the reply is emitted.
     pub fn record_op(&self, op: usize) {
-        self.requests.fetch_add(1, Relaxed);
         self.by_op[op].fetch_add(1, Relaxed);
     }
 
-    /// Records a request that failed to parse or dispatch.
-    pub fn record_error(&self) {
+    /// Records one successful reply.
+    pub fn record_ok(&self) {
+        self.requests.fetch_add(1, Relaxed);
+        self.ok.fetch_add(1, Relaxed);
+    }
+
+    /// Records one error reply of the given kind (an entry of
+    /// [`ERROR_KINDS`]; unknown kinds count as `internal`).
+    pub fn record_error(&self, kind: &str) {
         self.requests.fetch_add(1, Relaxed);
         self.errors.fetch_add(1, Relaxed);
+        let idx = ERROR_KINDS
+            .iter()
+            .position(|k| *k == kind)
+            .unwrap_or(ERROR_KINDS.len() - 1);
+        self.errors_by_kind[idx].fetch_add(1, Relaxed);
+    }
+
+    /// Records a request handler panic (the reply itself is recorded via
+    /// [`record_error`](Metrics::record_error) with kind `internal`).
+    pub fn record_panic(&self) {
+        self.panics.fetch_add(1, Relaxed);
     }
 
     /// Records a program-cache (stage 1) hit or miss; misses also record
@@ -75,15 +119,58 @@ impl Metrics {
         }
     }
 
+    /// Records cache evictions (program entries and solved summaries).
+    pub fn record_evictions(&self, programs: u64, solved: u64) {
+        self.program_evictions.fetch_add(programs, Relaxed);
+        self.solve_evictions.fetch_add(solved, Relaxed);
+    }
+
+    /// Updates the cache-size gauge (approximate resident bytes).
+    pub fn set_cache_bytes(&self, bytes: u64) {
+        self.cache_bytes.store(bytes, Relaxed);
+    }
+
     /// Records time spent answering a query from cached summaries (request
     /// handling minus any compile/solve the request triggered).
     pub fn record_lookup(&self, d: Duration) {
         self.lookup_ns.fetch_add(d.as_nanos() as u64, Relaxed);
     }
 
-    /// Total requests seen (including malformed ones).
+    /// Total replies emitted (ok + every error kind).
     pub fn requests(&self) -> u64 {
         self.requests.load(Relaxed)
+    }
+
+    /// Successful replies emitted.
+    pub fn ok(&self) -> u64 {
+        self.ok.load(Relaxed)
+    }
+
+    /// Error replies of the given kind.
+    pub fn errors_of_kind(&self, kind: &str) -> u64 {
+        ERROR_KINDS
+            .iter()
+            .position(|k| *k == kind)
+            .map(|i| self.errors_by_kind[i].load(Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Requests shed at the accept queue (`overloaded` replies).
+    pub fn shed(&self) -> u64 {
+        self.errors_of_kind("overloaded")
+    }
+
+    /// Handler panics caught and converted into `internal` replies.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Relaxed)
+    }
+
+    /// `(program, solved)` cache evictions so far.
+    pub fn evictions(&self) -> (u64, u64) {
+        (
+            self.program_evictions.load(Relaxed),
+            self.solve_evictions.load(Relaxed),
+        )
     }
 
     /// Total cache misses (program compiles + solves).
@@ -96,7 +183,17 @@ impl Metrics {
         let secs = |ns: &AtomicU64| Json::num(ns.load(Relaxed) as f64 / 1e9);
         Json::obj([
             ("requests", Json::count(self.requests.load(Relaxed))),
+            ("ok", Json::count(self.ok.load(Relaxed))),
             ("errors", Json::count(self.errors.load(Relaxed))),
+            (
+                "errors_by_kind",
+                Json::obj(
+                    ERROR_KINDS
+                        .iter()
+                        .zip(&self.errors_by_kind)
+                        .map(|(name, n)| (*name, Json::count(n.load(Relaxed)))),
+                ),
+            ),
             (
                 "by_op",
                 Json::obj(
@@ -106,10 +203,20 @@ impl Metrics {
                         .map(|(name, n)| (*name, Json::count(n.load(Relaxed)))),
                 ),
             ),
+            ("panics", Json::count(self.panics.load(Relaxed))),
             ("program_hits", Json::count(self.program_hits.load(Relaxed))),
             ("program_misses", Json::count(self.program_misses.load(Relaxed))),
             ("solve_hits", Json::count(self.solve_hits.load(Relaxed))),
             ("solve_misses", Json::count(self.solve_misses.load(Relaxed))),
+            (
+                "program_evictions",
+                Json::count(self.program_evictions.load(Relaxed)),
+            ),
+            (
+                "solve_evictions",
+                Json::count(self.solve_evictions.load(Relaxed)),
+            ),
+            ("cache_bytes", Json::count(self.cache_bytes.load(Relaxed))),
             ("compile_s", secs(&self.compile_ns)),
             ("solve_s", secs(&self.solve_ns)),
             ("lookup_s", secs(&self.lookup_ns)),
@@ -119,14 +226,21 @@ impl Metrics {
     /// The one-line shutdown summary.
     pub fn summary_line(&self) -> String {
         format!(
-            "structcast-server: served {} requests ({} errors); cache \
-             program {}h/{}m solve {}h/{}m; compile {:.3}s solve {:.3}s lookup {:.3}s",
+            "structcast-server: served {} requests ({} ok, {} errors, {} shed, \
+             {} panicked); cache program {}h/{}m solve {}h/{}m evicted {}p+{}s \
+             ({} bytes); compile {:.3}s solve {:.3}s lookup {:.3}s",
             self.requests.load(Relaxed),
+            self.ok.load(Relaxed),
             self.errors.load(Relaxed),
+            self.shed(),
+            self.panics.load(Relaxed),
             self.program_hits.load(Relaxed),
             self.program_misses.load(Relaxed),
             self.solve_hits.load(Relaxed),
             self.solve_misses.load(Relaxed),
+            self.program_evictions.load(Relaxed),
+            self.solve_evictions.load(Relaxed),
+            self.cache_bytes.load(Relaxed),
             self.compile_ns.load(Relaxed) as f64 / 1e9,
             self.solve_ns.load(Relaxed) as f64 / 1e9,
             self.lookup_ns.load(Relaxed) as f64 / 1e9,
@@ -144,7 +258,10 @@ mod tests {
         m.record_op(0);
         m.record_op(1);
         m.record_op(1);
-        m.record_error();
+        m.record_ok();
+        m.record_ok();
+        m.record_ok();
+        m.record_error("bad_request");
         m.record_program(false, Duration::from_millis(10));
         m.record_program(true, Duration::ZERO);
         m.record_solve(false, Duration::from_millis(20));
@@ -152,7 +269,11 @@ mod tests {
         m.record_lookup(Duration::from_micros(5));
         let s = m.snapshot();
         assert_eq!(s.get("requests").and_then(Json::as_u64), Some(4));
+        assert_eq!(s.get("ok").and_then(Json::as_u64), Some(3));
         assert_eq!(s.get("errors").and_then(Json::as_u64), Some(1));
+        let by_kind = s.get("errors_by_kind").unwrap();
+        assert_eq!(by_kind.get("bad_request").and_then(Json::as_u64), Some(1));
+        assert_eq!(by_kind.get("internal").and_then(Json::as_u64), Some(0));
         let by_op = s.get("by_op").unwrap();
         assert_eq!(by_op.get("load").and_then(Json::as_u64), Some(1));
         assert_eq!(by_op.get("points_to").and_then(Json::as_u64), Some(2));
@@ -164,5 +285,34 @@ mod tests {
         assert_eq!(m.total_misses(), 2);
         let line = m.summary_line();
         assert!(line.contains("served 4 requests"), "{line}");
+    }
+
+    #[test]
+    fn replies_reconcile_and_evictions_tally() {
+        let m = Metrics::new();
+        m.record_ok();
+        m.record_error("deadline");
+        m.record_error("edge_limit");
+        m.record_error("overloaded");
+        m.record_error("no-such-kind"); // tallied as internal
+        m.record_panic();
+        m.record_evictions(2, 5);
+        m.set_cache_bytes(12_345);
+        assert_eq!(m.requests(), 5);
+        assert_eq!(m.ok(), 1);
+        let errors: u64 = ERROR_KINDS.iter().map(|k| m.errors_of_kind(k)).sum();
+        assert_eq!(m.requests(), m.ok() + errors, "replies must reconcile");
+        assert_eq!(m.errors_of_kind("internal"), 1);
+        assert_eq!(m.shed(), 1);
+        assert_eq!(m.panics(), 1);
+        assert_eq!(m.evictions(), (2, 5));
+        let s = m.snapshot();
+        assert_eq!(s.get("program_evictions").and_then(Json::as_u64), Some(2));
+        assert_eq!(s.get("solve_evictions").and_then(Json::as_u64), Some(5));
+        assert_eq!(s.get("cache_bytes").and_then(Json::as_u64), Some(12_345));
+        assert_eq!(s.get("panics").and_then(Json::as_u64), Some(1));
+        let line = m.summary_line();
+        assert!(line.contains("1 shed"), "{line}");
+        assert!(line.contains("evicted 2p+5s"), "{line}");
     }
 }

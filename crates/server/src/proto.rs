@@ -6,12 +6,19 @@
 //! (clients may tag requests with their own bookkeeping fields).
 
 use crate::json::Json;
-use structcast::{AnalysisConfig, CompatMode, Layout, ModelKind};
+use std::time::Duration;
+use structcast::{AnalysisConfig, Budget, CompatMode, Layout, ModelKind, SolveError};
 
 /// Per-query analysis options: which instance to solve and how. Every
 /// query carries (defaulted) options, so one loaded program can be queried
 /// under any precision/portability trade-off — the cache memoizes each
 /// distinct combination separately.
+///
+/// The budget fields (`deadline_ms`, `max_edges`) bound what a cache
+/// *miss* may compute; they are deliberately **not** part of
+/// [`cache_key`](QueryOpts::cache_key) — a cached result is served
+/// regardless of budget (a hit computes nothing), and a budget-failed
+/// solve is never cached.
 #[derive(Debug, Clone)]
 pub struct QueryOpts {
     /// The framework instance (`"model"`, default CIS).
@@ -22,6 +29,11 @@ pub struct QueryOpts {
     pub compat: CompatMode,
     /// Wilson–Lam stride refinement (`"stride"`).
     pub stride: bool,
+    /// Solve deadline in milliseconds (`"deadline_ms"`), measured from
+    /// the moment the solve starts.
+    pub deadline_ms: Option<u64>,
+    /// Points-to edge cap for the solve (`"max_edges"`).
+    pub max_edges: Option<usize>,
 }
 
 impl Default for QueryOpts {
@@ -31,6 +43,8 @@ impl Default for QueryOpts {
             layout: Layout::ilp32(),
             compat: CompatMode::Structural,
             stride: false,
+            deadline_ms: None,
+            max_edges: None,
         }
     }
 }
@@ -78,6 +92,13 @@ impl QueryOpts {
         if let Some(v) = req.get("stride") {
             opts.stride = v.as_bool().ok_or("\"stride\" must be a boolean")?;
         }
+        if let Some(v) = req.get("deadline_ms") {
+            opts.deadline_ms = Some(v.as_u64().ok_or("\"deadline_ms\" must be a number")?);
+        }
+        if let Some(v) = req.get("max_edges") {
+            let n = v.as_u64().ok_or("\"max_edges\" must be a number")?;
+            opts.max_edges = Some(n as usize);
+        }
         Ok(opts)
     }
 
@@ -100,12 +121,21 @@ impl QueryOpts {
         )
     }
 
-    /// The equivalent [`AnalysisConfig`].
+    /// The equivalent [`AnalysisConfig`]. The budget's deadline (if any)
+    /// starts counting *now*, so build the config right before solving.
     pub fn to_config(&self) -> AnalysisConfig {
+        let mut budget = Budget::unlimited();
+        if let Some(ms) = self.deadline_ms {
+            budget = budget.with_deadline_in(Duration::from_millis(ms));
+        }
+        if let Some(max) = self.max_edges {
+            budget = budget.with_max_edges(max);
+        }
         AnalysisConfig::new(self.model)
             .with_layout(self.layout.clone())
             .with_compat(self.compat)
             .with_stride(self.stride)
+            .with_budget(budget)
     }
 }
 
@@ -238,9 +268,39 @@ impl Request {
     }
 }
 
-/// An `{"ok": false, "error": ...}` response.
-pub fn error_response(msg: &str) -> Json {
-    Json::obj([("ok", Json::Bool(false)), ("error", Json::str(msg))])
+/// An `{"ok": false, "error": {"kind": ..., "message": ...}}` response —
+/// the uniform failure shape of the protocol. `kind` is one of
+/// [`crate::metrics::ERROR_KINDS`]; `extra` appends kind-specific fields
+/// (e.g. `retry_after_ms` on `overloaded`).
+pub fn error_response_with(
+    kind: &str,
+    msg: &str,
+    extra: impl IntoIterator<Item = (&'static str, Json)>,
+) -> Json {
+    let mut err = vec![
+        ("kind".to_string(), Json::str(kind)),
+        ("message".to_string(), Json::str(msg)),
+    ];
+    err.extend(extra.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::Obj(err))])
+}
+
+/// [`error_response_with`] without extra fields.
+pub fn error_response(kind: &str, msg: &str) -> Json {
+    error_response_with(kind, msg, [])
+}
+
+/// The error response for a tripped solve budget: the kind mirrors
+/// [`SolveError::kind`], and `edge_limit` carries the cap that fired.
+pub fn solve_error_response(e: &SolveError) -> Json {
+    match e {
+        SolveError::EdgeLimit { limit } => error_response_with(
+            e.kind(),
+            &e.to_string(),
+            [("limit", Json::count(*limit as u64))],
+        ),
+        _ => error_response(e.kind(), &e.to_string()),
+    }
 }
 
 /// An `{"ok": true, ...fields}` response.
@@ -323,12 +383,58 @@ mod tests {
     #[test]
     fn response_builders() {
         assert_eq!(
-            error_response("boom").to_string(),
-            r#"{"ok": false, "error": "boom"}"#
+            error_response("bad_request", "boom").to_string(),
+            r#"{"ok": false, "error": {"kind": "bad_request", "message": "boom"}}"#
+        );
+        assert_eq!(
+            error_response_with("overloaded", "busy", [("retry_after_ms", Json::count(50))])
+                .to_string(),
+            r#"{"ok": false, "error": {"kind": "overloaded", "message": "busy", "retry_after_ms": 50}}"#
         );
         assert_eq!(
             ok_response([("n", Json::count(1))]).to_string(),
             r#"{"ok": true, "n": 1}"#
         );
+    }
+
+    #[test]
+    fn solve_error_responses_carry_kind_and_detail() {
+        let r = solve_error_response(&SolveError::EdgeLimit { limit: 7 });
+        let err = r.get("error").unwrap();
+        assert_eq!(err.get("kind").and_then(Json::as_str), Some("edge_limit"));
+        assert_eq!(err.get("limit").and_then(Json::as_u64), Some(7));
+        let r = solve_error_response(&SolveError::DeadlineExceeded);
+        assert_eq!(
+            r.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+            Some("deadline")
+        );
+        let r = solve_error_response(&SolveError::Cancelled);
+        assert_eq!(
+            r.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+            Some("cancelled")
+        );
+    }
+
+    #[test]
+    fn budget_opts_parse_but_do_not_key_the_cache() {
+        let req = Json::parse(
+            r#"{"op":"points_to","program":"p","var":"v","deadline_ms":250,"max_edges":1000}"#,
+        )
+        .unwrap();
+        let opts = QueryOpts::from_json(&req).unwrap();
+        assert_eq!(opts.deadline_ms, Some(250));
+        assert_eq!(opts.max_edges, Some(1000));
+        // Budgets bound computation, not identity: same cache key as the
+        // unbudgeted defaults.
+        assert_eq!(opts.cache_key(), QueryOpts::default().cache_key());
+        let cfg = opts.to_config();
+        assert!(!cfg.budget.is_unlimited());
+        assert_eq!(cfg.budget.max_edges, Some(1000));
+        assert!(cfg.budget.deadline.is_some());
+        // Bad types are rejected.
+        let bad = Json::parse(r#"{"deadline_ms":"soon"}"#).unwrap();
+        assert!(QueryOpts::from_json(&bad).is_err());
+        let bad = Json::parse(r#"{"max_edges":true}"#).unwrap();
+        assert!(QueryOpts::from_json(&bad).is_err());
     }
 }

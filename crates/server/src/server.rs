@@ -3,28 +3,47 @@
 //! The protocol is newline-delimited JSON over a plain `TcpStream`: one
 //! request object per line, one response object per line, in order, on a
 //! connection a client may hold for many requests. The accept loop hands
-//! connections to a fixed pool of `std::thread` workers through an mpsc
-//! channel, so up to `threads` clients are served concurrently and the
-//! rest queue. All state a worker touches — the [`SessionCache`] and the
-//! [`Metrics`] block — is shared behind `RwLock`/atomics.
+//! connections to a fixed pool of `std::thread` workers through a
+//! **bounded** mpsc channel, so up to `threads` clients are served
+//! concurrently, up to `backlog` more queue, and anything past that is
+//! shed immediately with an `overloaded` reply instead of queueing
+//! unboundedly.
+//!
+//! # Failure containment
+//!
+//! Every request is dispatched inside `catch_unwind`: a panicking handler
+//! costs that request an `internal` error reply, never a pool worker. The
+//! shared state a panic could poison — the [`SessionCache`] locks — holds
+//! only immutable-once-inserted values, so the cache recovers poisoned
+//! guards instead of propagating. Stalled clients are bounded by a
+//! per-connection read deadline; tripped budgets and malformed requests
+//! come back as structured `{"error": {"kind": ...}}` replies (the
+//! taxonomy in [`crate::metrics::ERROR_KINDS`]). Every reply — success,
+//! error, or shed — records exactly one metrics outcome, so
+//! `requests == ok + Σ error kinds` reconciles at drain.
 //!
 //! A `shutdown` request is acknowledged on the requesting connection,
 //! then: the shutdown flag flips, a loopback connection unblocks the
 //! accept loop, the channel closes, workers finish their open connections
-//! and exit, and the accept thread prints the final metrics summary line.
+//! and exit, and the accept thread prints the final metrics summary line
+//! (including shed/evicted/panicked counts).
 
 use crate::cache::{ProgramEntry, SessionCache, Solved};
+use crate::faults::FaultPlan;
 use crate::json::Json;
 use crate::metrics::Metrics;
-use crate::proto::{error_response, ok_response, QueryOpts, Request};
+use crate::proto::{
+    error_response, error_response_with, ok_response, solve_error_response, QueryOpts, Request,
+};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
+use std::sync::mpsc::{self, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use structcast::ModelKind;
+use structcast::{ModelKind, SolveError};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -34,6 +53,18 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads = maximum concurrently served connections.
     pub threads: usize,
+    /// Approximate session-cache byte budget (0 = unbounded); see
+    /// [`crate::cache::DEFAULT_MAX_BYTES`].
+    pub max_cache_bytes: usize,
+    /// Connections allowed to queue behind the busy workers before new
+    /// ones are shed with an `overloaded` reply.
+    pub backlog: usize,
+    /// Per-connection read deadline: a connection idle (or stalled
+    /// mid-line) this long gets a `timeout` reply and is closed.
+    pub read_timeout: Option<Duration>,
+    /// Fault-injection spec (see [`FaultPlan`]); `None` reads
+    /// `SCAST_FAULTS` from the environment.
+    pub faults: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -41,15 +72,60 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             threads: 8,
+            max_cache_bytes: crate::cache::DEFAULT_MAX_BYTES,
+            backlog: 128,
+            read_timeout: Some(Duration::from_secs(30)),
+            faults: None,
         }
     }
 }
 
+/// How long a shed client is told to wait before retrying.
+const RETRY_AFTER_MS: u64 = 50;
+
 struct Shared {
     cache: SessionCache,
     metrics: Arc<Metrics>,
+    faults: FaultPlan,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    read_timeout: Option<Duration>,
+}
+
+/// A typed handler failure: the error-kind taxonomy of the protocol.
+/// `Bad` covers client mistakes (unknown program/variable/option);
+/// `Solve` carries a tripped budget.
+enum ServeError {
+    Bad(String),
+    Solve(SolveError),
+}
+
+impl From<String> for ServeError {
+    fn from(msg: String) -> ServeError {
+        ServeError::Bad(msg)
+    }
+}
+
+impl From<SolveError> for ServeError {
+    fn from(e: SolveError) -> ServeError {
+        ServeError::Solve(e)
+    }
+}
+
+impl ServeError {
+    fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Bad(_) => "bad_request",
+            ServeError::Solve(e) => e.kind(),
+        }
+    }
+
+    fn response(&self) -> Json {
+        match self {
+            ServeError::Bad(msg) => error_response("bad_request", msg),
+            ServeError::Solve(e) => solve_error_response(e),
+        }
+    }
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
@@ -78,7 +154,7 @@ impl ServerHandle {
     ///
     /// Shutdown lets workers finish their open connections, so drop any
     /// other live [`Client`](crate::Client)s before calling this — a
-    /// connection held across `wait` blocks it indefinitely.
+    /// connection held across `wait` blocks it until its read deadline.
     pub fn wait(self) -> String {
         let _ = self.accept.join();
         self.metrics.summary_line()
@@ -87,18 +163,34 @@ impl ServerHandle {
 
 /// Binds `cfg.addr` and starts the accept loop plus worker pool in
 /// background threads, returning immediately.
+///
+/// # Errors
+///
+/// Binding failures, and a malformed fault spec (`cfg.faults` /
+/// `SCAST_FAULTS`) — a bad chaos configuration is a startup error, not a
+/// silent no-op.
 pub fn serve(cfg: &ServerConfig) -> io::Result<ServerHandle> {
+    let faults = match &cfg.faults {
+        Some(spec) => FaultPlan::parse(spec),
+        None => FaultPlan::from_env(),
+    }
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("bad fault spec: {e}")))?;
+    if faults.is_active() {
+        FaultPlan::quiet_hook();
+    }
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let metrics = Arc::new(Metrics::new());
     let shared = Arc::new(Shared {
-        cache: SessionCache::new(Arc::clone(&metrics)),
+        cache: SessionCache::with_max_bytes(Arc::clone(&metrics), cfg.max_cache_bytes),
         metrics: Arc::clone(&metrics),
+        faults,
         shutdown: AtomicBool::new(false),
         addr,
+        read_timeout: cfg.read_timeout,
     });
 
-    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(cfg.backlog);
     let rx = Arc::new(Mutex::new(rx));
     let workers: Vec<JoinHandle<()>> = (0..cfg.threads.max(1))
         .map(|_| {
@@ -106,8 +198,12 @@ pub fn serve(cfg: &ServerConfig) -> io::Result<ServerHandle> {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || loop {
                 // Hold the receiver lock only for the dequeue, not while
-                // serving the connection.
-                let conn = rx.lock().unwrap().recv();
+                // serving the connection. A panicking peer poisons
+                // nothing we can't recover: the lock guards only `recv`.
+                let conn = rx
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .recv();
                 match conn {
                     Ok(stream) => handle_connection(&shared, stream),
                     Err(_) => break, // channel closed: shutting down
@@ -122,12 +218,17 @@ pub fn serve(cfg: &ServerConfig) -> io::Result<ServerHandle> {
             if accept_shared.shutdown.load(Ordering::SeqCst) {
                 break; // the loopback poke (or any later connect) lands here
             }
-            if let Ok(stream) = stream {
-                // Workers have static lifetime; a send only fails if every
-                // worker already exited, which implies shutdown.
-                if tx.send(stream).is_err() {
-                    break;
-                }
+            let Ok(stream) = stream else { continue };
+            match tx.try_send(stream) {
+                Ok(()) => {}
+                // Queue full: shed this connection with a structured
+                // reply rather than queueing unboundedly. The reply is
+                // written from the accept thread — cheap, the socket
+                // buffer of a fresh connection never blocks a one-line
+                // write.
+                Err(TrySendError::Full(stream)) => shed(&accept_shared, stream),
+                // Every worker exited, which implies shutdown.
+                Err(TrySendError::Disconnected(_)) => break,
             }
         }
         drop(tx);
@@ -144,20 +245,72 @@ pub fn serve(cfg: &ServerConfig) -> io::Result<ServerHandle> {
     })
 }
 
+/// Rejects a connection the queue has no room for: one `overloaded`
+/// reply (a lockstep client reads it as the response to its first
+/// request), then the connection closes.
+///
+/// The reply + teardown runs on a short-lived thread so the accept loop
+/// never blocks, and the teardown half-closes then *drains* briefly: a
+/// lockstep client writes its first request before reading, and an
+/// immediate full close would RST that write — discarding the reply from
+/// the client's receive buffer before it was read.
+fn shed(shared: &Shared, stream: TcpStream) {
+    shared.metrics.record_error("overloaded");
+    std::thread::spawn(move || {
+        use std::io::Read;
+        let resp = error_response_with(
+            "overloaded",
+            "server overloaded; retry later",
+            [("retry_after_ms", Json::count(RETRY_AFTER_MS))],
+        );
+        let mut stream = stream;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(2 * RETRY_AFTER_MS)));
+        if writeln!(stream, "{resp}").and_then(|()| stream.flush()).is_ok() {
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let mut sink = [0u8; 256];
+            while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+        }
+    });
+}
+
 fn handle_connection(shared: &Shared, stream: TcpStream) {
     // One small response per request line; don't let Nagle delay it.
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(shared.read_timeout);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(read_half);
+    let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Manual read_line loop (not `lines()`): read errors must produce
+        // a final structured reply, not a silent close. A partial line at
+        // EOF comes back as `Ok(n > 0)` with no trailing newline and is
+        // dispatched like any request — its parse error is the reply.
+        let reply_and_close = match reader.read_line(&mut line) {
+            Ok(0) => break, // clean EOF
+            Ok(_) => None,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                Some(("timeout", "read deadline exceeded; closing connection".to_string()))
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                Some(("bad_request", format!("unreadable request line: {e}")))
+            }
+            Err(_) => break, // connection-level failure: nobody to reply to
+        };
+        if let Some((kind, msg)) = reply_and_close {
+            shared.metrics.record_error(kind);
+            let resp = error_response(kind, &msg);
+            let _ = writeln!(writer, "{resp}").and_then(|()| writer.flush());
+            break;
+        }
         if line.trim().is_empty() {
             continue;
         }
-        let (resp, shutdown) = dispatch(shared, &line);
+        let (resp, shutdown) = dispatch(shared, line.trim_end_matches(['\n', '\r']));
         if writeln!(writer, "{resp}").and_then(|()| writer.flush()).is_err() {
             break;
         }
@@ -175,28 +328,61 @@ fn initiate_shutdown(shared: &Shared) {
     let _ = TcpStream::connect(shared.addr);
 }
 
-/// Handles one request line; returns the response and whether a graceful
-/// shutdown was requested.
+/// Handles one request line with panic isolation: a panicking handler —
+/// injected or real — costs this request an `internal` reply, never the
+/// worker thread.
 fn dispatch(shared: &Shared, line: &str) -> (Json, bool) {
+    match catch_unwind(AssertUnwindSafe(|| dispatch_inner(shared, line))) {
+        Ok(r) => r,
+        Err(payload) => {
+            shared.metrics.record_panic();
+            shared.metrics.record_error("internal");
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic payload");
+            (
+                error_response("internal", &format!("request handler panicked: {msg}")),
+                false,
+            )
+        }
+    }
+}
+
+/// Parses and handles one request line; returns the response and whether
+/// a graceful shutdown was requested. Exactly one metrics outcome
+/// (ok/error) is recorded per call — the reconciliation invariant.
+fn dispatch_inner(shared: &Shared, line: &str) -> (Json, bool) {
     let start = Instant::now();
+    shared.faults.fire("read");
     let parsed = match Json::parse(line) {
         Ok(v) => v,
         Err(e) => {
-            shared.metrics.record_error();
-            return (error_response(&e.to_string()), false);
+            shared.metrics.record_error("bad_request");
+            return (error_response("bad_request", &e.to_string()), false);
         }
     };
     let req = match Request::from_json(&parsed) {
         Ok(r) => r,
         Err(e) => {
-            shared.metrics.record_error();
-            return (error_response(&e), false);
+            shared.metrics.record_error("bad_request");
+            return (error_response("bad_request", &e), false);
         }
     };
     shared.metrics.record_op(req.op_index());
     let shutdown = matches!(req, Request::Shutdown);
     let mut paid = Duration::ZERO; // compile/solve time, excluded from lookup time
-    let resp = handle(shared, req, &mut paid).unwrap_or_else(|e| error_response(&e));
+    let resp = match handle(shared, req, &mut paid) {
+        Ok(resp) => {
+            shared.metrics.record_ok();
+            resp
+        }
+        Err(e) => {
+            shared.metrics.record_error(e.kind());
+            e.response()
+        }
+    };
     shared
         .metrics
         .record_lookup(start.elapsed().saturating_sub(paid));
@@ -204,12 +390,13 @@ fn dispatch(shared: &Shared, line: &str) -> (Json, bool) {
 }
 
 /// Resolves `program` to a cache entry, auto-loading embedded corpus
-/// programs by name so scripted clients need no explicit `load`.
+/// programs by name so scripted clients need no explicit `load` — and
+/// transparently reloading programs the bounded cache has evicted.
 fn resolve_program(
     shared: &Shared,
     program: &str,
     paid: &mut Duration,
-) -> Result<Arc<ProgramEntry>, String> {
+) -> Result<Arc<ProgramEntry>, ServeError> {
     if let Some(entry) = shared.cache.entry(program) {
         return Ok(entry);
     }
@@ -219,7 +406,9 @@ fn resolve_program(
         *paid += start.elapsed();
         return Ok(entry);
     }
-    Err(format!("unknown program `{program}` (load it first)"))
+    Err(ServeError::Bad(format!(
+        "unknown program `{program}` (load it first)"
+    )))
 }
 
 fn solved_for(
@@ -227,14 +416,15 @@ fn solved_for(
     program: &str,
     opts: &QueryOpts,
     paid: &mut Duration,
-) -> Result<Arc<Solved>, String> {
+) -> Result<Arc<Solved>, ServeError> {
     let entry = resolve_program(shared, program, paid)?;
-    let (solved, solve_paid) = shared.cache.solved(&entry, opts);
+    shared.faults.fire("solve");
+    let (solved, solve_paid) = shared.cache.solved(&entry, opts)?;
     *paid += solve_paid;
     Ok(solved)
 }
 
-fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, String> {
+fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, ServeError> {
     match req {
         Request::Load { name, source } => {
             let entry = match (&name, &source) {
@@ -259,7 +449,9 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, St
         Request::PointsTo { program, var, opts } => {
             let solved = solved_for(shared, &program, &opts, paid)?;
             if !solved.vars.contains(&var) {
-                return Err(format!("unknown variable `{var}` in `{program}`"));
+                return Err(ServeError::Bad(format!(
+                    "unknown variable `{var}` in `{program}`"
+                )));
             }
             let targets = solved.points_to.get(&var).cloned().unwrap_or_default();
             Ok(ok_response([
@@ -274,9 +466,9 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, St
         }
         Request::Alias { program, a, b, opts } => {
             let solved = solved_for(shared, &program, &opts, paid)?;
-            let alias = solved
-                .may_alias(&a, &b)
-                .ok_or_else(|| format!("unknown variable `{a}` or `{b}` in `{program}`"))?;
+            let alias = solved.may_alias(&a, &b).ok_or_else(|| {
+                format!("unknown variable `{a}` or `{b}` in `{program}`")
+            })?;
             Ok(ok_response([
                 ("program", Json::str(&program)),
                 ("a", Json::str(&a)),
@@ -315,9 +507,10 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, St
             // constraint set — solve the cold ones concurrently, one
             // worker per model.
             let entry = resolve_program(shared, &program, paid)?;
+            shared.faults.fire("solve");
             let all: Vec<QueryOpts> =
                 ModelKind::ALL.iter().map(|&k| opts.with_model(k)).collect();
-            let (summaries, solve_paid) = shared.cache.solved_many(&entry, &all, all.len());
+            let (summaries, solve_paid) = shared.cache.solved_many(&entry, &all, all.len())?;
             *paid += solve_paid;
             let mut rows = Vec::new();
             let offsets_edges = summaries
@@ -343,11 +536,18 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, St
         }
         Request::Stats => {
             let (programs, solved) = shared.cache.sizes();
+            // Refresh the byte gauge so `stats` reflects the cache as-is,
+            // not as of the last eviction sweep.
+            shared.metrics.set_cache_bytes(shared.cache.bytes() as u64);
             let Json::Obj(mut pairs) = shared.metrics.snapshot() else {
                 unreachable!("snapshot is an object");
             };
             pairs.push(("cached_programs".to_string(), Json::count(programs as u64)));
             pairs.push(("cached_solves".to_string(), Json::count(solved as u64)));
+            pairs.push((
+                "max_cache_bytes".to_string(),
+                Json::count(shared.cache.max_bytes() as u64),
+            ));
             Ok(ok_response(pairs))
         }
         Request::Shutdown => Ok(ok_response([("shutdown", Json::Bool(true))])),

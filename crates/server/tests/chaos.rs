@@ -1,0 +1,316 @@
+//! The chaos harness plus robustness regression tests: seeded fault
+//! injection under concurrency, budgeted queries over the wire, overload
+//! shedding, read deadlines, partial-line handling, and the bounded-cache
+//! sweep.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+use structcast_server::json::Json;
+use structcast_server::metrics::ERROR_KINDS;
+use structcast_server::{serve, Client, ServerConfig};
+
+fn ok(resp: &Json) -> bool {
+    resp.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+fn error_kind(resp: &Json) -> Option<&str> {
+    resp.get("error")?.get("kind")?.as_str()
+}
+
+/// A reply is well-formed iff it is `{"ok": true, ...}` or
+/// `{"ok": false, "error": {"kind": <taxonomy>, "message": ...}}`.
+fn assert_well_formed(resp: &Json) {
+    if ok(resp) {
+        return;
+    }
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false), "{resp}");
+    let kind = error_kind(resp).unwrap_or_else(|| panic!("error reply without kind: {resp}"));
+    assert!(ERROR_KINDS.contains(&kind), "unknown kind `{kind}`: {resp}");
+    let msg = resp.get("error").and_then(|e| e.get("message")).and_then(Json::as_str);
+    assert!(msg.is_some_and(|m| !m.is_empty()), "{resp}");
+}
+
+/// The tentpole chaos test: 4 concurrent clients against a server with
+/// seeded injected panics and stalls. Every request gets a well-formed
+/// reply (success or typed error), the server drains cleanly, and the
+/// metrics reconcile (`requests == ok + Σ error kinds`).
+#[test]
+fn chaos_four_clients_every_reply_well_formed_and_metrics_reconcile() {
+    let cfg = ServerConfig {
+        faults: Some("panic@solve:0.15,stall@read:0.1,panic@read:0.05;seed=42".to_string()),
+        threads: 4,
+        ..ServerConfig::default()
+    };
+    let handle = serve(&cfg).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    let queries: Vec<String> = vec![
+        r#"{"op":"load","name":"bst"}"#.into(),
+        r#"{"op":"points_to","program":"bst","var":"g_tree"}"#.into(),
+        r#"{"op":"points_to","program":"bst","var":"g_tree","model":"offsets"}"#.into(),
+        r#"{"op":"alias","program":"bst","a":"g_tree","b":"g_tree"}"#.into(),
+        r#"{"op":"modref","program":"bst"}"#.into(),
+        r#"{"op":"compare_models","program":"bst"}"#.into(),
+        r#"{"op":"points_to","program":"list-utils","var":"g_head"}"#.into(),
+        r#"{"op":"stats"}"#.into(),
+        r#"not even json"#.into(),
+        r#"{"op":"points_to","program":"bst","var":"ghost"}"#.into(),
+    ];
+    let rounds = 5;
+    let workers: Vec<_> = (0..4)
+        .map(|i| {
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let mut well_formed = 0usize;
+                for round in 0..rounds {
+                    for j in 0..queries.len() {
+                        // Stagger per client/round so fault counters see
+                        // varied interleavings.
+                        let q = &queries[(i + round + j) % queries.len()];
+                        let line = c.request_line(q).unwrap();
+                        let resp = Json::parse(&line)
+                            .unwrap_or_else(|e| panic!("unparseable reply {line:?}: {e}"));
+                        assert_well_formed(&resp);
+                        well_formed += 1;
+                    }
+                }
+                well_formed
+            })
+        })
+        .collect();
+    let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert_eq!(total, 4 * rounds * queries.len());
+
+    let metrics = handle.metrics();
+    let mut c = Client::connect(addr).unwrap();
+    let resp = c.shutdown_server().unwrap();
+    assert!(ok(&resp), "{resp}");
+    let summary = handle.wait();
+
+    // Reconciliation: one recorded outcome per emitted reply.
+    let errors: u64 = ERROR_KINDS.iter().map(|k| metrics.errors_of_kind(k)).sum();
+    assert_eq!(
+        metrics.requests(),
+        metrics.ok() + errors,
+        "requests must equal ok + error kinds: {summary}"
+    );
+    assert_eq!(metrics.requests(), total as u64 + 1, "shutdown included");
+    // The seeded plan really fired: panics were caught, not fatal.
+    assert!(metrics.panics() > 0, "expected injected panics: {summary}");
+    assert_eq!(metrics.errors_of_kind("internal"), metrics.panics());
+    assert!(summary.contains("structcast-server: served"), "{summary}");
+}
+
+/// Budget errors arrive over the wire as typed error replies, and the
+/// server session stays fully usable afterwards.
+#[test]
+fn budgeted_queries_return_typed_errors_over_the_wire() {
+    let handle = serve(&ServerConfig::default()).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    let capped = c
+        .request(
+            &Json::parse(r#"{"op":"points_to","program":"bst","var":"g_tree","max_edges":1}"#)
+                .unwrap(),
+        )
+        .unwrap();
+    assert_eq!(error_kind(&capped), Some("edge_limit"), "{capped}");
+    assert_eq!(
+        capped.get("error").and_then(|e| e.get("limit")).and_then(Json::as_u64),
+        Some(1)
+    );
+
+    let late = c
+        .request(
+            &Json::parse(r#"{"op":"points_to","program":"bst","var":"g_tree","deadline_ms":0}"#)
+                .unwrap(),
+        )
+        .unwrap();
+    assert_eq!(error_kind(&late), Some("deadline"), "{late}");
+
+    // The failed solves corrupted nothing: the same query, unbudgeted,
+    // succeeds on the same connection...
+    let fine = c
+        .request(&Json::parse(r#"{"op":"points_to","program":"bst","var":"g_tree"}"#).unwrap())
+        .unwrap();
+    assert!(ok(&fine), "{fine}");
+    // ...and once warm, even an impossible budget is served from cache.
+    let warm = c
+        .request(
+            &Json::parse(r#"{"op":"points_to","program":"bst","var":"g_tree","max_edges":1}"#)
+                .unwrap(),
+        )
+        .unwrap();
+    assert!(ok(&warm), "a cache hit computes nothing, budget moot: {warm}");
+    assert_eq!(fine.get("points_to"), warm.get("points_to"));
+
+    let metrics = handle.metrics();
+    assert_eq!(metrics.errors_of_kind("edge_limit"), 1);
+    assert_eq!(metrics.errors_of_kind("deadline"), 1);
+    c.shutdown_server().unwrap();
+    handle.wait();
+}
+
+/// Satellite regression: a partial line at EOF (no trailing newline, peer
+/// half-closed) must produce a protocol error reply, not a silent drop.
+#[test]
+fn partial_line_at_eof_gets_an_error_reply_not_a_silent_drop() {
+    let handle = serve(&ServerConfig::default()).unwrap();
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.write_all(br#"{"op":"stats""#).unwrap(); // truncated mid-object
+    raw.shutdown(Shutdown::Write).unwrap(); // EOF with a partial line pending
+    let mut reply = String::new();
+    raw.read_to_string(&mut reply).unwrap();
+    let line = reply.lines().next().expect("a reply line, not silence");
+    let resp = Json::parse(line).unwrap();
+    assert_eq!(error_kind(&resp), Some("bad_request"), "{resp}");
+
+    // Same, split across two TCP segments with a flush in between.
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.write_all(br#"{"op":"sta"#).unwrap();
+    raw.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    raw.write_all(br#"ts"}"#).unwrap();
+    raw.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(raw.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let resp = Json::parse(line.trim()).unwrap();
+    assert!(ok(&resp), "split-but-complete line must dispatch: {resp}");
+
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.shutdown_server().unwrap();
+    handle.wait();
+}
+
+/// A stalled client trips the per-connection read deadline and gets a
+/// `timeout` reply before the connection closes.
+#[test]
+fn stalled_connection_gets_a_timeout_reply() {
+    let cfg = ServerConfig {
+        read_timeout: Some(Duration::from_millis(100)),
+        ..ServerConfig::default()
+    };
+    let handle = serve(&cfg).unwrap();
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    // Send nothing; the server must give up on its own.
+    let mut reply = String::new();
+    raw.read_to_string(&mut reply).unwrap();
+    let resp = Json::parse(reply.lines().next().unwrap()).unwrap();
+    assert_eq!(error_kind(&resp), Some("timeout"), "{resp}");
+    assert_eq!(handle.metrics().errors_of_kind("timeout"), 1);
+
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.shutdown_server().unwrap();
+    handle.wait();
+}
+
+/// With every worker busy and no queue, a new connection is shed with an
+/// `overloaded` reply carrying `retry_after_ms`.
+#[test]
+fn overloaded_server_sheds_with_retry_after() {
+    let cfg = ServerConfig {
+        threads: 1,
+        backlog: 0,
+        ..ServerConfig::default()
+    };
+    let handle = serve(&cfg).unwrap();
+    let addr = handle.addr();
+
+    // Engage the only worker: a completed request proves the connection
+    // was dequeued and is now held by the worker.
+    let mut busy = Client::connect(addr).unwrap();
+    let resp = busy.stats().unwrap();
+    assert!(ok(&resp));
+
+    // Next connection: queue of 0, worker busy — shed at accept.
+    let mut shed = Client::connect(addr).unwrap();
+    let resp = shed.stats().unwrap(); // the unsolicited reply answers it
+    assert_eq!(error_kind(&resp), Some("overloaded"), "{resp}");
+    assert!(
+        resp.get("error")
+            .and_then(|e| e.get("retry_after_ms"))
+            .and_then(Json::as_u64)
+            .is_some(),
+        "{resp}"
+    );
+    assert_eq!(handle.metrics().shed(), 1);
+
+    // The busy client's connection still works, and releasing it lets a
+    // fresh client in.
+    assert!(ok(&busy.stats().unwrap()));
+    drop(shed);
+    drop(busy);
+    let mut c = Client::connect(addr).unwrap();
+    c.shutdown_server().unwrap();
+    let summary = handle.wait();
+    assert!(summary.contains("1 shed"), "{summary}");
+}
+
+/// Satellite regression: `Client::connect_timeout` errors out against a
+/// peer that accepts but never replies, instead of hanging forever.
+#[test]
+fn client_read_timeout_fails_fast_against_a_dead_server() {
+    // A listener that never accepts: the kernel completes the handshake
+    // (backlog), then nothing ever answers.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut c = Client::connect_timeout(addr, Duration::from_millis(150)).unwrap();
+    let start = std::time::Instant::now();
+    let err = c.request_line(r#"{"op":"stats"}"#).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::TimedOut, "{err}");
+    assert!(err.to_string().contains("timed out"), "{err}");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "must fail fast, not hang"
+    );
+}
+
+/// Acceptance sweep: 50 distinct generated programs through a byte-capped
+/// server. The accounted cache stays under the cap and evictions fire.
+#[test]
+fn bounded_cache_sweep_stays_under_cap_with_evictions() {
+    // A cap small enough that 50 small programs cannot all fit.
+    let cfg = ServerConfig {
+        max_cache_bytes: 192 * 1024,
+        ..ServerConfig::default()
+    };
+    let handle = serve(&cfg).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    for seed in 0..50u64 {
+        let src = structcast_progen::generate(&structcast_progen::GenConfig::small(seed));
+        let req = Json::obj([
+            ("op", Json::str("load")),
+            ("name", Json::str(format!("gen-{seed}"))),
+            ("source", Json::str(&src)),
+        ]);
+        let resp = c.request(&req).unwrap();
+        assert!(ok(&resp), "seed {seed}: {resp}");
+        // Query a few to populate the solved layer too.
+        if seed % 5 == 0 {
+            let q = Json::obj([
+                ("op", Json::str("compare_models")),
+                ("program", Json::str(format!("gen-{seed}"))),
+            ]);
+            let resp = c.request(&q).unwrap();
+            assert!(ok(&resp), "seed {seed}: {resp}");
+        }
+    }
+    let stats = c.stats().unwrap();
+    let bytes = stats.get("cache_bytes").and_then(Json::as_u64).unwrap();
+    let cap = stats.get("max_cache_bytes").and_then(Json::as_u64).unwrap();
+    assert!(bytes <= cap, "accounted bytes {bytes} must fit the cap {cap}");
+    let (pe, se) = handle.metrics().evictions();
+    assert!(pe > 0, "50 programs past a tiny cap must evict ({pe}p/{se}s)");
+    // Evicted programs are transparently recompiled on demand.
+    let resp = c
+        .request_line(r#"{"op":"points_to","program":"gen-0","var":"g0_x0"}"#)
+        .unwrap();
+    let resp = Json::parse(&resp).unwrap();
+    // Whether g0_x0 exists depends on the generator; well-formed either way.
+    assert_well_formed(&resp);
+    c.shutdown_server().unwrap();
+    handle.wait();
+}
