@@ -78,6 +78,25 @@ echo "$WARM_BUDGET" | grep -q '"ok": true' || {
 }
 echo "budgeted query: cold trips edge_limit, warm hit ignores the budget"
 
+# Demand mode round trip: the sliced solve answers the same query with the
+# same points-to set, tagged with its slice metrics.
+DEMAND=$("$SCAST" query --addr "$ADDR" \
+    '{"op":"points_to","program":"bst","var":"g_tree","mode":"demand"}')
+echo "$DEMAND" | grep -q '"ok": true' || { echo "demand query failed:"; echo "$DEMAND"; exit 1; }
+echo "$DEMAND" | grep -q '"mode": "demand"' || {
+    echo "demand reply must carry the mode marker:"; echo "$DEMAND"; exit 1
+}
+echo "$DEMAND" | grep -q '"slice_statements"' || {
+    echo "demand reply must carry slice metrics:"; echo "$DEMAND"; exit 1
+}
+EXHAUSTIVE=$("$SCAST" query --addr "$ADDR" '{"op":"points_to","program":"bst","var":"g_tree"}')
+D_SET=$(echo "$DEMAND" | sed 's/.*"points_to": \(\[[^]]*\]\).*/\1/')
+E_SET=$(echo "$EXHAUSTIVE" | sed 's/.*"points_to": \(\[[^]]*\]\).*/\1/')
+[ -n "$D_SET" ] && [ "$D_SET" = "$E_SET" ] || {
+    echo "demand points_to ($D_SET) must byte-equal exhaustive ($E_SET)"; exit 1
+}
+echo "demand round trip: points_to byte-equal to exhaustive ($D_SET)"
+
 "$SCAST" query --addr "$ADDR" '{"op":"shutdown"}' | grep -q '"shutdown": true'
 wait "$SERVER_PID"
 trap - EXIT

@@ -12,6 +12,7 @@
 //! | `ablation_steensgaard` | inclusion vs unification |
 //! | `ablation_layout` | Offsets under ilp32/lp64/packed32 |
 //! | `scaling_progen` | generated-program size/cast-ratio sweep + `BENCH_solver.json` |
+//! | `bench_demand` | demand-vs-exhaustive query cost + `BENCH_demand.json` |
 //!
 //! Run with `cargo bench --workspace`; the human-readable tables are also
 //! available via `scast-experiments all`. The timing harness is the small

@@ -37,6 +37,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod slice;
+
+pub use slice::{ConstraintSlicer, Slice, SliceStats};
+
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt::Write as _;

@@ -107,6 +107,7 @@
 
 mod analysis;
 mod budget;
+pub mod demand;
 mod facts;
 mod loc;
 mod model;
@@ -120,6 +121,9 @@ pub use analysis::{
     analyze, analyze_source, env_solver_threads, try_analyze, AnalysisConfig, AnalysisResult,
 };
 pub use budget::{Budget, SolveError, TIME_CHECK_INTERVAL};
+pub use demand::{
+    solve_demand_compiled, try_solve_demand_compiled, DemandQuery, DemandResult,
+};
 pub use facts::FactStore;
 pub use loc::{FieldRep, Loc, LocId};
 pub use model::{FieldModel, ModelKind, ModelStats};
@@ -132,7 +136,7 @@ pub use solver::{solves_on_thread, ArithMode, Solver, SolverOutput};
 /// The model-independent constraint layer (re-export of
 /// `structcast-constraints`): [`ConstraintSet`] and friends.
 pub use structcast_constraints as constraints;
-pub use structcast_constraints::ConstraintSet;
+pub use structcast_constraints::{ConstraintSet, ConstraintSlicer, Slice, SliceStats};
 
 // Re-export the pipeline so `structcast` is a one-stop dependency.
 pub use structcast_ast::{parse, ParseError, TranslationUnit};

@@ -139,6 +139,34 @@ impl<'p> AnalysisSession<'p> {
         let configs = AnalysisConfig::default().for_all_kinds();
         self.solve_all(&configs, configs.len())
     }
+
+    /// Demand-driven solve: slices the shared constraint set backward from
+    /// `query`'s roots and runs the fixpoint on the slice only. The answer
+    /// to `query` is byte-equal to what [`solve`](AnalysisSession::solve)
+    /// would report for it; see [`crate::demand`] for the slicing rules.
+    pub fn solve_demand(
+        &self,
+        query: &crate::demand::DemandQuery,
+        config: &AnalysisConfig,
+    ) -> crate::demand::DemandResult {
+        crate::demand::solve_demand_compiled(self.prog, &self.constraints, query, config)
+    }
+
+    /// [`solve_demand`](AnalysisSession::solve_demand) for budgeted
+    /// configs. The budget governs the sliced solve, so a small-slice
+    /// query can succeed under a budget an exhaustive solve would trip.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError`] when `config.budget` trips before the slice's
+    /// fixpoint completes.
+    pub fn try_solve_demand(
+        &self,
+        query: &crate::demand::DemandQuery,
+        config: &AnalysisConfig,
+    ) -> Result<crate::demand::DemandResult, SolveError> {
+        crate::demand::try_solve_demand_compiled(self.prog, &self.constraints, query, config)
+    }
 }
 
 /// Stages 2+3 against an externally held constraint set: specializes

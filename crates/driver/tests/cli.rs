@@ -131,6 +131,56 @@ fn flag_unknown_mode_reports_suspicious_sites() {
 }
 
 #[test]
+fn demand_query_matches_the_exhaustive_answer() {
+    // Happy path: `--demand p` prints the same points-to set `--var p`
+    // prints from the full solve, plus the slice statistics.
+    let (full, _, ok1) = scast(&["bst", "--var", "g_tree", "--model", "offsets"]);
+    let (demand, _, ok2) = scast(&["bst", "--demand", "g_tree", "--model", "offsets"]);
+    assert!(ok1 && ok2);
+    let set_of = |out: &str| {
+        out.lines()
+            .find(|l| l.contains("g_tree -> {"))
+            .and_then(|l| l.split_once("g_tree -> ").map(|(_, s)| s.to_string()))
+            .unwrap_or_else(|| panic!("no g_tree set in {out}"))
+    };
+    assert_eq!(set_of(&full), set_of(&demand), "full:\n{full}\ndemand:\n{demand}");
+    assert!(demand.contains("demand (Offsets)"), "{demand}");
+    // The slice stats line reports slice/total, with slice ≤ total.
+    let stats = demand.lines().find(|l| l.contains("slice=")).unwrap();
+    let (slice, total) = stats
+        .split_once("slice=")
+        .and_then(|(_, r)| r.split_once(' '))
+        .and_then(|(frac, _)| frac.split_once('/'))
+        .map(|(s, t)| (s.parse::<u64>().unwrap(), t.parse::<u64>().unwrap()))
+        .unwrap();
+    assert!(slice > 0 && slice <= total, "{stats}");
+}
+
+#[test]
+fn demand_query_for_unknown_pointer_fails_cleanly() {
+    let (stdout, stderr, ok) = scast(&["bst", "--demand", "ghost"]);
+    assert!(!ok, "unknown pointer must exit nonzero");
+    assert!(stderr.contains("unknown pointer `ghost`"), "{stderr}");
+    assert!(stdout.is_empty(), "diagnostics go to stderr: {stdout}");
+}
+
+#[test]
+fn demand_composes_with_budgets() {
+    // A roomy deadline completes and answers normally...
+    let (stdout, _, ok) = scast(&["bst", "--demand", "g_tree", "--deadline-ms", "600000"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("g_tree -> {"), "{stdout}");
+    // ...a zero deadline trips the sliced solve with the typed error.
+    let (_, stderr, ok) = scast(&["bst", "--demand", "g_tree", "--deadline-ms", "0"]);
+    assert!(!ok, "a zero deadline must trip the demand solve");
+    assert!(stderr.contains("deadline exceeded"), "{stderr}");
+    // ...and an impossible edge cap does too, naming the cap.
+    let (_, stderr, ok) = scast(&["bst", "--demand", "g_tree", "--max-edges", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("edge limit (1)"), "{stderr}");
+}
+
+#[test]
 fn bad_file_fails_cleanly() {
     let (_, stderr, ok) = scast(&["definitely-not-a-file.c"]);
     assert!(!ok);

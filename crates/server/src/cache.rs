@@ -8,6 +8,11 @@
 //! every named variable, MOD/REF tables, and the figure metrics. Workers
 //! answer queries from these immutable summaries without touching the
 //! solver, so a warm query is a map lookup behind an `RwLock` read guard.
+//! A third map (`DemandAnswer`, keyed by source hash ×
+//! `demand/<subject>/<config key>`) memoizes per-pointer demand-mode
+//! answers under the solved layer: a demand query first checks its own
+//! map, then derives from a warm full summary, and only slices+solves
+//! cold ([`SessionCache::demand`]).
 //!
 //! Both layers live behind `RwLock`s with the **miss work done outside the
 //! lock**: concurrent queries for different keys solve in parallel, and a
@@ -40,8 +45,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 use structcast::{
-    modref, try_solve_compiled, try_solve_compiled_parallel, AnalysisResult, ConstraintSet, Loc,
-    ModelKind, Program, SolveError,
+    modref, try_solve_compiled, try_solve_compiled_parallel, try_solve_demand_compiled,
+    AnalysisResult, ConstraintSet, DemandQuery, Loc, ModelKind, ObjId, Program, SolveError,
 };
 
 /// Default cache budget: generous enough that eviction never fires in
@@ -206,6 +211,65 @@ impl Solved {
     }
 }
 
+/// The rendered answer of one demand-mode query, in the exact shapes the
+/// exhaustive handlers emit — byte-equality with the full solve is the
+/// demand mode's contract, so the rendering pipeline is shared.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DemandPayload {
+    /// Display-rendered points-to targets, sorted and deduplicated.
+    PointsTo(Vec<String>),
+    /// The alias verdict.
+    Alias(bool),
+    /// `(MOD, REF)` object names for the queried function.
+    ModRef {
+        /// Objects the function may write.
+        mods: Vec<String>,
+        /// Objects the function may read.
+        refs: Vec<String>,
+    },
+}
+
+/// One cached demand answer: per-pointer (or per-function) plain data,
+/// keyed under the solved layer as
+/// `(source hash, "demand/<op>/<subject>/<config key>")` and subject to
+/// the same byte budget and LRU policy as everything else.
+#[derive(Debug)]
+pub struct DemandAnswer {
+    /// The rendered answer.
+    pub payload: DemandPayload,
+    /// Constraints the demand slice retained. When the answer was derived
+    /// from an already-cached *full* solve, this equals
+    /// [`total_statements`](DemandAnswer::total_statements) — the full
+    /// fixpoint was (previously) paid, nothing was sliced.
+    pub slice_statements: usize,
+    /// Constraints in the whole program.
+    pub total_statements: usize,
+    /// Slice+solve wall-clock paid when this answer was built (zero when
+    /// derived from a warm full solve).
+    pub solve: Duration,
+}
+
+impl DemandAnswer {
+    /// `slice_statements / total_statements` (0 for an empty program).
+    pub fn ratio(&self) -> f64 {
+        if self.total_statements == 0 {
+            0.0
+        } else {
+            self.slice_statements as f64 / self.total_statements as f64
+        }
+    }
+
+    /// Approximate resident bytes (string payloads plus overhead).
+    pub fn approx_bytes(&self) -> usize {
+        let strs = |v: &Vec<String>| v.iter().map(|s| s.len() + 32).sum::<usize>();
+        256 + match &self.payload {
+            DemandPayload::PointsTo(v) => strs(v),
+            DemandPayload::Alias(_) => 0,
+            DemandPayload::ModRef { mods, refs } => strs(mods) + strs(refs),
+        }
+    }
+}
+
 /// A cached value plus the bookkeeping the evictor reads: its (fixed) size
 /// estimate and a last-use tick bumped on every hit. The tick is an atomic
 /// so hits can record recency under the cheap *read* lock.
@@ -219,6 +283,7 @@ struct Slot<T> {
 enum Victim {
     Program(u64),
     Solved((u64, String)),
+    Demand((u64, String)),
 }
 
 /// The concurrent two-layer cache; see the module docs.
@@ -230,6 +295,7 @@ pub struct SessionCache {
     programs: RwLock<HashMap<u64, Slot<ProgramEntry>>>,
     names: RwLock<HashMap<String, u64>>,
     solved: RwLock<HashMap<(u64, String), Slot<Solved>>>,
+    demand: RwLock<HashMap<(u64, String), Slot<DemandAnswer>>>,
 }
 
 impl SessionCache {
@@ -250,6 +316,7 @@ impl SessionCache {
             programs: RwLock::new(HashMap::new()),
             names: RwLock::new(HashMap::new()),
             solved: RwLock::new(HashMap::new()),
+            demand: RwLock::new(HashMap::new()),
         }
     }
 
@@ -281,7 +348,8 @@ impl SessionCache {
     /// Evicts least-recently-used slots (across both layers) until the
     /// total fits the budget again, sparing the just-inserted keys — a
     /// single entry larger than the whole budget stays resident rather
-    /// than thrashing. Lock order is programs → solved, everywhere.
+    /// than thrashing. Lock order is programs → solved → demand,
+    /// everywhere.
     fn enforce_cap(&self, keep_program: Option<u64>, keep_solved: Option<&(u64, String)>) {
         if self.max_bytes == 0 {
             return;
@@ -292,6 +360,7 @@ impl SessionCache {
         }
         let mut programs = write(&self.programs);
         let mut solved = write(&self.solved);
+        let mut demand = write(&self.demand);
         let (mut evicted_p, mut evicted_s) = (0u64, 0u64);
         while self.bytes.load(Relaxed) > self.max_bytes {
             let mut best: Option<(u64, Victim)> = None;
@@ -313,6 +382,18 @@ impl SessionCache {
                     best = Some((lu, Victim::Solved(k.clone())));
                 }
             }
+            for (k, s) in demand.iter() {
+                // `keep_solved` doubles as the demand-key guard: the two
+                // layers share one key space and a caller inserts into
+                // only one of them per call.
+                if keep_solved == Some(k) {
+                    continue;
+                }
+                let lu = s.last_use.load(Relaxed);
+                if best.as_ref().is_none_or(|(b, _)| lu < *b) {
+                    best = Some((lu, Victim::Demand(k.clone())));
+                }
+            }
             match best {
                 Some((_, Victim::Program(k))) => {
                     let slot = programs.remove(&k).expect("victim was just seen");
@@ -324,10 +405,16 @@ impl SessionCache {
                     self.bytes.fetch_sub(slot.bytes, Relaxed);
                     evicted_s += 1;
                 }
+                Some((_, Victim::Demand(k))) => {
+                    let slot = demand.remove(&k).expect("victim was just seen");
+                    self.bytes.fetch_sub(slot.bytes, Relaxed);
+                    evicted_s += 1;
+                }
                 // Everything left is protected: over budget but stuck.
                 None => break,
             }
         }
+        drop(demand);
         drop(solved);
         drop(programs);
         if evicted_p + evicted_s > 0 {
@@ -510,9 +597,149 @@ impl SessionCache {
         Ok((out.into_iter().map(|s| s.expect("slot filled")).collect(), paid))
     }
 
+    /// The demand answer for `(entry, opts, query)`, memoized per subject.
+    /// Returns the answer, the slice+solve wall-clock this particular call
+    /// paid (zero when warm), and whether it was served warm.
+    ///
+    /// Lookup order, cheapest first:
+    ///
+    /// 1. the demand map itself — a repeated demand query is a map lookup;
+    /// 2. an already-cached **full** solve for the same options — the
+    ///    exhaustive fixpoint was paid earlier, so the answer is derived
+    ///    from its summary for free (recorded as a demand *hit* with
+    ///    `slice == total`: nothing was sliced);
+    /// 3. a cold slice+solve via [`structcast::try_solve_demand_compiled`].
+    ///
+    /// `subject` distinguishes answers under one config (e.g.
+    /// `"points_to/p"`, `"alias/p/q"`, `"modref/f"`); callers must derive
+    /// it injectively from the query. Cached demand answers share the byte
+    /// budget and LRU policy with both other layers.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError`] when `opts` carries a budget and the sliced solve
+    /// trips it. Failed solves are never cached; warm answers are served
+    /// regardless of budget (a hit computes nothing).
+    pub fn demand(
+        &self,
+        entry: &ProgramEntry,
+        opts: &QueryOpts,
+        query: &DemandQuery,
+        subject: &str,
+    ) -> Result<(Arc<DemandAnswer>, Duration, bool), SolveError> {
+        let key = (entry.key, format!("demand/{subject}/{}", opts.cache_key()));
+        if let Some(a) = read(&self.demand).get(&key).map(|s| self.touch(s)) {
+            self.metrics.record_demand(true, 0, 0, Duration::ZERO);
+            return Ok((a, Duration::ZERO, true));
+        }
+        // A warm full solve answers any demand query without slicing.
+        let full_key = (entry.key, opts.cache_key());
+        if let Some(s) = read(&self.solved).get(&full_key).map(|s| self.touch(s)) {
+            let total = entry.constraints.len();
+            let answer = Arc::new(DemandAnswer {
+                payload: payload_from_solved(entry, query, &s),
+                slice_statements: total,
+                total_statements: total,
+                solve: Duration::ZERO,
+            });
+            self.metrics.record_demand(true, 0, 0, Duration::ZERO);
+            let answer = self.insert_demand(&key, answer);
+            self.enforce_cap(None, Some(&key));
+            return Ok((answer, Duration::ZERO, true));
+        }
+        let start = Instant::now();
+        let d = try_solve_demand_compiled(&entry.prog, &entry.constraints, query, &opts.to_config())?;
+        let paid = start.elapsed();
+        let answer = Arc::new(DemandAnswer {
+            payload: demand_payload(entry, query, &d),
+            slice_statements: d.stats.slice_statements,
+            total_statements: d.stats.total_statements,
+            solve: paid,
+        });
+        self.metrics.record_demand(
+            false,
+            d.stats.slice_statements as u64,
+            d.stats.total_statements as u64,
+            paid,
+        );
+        let answer = self.insert_demand(&key, answer);
+        self.enforce_cap(None, Some(&key));
+        Ok((answer, paid, false))
+    }
+
+    /// Double-checked demand-map insert; first-in wins, recency stamped.
+    fn insert_demand(&self, key: &(u64, String), answer: Arc<DemandAnswer>) -> Arc<DemandAnswer> {
+        let mut map = write(&self.demand);
+        match map.get(key) {
+            Some(s) => self.touch(s),
+            None => {
+                let bytes = answer.approx_bytes();
+                self.bytes.fetch_add(bytes, Relaxed);
+                map.insert(key.clone(), self.slot(Arc::clone(&answer), bytes));
+                answer
+            }
+        }
+    }
+
     /// `(programs, solved instances)` currently cached.
     pub fn sizes(&self) -> (usize, usize) {
         (read(&self.programs).len(), read(&self.solved).len())
+    }
+
+    /// Demand answers currently cached.
+    pub fn demand_sizes(&self) -> usize {
+        read(&self.demand).len()
+    }
+}
+
+/// Renders a fresh demand solve into the exact shapes the exhaustive
+/// handlers emit (sorted+deduplicated display strings; MOD/REF names in
+/// `ObjId` order) — the byte-equality contract lives here.
+fn demand_payload(entry: &ProgramEntry, query: &DemandQuery, d: &structcast::DemandResult) -> DemandPayload {
+    let prog = &entry.prog;
+    match *query {
+        DemandQuery::PointsTo { obj } => {
+            let mut shown: Vec<String> = d
+                .result
+                .points_to(prog, obj)
+                .iter()
+                .map(|l| l.display(prog))
+                .collect();
+            shown.sort();
+            shown.dedup();
+            DemandPayload::PointsTo(shown)
+        }
+        DemandQuery::Alias { a, b } => DemandPayload::Alias(d.result.may_alias(prog, a, b)),
+        DemandQuery::ModRef { func } => {
+            let sets = d.modref_of(prog, func);
+            let names = |set: &BTreeSet<ObjId>| {
+                set.iter().map(|o| prog.object(*o).name.clone()).collect::<Vec<_>>()
+            };
+            DemandPayload::ModRef { mods: names(&sets.mods), refs: names(&sets.refs) }
+        }
+    }
+}
+
+/// Derives a demand answer from an already-cached full summary. The
+/// summary's fields are rendered by the same pipeline the exhaustive
+/// handlers read, so equality with [`demand_payload`] is structural.
+fn payload_from_solved(entry: &ProgramEntry, query: &DemandQuery, s: &Solved) -> DemandPayload {
+    let prog = &entry.prog;
+    match *query {
+        DemandQuery::PointsTo { obj } => DemandPayload::PointsTo(
+            s.points_to.get(&prog.object(obj).name).cloned().unwrap_or_default(),
+        ),
+        DemandQuery::Alias { a, b } => DemandPayload::Alias(
+            s.may_alias(&prog.object(a).name, &prog.object(b).name).unwrap_or(false),
+        ),
+        DemandQuery::ModRef { func } => {
+            let (mods, refs) = s
+                .modref
+                .get(&prog.function(func).name)
+                .cloned()
+                .unwrap_or_default();
+            DemandPayload::ModRef { mods, refs }
+        }
     }
 }
 
@@ -522,6 +749,7 @@ impl std::fmt::Debug for SessionCache {
         f.debug_struct("SessionCache")
             .field("programs", &p)
             .field("solved", &s)
+            .field("demand", &self.demand_sizes())
             .field("bytes", &self.bytes())
             .field("max_bytes", &self.max_bytes)
             .finish()
@@ -697,8 +925,10 @@ mod tests {
     fn budgeted_miss_reports_error_and_caches_nothing() {
         let c = cache();
         let entry = c.load(Some("intro"), SRC).unwrap();
-        let mut opts = QueryOpts::default();
-        opts.max_edges = Some(0);
+        let mut opts = QueryOpts {
+            max_edges: Some(0),
+            ..QueryOpts::default()
+        };
         let err = c.solved(&entry, &opts).unwrap_err();
         assert_eq!(err, SolveError::EdgeLimit { limit: 0 });
         assert_eq!(c.sizes(), (1, 0), "failed solves are not cached");
@@ -791,6 +1021,113 @@ mod tests {
             "a 1-byte budget must evict on the second insert ({pe}p/{se}s)"
         );
         assert!(s.approx_bytes() > 0);
+    }
+
+    /// The demand query for a named pointer, plus its subject string (the
+    /// shape the server derives).
+    fn pt_query(entry: &ProgramEntry, var: &str) -> (DemandQuery, String) {
+        let q = DemandQuery::points_to_named(&entry.prog, var).expect("known var");
+        (q, format!("points_to/{var}"))
+    }
+
+    #[test]
+    fn demand_cold_then_warm_then_derived_from_full() {
+        let metrics = Arc::new(Metrics::new());
+        let c = SessionCache::new(Arc::clone(&metrics));
+        let entry = c.load(Some("intro"), SRC).unwrap();
+        let opts = QueryOpts::default();
+        let (q, subject) = pt_query(&entry, "p");
+
+        // Cold: a real slice+solve — a miss with a nonempty slice.
+        let (a1, paid1, warm1) = c.demand(&entry, &opts, &q, &subject).unwrap();
+        assert!(!warm1);
+        assert!(paid1 > Duration::ZERO);
+        assert_eq!(a1.payload, DemandPayload::PointsTo(vec!["x".to_string()]));
+        assert!(a1.slice_statements <= a1.total_statements);
+        assert_eq!(metrics.demand_counts(), (0, 1));
+
+        // Warm: the demand map answers, no solver work.
+        let solves0 = solves_on_thread();
+        let (a2, paid2, warm2) = c.demand(&entry, &opts, &q, &subject).unwrap();
+        assert!(warm2);
+        assert_eq!(paid2, Duration::ZERO);
+        assert!(Arc::ptr_eq(&a1, &a2));
+        assert_eq!(solves_on_thread(), solves0);
+        assert_eq!(metrics.demand_counts(), (1, 1));
+        assert_eq!(c.demand_sizes(), 1);
+
+        // A *different* subject under a warm full solve derives for free.
+        let (full, _) = c.solved(&entry, &opts).unwrap();
+        let (q2, subject2) = pt_query(&entry, "q");
+        let (a3, paid3, warm3) = c.demand(&entry, &opts, &q2, &subject2).unwrap();
+        assert!(warm3, "warm full solve must answer demand without slicing");
+        assert_eq!(paid3, Duration::ZERO);
+        assert_eq!(
+            a3.payload,
+            DemandPayload::PointsTo(full.points_to.get("q").unwrap().clone())
+        );
+        assert_eq!(a3.slice_statements, a3.total_statements, "nothing was sliced");
+        assert_eq!(solves_on_thread(), solves0 + 1, "only the full solve ran");
+        assert_eq!(c.demand_sizes(), 2);
+    }
+
+    #[test]
+    fn demand_payloads_match_the_exhaustive_summaries() {
+        let c = cache();
+        let entry = c.load(Some("intro"), SRC).unwrap();
+        let opts = QueryOpts::default();
+        // Demand answers computed *cold* (no full solve cached yet)...
+        let (q, s) = pt_query(&entry, "p");
+        let (pt, ..) = c.demand(&entry, &opts, &q, &s).unwrap();
+        let alias_q = DemandQuery::alias_named(&entry.prog, "p", "s").unwrap();
+        let (al, ..) = c.demand(&entry, &opts, &alias_q, "alias/p/s").unwrap();
+        let mr_q = DemandQuery::modref_named(&entry.prog, "f").unwrap();
+        let (mr, ..) = c.demand(&entry, &opts, &mr_q, "modref/f").unwrap();
+        // ...must byte-equal the exhaustive summary's renderings.
+        let (full, _) = c.solved(&entry, &opts).unwrap();
+        assert_eq!(pt.payload, DemandPayload::PointsTo(full.points_to.get("p").unwrap().clone()));
+        assert_eq!(al.payload, DemandPayload::Alias(full.may_alias("p", "s").unwrap()));
+        let (mods, refs) = full.modref.get("f").unwrap().clone();
+        assert_eq!(mr.payload, DemandPayload::ModRef { mods, refs });
+        assert!(mr.ratio() > 0.0 && mr.ratio() <= 1.0);
+    }
+
+    #[test]
+    fn budgeted_demand_reports_error_and_caches_nothing() {
+        let c = cache();
+        let entry = c.load(Some("intro"), SRC).unwrap();
+        let mut opts = QueryOpts {
+            max_edges: Some(0),
+            ..QueryOpts::default()
+        };
+        let (q, s) = pt_query(&entry, "p");
+        let err = c.demand(&entry, &opts, &q, &s).unwrap_err();
+        assert_eq!(err, SolveError::EdgeLimit { limit: 0 });
+        assert_eq!(c.demand_sizes(), 0, "failed demand solves are not cached");
+        // Retried unbudgeted, the same key solves and caches...
+        opts.max_edges = None;
+        let (a, ..) = c.demand(&entry, &opts, &q, &s).unwrap();
+        assert_eq!(c.demand_sizes(), 1);
+        // ...and a hit is then served even under an impossible budget.
+        opts.max_edges = Some(0);
+        let (hit, _, warm) = c.demand(&entry, &opts, &q, &s).unwrap();
+        assert!(warm);
+        assert!(Arc::ptr_eq(&a, &hit));
+    }
+
+    #[test]
+    fn demand_answers_participate_in_the_byte_budget() {
+        let metrics = Arc::new(Metrics::new());
+        let c = SessionCache::with_max_bytes(Arc::clone(&metrics), 1);
+        let entry = c.load(Some("intro"), SRC).unwrap();
+        let (q, s) = pt_query(&entry, "p");
+        let (a, ..) = c.demand(&entry, &QueryOpts::default(), &q, &s).unwrap();
+        // A 1-byte budget evicts everything but the newest insert; the
+        // Arc the caller holds stays valid either way.
+        let (pe, se) = metrics.evictions();
+        assert!(pe + se >= 1, "over-budget demand insert must evict ({pe}p/{se}s)");
+        assert_eq!(a.payload, DemandPayload::PointsTo(vec!["x".to_string()]));
+        assert!(a.approx_bytes() > 0);
     }
 
     #[test]

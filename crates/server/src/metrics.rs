@@ -51,6 +51,10 @@ pub struct Metrics {
     program_misses: AtomicU64,
     solve_hits: AtomicU64,
     solve_misses: AtomicU64,
+    demand_hits: AtomicU64,
+    demand_misses: AtomicU64,
+    demand_slice_stmts: AtomicU64,
+    demand_total_stmts: AtomicU64,
     program_evictions: AtomicU64,
     solve_evictions: AtomicU64,
     cache_bytes: AtomicU64,
@@ -117,6 +121,30 @@ impl Metrics {
             self.solve_misses.fetch_add(1, Relaxed);
             self.solve_ns.fetch_add(solve.as_nanos() as u64, Relaxed);
         }
+    }
+
+    /// Records a demand-mode query outcome. A *hit* was answered from a
+    /// cached demand answer (or derived from a warm full solve) without
+    /// touching the solver; a *miss* sliced and solved, and reports the
+    /// slice size against the whole program so the aggregate
+    /// sliced-vs-full ratio is observable in `stats`.
+    pub fn record_demand(&self, hit: bool, slice: u64, total: u64, solve: Duration) {
+        if hit {
+            self.demand_hits.fetch_add(1, Relaxed);
+        } else {
+            self.demand_misses.fetch_add(1, Relaxed);
+            self.demand_slice_stmts.fetch_add(slice, Relaxed);
+            self.demand_total_stmts.fetch_add(total, Relaxed);
+            self.solve_ns.fetch_add(solve.as_nanos() as u64, Relaxed);
+        }
+    }
+
+    /// `(hits, misses)` of the demand-answer layer so far.
+    pub fn demand_counts(&self) -> (u64, u64) {
+        (
+            self.demand_hits.load(Relaxed),
+            self.demand_misses.load(Relaxed),
+        )
     }
 
     /// Records cache evictions (program entries and solved summaries).
@@ -209,6 +237,21 @@ impl Metrics {
             ("solve_hits", Json::count(self.solve_hits.load(Relaxed))),
             ("solve_misses", Json::count(self.solve_misses.load(Relaxed))),
             (
+                "demand",
+                Json::obj([
+                    ("hits", Json::count(self.demand_hits.load(Relaxed))),
+                    ("misses", Json::count(self.demand_misses.load(Relaxed))),
+                    (
+                        "slice_statements",
+                        Json::count(self.demand_slice_stmts.load(Relaxed)),
+                    ),
+                    (
+                        "total_statements",
+                        Json::count(self.demand_total_stmts.load(Relaxed)),
+                    ),
+                ]),
+            ),
+            (
                 "program_evictions",
                 Json::count(self.program_evictions.load(Relaxed)),
             ),
@@ -227,8 +270,8 @@ impl Metrics {
     pub fn summary_line(&self) -> String {
         format!(
             "structcast-server: served {} requests ({} ok, {} errors, {} shed, \
-             {} panicked); cache program {}h/{}m solve {}h/{}m evicted {}p+{}s \
-             ({} bytes); compile {:.3}s solve {:.3}s lookup {:.3}s",
+             {} panicked); cache program {}h/{}m solve {}h/{}m demand {}h/{}m \
+             evicted {}p+{}s ({} bytes); compile {:.3}s solve {:.3}s lookup {:.3}s",
             self.requests.load(Relaxed),
             self.ok.load(Relaxed),
             self.errors.load(Relaxed),
@@ -238,6 +281,8 @@ impl Metrics {
             self.program_misses.load(Relaxed),
             self.solve_hits.load(Relaxed),
             self.solve_misses.load(Relaxed),
+            self.demand_hits.load(Relaxed),
+            self.demand_misses.load(Relaxed),
             self.program_evictions.load(Relaxed),
             self.solve_evictions.load(Relaxed),
             self.cache_bytes.load(Relaxed),
@@ -285,6 +330,23 @@ mod tests {
         assert_eq!(m.total_misses(), 2);
         let line = m.summary_line();
         assert!(line.contains("served 4 requests"), "{line}");
+    }
+
+    #[test]
+    fn demand_counters_tally_and_snapshot() {
+        let m = Metrics::new();
+        m.record_demand(false, 10, 100, Duration::from_millis(3));
+        m.record_demand(true, 0, 0, Duration::ZERO);
+        assert_eq!(m.demand_counts(), (1, 1));
+        let s = m.snapshot();
+        let d = s.get("demand").unwrap();
+        assert_eq!(d.get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(d.get("misses").and_then(Json::as_u64), Some(1));
+        assert_eq!(d.get("slice_statements").and_then(Json::as_u64), Some(10));
+        assert_eq!(d.get("total_statements").and_then(Json::as_u64), Some(100));
+        // Demand solve time folds into the shared solve gauge.
+        assert!(s.get("solve_s").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(m.summary_line().contains("demand 1h/1m"), "{}", m.summary_line());
     }
 
     #[test]

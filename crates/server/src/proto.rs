@@ -157,6 +157,9 @@ pub enum Request {
         program: String,
         /// Variable to query.
         var: String,
+        /// Demand mode (`"mode":"demand"`): slice and solve only what this
+        /// query can see instead of running the exhaustive fixpoint.
+        demand: bool,
         /// Analysis options.
         opts: QueryOpts,
     },
@@ -168,6 +171,8 @@ pub enum Request {
         a: String,
         /// Second variable.
         b: String,
+        /// Demand mode (`"mode":"demand"`).
+        demand: bool,
         /// Analysis options.
         opts: QueryOpts,
     },
@@ -175,8 +180,11 @@ pub enum Request {
     ModRef {
         /// Loaded program.
         program: String,
-        /// Restrict to this function (all defined functions when absent).
+        /// Restrict to this function (all defined functions when absent;
+        /// demand mode requires it).
         func: Option<String>,
+        /// Demand mode (`"mode":"demand"`).
+        demand: bool,
         /// Analysis options.
         opts: QueryOpts,
     },
@@ -212,6 +220,21 @@ fn opt_str(req: &Json, key: &str) -> Result<Option<String>, String> {
     }
 }
 
+/// Parses the optional `"mode"` field of a query: absent or
+/// `"exhaustive"` → full solve, `"demand"` → demand mode.
+fn parse_mode(req: &Json) -> Result<bool, String> {
+    match req.get("mode") {
+        None => Ok(false),
+        Some(v) => match v.as_str().ok_or("\"mode\" must be a string")? {
+            "exhaustive" => Ok(false),
+            "demand" => Ok(true),
+            other => Err(format!(
+                "unknown mode `{other}` (expected \"exhaustive\" or \"demand\")"
+            )),
+        },
+    }
+}
+
 impl Request {
     /// Parses one request object.
     pub fn from_json(req: &Json) -> Result<Request, String> {
@@ -231,17 +254,20 @@ impl Request {
             "points_to" => Ok(Request::PointsTo {
                 program: req_str(req, "program")?,
                 var: req_str(req, "var")?,
+                demand: parse_mode(req)?,
                 opts: QueryOpts::from_json(req)?,
             }),
             "alias" => Ok(Request::Alias {
                 program: req_str(req, "program")?,
                 a: req_str(req, "a")?,
                 b: req_str(req, "b")?,
+                demand: parse_mode(req)?,
                 opts: QueryOpts::from_json(req)?,
             }),
             "modref" => Ok(Request::ModRef {
                 program: req_str(req, "program")?,
                 func: opt_str(req, "func")?,
+                demand: parse_mode(req)?,
                 opts: QueryOpts::from_json(req)?,
             }),
             "compare_models" => Ok(Request::CompareModels {
@@ -342,6 +368,36 @@ mod tests {
         ));
         assert!(matches!(parse(r#"{"op":"stats"}"#).unwrap(), Request::Stats));
         assert!(matches!(parse(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown));
+    }
+
+    #[test]
+    fn parses_the_mode_field() {
+        // Absent and "exhaustive" mean the full solve.
+        assert!(matches!(
+            parse(r#"{"op":"points_to","program":"bst","var":"p"}"#).unwrap(),
+            Request::PointsTo { demand: false, .. }
+        ));
+        assert!(matches!(
+            parse(r#"{"op":"points_to","program":"bst","var":"p","mode":"exhaustive"}"#).unwrap(),
+            Request::PointsTo { demand: false, .. }
+        ));
+        // "demand" flips every query op.
+        assert!(matches!(
+            parse(r#"{"op":"points_to","program":"bst","var":"p","mode":"demand"}"#).unwrap(),
+            Request::PointsTo { demand: true, .. }
+        ));
+        assert!(matches!(
+            parse(r#"{"op":"alias","program":"bst","a":"p","b":"q","mode":"demand"}"#).unwrap(),
+            Request::Alias { demand: true, .. }
+        ));
+        assert!(matches!(
+            parse(r#"{"op":"modref","program":"bst","func":"main","mode":"demand"}"#).unwrap(),
+            Request::ModRef { demand: true, .. }
+        ));
+        // Unknown modes and wrong types are rejected.
+        let err = parse(r#"{"op":"points_to","program":"b","var":"v","mode":"lazy"}"#).unwrap_err();
+        assert!(err.contains("unknown mode `lazy`"), "{err}");
+        assert!(parse(r#"{"op":"points_to","program":"b","var":"v","mode":1}"#).is_err());
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! and exit, and the accept thread prints the final metrics summary line
 //! (including shed/evicted/panicked counts).
 
-use crate::cache::{ProgramEntry, SessionCache, Solved};
+use crate::cache::{DemandAnswer, DemandPayload, ProgramEntry, SessionCache, Solved};
 use crate::faults::FaultPlan;
 use crate::json::Json;
 use crate::metrics::Metrics;
@@ -43,7 +43,7 @@ use std::sync::mpsc::{self, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use structcast::{ModelKind, SolveError};
+use structcast::{DemandQuery, ModelKind, ObjId, Program, SolveError};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -325,7 +325,17 @@ fn initiate_shutdown(shared: &Shared) {
     // Flag first, then poke: the accept loop re-checks the flag on the
     // connection the poke produces, so the ordering closes the race.
     shared.shutdown.store(true, Ordering::SeqCst);
-    let _ = TcpStream::connect(shared.addr);
+    // The poke must land: a completed connect proves a connection entered
+    // the accept queue, which is what unblocks the accept thread. A
+    // silently failed connect (a dropped SYN on a loaded host) would
+    // strand that thread in `accept()` forever, so retry — bounded, since
+    // past the bound nothing better is available than the old behavior.
+    for _ in 0..40 {
+        if TcpStream::connect_timeout(&shared.addr, Duration::from_millis(250)).is_ok() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
 }
 
 /// Handles one request line with panic isolation: a panicking handler —
@@ -424,6 +434,43 @@ fn solved_for(
     Ok(solved)
 }
 
+/// Resolves `var` to the exact-named variable object — the same set
+/// [`Solved::vars`] holds, so demand and exhaustive mode accept and
+/// reject identical names.
+fn named_var(prog: &Program, var: &str) -> Option<ObjId> {
+    prog.objects
+        .iter()
+        .position(|o| o.name == var && o.kind.is_named_variable())
+        .map(|i| ObjId(i as u32))
+}
+
+/// The per-op demand metrics block appended to demand-mode responses.
+fn demand_meta(answer: &DemandAnswer, cached: bool) -> Json {
+    Json::obj([
+        ("slice_statements", Json::count(answer.slice_statements as u64)),
+        ("total_statements", Json::count(answer.total_statements as u64)),
+        ("ratio", Json::num(answer.ratio())),
+        ("cached", Json::Bool(cached)),
+    ])
+}
+
+/// Answers one demand-mode query: fire the `demand` fault site, consult
+/// the demand cache (slicing+solving on a cold miss), and account the
+/// solve time into `paid`.
+fn demand_for(
+    shared: &Shared,
+    entry: &ProgramEntry,
+    opts: &QueryOpts,
+    query: &DemandQuery,
+    subject: &str,
+    paid: &mut Duration,
+) -> Result<(Arc<DemandAnswer>, bool), ServeError> {
+    shared.faults.fire("demand");
+    let (answer, solve_paid, cached) = shared.cache.demand(entry, opts, query, subject)?;
+    *paid += solve_paid;
+    Ok((answer, cached))
+}
+
 fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, ServeError> {
     match req {
         Request::Load { name, source } => {
@@ -446,7 +493,27 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, Se
                 ("compile_s", Json::num(entry.compile.as_secs_f64())),
             ]))
         }
-        Request::PointsTo { program, var, opts } => {
+        Request::PointsTo { program, var, demand, opts } => {
+            if demand {
+                let entry = resolve_program(shared, &program, paid)?;
+                let obj = named_var(&entry.prog, &var).ok_or_else(|| {
+                    format!("unknown variable `{var}` in `{program}`")
+                })?;
+                let query = DemandQuery::PointsTo { obj };
+                let subject = format!("points_to/{var}");
+                let (answer, cached) = demand_for(shared, &entry, &opts, &query, &subject, paid)?;
+                let DemandPayload::PointsTo(targets) = &answer.payload else {
+                    unreachable!("points_to query yields a points_to payload");
+                };
+                return Ok(ok_response([
+                    ("program", Json::str(&program)),
+                    ("var", Json::str(&var)),
+                    ("config", Json::str(opts.cache_key())),
+                    ("points_to", Json::Arr(targets.iter().map(Json::str).collect())),
+                    ("mode", Json::str("demand")),
+                    ("demand", demand_meta(&answer, cached)),
+                ]));
+            }
             let solved = solved_for(shared, &program, &opts, paid)?;
             if !solved.vars.contains(&var) {
                 return Err(ServeError::Bad(format!(
@@ -464,7 +531,33 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, Se
                 ),
             ]))
         }
-        Request::Alias { program, a, b, opts } => {
+        Request::Alias { program, a, b, demand, opts } => {
+            if demand {
+                let entry = resolve_program(shared, &program, paid)?;
+                let (oa, ob) = match (named_var(&entry.prog, &a), named_var(&entry.prog, &b)) {
+                    (Some(oa), Some(ob)) => (oa, ob),
+                    _ => {
+                        return Err(ServeError::Bad(format!(
+                            "unknown variable `{a}` or `{b}` in `{program}`"
+                        )))
+                    }
+                };
+                let query = DemandQuery::Alias { a: oa, b: ob };
+                let subject = format!("alias/{a}/{b}");
+                let (answer, cached) = demand_for(shared, &entry, &opts, &query, &subject, paid)?;
+                let DemandPayload::Alias(alias) = answer.payload else {
+                    unreachable!("alias query yields an alias payload");
+                };
+                return Ok(ok_response([
+                    ("program", Json::str(&program)),
+                    ("a", Json::str(&a)),
+                    ("b", Json::str(&b)),
+                    ("config", Json::str(opts.cache_key())),
+                    ("alias", Json::Bool(alias)),
+                    ("mode", Json::str("demand")),
+                    ("demand", demand_meta(&answer, cached)),
+                ]));
+            }
             let solved = solved_for(shared, &program, &opts, paid)?;
             let alias = solved.may_alias(&a, &b).ok_or_else(|| {
                 format!("unknown variable `{a}` or `{b}` in `{program}`")
@@ -477,24 +570,55 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, Se
                 ("alias", Json::Bool(alias)),
             ]))
         }
-        Request::ModRef { program, func, opts } => {
-            let solved = solved_for(shared, &program, &opts, paid)?;
-            let render = |name: &str, sets: &(Vec<String>, Vec<String>)| {
+        Request::ModRef { program, func, demand, opts } => {
+            let render = |name: &str, sets: (&[String], &[String])| {
                 Json::obj([
                     ("func", Json::str(name)),
                     ("mod", Json::Arr(sets.0.iter().map(Json::str).collect())),
                     ("ref", Json::Arr(sets.1.iter().map(Json::str).collect())),
                 ])
             };
+            if demand {
+                // The slice is rooted at one function's call closure, so
+                // the all-functions form stays an exhaustive-only feature.
+                let f = func.ok_or_else(|| {
+                    "demand mode requires \"func\" on modref".to_string()
+                })?;
+                let entry = resolve_program(shared, &program, paid)?;
+                let fid = entry
+                    .prog
+                    .function_by_name(&f)
+                    .filter(|x| x.defined)
+                    .map(|x| x.id)
+                    .ok_or_else(|| format!("unknown function `{f}` in `{program}`"))?;
+                let query = DemandQuery::ModRef { func: fid };
+                let subject = format!("modref/{f}");
+                let (answer, cached) = demand_for(shared, &entry, &opts, &query, &subject, paid)?;
+                let DemandPayload::ModRef { mods, refs } = &answer.payload else {
+                    unreachable!("modref query yields a modref payload");
+                };
+                return Ok(ok_response([
+                    ("program", Json::str(&program)),
+                    ("config", Json::str(opts.cache_key())),
+                    ("functions", Json::Arr(vec![render(&f, (mods, refs))])),
+                    ("mode", Json::str("demand")),
+                    ("demand", demand_meta(&answer, cached)),
+                ]));
+            }
+            let solved = solved_for(shared, &program, &opts, paid)?;
             let functions = match func {
                 Some(f) => {
                     let sets = solved
                         .modref
                         .get(&f)
                         .ok_or_else(|| format!("unknown function `{f}` in `{program}`"))?;
-                    vec![render(&f, sets)]
+                    vec![render(&f, (&sets.0, &sets.1))]
                 }
-                None => solved.modref.iter().map(|(f, sets)| render(f, sets)).collect(),
+                None => solved
+                    .modref
+                    .iter()
+                    .map(|(f, sets)| render(f, (&sets.0, &sets.1)))
+                    .collect(),
             };
             Ok(ok_response([
                 ("program", Json::str(&program)),
@@ -544,6 +668,10 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, Se
             };
             pairs.push(("cached_programs".to_string(), Json::count(programs as u64)));
             pairs.push(("cached_solves".to_string(), Json::count(solved as u64)));
+            pairs.push((
+                "cached_demand".to_string(),
+                Json::count(shared.cache.demand_sizes() as u64),
+            ));
             pairs.push((
                 "max_cache_bytes".to_string(),
                 Json::count(shared.cache.max_bytes() as u64),

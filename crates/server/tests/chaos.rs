@@ -103,6 +103,89 @@ fn chaos_four_clients_every_reply_well_formed_and_metrics_reconcile() {
     assert!(summary.contains("structcast-server: served"), "{summary}");
 }
 
+/// Demand-mode chaos: seeded panics at the `demand` fault site (plus read
+/// stalls) while two clients mix demand and exhaustive queries. Every
+/// reply stays well-formed, demand answers that do succeed are byte-equal
+/// across modes, and the metrics reconcile with demand ops in the stream.
+#[test]
+fn chaos_demand_mode_replies_well_formed_and_metrics_reconcile() {
+    let cfg = ServerConfig {
+        faults: Some("panic@demand:0.25,stall@read:0.05;seed=7".to_string()),
+        threads: 2,
+        ..ServerConfig::default()
+    };
+    let handle = serve(&cfg).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    let queries: Vec<String> = vec![
+        r#"{"op":"load","name":"bst"}"#.into(),
+        r#"{"op":"points_to","program":"bst","var":"g_tree","mode":"demand"}"#.into(),
+        r#"{"op":"points_to","program":"bst","var":"g_tree"}"#.into(),
+        r#"{"op":"alias","program":"bst","a":"g_tree","b":"g_tree","mode":"demand"}"#.into(),
+        r#"{"op":"modref","program":"bst","func":"main","mode":"demand"}"#.into(),
+        r#"{"op":"points_to","program":"bst","var":"g_tree","model":"offsets","mode":"demand"}"#
+            .into(),
+        r#"{"op":"modref","program":"bst","mode":"demand"}"#.into(), // bad: no func
+        r#"{"op":"stats"}"#.into(),
+    ];
+    let rounds = 6;
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                // (exhaustive answer, demand answer) for the same query —
+                // collected when both succeed despite the chaos.
+                let mut pairs: Vec<(Option<Json>, Option<Json>)> = vec![(None, None)];
+                let mut served = 0usize;
+                for round in 0..rounds {
+                    for j in 0..queries.len() {
+                        let q = &queries[(i + round + j) % queries.len()];
+                        let line = c.request_line(q).unwrap();
+                        let resp = Json::parse(&line)
+                            .unwrap_or_else(|e| panic!("unparseable reply {line:?}: {e}"));
+                        assert_well_formed(&resp);
+                        served += 1;
+                        if ok(&resp) && q.contains(r#""var":"g_tree""#) && !q.contains("offsets") {
+                            let slot = pairs.last_mut().unwrap();
+                            if q.contains("demand") {
+                                slot.1 = Some(resp.get("points_to").unwrap().clone());
+                            } else {
+                                slot.0 = Some(resp.get("points_to").unwrap().clone());
+                            }
+                        }
+                    }
+                }
+                // Any round where both modes answered must agree.
+                for (e, d) in pairs.into_iter() {
+                    if let (Some(e), Some(d)) = (e, d) {
+                        assert_eq!(e, d, "demand diverged from exhaustive under chaos");
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+    let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert_eq!(total, 2 * rounds * queries.len());
+
+    let metrics = handle.metrics();
+    let mut c = Client::connect(addr).unwrap();
+    c.shutdown_server().unwrap();
+    let summary = handle.wait();
+
+    let errors: u64 = ERROR_KINDS.iter().map(|k| metrics.errors_of_kind(k)).sum();
+    assert_eq!(
+        metrics.requests(),
+        metrics.ok() + errors,
+        "requests must equal ok + error kinds with demand ops: {summary}"
+    );
+    assert!(metrics.panics() > 0, "the demand fault site must fire: {summary}");
+    assert_eq!(metrics.errors_of_kind("internal"), metrics.panics());
+    let (hits, misses) = metrics.demand_counts();
+    assert!(hits + misses > 0, "demand queries must be counted: {summary}");
+}
+
 /// Budget errors arrive over the wire as typed error replies, and the
 /// server session stays fully usable afterwards.
 #[test]
@@ -243,10 +326,22 @@ fn overloaded_server_sheds_with_retry_after() {
     assert!(ok(&busy.stats().unwrap()));
     drop(shed);
     drop(busy);
-    let mut c = Client::connect(addr).unwrap();
+    // The only worker may still be tearing down `busy`'s connection, and
+    // a rendezvous queue (backlog 0) sheds anything that arrives before
+    // it is back in `recv` — so retry until a request actually lands on
+    // the worker. A shutdown sent on a shed connection would be consumed
+    // by the `overloaded` reply and never reach the server.
+    let mut c = loop {
+        let mut c = Client::connect(addr).unwrap();
+        if ok(&c.stats().unwrap()) {
+            break c;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let shed_total = handle.metrics().shed();
     c.shutdown_server().unwrap();
     let summary = handle.wait();
-    assert!(summary.contains("1 shed"), "{summary}");
+    assert!(summary.contains(&format!("{shed_total} shed")), "{summary}");
 }
 
 /// Satellite regression: `Client::connect_timeout` errors out against a

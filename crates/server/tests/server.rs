@@ -161,6 +161,145 @@ fn four_concurrent_clients_get_deterministic_answers() {
 }
 
 #[test]
+fn demand_mode_round_trips_byte_equal_to_exhaustive() {
+    let (handle, addr) = start();
+    let mut c = Client::connect(addr).unwrap();
+    c.request_line(r#"{"op":"load","name":"bst"}"#).unwrap();
+
+    // Cold demand pass, one of each query op — before any full solve has
+    // populated the cache, so the answers come from real slices.
+    let d_pt = c
+        .request(&Json::parse(
+            r#"{"op":"points_to","program":"bst","var":"g_tree","mode":"demand"}"#,
+        ).unwrap())
+        .unwrap();
+    assert!(ok(&d_pt), "{d_pt}");
+    assert_eq!(d_pt.get("mode").and_then(Json::as_str), Some("demand"));
+    let meta = d_pt.get("demand").expect("demand metrics block");
+    let slice = meta.get("slice_statements").and_then(Json::as_u64).unwrap();
+    let total = meta.get("total_statements").and_then(Json::as_u64).unwrap();
+    assert!(slice > 0 && slice <= total, "{meta}");
+    assert_eq!(meta.get("cached").and_then(Json::as_bool), Some(false));
+
+    let d_alias = c
+        .request(&Json::parse(
+            r#"{"op":"alias","program":"bst","a":"g_tree","b":"g_tree","mode":"demand"}"#,
+        ).unwrap())
+        .unwrap();
+    assert!(ok(&d_alias), "{d_alias}");
+    let d_mr = c
+        .request(&Json::parse(
+            r#"{"op":"modref","program":"bst","func":"main","mode":"demand"}"#,
+        ).unwrap())
+        .unwrap();
+    assert!(ok(&d_mr), "{d_mr}");
+
+    // The exhaustive answers for the same queries: the payload fields must
+    // be byte-equal (demand responses add only `mode` and `demand`).
+    let e_pt = c
+        .request(&Json::parse(r#"{"op":"points_to","program":"bst","var":"g_tree"}"#).unwrap())
+        .unwrap();
+    assert_eq!(d_pt.get("points_to"), e_pt.get("points_to"));
+    let e_alias = c
+        .request(&Json::parse(
+            r#"{"op":"alias","program":"bst","a":"g_tree","b":"g_tree"}"#,
+        ).unwrap())
+        .unwrap();
+    assert_eq!(d_alias.get("alias"), e_alias.get("alias"));
+    let e_mr = c
+        .request(&Json::parse(r#"{"op":"modref","program":"bst","func":"main"}"#).unwrap())
+        .unwrap();
+    assert_eq!(d_mr.get("functions"), e_mr.get("functions"));
+
+    // Repeating the demand query is a cache hit now.
+    let again = c
+        .request(&Json::parse(
+            r#"{"op":"points_to","program":"bst","var":"g_tree","mode":"demand"}"#,
+        ).unwrap())
+        .unwrap();
+    assert_eq!(
+        again.get("demand").and_then(|m| m.get("cached")).and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(again.get("points_to"), d_pt.get("points_to"));
+
+    // A demand query under a *different* model slices afresh and still
+    // matches that model's exhaustive answer.
+    let d_off = c
+        .request_line(
+            r#"{"op":"points_to","program":"bst","var":"g_tree","model":"offsets","mode":"demand"}"#,
+        )
+        .unwrap();
+    let e_off = c
+        .request(&Json::parse(
+            r#"{"op":"points_to","program":"bst","var":"g_tree","model":"offsets"}"#,
+        ).unwrap())
+        .unwrap();
+    assert_eq!(
+        Json::parse(&d_off).unwrap().get("points_to"),
+        e_off.get("points_to")
+    );
+
+    // Stats surface the demand cache and counters.
+    let stats = c.stats().unwrap();
+    assert!(stats.get("cached_demand").and_then(Json::as_u64).unwrap() >= 2, "{stats}");
+    let demand = stats.get("demand").expect("demand counter block");
+    assert!(demand.get("hits").and_then(Json::as_u64).unwrap() >= 1, "{stats}");
+    assert!(demand.get("misses").and_then(Json::as_u64).unwrap() >= 2, "{stats}");
+
+    c.shutdown_server().unwrap();
+    handle.wait();
+}
+
+#[test]
+fn demand_mode_error_paths() {
+    let (handle, addr) = start();
+    let mut c = Client::connect(addr).unwrap();
+    for (req, needle) in [
+        // Name validation mirrors exhaustive mode exactly.
+        (r#"{"op":"points_to","program":"bst","var":"ghost","mode":"demand"}"#, "unknown variable `ghost` in `bst`"),
+        (r#"{"op":"alias","program":"bst","a":"ghost","b":"g_tree","mode":"demand"}"#, "unknown variable `ghost` or `g_tree` in `bst`"),
+        (r#"{"op":"modref","program":"bst","func":"ghost","mode":"demand"}"#, "unknown function `ghost` in `bst`"),
+        // Demand modref is per-function by construction.
+        (r#"{"op":"modref","program":"bst","mode":"demand"}"#, "demand mode requires \\\"func\\\""),
+        // Unknown modes are rejected at parse time.
+        (r#"{"op":"points_to","program":"bst","var":"g_tree","mode":"lazy"}"#, "unknown mode `lazy`"),
+        (r#"{"op":"points_to","program":"nope","var":"v","mode":"demand"}"#, "unknown program"),
+    ] {
+        let resp = c.request_line(req).unwrap();
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{req}");
+        assert!(resp.contains(needle), "{req} -> {resp}");
+        assert!(
+            v.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str)
+                == Some("bad_request"),
+            "{resp}"
+        );
+    }
+    // A tripped budget on the sliced solve comes back typed, and the
+    // connection survives to serve a working demand query.
+    let capped = c
+        .request_line(
+            r#"{"op":"points_to","program":"bst","var":"g_tree","mode":"demand","max_edges":0}"#,
+        )
+        .unwrap();
+    assert!(capped.contains("\"kind\": \"edge_limit\""), "{capped}");
+    let fine = c
+        .request_line(r#"{"op":"points_to","program":"bst","var":"g_tree","mode":"demand"}"#)
+        .unwrap();
+    assert!(fine.contains("\"ok\": true"), "{fine}");
+    // Reconciliation holds with demand ops in the mix.
+    let m = handle.metrics();
+    let errors: u64 = structcast_server::metrics::ERROR_KINDS
+        .iter()
+        .map(|k| m.errors_of_kind(k))
+        .sum();
+    assert_eq!(m.requests(), m.ok() + errors);
+    c.shutdown_server().unwrap();
+    handle.wait();
+}
+
+#[test]
 fn protocol_error_paths() {
     let (handle, addr) = start();
     let mut c = Client::connect(addr).unwrap();
