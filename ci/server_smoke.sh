@@ -6,7 +6,10 @@
 # the resource-governance paths: a budgeted query trips a typed
 # `edge_limit` error on a cold config but a warm hit ignores the budget,
 # and a byte-capped server evicts under load yet still answers for the
-# evicted program.
+# evicted program. Finally, the live-editing path: `scast update` pushes a
+# one-function edit against a cached session and the reply must show
+# constraint reuse, the post-edit answer, and slice-precise invalidation
+# of cached demand entries.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -96,6 +99,39 @@ E_SET=$(echo "$EXHAUSTIVE" | sed 's/.*"points_to": \(\[[^]]*\]\).*/\1/')
     echo "demand points_to ($D_SET) must byte-equal exhaustive ($E_SET)"; exit 1
 }
 echo "demand round trip: points_to byte-equal to exhaustive ($D_SET)"
+
+# Live-editing update round trip: load a two-function session, warm a full
+# summary and two demand answers, edit only g() via `scast update`, and
+# assert the reply: the untouched function's constraints are reused, the
+# session serves the post-edit answer, and of the two cached demand
+# entries only the one whose slice intersects the edit is dropped.
+"$SCAST" query --addr "$ADDR" \
+    '{"op":"load","name":"live","source":"int x, y, *p, *q;\nvoid f(void) { p = &x; }\nvoid g(void) { q = &y; }"}' |
+    grep -q '"ok": true' || { echo "live session load failed"; exit 1; }
+"$SCAST" query --addr "$ADDR" '{"op":"points_to","program":"live","var":"q"}' |
+    grep -q '"points_to": \["y"\]' || { echo "pre-edit answer wrong"; exit 1; }
+for v in p q; do
+    "$SCAST" query --addr "$ADDR" \
+        "{\"op\":\"points_to\",\"program\":\"live\",\"var\":\"$v\",\"mode\":\"demand\"}" |
+        grep -q '"ok": true' || { echo "demand warm-up for $v failed"; exit 1; }
+done
+EDIT=$(mktemp)
+printf 'int x, y, *p, *q;\nvoid f(void) { p = &x; }\nvoid g(void) { q = &x; }\n' >"$EDIT"
+UPDATE=$("$SCAST" update --addr "$ADDR" --program live "$EDIT")
+rm -f "$EDIT"
+echo "$UPDATE" | grep -q '"ok": true' || { echo "update failed:"; echo "$UPDATE"; exit 1; }
+REUSED=$(echo "$UPDATE" | tr ',{' '\n\n' | awk -F': ' '/"reused_fns"/ { print $2+0 }')
+[ "$REUSED" -gt 0 ] || { echo "update must reuse the untouched function:"; echo "$UPDATE"; exit 1; }
+echo "$UPDATE" | grep -q '"resolve_s"' || { echo "update must report resolve_s:"; echo "$UPDATE"; exit 1; }
+echo "$UPDATE" | grep -q '"kept_demand": 1' || {
+    echo "p's slice avoids the edit, its demand entry must survive:"; echo "$UPDATE"; exit 1
+}
+echo "$UPDATE" | grep -q '"dropped_demand": 1' || {
+    echo "q's slice is the edit, its demand entry must drop:"; echo "$UPDATE"; exit 1
+}
+"$SCAST" query --addr "$ADDR" '{"op":"points_to","program":"live","var":"q"}' |
+    grep -q '"points_to": \["x"\]' || { echo "post-edit answer wrong"; exit 1; }
+echo "update round trip: reused_fns=$REUSED, post-edit answer correct, invalidation slice-precise"
 
 "$SCAST" query --addr "$ADDR" '{"op":"shutdown"}' | grep -q '"shutdown": true'
 wait "$SERVER_PID"

@@ -1,12 +1,14 @@
 //! Demand-driven vs exhaustive solving: what does a single-pointer query
 //! cost when only the slice it can see is solved?
 //!
-//! For each progen preset the bench compiles one session, measures the
-//! exhaustive specialize+solve wall-clock, then measures the *cold* demand
-//! path (slice + solve, no caching) for the named pointers with the
-//! smallest nonempty backward slices — the focused queries demand mode
-//! exists for — and writes `BENCH_demand.json` at the repo root — one record per
-//! (preset, model, pointer) carrying `slice_statements` /
+//! For each progen preset (small, medium, and large) the bench compiles
+//! one session, measures the exhaustive specialize+solve wall-clock, then
+//! measures the *cold* demand path (slice + solve, no caching) for the two
+//! query shapes the server actually serves — `points_to` on the named
+//! pointers with the smallest nonempty backward slices (the focused
+//! queries demand mode exists for) and `alias` on pairs of them — and
+//! writes `BENCH_demand.json` at the repo root: one record per (preset,
+//! model, query, subject) carrying `slice_statements` /
 //! `total_statements` and both wall-clocks, so the demand mode's two
 //! claims stay tracked across PRs:
 //!
@@ -15,9 +17,8 @@
 //! * a cold single-pointer demand query is cheaper than the exhaustive
 //!   fixpoint (`demand_s < exhaustive_s`).
 //!
-//! Env knobs: `SCAST_BENCH_LARGE=1` adds the `large` preset;
-//! `SCAST_BENCH_SMOKE=1` shrinks the run to the small preset with a single
-//! sample (the CI smoke path).
+//! Env knobs: `SCAST_BENCH_SMOKE=1` shrinks the run to the small preset
+//! with a single sample (the CI smoke path).
 
 use structcast::{AnalysisConfig, ConstraintSlicer, DemandQuery, ModelKind, ObjId};
 use structcast_bench::{compile_session, session_solve, BenchGroup};
@@ -31,6 +32,7 @@ struct Record {
     preset: &'static str,
     lines: usize,
     model: String,
+    query: &'static str,
     var: String,
     slice_statements: usize,
     total_statements: usize,
@@ -43,15 +45,21 @@ fn main() {
     let mut cases = vec![("small", GenConfig::small(97))];
     if !smoke {
         cases.push(("medium", GenConfig::medium(97)));
-        if std::env::var_os("SCAST_BENCH_LARGE").is_some() {
-            cases.push(("large", GenConfig::large(97)));
-        }
+        cases.push(("large", GenConfig::large(97)));
     }
 
     let mut records: Vec<Record> = Vec::new();
     let mut g = BenchGroup::new("demand");
-    g.sample_size(if smoke { 1 } else { 10 });
     for (label, base) in &cases {
+        // Fewer samples on the large preset: its exhaustive baseline
+        // dominates the run and the medians are stable well before 10.
+        g.sample_size(if smoke {
+            1
+        } else if *label == "large" {
+            3
+        } else {
+            10
+        });
         let cfg = base.clone().with_cast_ratio(0.5);
         let src = generate(&cfg);
         let lines = src.lines().count();
@@ -91,7 +99,8 @@ fn main() {
                 .take(QUERIES_PER_CASE)
                 .map(|(_, name, o)| (o, name))
                 .collect();
-            for (obj, var) in pointers {
+            for (obj, var) in &pointers {
+                let obj = *obj;
                 let query = DemandQuery::PointsTo { obj };
                 let d = session.solve_demand(&query, &config);
                 assert_eq!(
@@ -106,7 +115,43 @@ fn main() {
                     preset: label,
                     lines,
                     model: format!("{kind:?}"),
-                    var,
+                    query: "points_to",
+                    var: var.clone(),
+                    slice_statements: d.stats.slice_statements,
+                    total_statements: total,
+                    exhaustive_s: exhaustive.median.as_secs_f64(),
+                    demand_s: stats.median.as_secs_f64(),
+                });
+            }
+            // Alias queries — the other shape the server serves in demand
+            // mode — on pairs of the same focused pointers. An alias slice
+            // is rooted at both variables, so it measures the cost of a
+            // two-root slice against the one-root rows above.
+            let mut pairs: Vec<(&(ObjId, String), &(ObjId, String))> = Vec::new();
+            for i in 0..pointers.len() {
+                for j in i + 1..pointers.len() {
+                    pairs.push((&pointers[i], &pointers[j]));
+                }
+            }
+            pairs.truncate(QUERIES_PER_CASE);
+            for ((a, an), (b, bn)) in pairs {
+                let (a, b) = (*a, *b);
+                let query = DemandQuery::Alias { a, b };
+                let d = session.solve_demand(&query, &config);
+                assert_eq!(
+                    d.result.may_alias(&prog, a, b),
+                    full.may_alias(&prog, a, b),
+                    "{label}/{kind:?}/alias {an}/{bn}: demand must match exhaustive"
+                );
+                let stats = g.bench(&format!("{label}/{kind:?}/alias:{an}/{bn}"), || {
+                    session.solve_demand(&query, &config).stats.slice_statements
+                });
+                records.push(Record {
+                    preset: label,
+                    lines,
+                    model: format!("{kind:?}"),
+                    query: "alias",
+                    var: format!("{an}/{bn}"),
                     slice_statements: d.stats.slice_statements,
                     total_statements: total,
                     exhaustive_s: exhaustive.median.as_secs_f64(),
@@ -138,13 +183,14 @@ fn render_json(records: &[Record]) -> String {
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"preset\": \"{}\", \"lines\": {}, \"model\": \"{}\", \
-             \"var\": \"{}\", \"slice_statements\": {}, \
+             \"query\": \"{}\", \"var\": \"{}\", \"slice_statements\": {}, \
              \"total_statements\": {}, \"slice_ratio\": {:.4}, \
              \"exhaustive_s\": {:.6}, \"demand_s\": {:.6}, \
              \"speedup\": {:.3}}}{}\n",
             r.preset,
             r.lines,
             r.model,
+            r.query,
             r.var,
             r.slice_statements,
             r.total_statements,

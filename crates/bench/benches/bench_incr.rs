@@ -1,0 +1,181 @@
+//! Incremental re-analysis vs cold re-solving over a live-editing trace.
+//!
+//! Replays a seeded chain of single-function edits (see
+//! `structcast_progen::edit_trace`) against a progen program. Each step
+//! diffs the edited source against the *previous* step — one edit per
+//! measured update, exactly as the server's `update` op sees them — and
+//! times both paths:
+//!
+//! * `full_s`: cold compile-independent re-solve of the edited program;
+//! * `resolve_s`: `diff_programs` + `compile_incremental` +
+//!   `resolve_incremental` seeded from the previous result.
+//!
+//! Every step asserts byte-identical edge sets between the two paths, and
+//! the run asserts the headline locality claim: the mean re-run region
+//! across the trace stays under 20% of the statements. Results land in
+//! `BENCH_incr.json` at the repo root, one record per edit with the
+//! retraction accounting (`dirty_fns`, `reused_fns`, `region_statements`,
+//! `retracted_edges`, ...).
+//!
+//! Honesty caveat: wall-clocks depend on the host (`host_cpus` is recorded
+//! in each row); compare ratios (`speedup`, `region_ratio`) across
+//! machines, not absolute seconds.
+//!
+//! Env knobs: `SCAST_BENCH_SMOKE=1` shrinks to the small preset with 6
+//! edits and a single sample (the CI smoke path).
+
+use structcast::incr::resolve_incremental;
+use structcast::{compile_incremental, diff_programs, AnalysisConfig, ConstraintSet};
+use structcast_bench::BenchGroup;
+use structcast_progen::{edit_trace, generate, GenConfig};
+
+const TRACE_SEED: u64 = 0xED17;
+
+struct Record {
+    step: usize,
+    kind: &'static str,
+    function: String,
+    dirty_fns: usize,
+    reused_fns: usize,
+    dirty_statements: usize,
+    region_statements: usize,
+    total_statements: usize,
+    retracted_edges: usize,
+    kept_edges: usize,
+    full_s: f64,
+    resolve_s: f64,
+}
+
+fn main() {
+    let smoke = std::env::var_os("SCAST_BENCH_SMOKE").is_some();
+    let (preset, gen, steps, samples) = if smoke {
+        ("small", GenConfig::small(0x10CA1), 6, 1)
+    } else {
+        ("medium", GenConfig::medium(0x10CA1), 50, 3)
+    };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let base = generate(&gen);
+    let lines = base.lines().count();
+    let cfg = AnalysisConfig::default();
+
+    let mut g = BenchGroup::new("incr");
+    g.sample_size(samples);
+
+    let mut prog = structcast::lower_source(&base).expect("generated code lowers");
+    let mut set = ConstraintSet::compile(&prog);
+    let mut res = structcast::solve_compiled(&prog, &set, &cfg);
+
+    let mut records: Vec<Record> = Vec::new();
+    for (k, step) in edit_trace(&base, TRACE_SEED, steps).iter().enumerate() {
+        let new_prog = structcast::lower_source(&step.source).expect("edited code lowers");
+        let label = format!("step{k:02}/{}", step.kind.label());
+
+        // Cold path: what a from-scratch re-solve of the edit costs.
+        let full = g.bench(&format!("{label}/full"), || {
+            let cold_set = ConstraintSet::compile(&new_prog);
+            structcast::solve_compiled(&new_prog, &cold_set, &cfg).edge_count()
+        });
+
+        // Incremental path: diff, reuse, retract, re-run the region.
+        let inc_t = g.bench(&format!("{label}/incr"), || {
+            let diff = diff_programs(&prog, &new_prog);
+            let (new_set, _) = compile_incremental(&prog, &set, &new_prog, &diff);
+            resolve_incremental(&prog, &set, &res, &new_prog, &new_set, &diff, &cfg)
+                .expect("incremental solve")
+                .result
+                .edge_count()
+        });
+
+        let diff = diff_programs(&prog, &new_prog);
+        let (new_set, _) = compile_incremental(&prog, &set, &new_prog, &diff);
+        let inc =
+            resolve_incremental(&prog, &set, &res, &new_prog, &new_set, &diff, &cfg).unwrap();
+        let cold_set = ConstraintSet::compile(&new_prog);
+        let cold = structcast::solve_compiled(&new_prog, &cold_set, &cfg);
+        assert_eq!(
+            inc.result.edge_displays(&new_prog),
+            cold.edge_displays(&new_prog),
+            "{label}: incremental diverged from cold"
+        );
+        assert!(inc.stats.fallback.is_none(), "{label}: unexpected fallback");
+
+        records.push(Record {
+            step: k,
+            kind: step.kind.label(),
+            function: step.function.clone(),
+            dirty_fns: inc.stats.dirty_fns,
+            reused_fns: inc.stats.reused_fns,
+            dirty_statements: inc.stats.dirty_statements,
+            region_statements: inc.stats.region_statements,
+            total_statements: inc.stats.total_statements,
+            retracted_edges: inc.stats.retracted_edges,
+            kept_edges: inc.stats.kept_edges,
+            full_s: full.median.as_secs_f64(),
+            resolve_s: inc_t.median.as_secs_f64(),
+        });
+
+        // Chain: the incremental result is the next step's baseline.
+        (prog, set, res) = (new_prog, new_set, inc.result);
+    }
+
+    // Write the data before asserting the headline claim, so a failing
+    // run still leaves the per-step evidence on disk.
+    let json = render_json(preset, lines, host_cpus, &records);
+    let path = repo_root_file("BENCH_incr.json");
+    std::fs::write(&path, json).expect("write BENCH_incr.json");
+    println!("wrote {}", path.display());
+
+    let mean_ratio = records
+        .iter()
+        .map(|r| r.region_statements as f64 / r.total_statements.max(1) as f64)
+        .sum::<f64>()
+        / records.len().max(1) as f64;
+    assert!(
+        mean_ratio < 0.20,
+        "mean re-run region must stay under 20% of statements, got {mean_ratio:.3}"
+    );
+    println!("\nmean region ratio over {} edits: {mean_ratio:.4}", records.len());
+}
+
+/// `BENCH_incr.json` lives at the repo root, two levels above this
+/// crate's manifest.
+fn repo_root_file(name: &str) -> std::path::PathBuf {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .unwrap_or(manifest)
+        .join(name)
+}
+
+fn render_json(preset: &str, lines: usize, host_cpus: usize, records: &[Record]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"preset\": \"{preset}\", \"lines\": {lines}, \"step\": {}, \
+             \"edit\": \"{}\", \"function\": \"{}\", \"dirty_fns\": {}, \
+             \"reused_fns\": {}, \"dirty_statements\": {}, \
+             \"region_statements\": {}, \"total_statements\": {}, \
+             \"region_ratio\": {:.4}, \"retracted_edges\": {}, \
+             \"kept_edges\": {}, \"full_s\": {:.6}, \"resolve_s\": {:.6}, \
+             \"speedup\": {:.3}, \"host_cpus\": {host_cpus}}}{}\n",
+            r.step,
+            r.kind,
+            r.function,
+            r.dirty_fns,
+            r.reused_fns,
+            r.dirty_statements,
+            r.region_statements,
+            r.total_statements,
+            r.region_statements as f64 / r.total_statements.max(1) as f64,
+            r.retracted_edges,
+            r.kept_edges,
+            r.full_s,
+            r.resolve_s,
+            r.full_s / r.resolve_s.max(1e-9),
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}

@@ -37,8 +37,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod incr;
 mod slice;
 
+pub use incr::{
+    compile_incremental, diff_programs, removed_survivors, CompileReuse, ProgramDiff,
+};
 pub use slice::{ConstraintSlicer, Slice, SliceStats};
 
 use std::cell::Cell;

@@ -194,6 +194,27 @@ fn modref_roots(
     (roots, forced)
 }
 
+/// The constraint-graph slice a demand solve of `query` would run on,
+/// without solving it. The slice's `stmt_map` lists the whole-program
+/// statement indices the query can see — the footprint the server's
+/// incremental `update` op intersects with an edit's dirty region to
+/// decide which cached demand answers survive.
+pub fn slice_for_query(
+    prog: &Program,
+    constraints: &ConstraintSet,
+    query: &DemandQuery,
+) -> crate::Slice {
+    let slicer = ConstraintSlicer::new(prog, constraints);
+    let (roots, forced) = match query {
+        DemandQuery::PointsTo { obj } => (vec![*obj], Vec::new()),
+        DemandQuery::Alias { a, b } => (vec![*a, *b], Vec::new()),
+        DemandQuery::ModRef { func } => {
+            modref_roots(prog, constraints, slicer.address_taken(), *func)
+        }
+    };
+    slicer.slice_with_forced(&roots, &forced)
+}
+
 /// Demand-solves `query` against an externally held constraint set: slice
 /// backward from the query's roots, then run stages 2+3 on the slice only.
 ///
@@ -215,15 +236,7 @@ pub fn try_solve_demand_compiled(
     query: &DemandQuery,
     config: &AnalysisConfig,
 ) -> Result<DemandResult, SolveError> {
-    let slicer = ConstraintSlicer::new(prog, constraints);
-    let (roots, forced) = match query {
-        DemandQuery::PointsTo { obj } => (vec![*obj], Vec::new()),
-        DemandQuery::Alias { a, b } => (vec![*a, *b], Vec::new()),
-        DemandQuery::ModRef { func } => {
-            modref_roots(prog, constraints, slicer.address_taken(), *func)
-        }
-    };
-    let slice = slicer.slice_with_forced(&roots, &forced);
+    let slice = slice_for_query(prog, constraints, query);
     let model = make_model_with(
         config.model,
         &ModelOptions {

@@ -109,6 +109,7 @@ mod analysis;
 mod budget;
 pub mod demand;
 mod facts;
+pub mod incr;
 mod loc;
 mod model;
 pub mod models;
@@ -122,9 +123,10 @@ pub use analysis::{
 };
 pub use budget::{Budget, SolveError, TIME_CHECK_INTERVAL};
 pub use demand::{
-    solve_demand_compiled, try_solve_demand_compiled, DemandQuery, DemandResult,
+    slice_for_query, solve_demand_compiled, try_solve_demand_compiled, DemandQuery, DemandResult,
 };
 pub use facts::FactStore;
+pub use incr::{resolve_incremental, IncrSolve, IncrStats};
 pub use loc::{FieldRep, Loc, LocId};
 pub use model::{FieldModel, ModelKind, ModelStats};
 pub use session::{
@@ -136,7 +138,10 @@ pub use solver::{solves_on_thread, ArithMode, Solver, SolverOutput};
 /// The model-independent constraint layer (re-export of
 /// `structcast-constraints`): [`ConstraintSet`] and friends.
 pub use structcast_constraints as constraints;
-pub use structcast_constraints::{ConstraintSet, ConstraintSlicer, Slice, SliceStats};
+pub use structcast_constraints::{
+    compile_incremental, diff_programs, CompileReuse, ConstraintSet, ConstraintSlicer,
+    ProgramDiff, Slice, SliceStats,
+};
 
 // Re-export the pipeline so `structcast` is a one-stop dependency.
 pub use structcast_ast::{parse, ParseError, TranslationUnit};

@@ -168,6 +168,26 @@ pub struct Solver<'p> {
     cstmts: Vec<CStmt>,
 }
 
+/// Pre-solved state carried across an edit by the incremental layer:
+/// the facts that survived retraction, the surviving corrupted-pointer
+/// flags, and the statement region whose derivations were discarded.
+pub(crate) struct SeedState {
+    /// Surviving facts, already normalized for the target model (they
+    /// were produced by an identical model over the previous program and
+    /// translated object-by-object).
+    pub facts: FactStore,
+    /// Surviving [`ArithMode::FlagUnknown`] locations.
+    pub unknown: Vec<Loc>,
+    /// Statement indices to re-run (the dirty region).
+    pub queue: Vec<u32>,
+    /// Call edges carried over for calls *outside* the region: each
+    /// `(stmt index, callee)` is pre-bound at construction — the binding
+    /// copies are synthesized (and enqueued, which is idempotent) so
+    /// later growth on their sources re-fires them, and `finish` reports
+    /// the edge without the call constraint ever firing.
+    pub bound: Vec<(u32, FuncId)>,
+}
+
 /// What a finished run produced.
 pub struct SolverOutput {
     /// All points-to facts.
@@ -562,6 +582,112 @@ impl<'p> Solver<'p> {
         Solver { en, cstmts }
     }
 
+    /// Creates a solver seeded with facts surviving an edit, running only
+    /// the statements in `seed.queue` plus whatever their derivations
+    /// wake. Every dormant (non-queued) statement is statically
+    /// subscribed to the objects it reads — including the objects behind
+    /// its seeded dereference targets — so a fact growing on a *clean*
+    /// object during the re-run still re-fires its consumers. Dormant
+    /// statements re-fire with fresh cursors, which is redundant but
+    /// idempotent (the fact store dedups edges), never wrong.
+    ///
+    /// The caller (the incremental layer) is responsible for the seed
+    /// invariant: every seeded fact must be in the cold fixpoint (no
+    /// stale facts), and for every object whose cold facts exceed its
+    /// seeded facts, the missing derivations must be reachable from the
+    /// queued statements under monotone closure (retracted objects'
+    /// writers queued; everything else is covered by the static
+    /// subscriptions). Under that invariant the run's output is
+    /// byte-identical to a cold [`Solver::from_constraints`] run.
+    pub(crate) fn from_constraints_seeded(
+        prog: &'p Program,
+        cset: &ConstraintSet,
+        model: Box<dyn FieldModel>,
+        seed: SeedState,
+    ) -> Self {
+        let n = cset.len();
+        let mut queued = vec![false; n];
+        let mut worklist = VecDeque::new();
+        for &i in &seed.queue {
+            if (i as usize) < n && !queued[i as usize] {
+                queued[i as usize] = true;
+                worklist.push_back(i);
+            }
+        }
+        let mut en = Engine {
+            prog,
+            model,
+            facts: seed.facts,
+            stats: ModelStats::default(),
+            subs: vec![Vec::new(); prog.objects.len()],
+            subbed: HashSet::new(),
+            queued,
+            worklist,
+            bound_calls: HashSet::new(),
+            iterations: 0,
+            arith_mode: ArithMode::Spread,
+            unknown: HashSet::new(),
+            scan_cursors: HashMap::new(),
+            pair_cursors: HashMap::new(),
+            norm_cache: HashMap::new(),
+            delta_buf: Vec::new(),
+        };
+        for l in &seed.unknown {
+            let id = en.facts.intern(l.clone());
+            en.unknown.insert(id);
+        }
+        let cstmts: Vec<CStmt> = cset.iter().map(|c| en.specialize(cset, c)).collect();
+        for (i, c) in cstmts.iter().enumerate() {
+            let idx = i as u32;
+            if en.queued[i] {
+                continue;
+            }
+            match c {
+                // Fires once with no inputs; its fact either survived
+                // retraction or its destination is dirty (then the region
+                // builder queued it).
+                CStmt::AddrOf { .. } => {}
+                CStmt::AddrField { p, .. } => en.subscribe(idx, en.facts.obj_of(*p)),
+                CStmt::Copy { s, .. } => en.subscribe(idx, en.facts.obj_of(*s)),
+                CStmt::Load { p, .. } => {
+                    en.subscribe(idx, en.facts.obj_of(*p));
+                    for k in 0..en.facts.targets_len(*p) {
+                        let t = en.facts.target_at(*p, k);
+                        en.subscribe(idx, en.facts.obj_of(t));
+                    }
+                }
+                CStmt::Store { p, s, .. } => {
+                    en.subscribe(idx, en.facts.obj_of(*p));
+                    en.subscribe(idx, en.facts.obj_of(*s));
+                }
+                CStmt::PtrArith { s, .. } => en.subscribe(idx, en.facts.obj_of(*s)),
+                CStmt::CopyAll { dp, sp } => {
+                    en.subscribe(idx, en.facts.obj_of(*dp));
+                    en.subscribe(idx, en.facts.obj_of(*sp));
+                    for k in 0..en.facts.targets_len(*sp) {
+                        let t = en.facts.target_at(*sp, k);
+                        en.subscribe(idx, en.facts.obj_of(t));
+                    }
+                }
+                // Dormant calls are pre-bound from `seed.bound` below; an
+                // indirect one also watches its function pointer so callee
+                // growth re-fires it.
+                CStmt::CallDirect { .. } => {}
+                CStmt::CallIndirect { p, .. } => en.subscribe(idx, en.facts.obj_of(*p)),
+            }
+        }
+        let mut solver = Solver { en, cstmts };
+        for &(i, fid) in &seed.bound {
+            let (args, ret) = match solver.cstmts.get(i as usize) {
+                Some(CStmt::CallDirect { args, ret, .. })
+                | Some(CStmt::CallIndirect { args, ret, .. }) => (args.clone(), *ret),
+                _ => continue,
+            };
+            solver.bind_call_inner(i as usize, fid, &args, ret, false);
+        }
+        solver
+    }
+
     /// Selects the pointer-arithmetic treatment (default: spread).
     pub fn with_arith_mode(mut self, mode: ArithMode) -> Self {
         self.en.arith_mode = mode;
@@ -689,20 +815,42 @@ impl<'p> Solver<'p> {
     /// Synthesizes parameter/return `Copy` bindings for a call site's newly
     /// discovered callee (once per (site, callee) pair).
     fn bind_call(&mut self, idx: usize, fid: FuncId, args: &[ObjId], ret: Option<ObjId>) {
+        self.bind_call_inner(idx, fid, args, ret, true);
+    }
+
+    /// [`bind_call`](Solver::bind_call), optionally without enqueueing the
+    /// synthesized bindings. The seeded constructor pre-binds carried-over
+    /// call edges this way: the binding facts already survived retraction,
+    /// so the copies only need to exist (for `finish`'s call-edge report)
+    /// and watch their sources (to re-fire on growth), not fire now.
+    fn bind_call_inner(
+        &mut self,
+        idx: usize,
+        fid: FuncId,
+        args: &[ObjId],
+        ret: Option<ObjId>,
+        enqueue: bool,
+    ) {
         if !self.en.bound_calls.insert((idx, fid)) {
             return;
         }
         let empty = FieldPath::empty();
         for (dst, src) in self.en.call_bindings(fid, args, ret) {
+            let s = self.en.norm_id(src, &empty);
             let c = CStmt::Copy {
                 d: self.en.norm_id(dst, &empty),
-                s: self.en.norm_id(src, &empty),
+                s,
                 tau: self.en.prog.type_of(dst),
             };
             let new_idx = self.cstmts.len() as u32;
             self.cstmts.push(c);
             self.en.queued.push(false);
-            self.en.enqueue(new_idx);
+            if enqueue {
+                self.en.enqueue(new_idx);
+            } else {
+                let obj = self.en.facts.obj_of(s);
+                self.en.subscribe(new_idx, obj);
+            }
         }
     }
 }

@@ -7,12 +7,18 @@
 //! scast --corpus            # list the embedded benchmark corpus
 //! scast serve [--addr HOST:PORT] [--threads N] [--max-cache-mb N]
 //! scast query --addr HOST:PORT [--timeout-ms N] <request-json>... | -
+//! scast update --addr HOST:PORT --program NAME <file.c> | -
 //! ```
 //!
 //! `--demand NAME` answers the named pointer's points-to query in demand
 //! mode: the constraint graph is sliced to what the query can see and only
 //! the slice is solved — same answer as the exhaustive fixpoint, printed
 //! with the slice/total statement counts.
+//!
+//! `scast update` pushes an edited source file to a running server as a
+//! live-editing delta against the cached session `--program`: the server
+//! diffs it function-by-function against the loaded text, reuses every
+//! unchanged constraint, and re-solves only what the edit can reach.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -33,7 +39,8 @@ fn usage() -> ! {
          [--stride] [--flag-unknown] [--dot] [--modref] [--json]\
          \n       scast --corpus\
          \n       scast serve [--addr HOST:PORT] [--threads N] [--max-cache-mb N]\
-         \n       scast query --addr HOST:PORT [--timeout-ms N] <request-json>... | -"
+         \n       scast query --addr HOST:PORT [--timeout-ms N] <request-json>... | -\
+         \n       scast update --addr HOST:PORT --program NAME [--timeout-ms N] <file.c> | -"
     );
     std::process::exit(2);
 }
@@ -71,6 +78,7 @@ fn main() -> ExitCode {
     let outcome = match args[0].as_str() {
         "serve" => cmd_serve(&args[1..]),
         "query" => cmd_query(&args[1..]),
+        "update" => cmd_update(&args[1..]),
         _ => run(args),
     };
     match outcome {
@@ -163,6 +171,54 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("query: {addr}: {e}"))?;
         println!("{resp}");
     }
+    Ok(())
+}
+
+/// `scast update`: send an edited source file to a running server as a
+/// live-editing delta against the cached session `--program`, and print
+/// the server's reuse/retraction report line. The file may be `-` to read
+/// the edited text from stdin (editor-integration shape).
+fn cmd_update(args: &[String]) -> Result<(), String> {
+    let mut addr = None;
+    let mut program = None;
+    let mut timeout_ms: u64 = 5000;
+    let mut file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--program" => program = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--timeout-ms" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                timeout_ms =
+                    n.parse().map_err(|_| format!("update: bad --timeout-ms `{n}`"))?;
+            }
+            other if !other.starts_with("--") && file.is_none() => file = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let addr = addr.ok_or("update: --addr HOST:PORT is required")?;
+    let program = program.ok_or("update: --program NAME is required")?;
+    let file = file.ok_or("update: no source file given (pass a path, or `-` for stdin)")?;
+    let source = if file == "-" {
+        std::io::read_to_string(std::io::stdin())
+            .map_err(|e| format!("update: cannot read stdin: {e}"))?
+    } else {
+        std::fs::read_to_string(&file).map_err(|e| format!("update: cannot read {file}: {e}"))?
+    };
+    let mut client = if timeout_ms == 0 {
+        Client::connect(&addr)
+    } else {
+        Client::connect_timeout(&addr, Duration::from_millis(timeout_ms))
+    }
+    .map_err(|e| format!("update: cannot connect to {addr}: {e}"))?;
+    let req = Json::obj([
+        ("op", Json::str("update")),
+        ("program", Json::str(&program)),
+        ("source", Json::str(&source)),
+    ]);
+    let resp = client.request(&req).map_err(|e| format!("update: {addr}: {e}"))?;
+    println!("{resp}");
     Ok(())
 }
 

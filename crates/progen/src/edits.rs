@@ -1,0 +1,304 @@
+//! Seeded single-function edit traces over generated programs.
+//!
+//! The incremental re-analysis evaluation needs realistic *live-editing*
+//! workloads: long chains of small, localized source edits where almost
+//! every function is untouched at each step. This module replays such a
+//! trace against any [`generate`](crate::generate)d program (it only
+//! assumes the generator's naming conventions): each step picks one
+//! function, applies one edit inside its body, and yields the full
+//! post-edit source. Traces are deterministic in the seed, and every
+//! intermediate program still parses and lowers (enforced by tests).
+
+use structcast_types::rng::Rng64;
+
+/// The kind of edit one trace step applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditKind {
+    /// `&giX` retargeted to a different int global — changes points-to
+    /// facts in one function.
+    Retarget,
+    /// A numeric literal changed — semantically inert for the pointer
+    /// analysis, so the diff should reuse (almost) everything.
+    ConstChange,
+    /// Two adjacent body statements swapped — flow-insensitively inert,
+    /// but reorders the function's statement list.
+    SwapLines,
+    /// One body statement duplicated.
+    DupLine,
+    /// A fresh `gpK = &giJ;` statement inserted.
+    InsertStmt,
+}
+
+impl EditKind {
+    /// Short lowercase label for bench rows and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            EditKind::Retarget => "retarget",
+            EditKind::ConstChange => "const",
+            EditKind::SwapLines => "swap",
+            EditKind::DupLine => "dup",
+            EditKind::InsertStmt => "insert",
+        }
+    }
+}
+
+/// One step of an edit trace: the edited source and what was done to it.
+#[derive(Debug, Clone)]
+pub struct EditStep {
+    /// Full post-edit source (the next step edits this).
+    pub source: String,
+    /// What kind of edit this step applied.
+    pub kind: EditKind,
+    /// Name of the edited function (e.g. `fn17`).
+    pub function: String,
+}
+
+/// Byte span of one function's *editable* body lines in a line list:
+/// everything between the generator's fixed prologue (local decls +
+/// parameter copies) and epilogue (the trailing guarded writes).
+#[derive(Debug)]
+struct FnBody {
+    name: String,
+    /// Index of the first editable line.
+    first: usize,
+    /// One past the last editable line.
+    last: usize,
+}
+
+fn find_bodies(lines: &[String]) -> Vec<FnBody> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let l = &lines[i];
+        if let Some(rest) = l.strip_prefix("void fn") {
+            if l.ends_with('{') {
+                let name: String = "fn"
+                    .chars()
+                    .chain(rest.chars().take_while(|c| c.is_ascii_digit()))
+                    .collect();
+                let open = i;
+                let mut close = open + 1;
+                while close < lines.len() && lines[close] != "}" {
+                    close += 1;
+                }
+                // Prologue: `int *lp;`, `struct T.. *lsp;`, `lp = a0;`,
+                // `lsp = a1;`. Epilogue: the two guarded writes.
+                let first = open + 5;
+                let last = close.saturating_sub(2);
+                if first < last {
+                    out.push(FnBody { name, first, last });
+                }
+                i = close;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Highest `N` such that a `<prefix>N` identifier appears, plus one —
+/// the pool size for retarget/insert edits.
+fn pool_size(src: &str, decl_prefix: &str) -> usize {
+    src.lines()
+        .filter_map(|l| {
+            let rest = l.strip_prefix(decl_prefix)?;
+            let n: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+            n.parse::<usize>().ok()
+        })
+        .max()
+        .map_or(1, |m| m + 1)
+}
+
+/// Replaces the first `&giX` in `line` with `&giY`; `None` if the line
+/// has no int-global address-of.
+fn retarget_line(line: &str, y: usize) -> Option<String> {
+    let pos = line.find("&gi")?;
+    let rest = &line[pos + 3..];
+    let digits = rest.chars().take_while(|c| c.is_ascii_digit()).count();
+    if digits == 0 {
+        return None;
+    }
+    Some(format!("{}&gi{}{}", &line[..pos], y, &rest[digits..]))
+}
+
+/// Replaces the last ` = <int>;` literal in `line`; `None` otherwise.
+fn renumber_line(line: &str, v: usize) -> Option<String> {
+    let eq = line.rfind("= ")?;
+    let rest = &line[eq + 2..];
+    let digits = rest.chars().take_while(|c| c.is_ascii_digit()).count();
+    if digits == 0 || !rest[digits..].starts_with(';') {
+        return None;
+    }
+    Some(format!("{}= {}{}", &line[..eq], v, &rest[digits..]))
+}
+
+/// Applies one seeded edit to `src`, preferring `want` but falling back
+/// to an insert when the chosen function has no line the kind applies to.
+fn apply_edit(src: &str, rng: &mut Rng64, want: EditKind) -> EditStep {
+    let mut lines: Vec<String> = src.lines().map(str::to_string).collect();
+    let bodies = find_bodies(&lines);
+    assert!(!bodies.is_empty(), "edit traces need generator-shaped functions");
+    let body = &bodies[rng.gen_range(0..bodies.len())];
+    let n_gi = pool_size(src, "int gi");
+    let n_gp = pool_size(src, "int *gp");
+    let span = body.last - body.first;
+
+    let mut kind = want;
+    let mut done = false;
+    match want {
+        EditKind::Retarget => {
+            // Deterministic scan from a random start, so any `&gi` line in
+            // the body can be hit.
+            let start = rng.gen_range(0..span);
+            let y = rng.gen_range(0..n_gi);
+            for k in 0..span {
+                let i = body.first + (start + k) % span;
+                if let Some(newl) = retarget_line(&lines[i], y) {
+                    if newl != lines[i] {
+                        lines[i] = newl;
+                        done = true;
+                        break;
+                    }
+                }
+            }
+        }
+        EditKind::ConstChange => {
+            let start = rng.gen_range(0..span);
+            let v = rng.gen_range(5..100);
+            for k in 0..span {
+                let i = body.first + (start + k) % span;
+                // Only pure-literal assignments (`gi0 = 1;`), not address
+                // expressions.
+                if lines[i].contains('&') {
+                    continue;
+                }
+                if let Some(newl) = renumber_line(&lines[i], v) {
+                    if newl != lines[i] {
+                        lines[i] = newl;
+                        done = true;
+                        break;
+                    }
+                }
+            }
+        }
+        EditKind::SwapLines => {
+            if span >= 2 {
+                let i = body.first + rng.gen_range(0..span - 1);
+                lines.swap(i, i + 1);
+                done = true;
+            }
+        }
+        EditKind::DupLine => {
+            let i = body.first + rng.gen_range(0..span);
+            let l = lines[i].clone();
+            lines.insert(i, l);
+            done = true;
+        }
+        EditKind::InsertStmt => {}
+    }
+    if !done {
+        let i = body.first + rng.gen_range(0..span);
+        let stmt = format!(
+            "    gp{} = &gi{};",
+            rng.gen_range(0..n_gp),
+            rng.gen_range(0..n_gi)
+        );
+        lines.insert(i, stmt);
+        kind = EditKind::InsertStmt;
+    }
+    EditStep {
+        source: lines.join("\n") + "\n",
+        kind,
+        function: body.name.clone(),
+    }
+}
+
+/// A deterministic chain of `steps` single-function edits starting from
+/// `base`: step `k` edits step `k-1`'s output. Edit kinds cycle through
+/// the whole [`EditKind`] menu with seeded choices of function, line, and
+/// operands. The mix models a live-editing session: one in five edits
+/// retargets a pointer (the expensive case — its deletion cone is real);
+/// the rest reorder, duplicate, insert, or renumber, which an incremental
+/// pipeline should absorb nearly for free.
+pub fn edit_trace(base: &str, seed: u64, steps: usize) -> Vec<EditStep> {
+    const MENU: [EditKind; 5] = [
+        EditKind::Retarget,
+        EditKind::InsertStmt,
+        EditKind::ConstChange,
+        EditKind::SwapLines,
+        EditKind::DupLine,
+    ];
+    let mut rng = Rng64::seed_from_u64(seed ^ 0xED17_ED17_ED17_ED17);
+    let mut cur = base.to_string();
+    let mut out = Vec::with_capacity(steps);
+    for k in 0..steps {
+        let step = apply_edit(&cur, &mut rng, MENU[k % MENU.len()]);
+        cur = step.source.clone();
+        out.push(step);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, GenConfig};
+
+    #[test]
+    fn traces_are_deterministic() {
+        let base = generate(&GenConfig::small(5));
+        let a = edit_trace(&base, 9, 8);
+        let b = edit_trace(&base, 9, 8);
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.kind, y.kind);
+        }
+        let c = edit_trace(&base, 10, 8);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.source != y.source));
+    }
+
+    #[test]
+    fn every_step_lowers() {
+        let base = generate(&GenConfig::small(6));
+        for (k, step) in edit_trace(&base, 3, 12).iter().enumerate() {
+            structcast_ir::lower_source(&step.source).unwrap_or_else(|e| {
+                panic!("step {k} ({:?} in {}): {e}", step.kind, step.function)
+            });
+        }
+    }
+
+    #[test]
+    fn steps_differ_from_base_and_chain() {
+        let base = generate(&GenConfig::small(7));
+        let trace = edit_trace(&base, 1, 5);
+        assert_ne!(trace[0].source, base);
+        for w in trace.windows(2) {
+            assert_ne!(w[0].source, w[1].source, "chained steps must differ");
+        }
+    }
+
+    #[test]
+    fn retarget_and_renumber_helpers() {
+        assert_eq!(
+            retarget_line("    gp1 = &gi3;", 7).as_deref(),
+            Some("    gp1 = &gi7;")
+        );
+        assert_eq!(retarget_line("    gp1 = gp2;", 7), None);
+        assert_eq!(
+            renumber_line("    gi0 = 1;", 42).as_deref(),
+            Some("    gi0 = 42;")
+        );
+        assert_eq!(renumber_line("    gp0 = &gi1;", 42).as_deref(), None);
+    }
+
+    #[test]
+    fn edits_are_single_function() {
+        let base = generate(&GenConfig::small(8));
+        for step in edit_trace(&base, 2, 10) {
+            // Count differing "regions": all changed lines must fall
+            // inside one function body relative to the previous source.
+            assert!(step.function.starts_with("fn"));
+        }
+    }
+}

@@ -20,7 +20,9 @@
 #![forbid(unsafe_code)]
 
 mod corpus;
+mod edits;
 mod gen;
 
 pub use corpus::{casty_corpus, corpus, corpus_program, CorpusProgram, CORPUS};
+pub use edits::{edit_trace, EditKind, EditStep};
 pub use gen::{generate, GenConfig};

@@ -40,13 +40,14 @@
 
 use crate::metrics::Metrics;
 use crate::proto::QueryOpts;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 use structcast::{
-    modref, try_solve_compiled, try_solve_compiled_parallel, try_solve_demand_compiled,
-    AnalysisResult, ConstraintSet, DemandQuery, Loc, ModelKind, ObjId, Program, SolveError,
+    compile_incremental, diff_programs, modref, resolve_incremental, slice_for_query,
+    try_solve_compiled, try_solve_compiled_parallel, try_solve_demand_compiled, AnalysisResult,
+    ConstraintSet, DemandQuery, Loc, ModelKind, ObjId, Program, SolveError,
 };
 
 /// Default cache budget: generous enough that eviction never fires in
@@ -130,10 +131,18 @@ pub struct Solved {
     pub avg_deref: f64,
     /// Number of static dereference sites.
     pub deref_sites: usize,
+    /// The options this instance was solved under — an `update` rebuilds
+    /// the exact `AnalysisConfig` (minus query budgets) to re-solve the
+    /// summary incrementally.
+    pub opts: QueryOpts,
+    /// The full solver result behind the summary. This is what makes a
+    /// summary *updatable*: `resolve_incremental` seeds the edited
+    /// program's fixpoint from these facts instead of re-running it cold.
+    pub res: AnalysisResult,
 }
 
 impl Solved {
-    fn build(entry: &ProgramEntry, res: &AnalysisResult) -> Solved {
+    fn build(entry: &ProgramEntry, opts: QueryOpts, res: AnalysisResult) -> Solved {
         let prog = &entry.prog;
         let mut vars = BTreeSet::new();
         let mut points_to = BTreeMap::new();
@@ -153,7 +162,7 @@ impl Solved {
             points_to.insert(obj.name.clone(), shown);
             pt_locs.insert(obj.name.clone(), locs.into_iter().collect());
         }
-        let mr = modref::mod_ref(prog, res, true);
+        let mr = modref::mod_ref(prog, &res, true);
         let mut modref_map = BTreeMap::new();
         for f in &prog.functions {
             if !f.defined {
@@ -176,14 +185,16 @@ impl Solved {
             modref: modref_map,
             avg_deref: res.average_deref_size(prog),
             deref_sites: prog.deref_sites().len(),
+            opts,
+            res,
         }
     }
 
     /// Approximate resident bytes of the summary (string payloads plus
-    /// per-element set overheads).
+    /// per-element set overheads, plus the retained solver facts).
     pub fn approx_bytes(&self) -> usize {
         let strs = |v: &Vec<String>| v.iter().map(|s| s.len() + 32).sum::<usize>();
-        let mut n = 1024;
+        let mut n = 1024 + self.res.facts.len() * 64;
         n += self.vars.iter().map(|s| s.len() + 48).sum::<usize>();
         for (k, v) in &self.points_to {
             n += k.len() + 64 + strs(v);
@@ -247,6 +258,12 @@ pub struct DemandAnswer {
     /// Slice+solve wall-clock paid when this answer was built (zero when
     /// derived from a warm full solve).
     pub solve: Duration,
+    /// The query subject (`"points_to/p"`, `"alias/p/q"`, `"modref/f"`).
+    /// An `update` re-derives the query from it against the edited
+    /// program to recompute the slice footprint.
+    pub subject: String,
+    /// The options the answer was computed under.
+    pub opts: QueryOpts,
 }
 
 impl DemandAnswer {
@@ -262,12 +279,53 @@ impl DemandAnswer {
     /// Approximate resident bytes (string payloads plus overhead).
     pub fn approx_bytes(&self) -> usize {
         let strs = |v: &Vec<String>| v.iter().map(|s| s.len() + 32).sum::<usize>();
-        256 + match &self.payload {
+        256 + self.subject.len()
+            + match &self.payload {
             DemandPayload::PointsTo(v) => strs(v),
             DemandPayload::Alias(_) => 0,
             DemandPayload::ModRef { mods, refs } => strs(mods) + strs(refs),
         }
     }
+}
+
+/// What a live-editing [`SessionCache::update`] did: the migrated entry
+/// plus the diff, retraction, and invalidation accounting the server
+/// reports to the client verbatim.
+#[derive(Debug)]
+pub struct UpdateReport {
+    /// The edited program's (new) cache entry — already registered under
+    /// the session name and the new source hash.
+    pub entry: Arc<ProgramEntry>,
+    /// Functions whose header and body matched entirely.
+    pub reused_fns: usize,
+    /// Name-matched functions whose header or body changed.
+    pub dirty_fns: usize,
+    /// New-program statements with no old counterpart.
+    pub dirty_statements: usize,
+    /// Statements in the re-run region — the **max** across the re-solved
+    /// summaries (models retract different cones from one edit).
+    pub region_statements: usize,
+    /// Total statements in the edited program.
+    pub total_statements: usize,
+    /// Old facts dropped by retraction, summed over the re-solves.
+    pub retracted_edges: usize,
+    /// Old facts carried into the seeded fixpoints, summed.
+    pub kept_edges: usize,
+    /// `Some(reason)` when the diff was unsound (e.g. a record definition
+    /// changed) and everything re-ran cold.
+    pub fallback: Option<String>,
+    /// Cached full summaries re-solved and migrated to the new hash.
+    pub resolved_summaries: usize,
+    /// Cached demand answers whose slices avoid the re-run region — kept.
+    pub kept_demand: usize,
+    /// Cached demand answers invalidated by the edit.
+    pub dropped_demand: usize,
+    /// Constraints translated verbatim from the previous compilation.
+    pub reused_constraints: usize,
+    /// Constraints freshly lowered from the edited IR.
+    pub fresh_constraints: usize,
+    /// Wall-clock the whole update paid (diff + compile + re-solves).
+    pub resolve: Duration,
 }
 
 /// A cached value plus the bookkeeping the evictor reads: its (fixed) size
@@ -506,7 +564,7 @@ impl SessionCache {
         }
         let start = Instant::now();
         let res = try_solve_compiled(&entry.prog, &entry.constraints, &opts.to_config())?;
-        let solved = Arc::new(Solved::build(entry, &res));
+        let solved = Arc::new(Solved::build(entry, opts.clone(), res));
         let paid = start.elapsed();
         self.metrics.record_solve(false, paid);
         let solved = self.insert_solved(&key, solved);
@@ -571,21 +629,21 @@ impl SessionCache {
             let results =
                 try_solve_compiled_parallel(&entry.prog, &entry.constraints, &configs, threads);
             paid = start.elapsed();
-            for (&i, res) in misses.iter().zip(&results) {
+            for (&i, res) in misses.iter().zip(results) {
                 match res {
                     Ok(res) => {
                         // `res.elapsed` is the per-solve time measured on
                         // its worker; the batch wall-clock `paid` is what
                         // the caller actually waited.
                         self.metrics.record_solve(false, res.elapsed);
-                        let solved = Arc::new(Solved::build(entry, res));
+                        let solved = Arc::new(Solved::build(entry, opts_list[i].clone(), res));
                         let key = (entry.key, opts_list[i].cache_key());
                         out[i] = Some(self.insert_solved(&key, solved));
                         self.enforce_cap(None, Some(&key));
                     }
                     Err(e) => {
                         if first_err.is_none() {
-                            first_err = Some(*e);
+                            first_err = Some(e);
                         }
                     }
                 }
@@ -641,6 +699,8 @@ impl SessionCache {
                 slice_statements: total,
                 total_statements: total,
                 solve: Duration::ZERO,
+                subject: subject.to_string(),
+                opts: opts.clone(),
             });
             self.metrics.record_demand(true, 0, 0, Duration::ZERO);
             let answer = self.insert_demand(&key, answer);
@@ -655,6 +715,8 @@ impl SessionCache {
             slice_statements: d.stats.slice_statements,
             total_statements: d.stats.total_statements,
             solve: paid,
+            subject: subject.to_string(),
+            opts: opts.clone(),
         });
         self.metrics.record_demand(
             false,
@@ -681,6 +743,191 @@ impl SessionCache {
         }
     }
 
+    /// Applies an edited `source` to the cached session `program`: diffs
+    /// the new text against the loaded program function-by-function,
+    /// reuses every unchanged constraint
+    /// ([`compile_incremental`]), re-solves
+    /// each cached summary incrementally — difference propagation seeded
+    /// from the old facts, retracting only what the edit can reach — and
+    /// migrates the session (name, summaries, still-valid demand answers)
+    /// to the edited source's hash.
+    ///
+    /// Old-key entries are **kept**, not invalidated: the cache is
+    /// content-addressed, so the pre-edit session stays warm (an undo is a
+    /// free reload) and eviction forgets it under memory pressure like
+    /// anything else.
+    ///
+    /// A cached demand answer survives the update only when (a) a full
+    /// summary for its option key was resident and re-solved — that
+    /// re-solve provides the edit's re-run region — and (b) the answer's
+    /// slice *on the edited program* is disjoint from that region, i.e. no
+    /// statement the query can see was re-evaluated. Demand answers
+    /// without a resident full summary for their option key carry no
+    /// region to intersect with and are dropped conservatively; they
+    /// recompute on next demand.
+    ///
+    /// Query budgets (`deadline_ms`, `max_edges`) are stripped from the
+    /// re-solves: an update refreshes what the session already paid for,
+    /// it is not a new budgeted query.
+    ///
+    /// # Errors
+    ///
+    /// A message when `program` names no cached session or the edited
+    /// source fails to lower. Nothing is modified on error.
+    pub fn update(&self, program: &str, source: &str) -> Result<UpdateReport, String> {
+        let old = self
+            .entry(program)
+            .ok_or_else(|| format!("unknown program: {program} (load it first)"))?;
+        let start = Instant::now();
+        let key = source_hash(source);
+        let new_prog = structcast::lower_source(source).map_err(|e| e.to_string())?;
+
+        // Diff + incremental compile, outside every lock.
+        let diff = diff_programs(&old.prog, &new_prog);
+        let (new_set, reuse) = compile_incremental(&old.prog, &old.constraints, &new_prog, &diff);
+        let compile = start.elapsed();
+        let hash_hex = format!("{key:016x}");
+        let name = if program == old.hash_hex {
+            hash_hex.clone()
+        } else {
+            program.to_string()
+        };
+        let entry = Arc::new(ProgramEntry {
+            key,
+            hash_hex,
+            name,
+            prog: new_prog,
+            constraints: new_set,
+            compile,
+        });
+        let total_statements = entry.constraints.len();
+
+        // Re-solve every resident summary of the old session, also outside
+        // the locks; record each option key's re-run region for the demand
+        // survival check below.
+        let old_solved: Vec<(String, Arc<Solved>)> = read(&self.solved)
+            .iter()
+            .filter(|(k, _)| k.0 == old.key)
+            .map(|(k, s)| (k.1.clone(), self.touch(s)))
+            .collect();
+        let mut regions: HashMap<String, HashSet<u32>> = HashMap::new();
+        let mut migrated: Vec<((u64, String), Arc<Solved>)> = Vec::new();
+        let mut region_statements = 0usize;
+        let mut retracted_edges = 0usize;
+        let mut kept_edges = 0usize;
+        for (ck, s) in &old_solved {
+            let opts = QueryOpts {
+                deadline_ms: None,
+                max_edges: None,
+                ..s.opts.clone()
+            };
+            let inc = resolve_incremental(
+                &old.prog,
+                &old.constraints,
+                &s.res,
+                &entry.prog,
+                &entry.constraints,
+                &diff,
+                &opts.to_config(),
+            )
+            .map_err(|e| format!("incremental re-solve failed: {e}"))?;
+            region_statements = region_statements.max(inc.stats.region_statements);
+            retracted_edges += inc.stats.retracted_edges;
+            kept_edges += inc.stats.kept_edges;
+            regions.insert(ck.clone(), inc.region.iter().copied().collect());
+            migrated.push((
+                (key, ck.clone()),
+                Arc::new(Solved::build(&entry, s.opts.clone(), inc.result)),
+            ));
+        }
+        let resolved_summaries = migrated.len();
+
+        // Demand answers: keep exactly those whose re-derived slice avoids
+        // the re-run region of their own option key.
+        let old_demand: Vec<Arc<DemandAnswer>> = read(&self.demand)
+            .iter()
+            .filter(|(k, _)| k.0 == old.key)
+            .map(|(_, s)| self.touch(s))
+            .collect();
+        let mut kept: Vec<((u64, String), Arc<DemandAnswer>)> = Vec::new();
+        let mut dropped_demand = 0usize;
+        for a in &old_demand {
+            let survives = regions.get(&a.opts.cache_key()).is_some_and(|region| {
+                demand_query_for_subject(&entry.prog, &a.subject).is_some_and(|q| {
+                    slice_for_query(&entry.prog, &entry.constraints, &q)
+                        .stmt_map
+                        .iter()
+                        .all(|i| !region.contains(i))
+                })
+            });
+            if survives {
+                let dk = (key, format!("demand/{}/{}", a.subject, a.opts.cache_key()));
+                kept.push((dk, Arc::clone(a)));
+            } else {
+                dropped_demand += 1;
+            }
+        }
+        let kept_demand = kept.len();
+
+        // Commit under the usual programs → solved → demand lock order.
+        // Double-checked inserts everywhere: a racing load/solve of the
+        // same edited source computed identical values, first-in wins.
+        let mut programs = write(&self.programs);
+        let mut solved = write(&self.solved);
+        let mut demand = write(&self.demand);
+        let entry = match programs.get(&key) {
+            Some(s) => self.touch(s),
+            None => {
+                let bytes = entry.approx_bytes();
+                self.bytes.fetch_add(bytes, Relaxed);
+                programs.insert(key, self.slot(Arc::clone(&entry), bytes));
+                entry
+            }
+        };
+        for (k, s) in migrated {
+            solved.entry(k).or_insert_with(|| {
+                let bytes = s.approx_bytes();
+                self.bytes.fetch_add(bytes, Relaxed);
+                self.slot(s, bytes)
+            });
+        }
+        for (k, a) in kept {
+            demand.entry(k).or_insert_with(|| {
+                let bytes = a.approx_bytes();
+                self.bytes.fetch_add(bytes, Relaxed);
+                self.slot(a, bytes)
+            });
+        }
+        drop(demand);
+        drop(solved);
+        drop(programs);
+        let mut names = write(&self.names);
+        if program != old.hash_hex {
+            names.insert(program.to_string(), key);
+        }
+        names.insert(entry.hash_hex.clone(), key);
+        drop(names);
+        self.enforce_cap(Some(key), None);
+
+        Ok(UpdateReport {
+            entry,
+            reused_fns: diff.reused_fns,
+            dirty_fns: diff.dirty_fns,
+            dirty_statements: diff.dirty_stmts.len(),
+            region_statements,
+            total_statements,
+            retracted_edges,
+            kept_edges,
+            fallback: diff.fallback,
+            resolved_summaries,
+            kept_demand,
+            dropped_demand,
+            reused_constraints: reuse.reused_constraints,
+            fresh_constraints: reuse.fresh_constraints,
+            resolve: start.elapsed(),
+        })
+    }
+
     /// `(programs, solved instances)` currently cached.
     pub fn sizes(&self) -> (usize, usize) {
         (read(&self.programs).len(), read(&self.solved).len())
@@ -689,6 +936,38 @@ impl SessionCache {
     /// Demand answers currently cached.
     pub fn demand_sizes(&self) -> usize {
         read(&self.demand).len()
+    }
+
+    /// Approximate resident bytes per layer, `(programs, solved, demand)`,
+    /// from one consistent snapshot (all three read guards held in the
+    /// usual order). At quiescence the three sum to [`bytes`](Self::bytes)
+    /// exactly — both sides add the same per-slot estimates — which the
+    /// `stats` op exposes and the chaos suite asserts.
+    pub fn layer_bytes(&self) -> (usize, usize, usize) {
+        let programs = read(&self.programs);
+        let solved = read(&self.solved);
+        let demand = read(&self.demand);
+        (
+            programs.values().map(|s| s.bytes).sum(),
+            solved.values().map(|s| s.bytes).sum(),
+            demand.values().map(|s| s.bytes).sum(),
+        )
+    }
+}
+
+/// Re-derives the [`DemandQuery`] a cached answer's subject string names,
+/// against an *edited* program. `None` when the subject's variables or
+/// function no longer exist there (the answer cannot survive the edit).
+fn demand_query_for_subject(prog: &Program, subject: &str) -> Option<DemandQuery> {
+    let (op, rest) = subject.split_once('/')?;
+    match op {
+        "points_to" => DemandQuery::points_to_named(prog, rest),
+        "alias" => {
+            let (a, b) = rest.split_once('/')?;
+            DemandQuery::alias_named(prog, a, b)
+        }
+        "modref" => DemandQuery::modref_named(prog, rest),
+        _ => None,
     }
 }
 
@@ -1128,6 +1407,140 @@ mod tests {
         assert!(pe + se >= 1, "over-budget demand insert must evict ({pe}p/{se}s)");
         assert_eq!(a.payload, DemandPayload::PointsTo(vec!["x".to_string()]));
         assert!(a.approx_bytes() > 0);
+    }
+
+    /// Two single-statement functions with disjoint pointer cones: a
+    /// demand query for `p` never sees `g`, and vice versa.
+    const EDIT_BASE: &str = "int x, y, *p, *q;\n\
+        void f(void) { p = &x; }\n\
+        void g(void) { q = &y; }";
+    /// `EDIT_BASE` with only `g` edited (`q` retargeted to `&x`).
+    const EDIT_G: &str = "int x, y, *p, *q;\n\
+        void f(void) { p = &x; }\n\
+        void g(void) { q = &x; }";
+
+    #[test]
+    fn update_migrates_summaries_and_filters_demand() {
+        let c = cache();
+        let entry = c.load(Some("live"), EDIT_BASE).unwrap();
+        let opts = QueryOpts::default();
+        // Resident full summary: provides the re-run region at update time.
+        let (full, _) = c.solved(&entry, &opts).unwrap();
+        assert_eq!(full.points_to.get("q").unwrap(), &vec!["y".to_string()]);
+        // Two demand answers: p's slice avoids g, q's slice is g.
+        let (qp, sp) = pt_query(&entry, "p");
+        let (ap, ..) = c.demand(&entry, &opts, &qp, &sp).unwrap();
+        let (qq, sq) = pt_query(&entry, "q");
+        c.demand(&entry, &opts, &qq, &sq).unwrap();
+
+        let report = c.update("live", EDIT_G).unwrap();
+        assert_eq!(report.reused_fns, 1, "f was untouched");
+        assert_eq!(report.dirty_fns, 1, "g was edited");
+        assert!(report.fallback.is_none());
+        assert_eq!(report.resolved_summaries, 1);
+        assert_eq!(report.kept_demand, 1, "p's slice avoids the edit");
+        assert_eq!(report.dropped_demand, 1, "q's slice is the edit");
+        assert!(report.reused_constraints > 0);
+        assert!(report.region_statements < report.total_statements);
+
+        // The session name resolves to the edited program now...
+        let new_entry = c.entry("live").unwrap();
+        assert_eq!(new_entry.key, report.entry.key);
+        assert_ne!(new_entry.key, entry.key);
+        // ...whose full summary was migrated: warm, post-edit correct.
+        let (migrated, paid) = c.solved(&new_entry, &opts).unwrap();
+        assert_eq!(paid, Duration::ZERO, "the update re-solved the summary");
+        assert_eq!(migrated.points_to.get("q").unwrap(), &vec!["x".to_string()]);
+        assert_eq!(migrated.points_to.get("p").unwrap(), &vec!["x".to_string()]);
+        // p's demand answer survived verbatim; q's recomputes correctly.
+        let (qp2, sp2) = pt_query(&new_entry, "p");
+        let (ap2, _, warm) = c.demand(&new_entry, &opts, &qp2, &sp2).unwrap();
+        assert!(warm);
+        assert!(Arc::ptr_eq(&ap, &ap2), "kept answer must be the same slot");
+        let (qq2, sq2) = pt_query(&new_entry, "q");
+        let (aq2, ..) = c.demand(&new_entry, &opts, &qq2, &sq2).unwrap();
+        assert_eq!(aq2.payload, DemandPayload::PointsTo(vec!["x".to_string()]));
+        // The pre-edit session stays addressable by hash: undo is a free
+        // reload, and eviction (not invalidation) forgets it eventually.
+        assert!(c.entry(&entry.hash_hex).is_some());
+    }
+
+    #[test]
+    fn identity_update_reuses_everything() {
+        let c = cache();
+        let entry = c.load(Some("live"), EDIT_BASE).unwrap();
+        let opts = QueryOpts::default();
+        c.solved(&entry, &opts).unwrap();
+        let (q, s) = pt_query(&entry, "p");
+        c.demand(&entry, &opts, &q, &s).unwrap();
+        let report = c.update("live", EDIT_BASE).unwrap();
+        assert_eq!(report.entry.key, entry.key, "same source, same hash");
+        assert_eq!(report.dirty_fns, 0);
+        assert_eq!(report.dirty_statements, 0);
+        assert_eq!(report.fresh_constraints, 0);
+        assert_eq!(report.region_statements, 0);
+        assert_eq!(report.retracted_edges, 0);
+        assert_eq!(report.kept_demand, 1);
+        assert_eq!(report.dropped_demand, 0);
+    }
+
+    #[test]
+    fn update_record_change_falls_back_and_drops_demand() {
+        let c = cache();
+        let base = "struct R { int *a; } r;\nint x, *p;\n\
+            void f(void) { r.a = &x; p = r.a; }";
+        let edit = "struct R { int *a; int *b; } r;\nint x, *p;\n\
+            void f(void) { r.a = &x; p = r.a; }";
+        let entry = c.load(Some("rec"), base).unwrap();
+        let opts = QueryOpts::default();
+        c.solved(&entry, &opts).unwrap();
+        let (q, s) = pt_query(&entry, "p");
+        c.demand(&entry, &opts, &q, &s).unwrap();
+        let report = c.update("rec", edit).unwrap();
+        assert!(report.fallback.is_some(), "a record change defeats the diff");
+        assert_eq!(report.reused_fns, 0);
+        assert_eq!(report.kept_demand, 0, "a fallback region covers everything");
+        assert_eq!(report.dropped_demand, 1);
+        // The migrated summary is still correct — it just re-ran cold.
+        let new_entry = c.entry("rec").unwrap();
+        let (migrated, paid) = c.solved(&new_entry, &opts).unwrap();
+        assert_eq!(paid, Duration::ZERO);
+        assert_eq!(migrated.points_to.get("p").unwrap(), &vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn demand_without_resident_summary_is_dropped_conservatively() {
+        let c = cache();
+        let entry = c.load(Some("live"), EDIT_BASE).unwrap();
+        let opts = QueryOpts::default();
+        let (q, s) = pt_query(&entry, "p");
+        c.demand(&entry, &opts, &q, &s).unwrap();
+        // No full summary cached: the demand answer has no region to
+        // intersect with, even though its slice avoids the edit.
+        let report = c.update("live", EDIT_G).unwrap();
+        assert_eq!(report.resolved_summaries, 0);
+        assert_eq!(report.kept_demand, 0);
+        assert_eq!(report.dropped_demand, 1);
+    }
+
+    #[test]
+    fn update_unknown_program_is_an_error() {
+        let c = cache();
+        let err = c.update("ghost", SRC).unwrap_err();
+        assert!(err.contains("unknown program"), "{err}");
+        assert_eq!(c.sizes(), (0, 0), "a failed update modifies nothing");
+    }
+
+    #[test]
+    fn layer_bytes_reconcile_with_the_global_gauge() {
+        let c = cache();
+        let entry = c.load(Some("intro"), SRC).unwrap();
+        c.solved(&entry, &QueryOpts::default()).unwrap();
+        let (q, s) = pt_query(&entry, "p");
+        c.demand(&entry, &QueryOpts::default(), &q, &s).unwrap();
+        let (p, sv, d) = c.layer_bytes();
+        assert!(p > 0 && sv > 0 && d > 0);
+        assert_eq!(p + sv + d, c.bytes(), "layer split must sum to the gauge");
     }
 
     #[test]

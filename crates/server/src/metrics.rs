@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Duration;
 
 /// The request kinds the server tallies individually.
-pub const OP_NAMES: [&str; 7] = [
+pub const OP_NAMES: [&str; 8] = [
     "load",
     "points_to",
     "alias",
@@ -24,6 +24,7 @@ pub const OP_NAMES: [&str; 7] = [
     "compare_models",
     "stats",
     "shutdown",
+    "update",
 ];
 
 /// The failure taxonomy: every error reply carries exactly one of these
@@ -61,6 +62,10 @@ pub struct Metrics {
     compile_ns: AtomicU64,
     solve_ns: AtomicU64,
     lookup_ns: AtomicU64,
+    updates: AtomicU64,
+    update_fallbacks: AtomicU64,
+    update_retracted_edges: AtomicU64,
+    update_resolve_ns: AtomicU64,
 }
 
 impl Metrics {
@@ -137,6 +142,28 @@ impl Metrics {
             self.demand_total_stmts.fetch_add(total, Relaxed);
             self.solve_ns.fetch_add(solve.as_nanos() as u64, Relaxed);
         }
+    }
+
+    /// Records one incremental update: whether the diff forced a cold
+    /// fallback, how many facts retraction dropped, and the
+    /// diff+re-solve wall-clock paid (folded into its own gauge so
+    /// `resolve_s` separates incremental maintenance from query solves).
+    pub fn record_update(&self, fallback: bool, retracted: u64, resolve: Duration) {
+        self.updates.fetch_add(1, Relaxed);
+        if fallback {
+            self.update_fallbacks.fetch_add(1, Relaxed);
+        }
+        self.update_retracted_edges.fetch_add(retracted, Relaxed);
+        self.update_resolve_ns
+            .fetch_add(resolve.as_nanos() as u64, Relaxed);
+    }
+
+    /// `(updates, fallbacks)` recorded so far.
+    pub fn update_counts(&self) -> (u64, u64) {
+        (
+            self.updates.load(Relaxed),
+            self.update_fallbacks.load(Relaxed),
+        )
     }
 
     /// `(hits, misses)` of the demand-answer layer so far.
@@ -260,6 +287,18 @@ impl Metrics {
                 Json::count(self.solve_evictions.load(Relaxed)),
             ),
             ("cache_bytes", Json::count(self.cache_bytes.load(Relaxed))),
+            (
+                "updates",
+                Json::obj([
+                    ("count", Json::count(self.updates.load(Relaxed))),
+                    ("fallbacks", Json::count(self.update_fallbacks.load(Relaxed))),
+                    (
+                        "retracted_edges",
+                        Json::count(self.update_retracted_edges.load(Relaxed)),
+                    ),
+                    ("resolve_s", secs(&self.update_resolve_ns)),
+                ]),
+            ),
             ("compile_s", secs(&self.compile_ns)),
             ("solve_s", secs(&self.solve_ns)),
             ("lookup_s", secs(&self.lookup_ns)),
@@ -330,6 +369,28 @@ mod tests {
         assert_eq!(m.total_misses(), 2);
         let line = m.summary_line();
         assert!(line.contains("served 4 requests"), "{line}");
+    }
+
+    #[test]
+    fn update_counters_tally_and_snapshot() {
+        let m = Metrics::new();
+        m.record_update(false, 12, Duration::from_millis(2));
+        m.record_update(true, 100, Duration::from_millis(5));
+        assert_eq!(m.update_counts(), (2, 1));
+        let s = m.snapshot();
+        let u = s.get("updates").unwrap();
+        assert_eq!(u.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(u.get("fallbacks").and_then(Json::as_u64), Some(1));
+        assert_eq!(u.get("retracted_edges").and_then(Json::as_u64), Some(112));
+        assert!(u.get("resolve_s").and_then(Json::as_f64).unwrap() > 0.0);
+        // The new op is tallied like any other.
+        assert_eq!(OP_NAMES[7], "update");
+        m.record_op(7);
+        let s = m.snapshot();
+        assert_eq!(
+            s.get("by_op").and_then(|o| o.get("update")).and_then(Json::as_u64),
+            Some(1)
+        );
     }
 
     #[test]

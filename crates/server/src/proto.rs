@@ -200,6 +200,15 @@ pub enum Request {
     Stats,
     /// Graceful shutdown.
     Shutdown,
+    /// Live-editing update: re-key a cached session to an edited source,
+    /// reusing constraints and re-solving only the edit's region:
+    /// `{"op":"update","program":"mine","source":"int x; ..."}`.
+    Update {
+        /// The loaded program being edited (name, corpus name, or hash).
+        program: String,
+        /// The full post-edit source text.
+        source: String,
+    },
 }
 
 fn req_str(req: &Json, key: &str) -> Result<String, String> {
@@ -276,6 +285,10 @@ impl Request {
             }),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
+            "update" => Ok(Request::Update {
+                program: req_str(req, "program")?,
+                source: req_str(req, "source")?,
+            }),
             other => Err(format!("unknown op `{other}`")),
         }
     }
@@ -290,6 +303,7 @@ impl Request {
             Request::CompareModels { .. } => 4,
             Request::Stats => 5,
             Request::Shutdown => 6,
+            Request::Update { .. } => 7,
         }
     }
 }
@@ -368,6 +382,21 @@ mod tests {
         ));
         assert!(matches!(parse(r#"{"op":"stats"}"#).unwrap(), Request::Stats));
         assert!(matches!(parse(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown));
+        assert!(matches!(
+            parse(r#"{"op":"update","program":"live","source":"int x;"}"#).unwrap(),
+            Request::Update { program, source } if program == "live" && source == "int x;"
+        ));
+    }
+
+    #[test]
+    fn update_requires_program_and_source() {
+        assert!(parse(r#"{"op":"update","program":"live"}"#).is_err());
+        assert!(parse(r#"{"op":"update","source":"int x;"}"#).is_err());
+        assert!(parse(r#"{"op":"update","program":"live","source":7}"#).is_err());
+        // Every op's index stays within the metrics tally table.
+        let r = parse(r#"{"op":"update","program":"live","source":"int x;"}"#).unwrap();
+        assert!(r.op_index() < crate::metrics::OP_NAMES.len());
+        assert_eq!(crate::metrics::OP_NAMES[r.op_index()], "update");
     }
 
     #[test]

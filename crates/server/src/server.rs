@@ -658,6 +658,35 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, Se
                 ("models", Json::Arr(rows)),
             ]))
         }
+        Request::Update { program, source } => {
+            shared.faults.fire("solve");
+            let start = Instant::now();
+            let report = shared.cache.update(&program, &source)?;
+            *paid += start.elapsed();
+            shared.metrics.record_update(
+                report.fallback.is_some(),
+                report.retracted_edges as u64,
+                report.resolve,
+            );
+            Ok(ok_response([
+                ("program", Json::str(&report.entry.name)),
+                ("hash", Json::str(&report.entry.hash_hex)),
+                ("reused_fns", Json::count(report.reused_fns as u64)),
+                ("dirty_fns", Json::count(report.dirty_fns as u64)),
+                ("dirty_statements", Json::count(report.dirty_statements as u64)),
+                ("region_statements", Json::count(report.region_statements as u64)),
+                ("total_statements", Json::count(report.total_statements as u64)),
+                ("retracted_edges", Json::count(report.retracted_edges as u64)),
+                ("kept_edges", Json::count(report.kept_edges as u64)),
+                ("reused_constraints", Json::count(report.reused_constraints as u64)),
+                ("fresh_constraints", Json::count(report.fresh_constraints as u64)),
+                ("resolved_summaries", Json::count(report.resolved_summaries as u64)),
+                ("kept_demand", Json::count(report.kept_demand as u64)),
+                ("dropped_demand", Json::count(report.dropped_demand as u64)),
+                ("resolve_s", Json::num(report.resolve.as_secs_f64())),
+                ("fallback", report.fallback.map_or(Json::Null, Json::Str)),
+            ]))
+        }
         Request::Stats => {
             let (programs, solved) = shared.cache.sizes();
             // Refresh the byte gauge so `stats` reflects the cache as-is,
@@ -675,6 +704,15 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, Se
             pairs.push((
                 "max_cache_bytes".to_string(),
                 Json::count(shared.cache.max_bytes() as u64),
+            ));
+            let (pb, sb, db) = shared.cache.layer_bytes();
+            pairs.push((
+                "cache_layer_bytes".to_string(),
+                Json::obj([
+                    ("programs", Json::count(pb as u64)),
+                    ("solved", Json::count(sb as u64)),
+                    ("demand", Json::count(db as u64)),
+                ]),
             ));
             Ok(ok_response(pairs))
         }

@@ -18,6 +18,19 @@ fn error_kind(resp: &Json) -> Option<&str> {
     resp.get("error")?.get("kind")?.as_str()
 }
 
+/// Asserts the `stats` reply's per-layer cache byte split sums exactly to
+/// the global `cache_bytes` gauge. Only meaningful at quiescence (no
+/// in-flight inserts between the two readings).
+fn assert_layer_bytes_reconcile(stats: &Json) {
+    let layers = stats.get("cache_layer_bytes").expect("layer split in stats");
+    let layer = |k: &str| layers.get(k).and_then(Json::as_u64).unwrap();
+    assert_eq!(
+        layer("programs") + layer("solved") + layer("demand"),
+        stats.get("cache_bytes").and_then(Json::as_u64).unwrap(),
+        "per-layer bytes must sum to the global gauge: {stats}"
+    );
+}
+
 /// A reply is well-formed iff it is `{"ok": true, ...}` or
 /// `{"ok": false, "error": {"kind": <taxonomy>, "message": ...}}`.
 fn assert_well_formed(resp: &Json) {
@@ -85,6 +98,9 @@ fn chaos_four_clients_every_reply_well_formed_and_metrics_reconcile() {
 
     let metrics = handle.metrics();
     let mut c = Client::connect(addr).unwrap();
+    // At quiescence the per-layer byte split must reconcile with the
+    // global gauge — both sides sum the same per-slot estimates.
+    assert_layer_bytes_reconcile(&c.stats().unwrap());
     let resp = c.shutdown_server().unwrap();
     assert!(ok(&resp), "{resp}");
     let summary = handle.wait();
@@ -96,7 +112,11 @@ fn chaos_four_clients_every_reply_well_formed_and_metrics_reconcile() {
         metrics.ok() + errors,
         "requests must equal ok + error kinds: {summary}"
     );
-    assert_eq!(metrics.requests(), total as u64 + 1, "shutdown included");
+    assert_eq!(
+        metrics.requests(),
+        total as u64 + 2,
+        "final stats + shutdown included"
+    );
     // The seeded plan really fired: panics were caught, not fatal.
     assert!(metrics.panics() > 0, "expected injected panics: {summary}");
     assert_eq!(metrics.errors_of_kind("internal"), metrics.panics());
@@ -397,6 +417,8 @@ fn bounded_cache_sweep_stays_under_cap_with_evictions() {
     let bytes = stats.get("cache_bytes").and_then(Json::as_u64).unwrap();
     let cap = stats.get("max_cache_bytes").and_then(Json::as_u64).unwrap();
     assert!(bytes <= cap, "accounted bytes {bytes} must fit the cap {cap}");
+    // Evictions moved bytes out of every layer; the split still reconciles.
+    assert_layer_bytes_reconcile(&stats);
     let (pe, se) = handle.metrics().evictions();
     assert!(pe > 0, "50 programs past a tiny cap must evict ({pe}p/{se}s)");
     // Evicted programs are transparently recompiled on demand.

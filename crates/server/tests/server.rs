@@ -300,6 +300,97 @@ fn demand_mode_error_paths() {
 }
 
 #[test]
+fn update_op_round_trips_and_migrates_the_session() {
+    let (handle, addr) = start();
+    let mut c = Client::connect(addr).unwrap();
+    // A two-function session: p's pointer cone lives in f, q's in g — an
+    // edit to g must invalidate q's cached demand answer and spare p's.
+    let load = c
+        .request_line(
+            r#"{"op":"load","name":"live","source":"int x, y, *p, *q;\nvoid f(void) { p = &x; }\nvoid g(void) { q = &y; }"}"#,
+        )
+        .unwrap();
+    assert!(load.contains("\"ok\": true"), "{load}");
+
+    // Warm the session: one full summary + two demand answers.
+    let full = c
+        .request(&Json::parse(r#"{"op":"points_to","program":"live","var":"q"}"#).unwrap())
+        .unwrap();
+    assert_eq!(
+        full.get("points_to").and_then(Json::as_arr).unwrap(),
+        &[Json::str("y")]
+    );
+    for var in ["p", "q"] {
+        let d = c
+            .request(&Json::parse(&format!(
+                r#"{{"op":"points_to","program":"live","var":"{var}","mode":"demand"}}"#
+            )).unwrap())
+            .unwrap();
+        assert!(ok(&d), "{d}");
+    }
+
+    // Edit only g (q retargets to &x) and push the delta.
+    let up = c
+        .request_line(
+            r#"{"op":"update","program":"live","source":"int x, y, *p, *q;\nvoid f(void) { p = &x; }\nvoid g(void) { q = &x; }"}"#,
+        )
+        .unwrap();
+    let up = Json::parse(&up).unwrap();
+    assert!(ok(&up), "{up}");
+    let count = |k: &str| up.get(k).and_then(Json::as_u64).unwrap_or_else(|| panic!("{k}: {up}"));
+    assert!(count("reused_fns") > 0, "{up}");
+    assert_eq!(count("dirty_fns"), 1, "{up}");
+    assert_eq!(count("resolved_summaries"), 1, "{up}");
+    assert_eq!(count("kept_demand"), 1, "p's slice avoids the edit: {up}");
+    assert_eq!(count("dropped_demand"), 1, "q's slice is the edit: {up}");
+    assert!(count("reused_constraints") > 0, "{up}");
+    assert!(count("region_statements") < count("total_statements"), "{up}");
+    assert!(up.get("resolve_s").is_some(), "{up}");
+    assert_eq!(up.get("fallback"), Some(&Json::Null), "{up}");
+
+    // The session name serves post-edit answers, warm from the migrated
+    // summary — and the kept demand answer is still a cache hit.
+    let post = c
+        .request(&Json::parse(r#"{"op":"points_to","program":"live","var":"q"}"#).unwrap())
+        .unwrap();
+    assert_eq!(
+        post.get("points_to").and_then(Json::as_arr).unwrap(),
+        &[Json::str("x")],
+        "{post}"
+    );
+    let kept = c
+        .request(&Json::parse(
+            r#"{"op":"points_to","program":"live","var":"p","mode":"demand"}"#,
+        ).unwrap())
+        .unwrap();
+    assert_eq!(
+        kept.get("demand").and_then(|m| m.get("cached")).and_then(Json::as_bool),
+        Some(true),
+        "{kept}"
+    );
+    assert_eq!(
+        kept.get("points_to").and_then(Json::as_arr).unwrap(),
+        &[Json::str("x")]
+    );
+
+    // Updating an unloaded session is a typed error; stats count the op.
+    let bad = c
+        .request_line(r#"{"op":"update","program":"ghost","source":"int x;"}"#)
+        .unwrap();
+    assert!(bad.contains("unknown program"), "{bad}");
+    let stats = c.stats().unwrap();
+    let updates = stats.get("updates").expect("updates counter block");
+    assert_eq!(updates.get("count").and_then(Json::as_u64), Some(1), "{stats}");
+    assert_eq!(updates.get("fallbacks").and_then(Json::as_u64), Some(0), "{stats}");
+    assert!(
+        updates.get("resolve_s").and_then(Json::as_f64).unwrap() > 0.0,
+        "{stats}"
+    );
+    c.shutdown_server().unwrap();
+    handle.wait();
+}
+
+#[test]
 fn protocol_error_paths() {
     let (handle, addr) = start();
     let mut c = Client::connect(addr).unwrap();

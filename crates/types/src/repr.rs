@@ -147,6 +147,13 @@ impl TypeTable {
         id
     }
 
+    /// Looks up an already-interned kind without mutating the table —
+    /// the read-only counterpart of [`intern`](TypeTable::intern), used
+    /// when translating type ids between two independently built tables.
+    pub fn lookup(&self, kind: &TypeKind) -> Option<TypeId> {
+        self.intern.get(kind).copied()
+    }
+
     /// The structure of `id`.
     ///
     /// # Panics
