@@ -9,7 +9,11 @@
 # evicted program. Finally, the live-editing path: `scast update` pushes a
 # one-function edit against a cached session and the reply must show
 # constraint reuse, the post-edit answer, and slice-precise invalidation
-# of cached demand entries.
+# of cached demand entries. Then the fleet-grade serving paths: the binary
+# codec must answer byte-identically to NDJSON, a SIGKILLed server with a
+# snapshot directory must restart warm (zero compile/solve misses, one
+# counted restore), and a 2-replica fleet router must report both replicas
+# alive and shut the whole fleet down cleanly.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -100,6 +104,17 @@ E_SET=$(echo "$EXHAUSTIVE" | sed 's/.*"points_to": \(\[[^]]*\]\).*/\1/')
 }
 echo "demand round trip: points_to byte-equal to exhaustive ($D_SET)"
 
+# Binary codec differential: the same query over the length-prefixed
+# binary protocol must print the byte-identical reply.
+BINARY=$("$SCAST" query --addr "$ADDR" --binary \
+    '{"op":"points_to","program":"bst","var":"g_tree"}')
+[ "$BINARY" = "$EXHAUSTIVE" ] || {
+    echo "binary reply diverged from NDJSON:"
+    diff <(echo "$EXHAUSTIVE") <(echo "$BINARY") || true
+    exit 1
+}
+echo "binary codec: reply byte-identical to NDJSON"
+
 # Live-editing update round trip: load a two-function session, warm a full
 # summary and two demand answers, edit only g() via `scast update`, and
 # assert the reply: the untouched function's constraints are reused, the
@@ -173,3 +188,100 @@ trap - EXIT
 grep -q "structcast-server: served" "$LOG2" || { echo "missing summary line"; cat "$LOG2"; exit 1; }
 tail -n1 "$LOG2"
 rm -f "$LOG2"
+
+# Snapshot round-trip: warm a server, snapshot, SIGKILL it (no graceful
+# save), restart from the same directory — the restarted process must give
+# byte-identical answers while reporting zero compile/solve misses and
+# exactly one counted restore.
+SNAPDIR=$(mktemp -d)
+LOG3=$(mktemp)
+"$SCAST" serve --addr 127.0.0.1:0 --threads 2 --snapshot "$SNAPDIR" >"$LOG3" &
+SERVER3_PID=$!
+trap 'kill "$SERVER3_PID" 2>/dev/null || true' EXIT
+ADDR3=""
+for _ in $(seq 1 100); do
+    ADDR3=$(sed -n 's/^listening on //p' "$LOG3" | head -n1)
+    [ -n "$ADDR3" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR3" ] || { echo "snapshot server never reported its address"; cat "$LOG3"; exit 1; }
+
+"$SCAST" query --addr "$ADDR3" '{"op":"load","name":"bst"}' |
+    grep -q '"ok": true' || { echo "snapshot warm load failed"; exit 1; }
+PRE_KILL=$("$SCAST" query --addr "$ADDR3" '{"op":"points_to","program":"bst","var":"g_tree"}')
+echo "$PRE_KILL" | grep -q '"ok": true' || { echo "snapshot warm query failed"; exit 1; }
+"$SCAST" query --addr "$ADDR3" '{"op":"points_to","program":"bst","var":"g_tree","mode":"demand"}' |
+    grep -q '"ok": true' || { echo "snapshot warm demand failed"; exit 1; }
+"$SCAST" query --addr "$ADDR3" '{"op":"snapshot"}' |
+    grep -q '"ok": true' || { echo "explicit snapshot op failed"; exit 1; }
+[ -f "$SNAPDIR/cache.scsnap" ] || { echo "snapshot file missing"; ls "$SNAPDIR"; exit 1; }
+
+kill -9 "$SERVER3_PID"
+wait "$SERVER3_PID" 2>/dev/null || true
+trap - EXIT
+
+LOG4=$(mktemp)
+"$SCAST" serve --addr 127.0.0.1:0 --threads 2 --snapshot "$SNAPDIR" >"$LOG4" &
+SERVER4_PID=$!
+trap 'kill "$SERVER4_PID" 2>/dev/null || true' EXIT
+ADDR4=""
+for _ in $(seq 1 100); do
+    ADDR4=$(sed -n 's/^listening on //p' "$LOG4" | head -n1)
+    [ -n "$ADDR4" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR4" ] || { echo "restarted server never reported its address"; cat "$LOG4"; exit 1; }
+
+POST_KILL=$("$SCAST" query --addr "$ADDR4" '{"op":"points_to","program":"bst","var":"g_tree"}')
+[ "$PRE_KILL" = "$POST_KILL" ] || {
+    echo "restarted server's answer diverged:"
+    diff <(echo "$PRE_KILL") <(echo "$POST_KILL") || true
+    exit 1
+}
+STATS4=$("$SCAST" query --addr "$ADDR4" '{"op":"stats"}')
+echo "$STATS4" | grep -q '"program_misses": 0' || {
+    echo "restart recompiled something:"; echo "$STATS4"; exit 1
+}
+echo "$STATS4" | grep -q '"solve_misses": 0' || {
+    echo "restart re-solved something:"; echo "$STATS4"; exit 1
+}
+echo "$STATS4" | grep -q '"restores": 1' || {
+    echo "restart must count one snapshot restore:"; echo "$STATS4"; exit 1
+}
+echo "snapshot round-trip: SIGKILL + restart warm, byte-identical answer, zero misses"
+
+"$SCAST" query --addr "$ADDR4" '{"op":"shutdown"}' | grep -q '"shutdown": true'
+wait "$SERVER4_PID"
+trap - EXIT
+rm -rf "$SNAPDIR" "$LOG3" "$LOG4"
+
+# Fleet router health check: two replicas behind the consistent-hash
+# router, queries answered through it, both replicas alive in
+# fleet_stats, and one shutdown request drains the whole fleet.
+LOGF=$(mktemp)
+"$SCAST" fleet --replicas 2 --addr 127.0.0.1:0 --threads 2 >"$LOGF" &
+FLEET_PID=$!
+trap 'kill "$FLEET_PID" 2>/dev/null || true' EXIT
+ADDRF=""
+for _ in $(seq 1 100); do
+    ADDRF=$(sed -n 's/^listening on //p' "$LOGF" | head -n1)
+    [ -n "$ADDRF" ] && break
+    sleep 0.1
+done
+[ -n "$ADDRF" ] || { echo "fleet router never reported its address"; cat "$LOGF"; exit 1; }
+grep -q "replica 0 on" "$LOGF" || { echo "replica 0 missing"; cat "$LOGF"; exit 1; }
+grep -q "replica 1 on" "$LOGF" || { echo "replica 1 missing"; cat "$LOGF"; exit 1; }
+
+"$SCAST" query --addr "$ADDRF" '{"op":"points_to","program":"bst","var":"g_tree"}' |
+    grep -q '"ok": true' || { echo "query through router failed"; exit 1; }
+FSTATS=$("$SCAST" query --addr "$ADDRF" '{"op":"fleet_stats"}')
+ALIVE=$(echo "$FSTATS" | grep -o '"alive": true' | wc -l)
+[ "$ALIVE" -eq 2 ] || { echo "expected 2 live replicas:"; echo "$FSTATS"; exit 1; }
+echo "$FSTATS" | grep -q '"router"' || { echo "router counters missing:"; echo "$FSTATS"; exit 1; }
+echo "fleet: 2 replicas alive behind the router, queries answered"
+
+"$SCAST" query --addr "$ADDRF" '{"op":"shutdown"}' | grep -q '"shutdown": true'
+wait "$FLEET_PID"
+trap - EXIT
+rm -f "$LOGF"
+echo "fleet: clean shutdown"

@@ -5,15 +5,26 @@
 //! measures the service overhead (framing, dispatch, lock traffic), not
 //! the solver.
 //!
+//! Scenarios cover both codecs (NDJSON lines and the length-prefixed
+//! binary protocol) on a single server, plus the replica fleet behind the
+//! consistent-hash router at 1 and 2 replicas. Rows the host cannot
+//! measure honestly — replica parallelism on a single-CPU box, a fleet
+//! without a built `scastd` — are emitted with `wall_clock_s: null` and a
+//! `skipped_reason` instead of a misleading number.
+//!
 //! Writes `BENCH_server.json` at the repo root: queries/sec per scenario
-//! plus the miss counters proving the measured section ran fully warm.
+//! plus `host_cpus`, the `protocol`, and the miss counters proving the
+//! measured section ran fully warm.
 //!
 //! Env knobs: `SCAST_BENCH_SMOKE=1` shrinks the per-thread query count to
 //! the CI smoke size.
 
+use std::path::PathBuf;
 use std::time::Instant;
 use structcast_server::json::Json;
-use structcast_server::{serve, Client, Metrics, ServerConfig};
+use structcast_server::{
+    fleet, serve, BinaryClient, Client, FleetConfig, Metrics, ServerConfig,
+};
 
 const CLIENT_THREADS: usize = 4;
 
@@ -24,6 +35,14 @@ const TARGETS: [(&str, &str); 3] = [
     ("tagged-union", "g_registry"),
     ("list-utils", "g_head"),
 ];
+
+fn host_cpus() -> u64 {
+    std::thread::available_parallelism().map_or(1, |n| n.get() as u64)
+}
+
+fn points_to_req(prog: &str, var: &str) -> String {
+    format!(r#"{{"op":"points_to","program":"{prog}","var":"{var}"}}"#)
+}
 
 fn main() {
     let smoke = std::env::var_os("SCAST_BENCH_SMOKE").is_some();
@@ -37,11 +56,7 @@ fn main() {
     // will touch, from a single connection.
     let mut warm = Client::connect(addr).expect("connect");
     for (prog, var) in TARGETS {
-        let resp = warm
-            .request_line(&format!(
-                r#"{{"op":"points_to","program":"{prog}","var":"{var}"}}"#
-            ))
-            .expect("warm query");
+        let resp = warm.request_line(&points_to_req(prog, var)).expect("warm query");
         assert!(resp.contains("\"ok\": true"), "{resp}");
     }
     // Close the warming connection: graceful shutdown waits for open
@@ -64,7 +79,7 @@ fn main() {
                                 r#"{{"op":"alias","program":"{prog}","a":"{var}","b":"{var}"}}"#
                             )
                         } else {
-                            format!(r#"{{"op":"points_to","program":"{prog}","var":"{var}"}}"#)
+                            points_to_req(prog, var)
                         };
                         let resp = c.request_line(&req).expect("query");
                         assert!(resp.contains("\"ok\": true"), "{resp}");
@@ -76,13 +91,31 @@ fn main() {
             t.join().expect("client thread");
         }
         let elapsed = start.elapsed().as_secs_f64();
-        let total = (CLIENT_THREADS * per_thread) as f64;
-        let qps = total / elapsed;
-        println!(
-            "{scenario:>10}: {CLIENT_THREADS} threads x {per_thread} queries \
-             in {elapsed:.3}s = {qps:.0} queries/sec"
-        );
-        records.push(record(scenario, per_thread, elapsed, qps, &metrics));
+        records.push(record(scenario, "ndjson", 1, per_thread, elapsed, &metrics));
+    }
+
+    // The binary codec over the same warm server: identical queries, one
+    // length-prefixed frame per request instead of one line.
+    {
+        let start = Instant::now();
+        let threads: Vec<_> = (0..CLIENT_THREADS)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut c = BinaryClient::connect(addr).expect("connect");
+                    for i in 0..per_thread {
+                        let (prog, var) = TARGETS[(t + i) % TARGETS.len()];
+                        let req = Json::parse(&points_to_req(prog, var)).unwrap();
+                        let resp = c.request(&req).expect("query");
+                        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("client thread");
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        records.push(record("points_to", "binary", 1, per_thread, elapsed, &metrics));
     }
 
     // Warm means warm: the measured sections must not have compiled or
@@ -97,22 +130,184 @@ fn main() {
     shut.shutdown_server().expect("shutdown");
     handle.wait();
 
+    // Fleet rows: the same warm points_to storm through the router. A
+    // replica count the host cannot exercise in parallel is reported as
+    // skipped, not faked.
+    for replicas in [1usize, 2] {
+        records.push(fleet_record(replicas, per_thread));
+    }
+
+    for r in &records {
+        match r.get("queries_per_sec") {
+            Some(Json::Num(qps)) => {
+                let scenario = r.get("scenario").and_then(Json::as_str).unwrap();
+                let protocol = r.get("protocol").and_then(Json::as_str).unwrap();
+                let repl = r.get("replicas").and_then(Json::as_u64).unwrap();
+                println!(
+                    "{scenario:>10}/{protocol} x{repl}: {CLIENT_THREADS} threads x \
+                     {per_thread} queries = {qps:.0} queries/sec"
+                );
+            }
+            _ => {
+                let reason = r.get("skipped_reason").and_then(Json::as_str).unwrap();
+                println!("   skipped: {reason}");
+            }
+        }
+    }
+
     let json = format!("{}\n", Json::Arr(records));
     let path = repo_root_file("BENCH_server.json");
     std::fs::write(&path, json).expect("write BENCH_server.json");
     println!("\nwrote {}", path.display());
 }
 
-fn record(scenario: &str, per_thread: usize, elapsed: f64, qps: f64, metrics: &Metrics) -> Json {
+fn record(
+    scenario: &str,
+    protocol: &str,
+    replicas: usize,
+    per_thread: usize,
+    elapsed: f64,
+    metrics: &Metrics,
+) -> Json {
+    let total = (CLIENT_THREADS * per_thread) as f64;
     Json::obj([
         ("scenario", Json::str(scenario)),
+        ("protocol", Json::str(protocol)),
+        ("replicas", Json::count(replicas as u64)),
+        ("host_cpus", Json::count(host_cpus())),
         ("client_threads", Json::count(CLIENT_THREADS as u64)),
         ("queries_per_thread", Json::count(per_thread as u64)),
-        ("elapsed_s", Json::num(elapsed)),
-        ("queries_per_sec", Json::num(qps)),
+        ("wall_clock_s", Json::num(elapsed)),
+        ("queries_per_sec", Json::num(total / elapsed)),
         ("program_misses", Json::count(metrics_field(metrics, "program_misses"))),
         ("solve_misses", Json::count(metrics_field(metrics, "solve_misses"))),
     ])
+}
+
+/// A row honestly declining a measurement the host cannot support.
+fn skipped_record(replicas: usize, per_thread: usize, reason: &str) -> Json {
+    Json::obj([
+        ("scenario", Json::str("fleet_points_to")),
+        ("protocol", Json::str("ndjson")),
+        ("replicas", Json::count(replicas as u64)),
+        ("host_cpus", Json::count(host_cpus())),
+        ("client_threads", Json::count(CLIENT_THREADS as u64)),
+        ("queries_per_thread", Json::count(per_thread as u64)),
+        ("wall_clock_s", Json::Null),
+        ("queries_per_sec", Json::Null),
+        ("skipped_reason", Json::str(reason)),
+    ])
+}
+
+/// One fleet scenario: `replicas` scastd processes behind the router,
+/// warmed, then the points_to storm. Sums the replica miss counters via
+/// `fleet_stats` to prove the measured section was pure routing + lookup.
+fn fleet_record(replicas: usize, per_thread: usize) -> Json {
+    let cpus = host_cpus();
+    if replicas > 1 && cpus < 2 {
+        return skipped_record(
+            replicas,
+            per_thread,
+            &format!("host has {cpus} cpu(s); {replicas}-replica parallelism is unmeasurable"),
+        );
+    }
+    let Some(program) = scastd_path() else {
+        return skipped_record(
+            replicas,
+            per_thread,
+            "scastd binary not found next to this bench (build -p structcast-server first)",
+        );
+    };
+    let cfg = FleetConfig {
+        replicas,
+        program,
+        ..FleetConfig::default()
+    };
+    let fleet_h = fleet(&cfg).expect("spawn fleet");
+    let addr = fleet_h.addr();
+
+    let mut warm = Client::connect(addr).expect("connect router");
+    for (prog, var) in TARGETS {
+        let resp = warm.request_line(&points_to_req(prog, var)).expect("warm query");
+        assert!(resp.contains("\"ok\": true"), "{resp}");
+    }
+    let misses_before = fleet_misses(&mut warm);
+
+    let start = Instant::now();
+    let threads: Vec<_> = (0..CLIENT_THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect router");
+                for i in 0..per_thread {
+                    let (prog, var) = TARGETS[(t + i) % TARGETS.len()];
+                    let resp = c.request_line(&points_to_req(prog, var)).expect("query");
+                    assert!(resp.contains("\"ok\": true"), "{resp}");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let (prog_misses, solve_misses) = fleet_misses(&mut warm);
+    assert_eq!(
+        (prog_misses, solve_misses),
+        misses_before,
+        "fleet measured section must be all hits"
+    );
+
+    let resp = warm
+        .request_line(r#"{"op":"shutdown"}"#)
+        .expect("fleet shutdown");
+    assert!(resp.contains("\"shutdown\": true"), "{resp}");
+    drop(warm);
+    fleet_h.wait();
+
+    let total = (CLIENT_THREADS * per_thread) as f64;
+    Json::obj([
+        ("scenario", Json::str("fleet_points_to")),
+        ("protocol", Json::str("ndjson")),
+        ("replicas", Json::count(replicas as u64)),
+        ("host_cpus", Json::count(host_cpus())),
+        ("client_threads", Json::count(CLIENT_THREADS as u64)),
+        ("queries_per_thread", Json::count(per_thread as u64)),
+        ("wall_clock_s", Json::num(elapsed)),
+        ("queries_per_sec", Json::num(total / elapsed)),
+        ("program_misses", Json::count(prog_misses)),
+        ("solve_misses", Json::count(solve_misses)),
+    ])
+}
+
+/// Sums `(program_misses, solve_misses)` over every live replica from a
+/// `fleet_stats` reply.
+fn fleet_misses(c: &mut Client) -> (u64, u64) {
+    let fs = c
+        .request(&Json::obj([("op", Json::str("fleet_stats"))]))
+        .expect("fleet_stats");
+    let rows = fs
+        .get("replicas")
+        .and_then(Json::as_arr)
+        .expect("replica rows");
+    let mut prog = 0;
+    let mut solve = 0;
+    for row in rows {
+        let stats = row.get("stats").expect("stats field");
+        prog += stats.get("program_misses").and_then(Json::as_u64).unwrap_or(0);
+        solve += stats.get("solve_misses").and_then(Json::as_u64).unwrap_or(0);
+    }
+    (prog, solve)
+}
+
+/// The `scastd` binary compiled into the same target directory as this
+/// bench executable (`target/<profile>/deps/<bench>` → `target/<profile>/scastd`).
+fn scastd_path() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    exe.ancestors()
+        .skip(1)
+        .take(3)
+        .map(|dir| dir.join("scastd"))
+        .find(|cand| cand.is_file())
 }
 
 fn metrics_field(metrics: &Metrics, key: &str) -> u64 {

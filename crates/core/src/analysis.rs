@@ -212,6 +212,40 @@ impl AnalysisResult {
         }
     }
 
+    /// Rebuilds a result from retained parts — the query server's
+    /// snapshot-restore path. The facts and counters are adopted as-is and
+    /// the model is reconstructed from its configuration; no constraint is
+    /// re-specialized and no fixpoint runs, so neither
+    /// [`solves_on_thread`](crate::solves_on_thread) nor the constraint
+    /// compile counter moves. The caller is responsible for the parts
+    /// having come from a run of the same `kind` under the same options —
+    /// queries against a mismatched model would normalize locations the
+    /// fact store has never seen.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_saved(
+        kind: ModelKind,
+        opts: &crate::models::ModelOptions,
+        facts: FactStore,
+        stats: ModelStats,
+        iterations: u64,
+        resolved_indirect_calls: usize,
+        elapsed: Duration,
+        unknown: BTreeSet<Loc>,
+        call_edges: Vec<(StmtId, structcast_ir::FuncId)>,
+    ) -> Self {
+        AnalysisResult {
+            kind,
+            facts,
+            stats,
+            iterations,
+            resolved_indirect_calls,
+            elapsed,
+            unknown,
+            call_edges,
+            model: crate::models::make_model_with(kind, opts),
+        }
+    }
+
     /// Normalizes `obj.path` under this run's instance.
     pub fn normalize(&self, prog: &Program, obj: ObjId, path: &FieldPath) -> Loc {
         self.model.normalize(prog, obj, path)

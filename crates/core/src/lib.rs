@@ -150,5 +150,5 @@ pub use structcast_ast::{parse, ParseError, TranslationUnit};
 pub mod parse_support {
     pub use structcast_ast::{preprocess, IncludeResolver, Lexer, Parser};
 }
-pub use structcast_ir::{lower, lower_source, LowerError, ObjId, Program, Stmt, StmtId};
+pub use structcast_ir::{lower, lower_source, FuncId, LowerError, ObjId, Program, Stmt, StmtId};
 pub use structcast_types::{CompatMode, FieldPath, Layout, TypeId, TypeTable};

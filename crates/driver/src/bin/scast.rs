@@ -6,7 +6,9 @@
 //!       [--deref-stats] [--dump-ir] [--dump-constraints] [--steensgaard] [--json]
 //! scast --corpus            # list the embedded benchmark corpus
 //! scast serve [--addr HOST:PORT] [--threads N] [--max-cache-mb N]
-//! scast query --addr HOST:PORT [--timeout-ms N] <request-json>... | -
+//!             [--snapshot DIR] [--snapshot-every-s N]
+//! scast fleet --replicas N [--addr HOST:PORT] [--snapshot DIR] [--threads N]
+//! scast query --addr HOST:PORT [--timeout-ms N] [--binary] <request-json>... | -
 //! scast update --addr HOST:PORT --program NAME <file.c> | -
 //! ```
 //!
@@ -19,6 +21,14 @@
 //! live-editing delta against the cached session `--program`: the server
 //! diffs it function-by-function against the loaded text, reuses every
 //! unchanged constraint, and re-solves only what the edit can reach.
+//!
+//! `scast serve --snapshot DIR` persists the session cache to `DIR` on
+//! shutdown (and on `{"op":"snapshot"}` requests), and restarts warm
+//! from it: previously-answered queries come back with zero compile or
+//! solve misses. `scast fleet --replicas N` runs N serve processes behind
+//! a consistent-hash router that detects dead replicas and restarts them
+//! from their snapshots. `scast query --binary` speaks the length-prefixed
+//! binary codec instead of NDJSON (same requests, same replies).
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -28,7 +38,7 @@ use structcast::{
     try_analyze, AnalysisConfig, AnalysisResult, Budget, Layout, ModelKind, Program,
 };
 use structcast_server::json::Json;
-use structcast_server::{serve, Client, ServerConfig};
+use structcast_server::{serve, BinaryClient, Client, FleetConfig, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
@@ -38,8 +48,10 @@ fn usage() -> ! {
          [--deref-stats] [--dump-ir] [--dump-constraints] [--steensgaard] \
          [--stride] [--flag-unknown] [--dot] [--modref] [--json]\
          \n       scast --corpus\
-         \n       scast serve [--addr HOST:PORT] [--threads N] [--max-cache-mb N]\
-         \n       scast query --addr HOST:PORT [--timeout-ms N] <request-json>... | -\
+         \n       scast serve [--addr HOST:PORT] [--threads N] [--max-cache-mb N] \
+         [--snapshot DIR] [--snapshot-every-s N]\
+         \n       scast fleet --replicas N [--addr HOST:PORT] [--snapshot DIR] [--threads N]\
+         \n       scast query --addr HOST:PORT [--timeout-ms N] [--binary] <request-json>... | -\
          \n       scast update --addr HOST:PORT --program NAME [--timeout-ms N] <file.c> | -"
     );
     std::process::exit(2);
@@ -77,6 +89,7 @@ fn main() -> ExitCode {
     }
     let outcome = match args[0].as_str() {
         "serve" => cmd_serve(&args[1..]),
+        "fleet" => cmd_fleet(&args[1..]),
         "query" => cmd_query(&args[1..]),
         "update" => cmd_update(&args[1..]),
         _ => run(args),
@@ -115,6 +128,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 // 0 = unbounded, matching the cache's convention.
                 cfg.max_cache_bytes = mb.saturating_mul(1024 * 1024);
             }
+            "--snapshot" => {
+                cfg.snapshot_dir =
+                    Some(it.next().cloned().unwrap_or_else(|| usage()).into());
+            }
+            "--snapshot-every-s" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                let secs: u64 =
+                    n.parse().map_err(|_| format!("serve: bad --snapshot-every-s `{n}`"))?;
+                cfg.snapshot_every = Some(Duration::from_secs(secs));
+            }
             _ => usage(),
         }
     }
@@ -126,12 +149,61 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `scast fleet`: N serve processes (spawned from this same binary, each
+/// with its own snapshot directory) behind a consistent-hash router.
+fn cmd_fleet(args: &[String]) -> Result<(), String> {
+    let mut cfg = FleetConfig::default();
+    let mut threads: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => cfg.addr = it.next().cloned().unwrap_or_else(|| usage()),
+            "--replicas" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                cfg.replicas =
+                    n.parse().map_err(|_| format!("fleet: bad --replicas `{n}`"))?;
+            }
+            "--snapshot" => {
+                cfg.snapshot_root =
+                    Some(it.next().cloned().unwrap_or_else(|| usage()).into());
+            }
+            "--threads" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                threads =
+                    Some(n.parse().map_err(|_| format!("fleet: bad --threads `{n}`"))?);
+            }
+            _ => usage(),
+        }
+    }
+    // Replicas are this very binary, re-entered as `scast serve`.
+    cfg.program = std::env::current_exe()
+        .map_err(|e| format!("fleet: cannot locate my own binary: {e}"))?;
+    cfg.args = vec!["serve".to_string()];
+    if let Some(n) = threads {
+        cfg.args.push("--threads".to_string());
+        cfg.args.push(n.to_string());
+    }
+    let handle =
+        structcast_server::fleet(&cfg).map_err(|e| format!("fleet: cannot start: {e}"))?;
+    println!("listening on {}", handle.addr());
+    for (i, addr) in handle.replica_addrs().iter().enumerate() {
+        match addr {
+            Some(a) => println!("replica {i} on {a}"),
+            None => println!("replica {i} down"),
+        }
+    }
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    Ok(())
+}
+
 /// `scast query`: send request lines to a running server and print the
 /// response lines. Requests come from the argument list, or from stdin
 /// (one per line) when the single argument `-` is given.
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut addr = None;
     let mut timeout_ms: u64 = 5000;
+    let mut binary = false;
     let mut reqs: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -142,6 +214,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                 timeout_ms =
                     n.parse().map_err(|_| format!("query: bad --timeout-ms `{n}`"))?;
             }
+            "--binary" => binary = true,
             other => reqs.push(other.to_string()),
         }
     }
@@ -156,6 +229,25 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             .filter(|l| !l.trim().is_empty())
             .map(str::to_string)
             .collect();
+    }
+    if binary {
+        // Binary codec: same requests and replies, framed instead of
+        // line-delimited. Replies are printed as JSON lines, so the two
+        // codecs are diffable with the shell.
+        let mut client = if timeout_ms == 0 {
+            BinaryClient::connect(&addr)
+        } else {
+            BinaryClient::connect_timeout(&addr, Duration::from_millis(timeout_ms))
+        }
+        .map_err(|e| format!("query: cannot connect to {addr}: {e}"))?;
+        for req in &reqs {
+            let parsed = Json::parse(req).map_err(|e| format!("query: bad request: {e}"))?;
+            let resp = client
+                .request(&parsed)
+                .map_err(|e| format!("query: {addr}: {e}"))?;
+            println!("{resp}");
+        }
+        return Ok(());
     }
     // --timeout-ms 0 opts back into blocking forever (e.g. a query that is
     // expected to solve a huge program on a cold cache).

@@ -81,6 +81,10 @@ pub struct ProgramEntry {
     pub hash_hex: String,
     /// The name the program was loaded under (or the hash when unnamed).
     pub name: String,
+    /// The exact source text behind [`key`](ProgramEntry::key). Retained so
+    /// a snapshot can persist the program as text and re-lower it
+    /// deterministically at restore instead of serializing the whole IR.
+    pub source: String,
     /// The lowered program.
     pub prog: Program,
     /// Its model-independent constraint form.
@@ -97,6 +101,7 @@ impl ProgramEntry {
     pub fn approx_bytes(&self) -> usize {
         let names: usize = self.prog.objects.iter().map(|o| o.name.len()).sum();
         4096 + names
+            + self.source.len()
             + self.prog.objects.len() * 96
             + self.prog.stmts.len() * 80
             + self.prog.functions.len() * 128
@@ -500,6 +505,7 @@ impl SessionCache {
                     key,
                     name: name.unwrap_or(&hash_hex).to_string(),
                     hash_hex,
+                    source: source.to_string(),
                     prog,
                     constraints,
                     compile,
@@ -537,6 +543,73 @@ impl SessionCache {
     pub fn entry(&self, program: &str) -> Option<Arc<ProgramEntry>> {
         let key = *read(&self.names).get(program)?;
         read(&self.programs).get(&key).map(|s| self.touch(s))
+    }
+
+    // ----- snapshot export/restore -----
+    //
+    // The snapshot layer (see [`crate::snapshot`]) serializes the cache to
+    // disk and repopulates it on restart. Export hands out the resident
+    // values *without* touching recency (saving is not use); restore
+    // inserts *without* recording hits or misses — nothing was compiled or
+    // solved, so the honesty counters (`program_misses`, `solve_misses`,
+    // and the per-thread compile/solve tallies) must not move.
+
+    /// Every resident program entry, for the snapshot writer.
+    pub fn export_programs(&self) -> Vec<Arc<ProgramEntry>> {
+        read(&self.programs).values().map(|s| Arc::clone(&s.value)).collect()
+    }
+
+    /// Every resident solved summary with its key, for the snapshot writer.
+    pub fn export_solved(&self) -> Vec<((u64, String), Arc<Solved>)> {
+        read(&self.solved)
+            .iter()
+            .map(|(k, s)| (k.clone(), Arc::clone(&s.value)))
+            .collect()
+    }
+
+    /// Every resident demand answer with its key, for the snapshot writer.
+    pub fn export_demand(&self) -> Vec<((u64, String), Arc<DemandAnswer>)> {
+        read(&self.demand)
+            .iter()
+            .map(|(k, s)| (k.clone(), Arc::clone(&s.value)))
+            .collect()
+    }
+
+    /// Inserts a restored program entry, registering its name and hash
+    /// aliases exactly as [`load`](SessionCache::load) would — but with no
+    /// compile and no hit/miss recorded. First-in wins against a racing
+    /// loader; the byte budget applies as usual.
+    pub fn restore_program(&self, entry: Arc<ProgramEntry>) {
+        let key = entry.key;
+        let name = entry.name.clone();
+        let hash_hex = entry.hash_hex.clone();
+        {
+            let mut programs = write(&self.programs);
+            if let std::collections::hash_map::Entry::Vacant(slot) = programs.entry(key) {
+                let bytes = entry.approx_bytes();
+                self.bytes.fetch_add(bytes, Relaxed);
+                slot.insert(self.slot(entry, bytes));
+            }
+        }
+        let mut names = write(&self.names);
+        names.insert(name, key);
+        names.insert(hash_hex, key);
+        drop(names);
+        self.enforce_cap(Some(key), None);
+    }
+
+    /// Inserts a restored solved summary under its original key, with no
+    /// solve and no hit/miss recorded.
+    pub fn restore_solved(&self, key: (u64, String), solved: Arc<Solved>) {
+        self.insert_solved(&key, solved);
+        self.enforce_cap(None, Some(&key));
+    }
+
+    /// Inserts a restored demand answer under its original key, with no
+    /// slice/solve and no hit/miss recorded.
+    pub fn restore_demand(&self, key: (u64, String), answer: Arc<DemandAnswer>) {
+        self.insert_demand(&key, answer);
+        self.enforce_cap(None, Some(&key));
     }
 
     /// The solved summary for `(entry, opts)`, memoized. A hit re-runs
@@ -796,6 +869,7 @@ impl SessionCache {
             key,
             hash_hex,
             name,
+            source: source.to_string(),
             prog: new_prog,
             constraints: new_set,
             compile,

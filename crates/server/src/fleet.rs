@@ -1,0 +1,667 @@
+//! Replica fleet: a consistent-hash router over N serve processes.
+//!
+//! `scast fleet --replicas N` runs N independent server *processes* and
+//! one thin router in front of them. The router owns no analysis state:
+//! it extracts each request's **routing key** (the `program`/`name`
+//! field, or the source hash of an inline `source` — exactly the keys the
+//! session cache indexes by), maps it through a consistent-hash ring
+//! built from the same FNV-1a hash the cache uses, and forwards the
+//! request verbatim to the owning replica. One program's queries always
+//! land on one replica, so each replica's cache warms for its share of
+//! the keyspace and N replicas give N-way solve parallelism across
+//! programs.
+//!
+//! # Failover
+//!
+//! Each replica is spawned with its own snapshot directory
+//! (`<root>/r<i>`). When forwarding to a replica fails, the router
+//! answers the client `overloaded` (with `retry_after_ms`, the protocol's
+//! standard back-off shape), kills whatever is left of the child, and
+//! restarts it **from its snapshot** in the background — a restarted
+//! replica answers its re-warmed keys with zero compile/solve misses.
+//! The ring is keyed by replica *index*, not address, so a restarted
+//! replica owns exactly the keys it owned before and its snapshot is the
+//! right warm state.
+//!
+//! # Router ops
+//!
+//! Requests without a routing key are router-level:
+//!
+//! - `{"op":"fleet_stats"}` — per-replica `stats` plus router counters
+//!   (forwarded, overloaded replies, restarts);
+//! - `{"op":"snapshot"}` — broadcast to every replica;
+//! - `{"op":"shutdown"}` — broadcast (each replica saves its snapshot and
+//!   exits), then the router itself exits;
+//! - anything else keyless (e.g. `stats`) routes to replica 0.
+//!
+//! Both codecs are served on the router's listener, negotiated by the
+//! same one-byte peek as the single server; binary batch frames are
+//! routed by their **first** request's key.
+
+use crate::cache::source_hash;
+use crate::client::{BinaryClient, Client};
+use crate::json::Json;
+use crate::proto::{error_response_with, ok_response, read_frame, write_frame, BINARY_PREAMBLE};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Virtual points per replica on the hash ring — enough that the keyspace
+/// splits roughly evenly for small fleets.
+const VNODES: usize = 40;
+
+/// How long a client shed by a dead replica is told to wait.
+const RETRY_AFTER_MS: u64 = 50;
+
+/// Fleet configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Router bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Number of replica processes.
+    pub replicas: usize,
+    /// The serve binary to spawn per replica (e.g. `scastd`, or `scast`
+    /// with `args: ["serve"]`).
+    pub program: PathBuf,
+    /// Arguments placed before the router-appended `--addr 127.0.0.1:0`
+    /// (and `--snapshot <dir>` when configured). The spawned command must
+    /// print `listening on HOST:PORT` on stdout once bound.
+    pub args: Vec<String>,
+    /// Per-replica snapshot root: replica `i` snapshots to `<root>/r<i>`
+    /// and restarts warm from it. `None` restarts replicas cold.
+    pub snapshot_root: Option<PathBuf>,
+    /// Bound on every forwarded request's connect+read.
+    pub forward_timeout: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            replicas: 2,
+            program: PathBuf::new(),
+            args: Vec::new(),
+            snapshot_root: None,
+            forward_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+struct Replica {
+    /// Where the live child listens; `None` while dead or restarting.
+    addr: Mutex<Option<SocketAddr>>,
+    child: Mutex<Option<Child>>,
+    /// Serializes restarts; `try_lock` failure means a restart is already
+    /// in flight and the caller should not start another.
+    restart: Mutex<()>,
+    restarts: AtomicU64,
+    forwarded: AtomicU64,
+}
+
+struct FleetShared {
+    cfg: FleetConfig,
+    replicas: Vec<Replica>,
+    /// `(point, replica index)` sorted by point.
+    ring: Vec<(u64, usize)>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    overloaded: AtomicU64,
+}
+
+impl FleetShared {
+    /// The replica index owning `key` — first ring point at or past the
+    /// key's hash, wrapping to the first point.
+    fn route(&self, key: &str) -> usize {
+        let h = source_hash(key);
+        let i = self.ring.partition_point(|&(p, _)| p < h);
+        self.ring[if i == self.ring.len() { 0 } else { i }].1
+    }
+}
+
+/// The routing key of a request: the same identifier the session cache
+/// indexes by, so all of one program's traffic lands on one replica.
+fn routing_key(req: &Json) -> Option<String> {
+    if let Some(p) = req.get("program").and_then(Json::as_str) {
+        return Some(p.to_string());
+    }
+    if let Some(n) = req.get("name").and_then(Json::as_str) {
+        return Some(n.to_string());
+    }
+    req.get("source")
+        .and_then(Json::as_str)
+        .map(|s| format!("{:016x}", source_hash(s)))
+}
+
+/// Spawns one replica process and scrapes its bound address off stdout.
+fn spawn_replica(cfg: &FleetConfig, index: usize) -> io::Result<(Child, SocketAddr)> {
+    let mut cmd = Command::new(&cfg.program);
+    cmd.args(&cfg.args).arg("--addr").arg("127.0.0.1:0");
+    if let Some(root) = &cfg.snapshot_root {
+        cmd.arg("--snapshot").arg(root.join(format!("r{index}")));
+    }
+    cmd.stdout(Stdio::piped()).stdin(Stdio::null());
+    let mut child = cmd.spawn()?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let mut lines = BufReader::new(stdout);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        if lines.read_line(&mut line)? == 0 {
+            let _ = child.kill();
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("replica {index} exited before printing its address"),
+            ));
+        }
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            match rest.parse::<SocketAddr>() {
+                Ok(a) => break a,
+                Err(e) => {
+                    let _ = child.kill();
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("replica {index} printed an unparsable address: {e}"),
+                    ));
+                }
+            }
+        }
+    };
+    // Keep draining stdout (the shutdown summary line) so the child never
+    // blocks on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = io::sink();
+        let _ = io::copy(&mut lines, &mut sink);
+    });
+    Ok((child, addr))
+}
+
+/// Marks a replica dead and restarts it in the background (no-op if a
+/// restart is already in flight). The restarted child reloads the
+/// replica's snapshot, so its re-warmed keys answer without recompiling.
+fn restart_replica(shared: &Arc<FleetShared>, idx: usize) {
+    let Ok(_guard) = shared.replicas[idx].restart.try_lock() else {
+        return;
+    };
+    *shared.replicas[idx].addr.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        let _guard = shared.replicas[idx]
+            .restart
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Double-check under the lock: a concurrent trigger may have
+        // already brought the replica back.
+        if shared.replicas[idx]
+            .addr
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+        {
+            return;
+        }
+        if let Some(mut old) = shared.replicas[idx]
+            .child
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            let _ = old.kill();
+            let _ = old.wait();
+        }
+        match spawn_replica(&shared.cfg, idx) {
+            Ok((child, addr)) => {
+                *shared.replicas[idx].child.lock().unwrap_or_else(|e| e.into_inner()) =
+                    Some(child);
+                *shared.replicas[idx].addr.lock().unwrap_or_else(|e| e.into_inner()) =
+                    Some(addr);
+                shared.replicas[idx].restarts.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => eprintln!("fleet: replica {idx} restart failed: {e}"),
+        }
+    });
+}
+
+/// The `overloaded` reply a client gets when its replica is down.
+fn overloaded_reply(shared: &FleetShared, idx: usize) -> Json {
+    shared.overloaded.fetch_add(1, Ordering::Relaxed);
+    error_response_with(
+        "overloaded",
+        &format!("replica {idx} unavailable; retry later"),
+        [("retry_after_ms", Json::count(RETRY_AFTER_MS))],
+    )
+}
+
+/// A running fleet.
+pub struct FleetHandle {
+    shared: Arc<FleetShared>,
+    accept: JoinHandle<()>,
+}
+
+impl FleetHandle {
+    /// The router's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The replicas' current addresses (`None` = dead/restarting).
+    pub fn replica_addrs(&self) -> Vec<Option<SocketAddr>> {
+        self.shared
+            .replicas
+            .iter()
+            .map(|r| *r.addr.lock().unwrap_or_else(|e| e.into_inner()))
+            .collect()
+    }
+
+    /// The replica index that owns `key` under the router's hash ring.
+    pub fn route(&self, key: &str) -> usize {
+        self.shared.route(key)
+    }
+
+    /// Kills replica `idx`'s process outright (SIGKILL — no graceful
+    /// shutdown, no snapshot save). Chaos tests use this to prove the
+    /// router detects the death, sheds cleanly, and restarts the replica
+    /// from its last snapshot.
+    pub fn kill_replica(&self, idx: usize) -> io::Result<()> {
+        let mut child = self.shared.replicas[idx]
+            .child
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        match child.as_mut() {
+            Some(c) => {
+                c.kill()?;
+                let _ = c.wait();
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("replica {idx} has no live process"),
+            )),
+        }
+    }
+
+    /// Blocks until the router has shut down (every replica asked to exit
+    /// and reaped).
+    pub fn wait(self) {
+        let _ = self.accept.join();
+    }
+}
+
+/// Spawns `cfg.replicas` serve processes and starts the router,
+/// returning once every replica has printed its address and the router
+/// is accepting.
+///
+/// # Errors
+///
+/// Replica spawn failures (bad binary path, a child that exits before
+/// binding) and router bind failures. Already-spawned replicas are
+/// killed on the way out.
+pub fn fleet(cfg: &FleetConfig) -> io::Result<FleetHandle> {
+    if cfg.replicas == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "a fleet needs at least one replica",
+        ));
+    }
+    let mut spawned: Vec<(Child, SocketAddr)> = Vec::new();
+    for i in 0..cfg.replicas {
+        match spawn_replica(cfg, i) {
+            Ok(pair) => spawned.push(pair),
+            Err(e) => {
+                for (mut c, _) in spawned {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                return Err(e);
+            }
+        }
+    }
+    let listener = match TcpListener::bind(&cfg.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            for (mut c, _) in spawned {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+            return Err(e);
+        }
+    };
+    let addr = listener.local_addr()?;
+    let mut ring: Vec<(u64, usize)> = (0..cfg.replicas)
+        .flat_map(|i| (0..VNODES).map(move |v| (source_hash(&format!("replica-{i}-{v}")), i)))
+        .collect();
+    ring.sort_unstable();
+    let shared = Arc::new(FleetShared {
+        cfg: cfg.clone(),
+        replicas: spawned
+            .into_iter()
+            .map(|(child, raddr)| Replica {
+                addr: Mutex::new(Some(raddr)),
+                child: Mutex::new(Some(child)),
+                restart: Mutex::new(()),
+                restarts: AtomicU64::new(0),
+                forwarded: AtomicU64::new(0),
+            })
+            .collect(),
+        ring,
+        shutdown: AtomicBool::new(false),
+        addr,
+        overloaded: AtomicU64::new(0),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let conn_shared = Arc::clone(&accept_shared);
+            std::thread::spawn(move || route_connection(&conn_shared, stream));
+        }
+        // Reap whatever shutdown_fleet left behind.
+        for r in &accept_shared.replicas {
+            if let Some(mut c) = r.child.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                let _ = c.wait();
+            }
+        }
+    });
+    Ok(FleetHandle { shared, accept })
+}
+
+/// Per-connection forwarding state: one lazily-opened connection per
+/// replica, per codec. A replica restart invalidates its slot (the old
+/// socket errors and is dropped).
+struct Conns {
+    ndjson: Vec<Option<Client>>,
+    binary: Vec<Option<BinaryClient>>,
+}
+
+impl Conns {
+    fn new(n: usize) -> Conns {
+        Conns {
+            ndjson: (0..n).map(|_| None).collect(),
+            binary: (0..n).map(|_| None).collect(),
+        }
+    }
+}
+
+/// Forwards one NDJSON request line to replica `idx`, returning the raw
+/// reply line (byte-preserving) or `None` when the replica is unreachable
+/// (after one reconnect attempt, in case the cached connection was merely
+/// stale from a past restart).
+fn forward_line(
+    shared: &FleetShared,
+    conns: &mut Conns,
+    idx: usize,
+    line: &str,
+) -> Option<String> {
+    for attempt in 0..2 {
+        if conns.ndjson[idx].is_none() {
+            let raddr = (*shared.replicas[idx].addr.lock().unwrap_or_else(|e| e.into_inner()))?;
+            conns.ndjson[idx] = Client::connect_timeout(raddr, shared.cfg.forward_timeout).ok();
+        }
+        if let Some(c) = conns.ndjson[idx].as_mut() {
+            match c.request_line(line) {
+                Ok(reply) => {
+                    shared.replicas[idx].forwarded.fetch_add(1, Ordering::Relaxed);
+                    return Some(reply);
+                }
+                Err(_) => {
+                    conns.ndjson[idx] = None;
+                    if attempt == 1 {
+                        return None;
+                    }
+                }
+            }
+        } else if attempt == 1 {
+            return None;
+        }
+    }
+    None
+}
+
+/// Binary-codec counterpart of [`forward_line`]: forwards one decoded
+/// frame value (single request or batch) and returns the reply value.
+fn forward_frame(
+    shared: &FleetShared,
+    conns: &mut Conns,
+    idx: usize,
+    value: &Json,
+) -> Option<Json> {
+    for attempt in 0..2 {
+        if conns.binary[idx].is_none() {
+            let raddr = (*shared.replicas[idx].addr.lock().unwrap_or_else(|e| e.into_inner()))?;
+            conns.binary[idx] =
+                BinaryClient::connect_timeout(raddr, shared.cfg.forward_timeout).ok();
+        }
+        if let Some(c) = conns.binary[idx].as_mut() {
+            match c.request(value) {
+                Ok(reply) => {
+                    shared.replicas[idx].forwarded.fetch_add(1, Ordering::Relaxed);
+                    return Some(reply);
+                }
+                Err(_) => {
+                    conns.binary[idx] = None;
+                    if attempt == 1 {
+                        return None;
+                    }
+                }
+            }
+        } else if attempt == 1 {
+            return None;
+        }
+    }
+    None
+}
+
+/// Broadcasts a request to every live replica, returning per-replica
+/// replies (`null` for unreachable ones).
+fn broadcast(shared: &FleetShared, req: &Json) -> Vec<Json> {
+    (0..shared.replicas.len())
+        .map(|i| {
+            let raddr = *shared.replicas[i].addr.lock().unwrap_or_else(|e| e.into_inner());
+            let Some(raddr) = raddr else { return Json::Null };
+            Client::connect_timeout(raddr, shared.cfg.forward_timeout)
+                .and_then(|mut c| c.request(req))
+                .unwrap_or(Json::Null)
+        })
+        .collect()
+}
+
+/// The `fleet_stats` reply: per-replica health + `stats`, plus the
+/// router's own counters.
+fn fleet_stats(shared: &FleetShared) -> Json {
+    let stats_req = Json::obj([("op", Json::str("stats"))]);
+    let mut rows = Vec::new();
+    let mut restarts_total = 0;
+    for (i, r) in shared.replicas.iter().enumerate() {
+        let raddr = *r.addr.lock().unwrap_or_else(|e| e.into_inner());
+        let stats = raddr.and_then(|a| {
+            Client::connect_timeout(a, shared.cfg.forward_timeout)
+                .and_then(|mut c| c.request(&stats_req))
+                .ok()
+        });
+        let restarts = r.restarts.load(Ordering::Relaxed);
+        restarts_total += restarts;
+        rows.push(Json::obj([
+            ("replica", Json::count(i as u64)),
+            (
+                "addr",
+                raddr.map_or(Json::Null, |a| Json::str(a.to_string())),
+            ),
+            ("alive", Json::Bool(stats.is_some())),
+            ("restarts", Json::count(restarts)),
+            ("forwarded", Json::count(r.forwarded.load(Ordering::Relaxed))),
+            ("stats", stats.unwrap_or(Json::Null)),
+        ]));
+    }
+    ok_response([
+        ("replicas", Json::Arr(rows)),
+        (
+            "router",
+            Json::obj([
+                ("overloaded", Json::count(shared.overloaded.load(Ordering::Relaxed))),
+                ("restarts", Json::count(restarts_total)),
+            ]),
+        ),
+    ])
+}
+
+/// Handles a shutdown request: broadcast it (each replica saves its
+/// snapshot and exits), reap the children, then stop the router.
+fn shutdown_fleet(shared: &FleetShared) {
+    let req = Json::obj([("op", Json::str("shutdown"))]);
+    let _ = broadcast(shared, &req);
+    for r in &shared.replicas {
+        if let Some(mut c) = r.child.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            let _ = c.wait();
+        }
+        *r.addr.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+    shared.shutdown.store(true, Ordering::SeqCst);
+    // Poke the accept loop awake (bounded retries, as in the server).
+    for _ in 0..40 {
+        if TcpStream::connect_timeout(&shared.addr, Duration::from_millis(250)).is_ok() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Routes one request value: router ops answered locally, everything
+/// else forwarded by routing key. Returns `(reply, shutdown)`; the reply
+/// is `Err(raw_line)` when a byte-preserving NDJSON forward is available.
+enum Routed {
+    /// Router-generated reply.
+    Local(Json, bool),
+    /// Forward to this replica.
+    Forward(usize),
+}
+
+fn classify(shared: &FleetShared, req: &Json) -> Routed {
+    match req.get("op").and_then(Json::as_str) {
+        Some("fleet_stats") => Routed::Local(fleet_stats(shared), false),
+        Some("shutdown") => Routed::Local(ok_response([("shutdown", Json::Bool(true))]), true),
+        Some("snapshot") => {
+            let replies = broadcast(shared, req);
+            let saved = replies.iter().filter(|r| !matches!(r, Json::Null)).count();
+            Routed::Local(
+                ok_response([
+                    ("replicas", Json::Arr(replies)),
+                    ("saved", Json::count(saved as u64)),
+                ]),
+                false,
+            )
+        }
+        _ => Routed::Forward(routing_key(req).map_or(0, |k| shared.route(&k))),
+    }
+}
+
+fn route_connection(shared: &Arc<FleetShared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.forward_timeout));
+    let mut first = [0u8; 1];
+    let binary =
+        matches!(stream.peek(&mut first), Ok(n) if n > 0 && first[0] == BINARY_PREAMBLE[0]);
+    let mut conns = Conns::new(shared.replicas.len());
+    if binary {
+        route_binary(shared, stream, &mut conns);
+    } else {
+        route_ndjson(shared, stream, &mut conns);
+    }
+}
+
+fn route_ndjson(shared: &Arc<FleetShared>, stream: TcpStream, conns: &mut Conns) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.trim().is_empty() {
+            continue;
+        }
+        // A parse failure still forwards (to replica 0): the replica owns
+        // the error taxonomy, so its bad_request reply — and its metrics
+        // accounting — stay authoritative.
+        let parsed = Json::parse(trimmed).unwrap_or(Json::Null);
+        let (reply, shutdown) = match classify(shared, &parsed) {
+            Routed::Local(reply, shutdown) => (reply.to_string(), shutdown),
+            Routed::Forward(idx) => match forward_line(shared, conns, idx, trimmed) {
+                Some(raw) => (raw, false),
+                None => {
+                    restart_replica(shared, idx);
+                    (overloaded_reply(shared, idx).to_string(), false)
+                }
+            },
+        };
+        if writeln!(writer, "{reply}").and_then(|()| writer.flush()).is_err() {
+            break;
+        }
+        if shutdown {
+            shutdown_fleet(shared);
+            break;
+        }
+    }
+}
+
+fn route_binary(shared: &Arc<FleetShared>, stream: TcpStream, conns: &mut Conns) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut preamble = [0u8; 4];
+    if reader.read_exact(&mut preamble).is_err() || preamble != BINARY_PREAMBLE {
+        return;
+    }
+    while let Ok(Some(value)) = read_frame(&mut reader) {
+        // A batch routes by its first request's key — the batch is one
+        // frame and stays whole on one replica.
+        let probe = match &value {
+            Json::Arr(items) => items.first().cloned().unwrap_or(Json::Null),
+            v => v.clone(),
+        };
+        let (reply, shutdown) = match classify(shared, &probe) {
+            Routed::Local(reply, shutdown) => match &value {
+                Json::Arr(_) => (Json::Arr(vec![reply]), shutdown),
+                _ => (reply, shutdown),
+            },
+            Routed::Forward(idx) => match forward_frame(shared, conns, idx, &value) {
+                Some(reply) => (reply, false),
+                None => {
+                    restart_replica(shared, idx);
+                    let shed = overloaded_reply(shared, idx);
+                    match &value {
+                        Json::Arr(items) => {
+                            (Json::Arr(items.iter().map(|_| shed.clone()).collect()), false)
+                        }
+                        _ => (shed, false),
+                    }
+                }
+            },
+        };
+        if write_frame(&mut writer, &reply).is_err() {
+            break;
+        }
+        if shutdown {
+            shutdown_fleet(shared);
+            break;
+        }
+    }
+}

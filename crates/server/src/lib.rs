@@ -55,14 +55,18 @@
 pub mod cache;
 mod client;
 pub mod faults;
+pub mod fleet;
 pub mod json;
 pub mod metrics;
 pub mod proto;
 mod server;
+pub mod snapshot;
 
 pub use cache::{source_hash, ProgramEntry, SessionCache, Solved};
-pub use client::Client;
+pub use client::{BinaryClient, Client};
 pub use faults::FaultPlan;
+pub use fleet::{fleet, FleetConfig, FleetHandle};
 pub use metrics::Metrics;
 pub use proto::{QueryOpts, Request};
 pub use server::{serve, ServerConfig, ServerHandle};
+pub use snapshot::{SnapshotError, SNAPSHOT_FILE};

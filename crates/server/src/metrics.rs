@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Duration;
 
 /// The request kinds the server tallies individually.
-pub const OP_NAMES: [&str; 8] = [
+pub const OP_NAMES: [&str; 9] = [
     "load",
     "points_to",
     "alias",
@@ -25,6 +25,7 @@ pub const OP_NAMES: [&str; 8] = [
     "stats",
     "shutdown",
     "update",
+    "snapshot",
 ];
 
 /// The failure taxonomy: every error reply carries exactly one of these
@@ -66,6 +67,11 @@ pub struct Metrics {
     update_fallbacks: AtomicU64,
     update_retracted_edges: AtomicU64,
     update_resolve_ns: AtomicU64,
+    snapshot_saves: AtomicU64,
+    snapshot_save_bytes: AtomicU64,
+    snapshot_restores: AtomicU64,
+    snapshot_restored_entries: AtomicU64,
+    snapshot_restore_errors: AtomicU64,
 }
 
 impl Metrics {
@@ -156,6 +162,34 @@ impl Metrics {
         self.update_retracted_edges.fetch_add(retracted, Relaxed);
         self.update_resolve_ns
             .fetch_add(resolve.as_nanos() as u64, Relaxed);
+    }
+
+    /// Records one snapshot written to disk (and its size).
+    pub fn record_snapshot_save(&self, bytes: u64) {
+        self.snapshot_saves.fetch_add(1, Relaxed);
+        self.snapshot_save_bytes.store(bytes, Relaxed);
+    }
+
+    /// Records one successful cold-start-warm restore: how many cache
+    /// entries (programs + solved + demand) the snapshot repopulated.
+    pub fn record_snapshot_restore(&self, entries: u64) {
+        self.snapshot_restores.fetch_add(1, Relaxed);
+        self.snapshot_restored_entries.fetch_add(entries, Relaxed);
+    }
+
+    /// Records a snapshot that failed to load (corrupt, truncated, or
+    /// unreadable): the server fell back to a cold start.
+    pub fn record_snapshot_restore_error(&self) {
+        self.snapshot_restore_errors.fetch_add(1, Relaxed);
+    }
+
+    /// `(saves, restores, restore_errors)` of the snapshot subsystem.
+    pub fn snapshot_counts(&self) -> (u64, u64, u64) {
+        (
+            self.snapshot_saves.load(Relaxed),
+            self.snapshot_restores.load(Relaxed),
+            self.snapshot_restore_errors.load(Relaxed),
+        )
     }
 
     /// `(updates, fallbacks)` recorded so far.
@@ -297,6 +331,25 @@ impl Metrics {
                         Json::count(self.update_retracted_edges.load(Relaxed)),
                     ),
                     ("resolve_s", secs(&self.update_resolve_ns)),
+                ]),
+            ),
+            (
+                "snapshot",
+                Json::obj([
+                    ("saves", Json::count(self.snapshot_saves.load(Relaxed))),
+                    (
+                        "last_save_bytes",
+                        Json::count(self.snapshot_save_bytes.load(Relaxed)),
+                    ),
+                    ("restores", Json::count(self.snapshot_restores.load(Relaxed))),
+                    (
+                        "restored_entries",
+                        Json::count(self.snapshot_restored_entries.load(Relaxed)),
+                    ),
+                    (
+                        "restore_errors",
+                        Json::count(self.snapshot_restore_errors.load(Relaxed)),
+                    ),
                 ]),
             ),
             ("compile_s", secs(&self.compile_ns)),

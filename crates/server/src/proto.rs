@@ -209,6 +209,10 @@ pub enum Request {
         /// The full post-edit source text.
         source: String,
     },
+    /// Write a cache snapshot to the server's `--snapshot` directory now
+    /// (instead of waiting for the periodic saver or shutdown):
+    /// `{"op":"snapshot"}`.
+    Snapshot,
 }
 
 fn req_str(req: &Json, key: &str) -> Result<String, String> {
@@ -289,6 +293,7 @@ impl Request {
                 program: req_str(req, "program")?,
                 source: req_str(req, "source")?,
             }),
+            "snapshot" => Ok(Request::Snapshot),
             other => Err(format!("unknown op `{other}`")),
         }
     }
@@ -304,8 +309,209 @@ impl Request {
             Request::Stats => 5,
             Request::Shutdown => 6,
             Request::Update { .. } => 7,
+            Request::Snapshot => 8,
         }
     }
+}
+
+// ----- the binary codec -----
+
+/// The four bytes a client sends first to negotiate the binary protocol
+/// on the shared listener. `0xB1` can never begin an NDJSON request (a
+/// JSON value starts with `{`, `[`, `"`, a digit, `-`, `t`, `f`, or `n`),
+/// so peeking one byte disambiguates the two codecs.
+pub const BINARY_PREAMBLE: [u8; 4] = [0xB1, b'S', b'C', b'P'];
+
+/// Largest frame either side will accept (64 MiB) — a length prefix
+/// beyond this is treated as a protocol error, not an allocation request.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+const BJ_NULL: u8 = 0;
+const BJ_FALSE: u8 = 1;
+const BJ_TRUE: u8 = 2;
+const BJ_NUM: u8 = 3;
+const BJ_STR: u8 = 4;
+const BJ_ARR: u8 = 5;
+const BJ_OBJ: u8 = 6;
+
+fn bjson_put(v: &Json, out: &mut Vec<u8>) {
+    match v {
+        Json::Null => out.push(BJ_NULL),
+        Json::Bool(false) => out.push(BJ_FALSE),
+        Json::Bool(true) => out.push(BJ_TRUE),
+        Json::Num(n) => {
+            out.push(BJ_NUM);
+            out.extend_from_slice(&n.to_bits().to_le_bytes());
+        }
+        Json::Str(s) => {
+            out.push(BJ_STR);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Json::Arr(items) => {
+            out.push(BJ_ARR);
+            out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for item in items {
+                bjson_put(item, out);
+            }
+        }
+        Json::Obj(pairs) => {
+            out.push(BJ_OBJ);
+            out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+            for (k, v) in pairs {
+                out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                out.extend_from_slice(k.as_bytes());
+                bjson_put(v, out);
+            }
+        }
+    }
+}
+
+/// Encodes a JSON value in the binary wire form (without the frame
+/// length prefix). Key order is preserved, so encoding is exactly as
+/// deterministic as the NDJSON emitter.
+pub fn bjson_encode(v: &Json) -> Vec<u8> {
+    let mut out = Vec::new();
+    bjson_put(v, &mut out);
+    out
+}
+
+struct BjReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BjReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("binary value truncated at byte {}", self.pos))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn count(&mut self) -> Result<usize, String> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() - self.pos {
+            return Err(format!("binary value truncated at byte {}", self.pos));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let n = self.count()?;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|e| format!("bad utf-8: {e}"))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.take(1)?[0] {
+            BJ_NULL => Ok(Json::Null),
+            BJ_FALSE => Ok(Json::Bool(false)),
+            BJ_TRUE => Ok(Json::Bool(true)),
+            BJ_NUM => {
+                let b = self.take(8)?;
+                Ok(Json::Num(f64::from_bits(u64::from_le_bytes([
+                    b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+                ]))))
+            }
+            BJ_STR => Ok(Json::Str(self.str()?)),
+            BJ_ARR => {
+                let n = self.count()?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                Ok(Json::Arr(items))
+            }
+            BJ_OBJ => {
+                let n = self.count()?;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = self.str()?;
+                    let v = self.value()?;
+                    pairs.push((k, v));
+                }
+                Ok(Json::Obj(pairs))
+            }
+            t => Err(format!("unknown binary tag {t} at byte {}", self.pos - 1)),
+        }
+    }
+}
+
+/// Decodes one binary-encoded JSON value, rejecting trailing bytes.
+///
+/// # Errors
+///
+/// A human-readable description of the first defect (truncation, bad
+/// tag, bad UTF-8) — decoding never panics on untrusted bytes.
+pub fn bjson_decode(bytes: &[u8]) -> Result<Json, String> {
+    let mut r = BjReader { buf: bytes, pos: 0 };
+    let v = r.value()?;
+    if r.pos != bytes.len() {
+        return Err(format!(
+            "{} trailing bytes after binary value",
+            bytes.len() - r.pos
+        ));
+    }
+    Ok(v)
+}
+
+/// Writes one length-prefixed binary frame: `len: u32 LE` then `len`
+/// bytes of [`bjson_encode`]d value.
+///
+/// # Errors
+///
+/// Propagates write failures from `w`.
+pub fn write_frame(w: &mut impl std::io::Write, v: &Json) -> std::io::Result<()> {
+    let body = bjson_encode(v);
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed binary frame. Returns `Ok(None)` on a clean
+/// EOF *before* the length prefix (the peer is done).
+///
+/// # Errors
+///
+/// `InvalidData` for an oversized length prefix or an undecodable body;
+/// any transport error otherwise (EOF mid-frame is `UnexpectedEof`).
+pub fn read_frame(r: &mut impl std::io::Read) -> std::io::Result<Option<Json>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof inside frame length",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds {MAX_FRAME_LEN}"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    bjson_decode(&body)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 /// An `{"ok": false, "error": {"kind": ..., "message": ...}}` response —
@@ -498,6 +704,81 @@ mod tests {
             r.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
             Some("cancelled")
         );
+    }
+
+    #[test]
+    fn snapshot_op_parses_and_counts() {
+        let r = parse(r#"{"op":"snapshot"}"#).unwrap();
+        assert!(matches!(r, Request::Snapshot));
+        assert!(r.op_index() < crate::metrics::OP_NAMES.len());
+        assert_eq!(crate::metrics::OP_NAMES[r.op_index()], "snapshot");
+    }
+
+    #[test]
+    fn bjson_roundtrips_and_preserves_emission() {
+        for src in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-12.5",
+            "9007199254740991",
+            r#""héllo \n there""#,
+            "[1, [true, null], \"x\"]",
+            r#"{"ok": true, "error": {"kind": "deadline", "message": "m"}, "n": [1, 2]}"#,
+        ] {
+            let v = Json::parse(src).unwrap();
+            let decoded = bjson_decode(&bjson_encode(&v)).unwrap();
+            assert_eq!(decoded, v, "{src}");
+            // The differential contract: a binary round trip emits the
+            // exact same NDJSON text as the original value.
+            assert_eq!(decoded.to_string(), v.to_string(), "{src}");
+        }
+    }
+
+    #[test]
+    fn bjson_rejects_damage() {
+        let good = bjson_encode(&Json::obj([("k", Json::str("v"))]));
+        // Truncation at every prefix length fails typed, never panics.
+        for cut in 0..good.len() {
+            assert!(bjson_decode(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // Unknown tag.
+        assert!(bjson_decode(&[9]).is_err());
+        // Trailing garbage.
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(bjson_decode(&padded).is_err());
+        // A length prefix pointing past the end of input.
+        assert!(bjson_decode(&[BJ_STR, 0xff, 0xff, 0xff, 0x7f, b'x']).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_and_cap_length() {
+        let v = Json::obj([("op", Json::str("stats"))]);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &v).unwrap();
+        write_frame(&mut wire, &Json::Arr(vec![v.clone(), Json::Null])).unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some(v.clone()));
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some(Json::Arr(vec![v, Json::Null]))
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), None); // clean EOF
+        // Oversized length prefix is a protocol error, not an allocation.
+        let huge = (MAX_FRAME_LEN + 1).to_le_bytes();
+        assert_eq!(
+            read_frame(&mut &huge[..]).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+        // EOF inside the length prefix is UnexpectedEof.
+        assert_eq!(
+            read_frame(&mut &[1u8, 0][..]).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+        // The preamble's first byte can never start a JSON value.
+        assert!(Json::parse("\u{00B1}SCP").is_err());
     }
 
     #[test]

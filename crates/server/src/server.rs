@@ -1,13 +1,23 @@
 //! The TCP front end: accept loop, worker pool, request dispatch.
 //!
-//! The protocol is newline-delimited JSON over a plain `TcpStream`: one
-//! request object per line, one response object per line, in order, on a
-//! connection a client may hold for many requests. The accept loop hands
-//! connections to a fixed pool of `std::thread` workers through a
-//! **bounded** mpsc channel, so up to `threads` clients are served
-//! concurrently, up to `backlog` more queue, and anything past that is
-//! shed immediately with an `overloaded` reply instead of queueing
-//! unboundedly.
+//! The default protocol is newline-delimited JSON over a plain
+//! `TcpStream`: one request object per line, one response object per
+//! line, in order, on a connection a client may hold for many requests.
+//! A connection whose first byte is [`BINARY_PREAMBLE`]`[0]` negotiates
+//! the length-prefixed **binary** codec instead (same listener, same
+//! request grammar, same replies — see [`crate::proto`]); a binary frame
+//! holding an *array* of requests is a pipelined batch answered by one
+//! array of replies in order. The accept loop hands connections to a
+//! fixed pool of `std::thread` workers through a **bounded** mpsc
+//! channel, so up to `threads` clients are served concurrently, up to
+//! `backlog` more queue, and anything past that is shed immediately with
+//! an `overloaded` reply instead of queueing unboundedly.
+//!
+//! With a snapshot directory configured ([`ServerConfig::snapshot_dir`])
+//! the server loads a warm cache at startup (falling back to a cold
+//! start — with a metric — when the snapshot is corrupt), saves on
+//! graceful shutdown and on every `snapshot` request, and optionally
+//! saves periodically ([`ServerConfig::snapshot_every`]).
 //!
 //! # Failure containment
 //!
@@ -33,11 +43,13 @@ use crate::faults::FaultPlan;
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::proto::{
-    error_response, error_response_with, ok_response, solve_error_response, QueryOpts, Request,
+    error_response, error_response_with, ok_response, read_frame, solve_error_response,
+    write_frame, QueryOpts, Request, BINARY_PREAMBLE,
 };
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -65,6 +77,13 @@ pub struct ServerConfig {
     /// Fault-injection spec (see [`FaultPlan`]); `None` reads
     /// `SCAST_FAULTS` from the environment.
     pub faults: Option<String>,
+    /// Snapshot directory: load a warm cache from it at startup, save to
+    /// it on graceful shutdown and on `snapshot` requests. `None`
+    /// disables the snapshot subsystem entirely.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Also save a snapshot periodically at this interval (requires
+    /// [`snapshot_dir`](ServerConfig::snapshot_dir)).
+    pub snapshot_every: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +95,8 @@ impl Default for ServerConfig {
             backlog: 128,
             read_timeout: Some(Duration::from_secs(30)),
             faults: None,
+            snapshot_dir: None,
+            snapshot_every: None,
         }
     }
 }
@@ -90,6 +111,7 @@ struct Shared {
     shutdown: AtomicBool,
     addr: SocketAddr,
     read_timeout: Option<Duration>,
+    snapshot_dir: Option<PathBuf>,
 }
 
 /// A typed handler failure: the error-kind taxonomy of the protocol.
@@ -97,6 +119,7 @@ struct Shared {
 /// `Solve` carries a tripped budget.
 enum ServeError {
     Bad(String),
+    Internal(String),
     Solve(SolveError),
 }
 
@@ -116,6 +139,7 @@ impl ServeError {
     fn kind(&self) -> &'static str {
         match self {
             ServeError::Bad(_) => "bad_request",
+            ServeError::Internal(_) => "internal",
             ServeError::Solve(e) => e.kind(),
         }
     }
@@ -123,6 +147,7 @@ impl ServeError {
     fn response(&self) -> Json {
         match self {
             ServeError::Bad(msg) => error_response("bad_request", msg),
+            ServeError::Internal(msg) => error_response("internal", msg),
             ServeError::Solve(e) => solve_error_response(e),
         }
     }
@@ -188,7 +213,34 @@ pub fn serve(cfg: &ServerConfig) -> io::Result<ServerHandle> {
         shutdown: AtomicBool::new(false),
         addr,
         read_timeout: cfg.read_timeout,
+        snapshot_dir: cfg.snapshot_dir.clone(),
     });
+
+    // Cold-start warm: restore the previous process's cache. A corrupt or
+    // unreadable snapshot is a metric and a cold start, never a crash.
+    if let Some(dir) = &shared.snapshot_dir {
+        match crate::snapshot::load_from_dir(&shared.cache, dir) {
+            Ok(None) => {}
+            Ok(Some(entries)) => shared.metrics.record_snapshot_restore(entries as u64),
+            Err(e) => {
+                shared.metrics.record_snapshot_restore_error();
+                eprintln!("snapshot load failed ({e}); starting cold");
+            }
+        }
+    }
+    if let (Some(dir), Some(every)) = (cfg.snapshot_dir.clone(), cfg.snapshot_every) {
+        let saver_shared = Arc::clone(&shared);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(every);
+            if saver_shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match crate::snapshot::save_to_dir(&saver_shared.cache, &dir) {
+                Ok(bytes) => saver_shared.metrics.record_snapshot_save(bytes),
+                Err(e) => eprintln!("periodic snapshot failed: {e}"),
+            }
+        });
+    }
 
     let (tx, rx) = mpsc::sync_channel::<TcpStream>(cfg.backlog);
     let rx = Arc::new(Mutex::new(rx));
@@ -235,6 +287,13 @@ pub fn serve(cfg: &ServerConfig) -> io::Result<ServerHandle> {
         for w in workers {
             let _ = w.join();
         }
+        // Final snapshot: the next process starts where this one stopped.
+        if let Some(dir) = &accept_shared.snapshot_dir {
+            match crate::snapshot::save_to_dir(&accept_shared.cache, dir) {
+                Ok(bytes) => accept_shared.metrics.record_snapshot_save(bytes),
+                Err(e) => eprintln!("shutdown snapshot failed: {e}"),
+            }
+        }
         println!("{}", accept_shared.metrics.summary_line());
     });
 
@@ -278,6 +337,17 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     // One small response per request line; don't let Nagle delay it.
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(shared.read_timeout);
+    // Codec negotiation: peek one byte. The binary preamble's first byte
+    // (0xB1) can never begin an NDJSON request (a JSON value starts with
+    // `{`, `[`, `"`, a digit, `-`, `t`, `f`, or `n`), so one byte settles
+    // it. On a peek error, fall through to the line loop — its read path
+    // produces the structured `timeout` reply.
+    let mut first = [0u8; 1];
+    let binary = matches!(stream.peek(&mut first), Ok(n) if n > 0 && first[0] == BINARY_PREAMBLE[0]);
+    if binary {
+        handle_binary_connection(shared, stream);
+        return;
+    }
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -321,6 +391,70 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     }
 }
 
+/// Serves one binary-codec connection: consume the 4-byte preamble, then
+/// loop reading length-prefixed frames. A frame holding a single request
+/// object gets one reply frame; a frame holding an **array** of requests
+/// is a pipelined batch — every element is dispatched in order (each
+/// recording its own metrics outcome) and answered by one array of
+/// replies in the same order.
+fn handle_binary_connection(shared: &Shared, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut preamble = [0u8; 4];
+    if reader.read_exact(&mut preamble).is_err() {
+        return;
+    }
+    if preamble != BINARY_PREAMBLE {
+        shared.metrics.record_error("bad_request");
+        let _ = write_frame(&mut writer, &error_response("bad_request", "bad binary preamble"));
+        return;
+    }
+    loop {
+        let value = match read_frame(&mut reader) {
+            Ok(Some(v)) => v,
+            Ok(None) => break, // clean EOF
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                shared.metrics.record_error("timeout");
+                let resp =
+                    error_response("timeout", "read deadline exceeded; closing connection");
+                let _ = write_frame(&mut writer, &resp);
+                break;
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof) =>
+            {
+                shared.metrics.record_error("bad_request");
+                let resp = error_response("bad_request", &format!("unreadable frame: {e}"));
+                let _ = write_frame(&mut writer, &resp);
+                break;
+            }
+            Err(_) => break, // connection-level failure: nobody to reply to
+        };
+        let (resp, shutdown) = match value {
+            Json::Arr(batch) => {
+                let mut replies = Vec::with_capacity(batch.len());
+                let mut shutdown = false;
+                for item in batch {
+                    let (r, s) = dispatch_value(shared, &item);
+                    shutdown |= s;
+                    replies.push(r);
+                }
+                (Json::Arr(replies), shutdown)
+            }
+            single => dispatch_value(shared, &single),
+        };
+        if write_frame(&mut writer, &resp).is_err() {
+            break;
+        }
+        if shutdown {
+            initiate_shutdown(shared);
+            break;
+        }
+    }
+}
+
 fn initiate_shutdown(shared: &Shared) {
     // Flag first, then poke: the accept loop re-checks the flag on the
     // connection the poke produces, so the ordering closes the race.
@@ -338,25 +472,36 @@ fn initiate_shutdown(shared: &Shared) {
     }
 }
 
-/// Handles one request line with panic isolation: a panicking handler —
-/// injected or real — costs this request an `internal` reply, never the
-/// worker thread.
+/// The `internal` reply for a caught handler panic (injected or real):
+/// the panic costs this request an error reply, never a worker thread.
+fn panic_reply(shared: &Shared, payload: &(dyn std::any::Any + Send)) -> (Json, bool) {
+    shared.metrics.record_panic();
+    shared.metrics.record_error("internal");
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("non-string panic payload");
+    (
+        error_response("internal", &format!("request handler panicked: {msg}")),
+        false,
+    )
+}
+
+/// Handles one request line with panic isolation.
 fn dispatch(shared: &Shared, line: &str) -> (Json, bool) {
     match catch_unwind(AssertUnwindSafe(|| dispatch_inner(shared, line))) {
         Ok(r) => r,
-        Err(payload) => {
-            shared.metrics.record_panic();
-            shared.metrics.record_error("internal");
-            let msg = payload
-                .downcast_ref::<String>()
-                .map(String::as_str)
-                .or_else(|| payload.downcast_ref::<&str>().copied())
-                .unwrap_or("non-string panic payload");
-            (
-                error_response("internal", &format!("request handler panicked: {msg}")),
-                false,
-            )
-        }
+        Err(payload) => panic_reply(shared, payload.as_ref()),
+    }
+}
+
+/// Handles one already-decoded request value (the binary codec's unit of
+/// dispatch) with panic isolation.
+fn dispatch_value(shared: &Shared, value: &Json) -> (Json, bool) {
+    match catch_unwind(AssertUnwindSafe(|| dispatch_parsed(shared, value))) {
+        Ok(r) => r,
+        Err(payload) => panic_reply(shared, payload.as_ref()),
     }
 }
 
@@ -364,8 +509,6 @@ fn dispatch(shared: &Shared, line: &str) -> (Json, bool) {
 /// a graceful shutdown was requested. Exactly one metrics outcome
 /// (ok/error) is recorded per call — the reconciliation invariant.
 fn dispatch_inner(shared: &Shared, line: &str) -> (Json, bool) {
-    let start = Instant::now();
-    shared.faults.fire("read");
     let parsed = match Json::parse(line) {
         Ok(v) => v,
         Err(e) => {
@@ -373,7 +516,15 @@ fn dispatch_inner(shared: &Shared, line: &str) -> (Json, bool) {
             return (error_response("bad_request", &e.to_string()), false);
         }
     };
-    let req = match Request::from_json(&parsed) {
+    dispatch_parsed(shared, &parsed)
+}
+
+/// Handles one decoded request value — the codec-independent half of
+/// dispatch, shared by the NDJSON line loop and the binary frame loop.
+fn dispatch_parsed(shared: &Shared, parsed: &Json) -> (Json, bool) {
+    let start = Instant::now();
+    shared.faults.fire("read");
+    let req = match Request::from_json(parsed) {
         Ok(r) => r,
         Err(e) => {
             shared.metrics.record_error("bad_request");
@@ -717,5 +868,27 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, Se
             Ok(ok_response(pairs))
         }
         Request::Shutdown => Ok(ok_response([("shutdown", Json::Bool(true))])),
+        Request::Snapshot => {
+            let dir = shared.snapshot_dir.as_ref().ok_or_else(|| {
+                "no snapshot directory configured (start the server with --snapshot <dir>)"
+                    .to_string()
+            })?;
+            let start = Instant::now();
+            let bytes = crate::snapshot::save_to_dir(&shared.cache, dir)
+                .map_err(|e| ServeError::Internal(format!("snapshot save failed: {e}")))?;
+            *paid += start.elapsed();
+            shared.metrics.record_snapshot_save(bytes);
+            let (programs, solved) = shared.cache.sizes();
+            Ok(ok_response([
+                (
+                    "path",
+                    Json::str(dir.join(crate::snapshot::SNAPSHOT_FILE).display().to_string()),
+                ),
+                ("bytes", Json::count(bytes)),
+                ("programs", Json::count(programs as u64)),
+                ("solves", Json::count(solved as u64)),
+                ("demand", Json::count(shared.cache.demand_sizes() as u64)),
+            ]))
+        }
     }
 }

@@ -1,0 +1,1093 @@
+//! Deterministic on-disk snapshots of the session cache.
+//!
+//! A snapshot persists the three cache layers — compiled programs, solved
+//! summaries, demand answers — so a restarted server cold-starts **warm**:
+//! restored entries answer queries with zero compile/solve misses, because
+//! nothing is recompiled or re-solved at load. Programs are stored as
+//! source text plus their already-compiled [`ConstraintSet`] (re-lowering
+//! source is deterministic and does not touch the constraint compiler);
+//! solved summaries store their rendered query tables plus the retained
+//! solver facts, and the analysis model is rebuilt from its configuration.
+//!
+//! # Format
+//!
+//! Everything is little-endian, length-prefixed, and written in a
+//! canonical sort order, so one logical cache state has exactly one byte
+//! representation (`encode` is deterministic and re-serialization after a
+//! restore is byte-identical):
+//!
+//! ```text
+//! file    := magic(8 = "SCSNAP01") version(u32) section_count(u32) section*
+//! section := tag(u8) payload_len(u64) fnv64(payload) payload
+//! ```
+//!
+//! Section tags: 1 = programs, 2 = solved summaries, 3 = demand answers.
+//! Every section carries its own length and FNV-1a checksum; a flipped
+//! byte or a truncation anywhere yields a typed [`SnapshotError`], never a
+//! panic and never a silently-wrong warm cache. See `DESIGN.md` §7 for the
+//! per-section payload grammars.
+
+use crate::cache::{DemandAnswer, DemandPayload, ProgramEntry, SessionCache, Solved, source_hash};
+use crate::proto::{parse_layout, QueryOpts};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+use structcast::constraints::{Constraint, OpRef, PathId};
+use structcast::models::ModelOptions;
+use structcast::{
+    AnalysisResult, CompatMode, ConstraintSet, FactStore, FieldPath, FieldRep, FuncId, Loc,
+    ModelKind, ModelStats, ObjId, StmtId, TypeId,
+};
+
+/// The snapshot file name inside a `--snapshot` directory.
+pub const SNAPSHOT_FILE: &str = "cache.scsnap";
+
+/// File magic: identifies a structcast cache snapshot, revision 01.
+pub const MAGIC: [u8; 8] = *b"SCSNAP01";
+
+/// Format version inside the header; bumped on any grammar change.
+pub const VERSION: u32 = 1;
+
+const TAG_PROGRAMS: u8 = 1;
+const TAG_SOLVED: u8 = 2;
+const TAG_DEMAND: u8 = 3;
+
+/// FNV-1a over raw bytes — the same function the cache keys use over
+/// source text ([`source_hash`]), applied here as the section checksum.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Why a snapshot failed to load. Every variant is a *refusal*: the cache
+/// is left untouched and the caller falls back to a cold start.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem-level failure reading or writing the snapshot.
+    Io(std::io::Error),
+    /// The file does not begin with [`MAGIC`].
+    BadMagic,
+    /// The header names a format version this build does not speak.
+    BadVersion(u32),
+    /// The file ends before the named section (or its header) is complete.
+    Truncated {
+        /// Which part of the file was cut short.
+        section: &'static str,
+        /// Byte offset at which the reader ran out of input.
+        offset: usize,
+    },
+    /// A section's payload does not match its recorded FNV checksum.
+    Checksum {
+        /// The corrupted section.
+        section: &'static str,
+    },
+    /// A payload passed its checksum but decodes to nonsense (impossible
+    /// tag, key/source mismatch, unlowerable source) — refused all the
+    /// same rather than restoring a wrong cache.
+    Malformed {
+        /// The offending section.
+        section: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Truncated { section, offset } => {
+                write!(f, "snapshot truncated in {section} at byte {offset}")
+            }
+            SnapshotError::Checksum { section } => {
+                write!(f, "snapshot checksum mismatch in {section}")
+            }
+            SnapshotError::Malformed { section, detail } => {
+                write!(f, "malformed snapshot {section}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> SnapshotError {
+        SnapshotError::Io(e)
+    }
+}
+
+/// A decoded snapshot: fully reconstructed cache values, not yet inserted.
+pub struct SnapshotData {
+    /// Restored program entries (stage 1), in key order.
+    pub programs: Vec<ProgramEntry>,
+    /// Restored solved summaries with their cache keys.
+    pub solved: Vec<((u64, String), Solved)>,
+    /// Restored demand answers with their cache keys.
+    pub demand: Vec<((u64, String), DemandAnswer)>,
+}
+
+impl SnapshotData {
+    /// Total entries across the three layers.
+    pub fn len(&self) -> usize {
+        self.programs.len() + self.solved.len() + self.demand.len()
+    }
+
+    /// True when the snapshot held an empty cache.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One section's position inside an encoded snapshot — the corruption
+/// property tests truncate and flip bytes at exactly these boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// The section tag (1 programs, 2 solved, 3 demand).
+    pub tag: u8,
+    /// Byte offset of the section header (its tag byte).
+    pub header_start: usize,
+    /// Byte offset where the payload begins.
+    pub payload_start: usize,
+    /// Byte offset one past the payload's last byte.
+    pub payload_end: usize,
+}
+
+// ----- primitive writers -----
+
+struct W(Vec<u8>);
+
+impl W {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+        }
+    }
+    fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u32(x);
+            }
+        }
+    }
+    fn strs(&mut self, v: &[String]) {
+        self.u64(v.len() as u64);
+        for s in v {
+            self.str(s);
+        }
+    }
+    fn loc(&mut self, l: &Loc) {
+        self.u32(l.obj.0);
+        match &l.field {
+            FieldRep::Whole => self.u8(0),
+            FieldRep::Path(p) => {
+                self.u8(1);
+                let steps = p.steps();
+                self.u32(steps.len() as u32);
+                for &s in steps {
+                    self.u32(s);
+                }
+            }
+            FieldRep::Off(o) => {
+                self.u8(2);
+                self.u64(*o);
+            }
+        }
+    }
+}
+
+// ----- primitive readers (every read is bounds-checked) -----
+
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Rd<'a> {
+    fn new(buf: &'a [u8], section: &'static str) -> Rd<'a> {
+        Rd { buf, pos: 0, section }
+    }
+
+    fn truncated(&self) -> SnapshotError {
+        SnapshotError::Truncated {
+            section: self.section,
+            offset: self.pos,
+        }
+    }
+
+    fn malformed(&self, detail: impl Into<String>) -> SnapshotError {
+        SnapshotError::Malformed {
+            section: self.section,
+            detail: detail.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| self.truncated())?;
+        if end > self.buf.len() {
+            return Err(self.truncated());
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A count of upcoming elements, sanity-capped by the remaining bytes
+    /// (each element costs ≥ 1 byte) so a corrupt length can't drive a
+    /// giant allocation before the data runs out.
+    fn count(&mut self) -> Result<usize, SnapshotError> {
+        let n = self.u64()?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if n > remaining {
+            return Err(self.truncated());
+        }
+        Ok(n as usize)
+    }
+
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let n = self.count()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| self.malformed(format!("bad utf-8: {e}")))
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            t => Err(self.malformed(format!("bad option tag {t}"))),
+        }
+    }
+
+    fn opt_u32(&mut self) -> Result<Option<u32>, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32()?)),
+            t => Err(self.malformed(format!("bad option tag {t}"))),
+        }
+    }
+
+    fn strs(&mut self) -> Result<Vec<String>, SnapshotError> {
+        let n = self.count()?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.str()?);
+        }
+        Ok(v)
+    }
+
+    fn loc(&mut self) -> Result<Loc, SnapshotError> {
+        let obj = ObjId(self.u32()?);
+        match self.u8()? {
+            0 => Ok(Loc::whole(obj)),
+            1 => {
+                let n = self.u32()? as usize;
+                if n > self.buf.len() - self.pos {
+                    return Err(self.truncated());
+                }
+                let mut steps = Vec::with_capacity(n);
+                for _ in 0..n {
+                    steps.push(self.u32()?);
+                }
+                Ok(Loc::path(obj, FieldPath::from_steps(steps)))
+            }
+            2 => Ok(Loc::off(obj, self.u64()?)),
+            t => Err(self.malformed(format!("bad loc field tag {t}"))),
+        }
+    }
+
+    fn done(&self) -> Result<(), SnapshotError> {
+        if self.pos != self.buf.len() {
+            return Err(SnapshotError::Malformed {
+                section: self.section,
+                detail: format!(
+                    "{} trailing bytes after payload",
+                    self.buf.len() - self.pos
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+// ----- constraints -----
+
+fn put_opref(w: &mut W, r: &OpRef) {
+    w.u32(r.obj.0);
+    w.u32(r.path.0);
+}
+
+fn get_opref(r: &mut Rd<'_>) -> Result<OpRef, SnapshotError> {
+    Ok(OpRef {
+        obj: ObjId(r.u32()?),
+        path: PathId(r.u32()?),
+    })
+}
+
+fn put_objs(w: &mut W, v: &[ObjId]) {
+    w.u64(v.len() as u64);
+    for o in v {
+        w.u32(o.0);
+    }
+}
+
+fn get_objs(r: &mut Rd<'_>) -> Result<Vec<ObjId>, SnapshotError> {
+    let n = r.count()?;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(ObjId(r.u32()?));
+    }
+    Ok(v)
+}
+
+fn put_constraint(w: &mut W, c: &Constraint) {
+    match c {
+        Constraint::AddrOf { dst, src } => {
+            w.u8(0);
+            w.u32(dst.0);
+            put_opref(w, src);
+        }
+        Constraint::AddrField { dst, ptr, tau_p, path } => {
+            w.u8(1);
+            w.u32(dst.0);
+            w.u32(ptr.0);
+            w.u32(tau_p.0);
+            w.u32(path.0);
+        }
+        Constraint::Copy { dst, src, tau } => {
+            w.u8(2);
+            w.u32(dst.0);
+            put_opref(w, src);
+            w.u32(tau.0);
+        }
+        Constraint::Load { dst, ptr, tau } => {
+            w.u8(3);
+            w.u32(dst.0);
+            w.u32(ptr.0);
+            w.u32(tau.0);
+        }
+        Constraint::Store { ptr, src, tau_p } => {
+            w.u8(4);
+            w.u32(ptr.0);
+            w.u32(src.0);
+            w.u32(tau_p.0);
+        }
+        Constraint::PtrArith { dst, src, pointee } => {
+            w.u8(5);
+            w.u32(dst.0);
+            w.u32(src.0);
+            w.opt_u32(pointee.map(|t| t.0));
+        }
+        Constraint::CopyAll { dst_ptr, src_ptr } => {
+            w.u8(6);
+            w.u32(dst_ptr.0);
+            w.u32(src_ptr.0);
+        }
+        Constraint::CallDirect { fid, args, ret } => {
+            w.u8(7);
+            w.u32(fid.0);
+            put_objs(w, args);
+            w.opt_u32(ret.map(|o| o.0));
+        }
+        Constraint::CallIndirect { ptr, args, ret } => {
+            w.u8(8);
+            w.u32(ptr.0);
+            put_objs(w, args);
+            w.opt_u32(ret.map(|o| o.0));
+        }
+    }
+}
+
+fn get_constraint(r: &mut Rd<'_>) -> Result<Constraint, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => Constraint::AddrOf {
+            dst: ObjId(r.u32()?),
+            src: get_opref(r)?,
+        },
+        1 => Constraint::AddrField {
+            dst: ObjId(r.u32()?),
+            ptr: ObjId(r.u32()?),
+            tau_p: TypeId(r.u32()?),
+            path: PathId(r.u32()?),
+        },
+        2 => Constraint::Copy {
+            dst: ObjId(r.u32()?),
+            src: get_opref(r)?,
+            tau: TypeId(r.u32()?),
+        },
+        3 => Constraint::Load {
+            dst: ObjId(r.u32()?),
+            ptr: ObjId(r.u32()?),
+            tau: TypeId(r.u32()?),
+        },
+        4 => Constraint::Store {
+            ptr: ObjId(r.u32()?),
+            src: ObjId(r.u32()?),
+            tau_p: TypeId(r.u32()?),
+        },
+        5 => Constraint::PtrArith {
+            dst: ObjId(r.u32()?),
+            src: ObjId(r.u32()?),
+            pointee: r.opt_u32()?.map(TypeId),
+        },
+        6 => Constraint::CopyAll {
+            dst_ptr: ObjId(r.u32()?),
+            src_ptr: ObjId(r.u32()?),
+        },
+        7 => Constraint::CallDirect {
+            fid: FuncId(r.u32()?),
+            args: get_objs(r)?,
+            ret: r.opt_u32()?.map(ObjId),
+        },
+        8 => Constraint::CallIndirect {
+            ptr: ObjId(r.u32()?),
+            args: get_objs(r)?,
+            ret: r.opt_u32()?.map(ObjId),
+        },
+        t => return Err(r.malformed(format!("bad constraint tag {t}"))),
+    })
+}
+
+// ----- query options -----
+
+fn model_index(kind: ModelKind) -> u8 {
+    ModelKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every ModelKind is in ALL") as u8
+}
+
+fn put_opts(w: &mut W, o: &QueryOpts) {
+    w.u8(model_index(o.model));
+    w.str(o.layout.name);
+    w.u8(match o.compat {
+        CompatMode::Structural => 0,
+        CompatMode::TagBased => 1,
+    });
+    w.u8(u8::from(o.stride));
+    w.opt_u64(o.deadline_ms);
+    w.opt_u64(o.max_edges.map(|n| n as u64));
+}
+
+fn get_model(r: &mut Rd<'_>) -> Result<ModelKind, SnapshotError> {
+    let i = r.u8()? as usize;
+    ModelKind::ALL
+        .get(i)
+        .copied()
+        .ok_or_else(|| r.malformed(format!("bad model index {i}")))
+}
+
+fn get_opts(r: &mut Rd<'_>) -> Result<QueryOpts, SnapshotError> {
+    let model = get_model(r)?;
+    let layout_name = r.str()?;
+    let layout =
+        parse_layout(&layout_name).map_err(|e| r.malformed(format!("bad layout: {e}")))?;
+    let compat = match r.u8()? {
+        0 => CompatMode::Structural,
+        1 => CompatMode::TagBased,
+        t => return Err(r.malformed(format!("bad compat tag {t}"))),
+    };
+    let stride = match r.u8()? {
+        0 => false,
+        1 => true,
+        t => return Err(r.malformed(format!("bad stride tag {t}"))),
+    };
+    Ok(QueryOpts {
+        model,
+        layout,
+        compat,
+        stride,
+        deadline_ms: r.opt_u64()?,
+        max_edges: r.opt_u64()?.map(|n| n as usize),
+    })
+}
+
+// ----- sections -----
+
+fn encode_programs(programs: &[Arc<ProgramEntry>]) -> Vec<u8> {
+    let mut sorted: Vec<&Arc<ProgramEntry>> = programs.iter().collect();
+    sorted.sort_by_key(|e| e.key);
+    let mut w = W(Vec::new());
+    w.u64(sorted.len() as u64);
+    for e in sorted {
+        w.u64(e.key);
+        w.str(&e.name);
+        w.str(&e.source);
+        w.u64(e.compile.as_nanos() as u64);
+        let cs = &e.constraints;
+        w.u64(cs.len() as u64);
+        for c in cs.iter() {
+            put_constraint(&mut w, c);
+        }
+        w.u64(cs.num_paths() as u64);
+        for i in 0..cs.num_paths() {
+            let steps = cs.path(PathId(i as u32)).steps();
+            w.u32(steps.len() as u32);
+            for &s in steps {
+                w.u32(s);
+            }
+        }
+        w.opt_u32(cs.char_ty().map(|t| t.0));
+    }
+    w.0
+}
+
+fn decode_programs(bytes: &[u8]) -> Result<Vec<ProgramEntry>, SnapshotError> {
+    let mut r = Rd::new(bytes, "programs");
+    let n = r.count()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = r.u64()?;
+        let name = r.str()?;
+        let source = r.str()?;
+        let compile = Duration::from_nanos(r.u64()?);
+        let nc = r.count()?;
+        let mut constraints = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            constraints.push(get_constraint(&mut r)?);
+        }
+        let np = r.count()?;
+        let mut paths = Vec::with_capacity(np);
+        for _ in 0..np {
+            let ns = r.u32()? as usize;
+            if ns > bytes.len() {
+                return Err(r.truncated());
+            }
+            let mut steps = Vec::with_capacity(ns);
+            for _ in 0..ns {
+                steps.push(r.u32()?);
+            }
+            paths.push(FieldPath::from_steps(steps));
+        }
+        let char_ty = r.opt_u32()?.map(TypeId);
+        // Integrity: the stored key must be the hash of the stored source —
+        // and the source must still lower. Either failing means the
+        // payload is not what `encode` wrote (despite the checksum), so
+        // refuse it.
+        if source_hash(&source) != key {
+            return Err(r.malformed(format!("program {name}: key/source hash mismatch")));
+        }
+        let prog = structcast::lower_source(&source)
+            .map_err(|e| r.malformed(format!("program {name}: unlowerable source: {e}")))?;
+        let hash_hex = format!("{key:016x}");
+        out.push(ProgramEntry {
+            key,
+            hash_hex,
+            name,
+            source,
+            prog,
+            constraints: ConstraintSet::from_parts(constraints, paths, char_ty),
+            compile,
+        });
+    }
+    r.done()?;
+    Ok(out)
+}
+
+fn put_str_map(w: &mut W, m: &BTreeMap<String, Vec<String>>) {
+    w.u64(m.len() as u64);
+    for (k, v) in m {
+        w.str(k);
+        w.strs(v);
+    }
+}
+
+fn get_str_map(r: &mut Rd<'_>) -> Result<BTreeMap<String, Vec<String>>, SnapshotError> {
+    let n = r.count()?;
+    let mut m = BTreeMap::new();
+    for _ in 0..n {
+        let k = r.str()?;
+        m.insert(k, r.strs()?);
+    }
+    Ok(m)
+}
+
+fn encode_solved(solved: &[((u64, String), Arc<Solved>)]) -> Vec<u8> {
+    let mut sorted: Vec<&((u64, String), Arc<Solved>)> = solved.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut w = W(Vec::new());
+    w.u64(sorted.len() as u64);
+    for ((hash, optkey), s) in sorted {
+        w.u64(*hash);
+        w.str(optkey);
+        put_opts(&mut w, &s.opts);
+        // Rendered summary tables.
+        w.u64(s.edges as u64);
+        w.u64(s.iterations);
+        w.u64(s.solve.as_nanos() as u64);
+        w.strs(&s.vars.iter().cloned().collect::<Vec<_>>());
+        put_str_map(&mut w, &s.points_to);
+        w.u64(s.pt_locs.len() as u64);
+        for (k, locs) in &s.pt_locs {
+            w.str(k);
+            w.u64(locs.len() as u64);
+            for l in locs {
+                w.loc(l);
+            }
+        }
+        w.u64(s.modref.len() as u64);
+        for (f, (mods, refs)) in &s.modref {
+            w.str(f);
+            w.strs(mods);
+            w.strs(refs);
+        }
+        w.f64(s.avg_deref);
+        w.u64(s.deref_sites as u64);
+        // Retained solver result (what makes the summary updatable).
+        w.u8(model_index(s.res.kind));
+        w.u64(s.res.iterations);
+        w.u64(s.res.resolved_indirect_calls as u64);
+        w.u64(s.res.elapsed.as_nanos() as u64);
+        let st = &s.res.stats;
+        for v in [
+            st.lookup_calls,
+            st.lookup_struct,
+            st.lookup_mismatch,
+            st.resolve_calls,
+            st.resolve_struct,
+            st.resolve_mismatch,
+            st.out_of_bounds,
+        ] {
+            w.u64(v);
+        }
+        w.u64(s.res.unknown.len() as u64);
+        for l in &s.res.unknown {
+            w.loc(l);
+        }
+        w.u64(s.res.call_edges.len() as u64);
+        for (sid, fid) in &s.res.call_edges {
+            w.u32(sid.0);
+            w.u32(fid.0);
+        }
+        // Facts in canonical (sorted) edge order: the fact store's internal
+        // interning order is solve-history-dependent, the sorted edge list
+        // is not — this is what makes re-serialization byte-identical.
+        let mut edges: Vec<(&Loc, &Loc)> = s.res.facts.iter().collect();
+        edges.sort();
+        edges.dedup();
+        w.u64(edges.len() as u64);
+        for (a, b) in edges {
+            w.loc(a);
+            w.loc(b);
+        }
+    }
+    w.0
+}
+
+/// Decoded cache entries keyed by `(program hash, cache key)`.
+type Entries<V> = Vec<((u64, String), V)>;
+
+fn decode_solved(bytes: &[u8]) -> Result<Entries<Solved>, SnapshotError> {
+    let mut r = Rd::new(bytes, "solved");
+    let n = r.count()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let hash = r.u64()?;
+        let optkey = r.str()?;
+        let opts = get_opts(&mut r)?;
+        if opts.cache_key() != optkey {
+            return Err(r.malformed(format!(
+                "solved entry key `{optkey}` disagrees with its options `{}`",
+                opts.cache_key()
+            )));
+        }
+        let edges_n = r.u64()? as usize;
+        let iterations = r.u64()?;
+        let solve = Duration::from_nanos(r.u64()?);
+        let vars: BTreeSet<String> = r.strs()?.into_iter().collect();
+        let points_to = get_str_map(&mut r)?;
+        let npl = r.count()?;
+        let mut pt_locs = BTreeMap::new();
+        for _ in 0..npl {
+            let k = r.str()?;
+            let nl = r.count()?;
+            let mut locs = BTreeSet::new();
+            for _ in 0..nl {
+                locs.insert(r.loc()?);
+            }
+            pt_locs.insert(k, locs);
+        }
+        let nmr = r.count()?;
+        let mut modref = BTreeMap::new();
+        for _ in 0..nmr {
+            let f = r.str()?;
+            let mods = r.strs()?;
+            let refs = r.strs()?;
+            modref.insert(f, (mods, refs));
+        }
+        let avg_deref = r.f64()?;
+        let deref_sites = r.u64()? as usize;
+        let res_kind = get_model(&mut r)?;
+        if res_kind != opts.model {
+            return Err(r.malformed("summary model disagrees with its options"));
+        }
+        let res_iterations = r.u64()?;
+        let resolved_indirect_calls = r.u64()? as usize;
+        let elapsed = Duration::from_nanos(r.u64()?);
+        let stats = ModelStats {
+            lookup_calls: r.u64()?,
+            lookup_struct: r.u64()?,
+            lookup_mismatch: r.u64()?,
+            resolve_calls: r.u64()?,
+            resolve_struct: r.u64()?,
+            resolve_mismatch: r.u64()?,
+            out_of_bounds: r.u64()?,
+        };
+        let nu = r.count()?;
+        let mut unknown = BTreeSet::new();
+        for _ in 0..nu {
+            unknown.insert(r.loc()?);
+        }
+        let nce = r.count()?;
+        let mut call_edges = Vec::with_capacity(nce);
+        for _ in 0..nce {
+            call_edges.push((StmtId(r.u32()?), FuncId(r.u32()?)));
+        }
+        let ne = r.count()?;
+        let mut facts = FactStore::new();
+        for _ in 0..ne {
+            let a = r.loc()?;
+            let b = r.loc()?;
+            facts.insert(a, b);
+        }
+        if facts.len() != edges_n {
+            return Err(r.malformed(format!(
+                "edge count {edges_n} disagrees with {} stored facts",
+                facts.len()
+            )));
+        }
+        let model_opts = ModelOptions {
+            layout: opts.layout.clone(),
+            compat: opts.compat,
+            arith_stride: opts.stride,
+        };
+        let res = AnalysisResult::from_saved(
+            res_kind,
+            &model_opts,
+            facts,
+            stats,
+            res_iterations,
+            resolved_indirect_calls,
+            elapsed,
+            unknown,
+            call_edges,
+        );
+        out.push((
+            (hash, optkey),
+            Solved {
+                kind: res_kind,
+                edges: edges_n,
+                iterations,
+                solve,
+                vars,
+                points_to,
+                pt_locs,
+                modref,
+                avg_deref,
+                deref_sites,
+                opts,
+                res,
+            },
+        ));
+    }
+    r.done()?;
+    Ok(out)
+}
+
+fn encode_demand(demand: &[((u64, String), Arc<DemandAnswer>)]) -> Vec<u8> {
+    let mut sorted: Vec<&((u64, String), Arc<DemandAnswer>)> = demand.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut w = W(Vec::new());
+    w.u64(sorted.len() as u64);
+    for ((hash, key), a) in sorted {
+        w.u64(*hash);
+        w.str(key);
+        w.str(&a.subject);
+        put_opts(&mut w, &a.opts);
+        match &a.payload {
+            DemandPayload::PointsTo(v) => {
+                w.u8(0);
+                w.strs(v);
+            }
+            DemandPayload::Alias(b) => {
+                w.u8(1);
+                w.u8(u8::from(*b));
+            }
+            DemandPayload::ModRef { mods, refs } => {
+                w.u8(2);
+                w.strs(mods);
+                w.strs(refs);
+            }
+        }
+        w.u64(a.slice_statements as u64);
+        w.u64(a.total_statements as u64);
+        w.u64(a.solve.as_nanos() as u64);
+    }
+    w.0
+}
+
+fn decode_demand(bytes: &[u8]) -> Result<Entries<DemandAnswer>, SnapshotError> {
+    let mut r = Rd::new(bytes, "demand");
+    let n = r.count()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let hash = r.u64()?;
+        let key = r.str()?;
+        let subject = r.str()?;
+        let opts = get_opts(&mut r)?;
+        let payload = match r.u8()? {
+            0 => DemandPayload::PointsTo(r.strs()?),
+            1 => DemandPayload::Alias(match r.u8()? {
+                0 => false,
+                1 => true,
+                t => return Err(r.malformed(format!("bad alias tag {t}"))),
+            }),
+            2 => DemandPayload::ModRef {
+                mods: r.strs()?,
+                refs: r.strs()?,
+            },
+            t => return Err(r.malformed(format!("bad demand payload tag {t}"))),
+        };
+        let slice_statements = r.u64()? as usize;
+        let total_statements = r.u64()? as usize;
+        let solve = Duration::from_nanos(r.u64()?);
+        out.push((
+            (hash, key),
+            DemandAnswer {
+                payload,
+                slice_statements,
+                total_statements,
+                solve,
+                subject,
+                opts,
+            },
+        ));
+    }
+    r.done()?;
+    Ok(out)
+}
+
+// ----- whole-file encode/decode -----
+
+/// Serializes the cache's current contents. Deterministic: the same
+/// logical cache state produces byte-identical output regardless of
+/// insertion order, thread count, or whether the state itself was restored
+/// from a snapshot.
+pub fn encode(cache: &SessionCache) -> Vec<u8> {
+    let sections = [
+        (TAG_PROGRAMS, encode_programs(&cache.export_programs())),
+        (TAG_SOLVED, encode_solved(&cache.export_solved())),
+        (TAG_DEMAND, encode_demand(&cache.export_demand())),
+    ];
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    for (tag, payload) in sections {
+        out.push(tag);
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+    }
+    out
+}
+
+/// Parses the header and section framing without decoding payloads — the
+/// corruption property tests use these ranges to target their damage.
+pub fn sections(bytes: &[u8]) -> Result<Vec<SectionInfo>, SnapshotError> {
+    let mut r = Rd::new(bytes, "header");
+    let magic = r.take(8)?;
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let nsections = r.u32()?;
+    let mut out = Vec::new();
+    for _ in 0..nsections {
+        let header_start = r.pos;
+        let tag = r.u8()?;
+        let section = match tag {
+            TAG_PROGRAMS => "programs",
+            TAG_SOLVED => "solved",
+            TAG_DEMAND => "demand",
+            t => {
+                return Err(SnapshotError::Malformed {
+                    section: "header",
+                    detail: format!("unknown section tag {t}"),
+                })
+            }
+        };
+        r.section = section;
+        let len = r.u64()? as usize;
+        let _checksum = r.u64()?;
+        let payload_start = r.pos;
+        r.take(len)?;
+        out.push(SectionInfo {
+            tag,
+            header_start,
+            payload_start,
+            payload_end: payload_start + len,
+        });
+    }
+    if r.pos != bytes.len() {
+        return Err(SnapshotError::Malformed {
+            section: "header",
+            detail: format!("{} trailing bytes after last section", bytes.len() - r.pos),
+        });
+    }
+    Ok(out)
+}
+
+/// Decodes a snapshot into ready-to-insert cache values.
+///
+/// # Errors
+///
+/// Any framing, checksum, or payload defect comes back as the matching
+/// [`SnapshotError`]; decoding never panics on untrusted bytes.
+pub fn decode(bytes: &[u8]) -> Result<SnapshotData, SnapshotError> {
+    let infos = sections(bytes)?;
+    let mut data = SnapshotData {
+        programs: Vec::new(),
+        solved: Vec::new(),
+        demand: Vec::new(),
+    };
+    let mut seen = [false; 3];
+    for info in infos {
+        let payload = &bytes[info.payload_start..info.payload_end];
+        let section = match info.tag {
+            TAG_PROGRAMS => "programs",
+            TAG_SOLVED => "solved",
+            _ => "demand",
+        };
+        let mut cs = [0u8; 8];
+        cs.copy_from_slice(
+            &bytes[info.payload_start - 8..info.payload_start],
+        );
+        if fnv64(payload) != u64::from_le_bytes(cs) {
+            return Err(SnapshotError::Checksum { section });
+        }
+        let slot = (info.tag - 1) as usize;
+        if seen[slot] {
+            return Err(SnapshotError::Malformed {
+                section,
+                detail: "duplicate section".to_string(),
+            });
+        }
+        seen[slot] = true;
+        match info.tag {
+            TAG_PROGRAMS => data.programs = decode_programs(payload)?,
+            TAG_SOLVED => data.solved = decode_solved(payload)?,
+            _ => data.demand = decode_demand(payload)?,
+        }
+    }
+    Ok(data)
+}
+
+/// Inserts decoded snapshot data into the cache **without** recording any
+/// compile or solve, hit or miss — restored warmth is not work. Returns
+/// the number of entries inserted.
+pub fn restore(cache: &SessionCache, data: SnapshotData) -> usize {
+    let n = data.len();
+    for e in data.programs {
+        cache.restore_program(Arc::new(e));
+    }
+    for (k, s) in data.solved {
+        cache.restore_solved(k, Arc::new(s));
+    }
+    for (k, a) in data.demand {
+        cache.restore_demand(k, Arc::new(a));
+    }
+    n
+}
+
+/// Writes the cache to `dir/`[`SNAPSHOT_FILE`] atomically (temp file +
+/// rename), creating `dir` if needed. Returns the bytes written.
+///
+/// # Errors
+///
+/// Filesystem failures only — encoding itself cannot fail.
+pub fn save_to_dir(cache: &SessionCache, dir: &Path) -> Result<u64, SnapshotError> {
+    std::fs::create_dir_all(dir)?;
+    let bytes = encode(cache);
+    let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp.{}", std::process::id()));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
+    Ok(bytes.len() as u64)
+}
+
+/// Loads `dir/`[`SNAPSHOT_FILE`] into the cache. Returns `Ok(None)` when
+/// no snapshot exists yet (a fresh directory is a cold start, not an
+/// error) and `Ok(Some(entries))` after a successful restore.
+///
+/// # Errors
+///
+/// A present-but-unloadable snapshot: corrupt framing, checksum mismatch,
+/// malformed payload, or an I/O failure mid-read. The cache is untouched
+/// in every error case.
+pub fn load_from_dir(cache: &SessionCache, dir: &Path) -> Result<Option<usize>, SnapshotError> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(SnapshotError::Io(e)),
+    };
+    let data = decode(&bytes)?;
+    Ok(Some(restore(cache, data)))
+}

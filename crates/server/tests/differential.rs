@@ -1,0 +1,336 @@
+//! The codec differential battery: the binary protocol must be a perfect
+//! re-encoding of the NDJSON protocol. For every op in the corpus —
+//! including every reachable error-taxonomy kind — the binary reply must
+//! decode to the **byte-identical** JSON text of the NDJSON reply line,
+//! and pipelined/batched orderings must preserve reply order. Runs at 1,
+//! 2, and 8 server threads.
+
+use std::io::Read as _;
+use std::net::TcpStream;
+use std::time::Duration;
+use structcast_server::json::Json;
+use structcast_server::metrics::ERROR_KINDS;
+use structcast_server::proto::{bjson_decode, bjson_encode, error_response, solve_error_response};
+use structcast_server::{serve, BinaryClient, Client, ServerConfig, ServerHandle};
+use structcast::SolveError;
+
+fn start(threads: usize) -> ServerHandle {
+    serve(&ServerConfig {
+        threads,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+/// The full op corpus. Every request here has a *deterministic* reply
+/// once the cache is warm: loads and queries are hits, demand answers are
+/// cached, and the budget-error rows use configurations the warm pass
+/// never solves successfully (failed solves are never cached), so they
+/// fail identically on every pass.
+fn corpus() -> Vec<&'static str> {
+    vec![
+        // Loads: corpus by name, inline source, and re-load as a hit.
+        r#"{"op":"load","name":"bst"}"#,
+        r#"{"op":"load","name":"list-utils"}"#,
+        r#"{"op":"load","name":"mine","source":"int x, *p; void f(void) { p = &x; }"}"#,
+        // Exhaustive queries across models and ops.
+        r#"{"op":"points_to","program":"bst","var":"g_tree"}"#,
+        r#"{"op":"points_to","program":"bst","var":"g_tree","model":"offsets"}"#,
+        r#"{"op":"points_to","program":"mine","var":"p"}"#,
+        r#"{"op":"alias","program":"bst","a":"g_tree","b":"g_tree"}"#,
+        r#"{"op":"modref","program":"bst"}"#,
+        r#"{"op":"modref","program":"bst","func":"main"}"#,
+        r#"{"op":"compare_models","program":"bst"}"#,
+        // Demand mode, one of each query kind.
+        r#"{"op":"points_to","program":"bst","var":"g_tree","mode":"demand"}"#,
+        r#"{"op":"alias","program":"bst","a":"g_tree","b":"g_tree","mode":"demand"}"#,
+        r#"{"op":"modref","program":"bst","func":"main","mode":"demand"}"#,
+        // bad_request taxonomy, one per rejection path.
+        r#"{"op":"levitate"}"#,
+        r#"{"op":"points_to","program":"bst"}"#,
+        r#"{"op":"points_to","program":"nope","var":"v"}"#,
+        r#"{"op":"points_to","program":"bst","var":"ghost"}"#,
+        r#"{"op":"points_to","program":"bst","var":"g_tree","mode":"lazy"}"#,
+        r#"{"op":"modref","program":"bst","mode":"demand"}"#,
+        r#"{"op":"snapshot"}"#, // no snapshot dir configured -> bad_request
+        // Budget errors: stride-refined configs the warm pass never
+        // solves, so these trip cold (and stay cold) on every pass.
+        r#"{"op":"points_to","program":"bst","var":"g_tree","model":"offsets","stride":true,"max_edges":1}"#,
+        r#"{"op":"points_to","program":"bst","var":"g_tree","model":"collapse","stride":true,"deadline_ms":0}"#,
+    ]
+}
+
+fn error_kind(resp: &Json) -> Option<&str> {
+    resp.get("error")?.get("kind")?.as_str()
+}
+
+/// The core differential: warm the server over NDJSON, then replay the
+/// corpus over both codecs — lockstep, pipelined, and batched — and
+/// require byte-identical reply text everywhere.
+#[test]
+fn every_op_replies_byte_identically_across_codecs_at_1_2_8_threads() {
+    for threads in [1usize, 2, 8] {
+        let handle = start(threads);
+        let addr = handle.addr();
+        let corpus = corpus();
+        let reqs: Vec<Json> = corpus.iter().map(|q| Json::parse(q).unwrap()).collect();
+
+        let mut nd = Client::connect(addr).unwrap();
+        // Warm pass: after it, every corpus reply is deterministic.
+        for q in &corpus {
+            nd.request_line(q).unwrap();
+        }
+
+        // Reference pass over NDJSON.
+        let ndjson: Vec<String> = corpus.iter().map(|q| nd.request_line(q).unwrap()).collect();
+        // Sanity: the corpus really exercises the taxonomy.
+        let kinds: Vec<&str> = ndjson
+            .iter()
+            .filter_map(|l| {
+                let v = Json::parse(l).unwrap();
+                error_kind(&v).map(|k| {
+                    assert!(ERROR_KINDS.contains(&k), "unknown kind {k}");
+                    // Leak is fine in a test; we only need the &'static-ish str.
+                    Box::leak(k.to_string().into_boxed_str()) as &str
+                })
+            })
+            .collect();
+        for expected in ["bad_request", "edge_limit", "deadline"] {
+            assert!(kinds.contains(&expected), "corpus must produce {expected}");
+        }
+
+        // Release the line connection before the binary passes: at one
+        // server thread an idle NDJSON client would otherwise pin the
+        // only worker until its read deadline fires.
+        drop(nd);
+
+        // Lockstep binary pass: byte-identical text per reply.
+        let mut bin = BinaryClient::connect(addr).unwrap();
+        for (q, expect) in reqs.iter().zip(&ndjson) {
+            let got = bin.request(q).unwrap();
+            assert_eq!(got.to_string(), *expect, "threads={threads} req={q}");
+        }
+
+        // Pipelined: send everything, then receive everything — replies
+        // arrive in request order with the same bytes.
+        for q in &reqs {
+            bin.send(q).unwrap();
+        }
+        for (q, expect) in reqs.iter().zip(&ndjson) {
+            let got = bin.recv().unwrap();
+            assert_eq!(got.to_string(), *expect, "pipelined threads={threads} req={q}");
+        }
+
+        // Batched: one frame in, one ordered array of replies out.
+        let replies = bin.batch(&reqs).unwrap();
+        assert_eq!(replies.len(), reqs.len());
+        for ((q, expect), got) in reqs.iter().zip(&ndjson).zip(&replies) {
+            assert_eq!(got.to_string(), *expect, "batched threads={threads} req={q}");
+        }
+
+        // Metrics reconcile with both codecs and a batch in the stream.
+        let m = handle.metrics();
+        let errors: u64 = ERROR_KINDS.iter().map(|k| m.errors_of_kind(k)).sum();
+        assert_eq!(m.requests(), m.ok() + errors, "threads={threads}");
+
+        drop(bin);
+        let mut c = Client::connect(addr).unwrap();
+        c.shutdown_server().unwrap();
+        handle.wait();
+    }
+}
+
+/// An injected handler panic produces the same `internal` reply over both
+/// codecs. One fresh server per codec: the fault plan's panic message
+/// counts hits, so the first solve on each server panics identically.
+#[test]
+fn internal_errors_are_byte_identical_across_codecs() {
+    let cfg = ServerConfig {
+        faults: Some("panic@solve:1;seed=1".to_string()),
+        ..ServerConfig::default()
+    };
+    let q = r#"{"op":"points_to","program":"bst","var":"g_tree"}"#;
+
+    let nd_handle = serve(&cfg).unwrap();
+    let mut nd = Client::connect(nd_handle.addr()).unwrap();
+    let nd_reply = nd.request_line(q).unwrap();
+    assert!(nd_reply.contains("\"kind\": \"internal\""), "{nd_reply}");
+
+    let bin_handle = serve(&cfg).unwrap();
+    let mut bin = BinaryClient::connect(bin_handle.addr()).unwrap();
+    let bin_reply = bin.request(&Json::parse(q).unwrap()).unwrap();
+    assert_eq!(bin_reply.to_string(), nd_reply);
+    assert_eq!(nd_handle.metrics().panics(), 1);
+    assert_eq!(bin_handle.metrics().panics(), 1);
+
+    drop(bin);
+    nd.shutdown_server().unwrap();
+    nd_handle.wait();
+    let mut c = Client::connect(bin_handle.addr()).unwrap();
+    c.shutdown_server().unwrap();
+    bin_handle.wait();
+}
+
+/// A stalled connection gets the same `timeout` reply over both codecs —
+/// as an NDJSON line on a line connection, as a frame on a binary one.
+#[test]
+fn read_timeouts_are_byte_identical_across_codecs() {
+    let cfg = ServerConfig {
+        read_timeout: Some(Duration::from_millis(100)),
+        ..ServerConfig::default()
+    };
+    let handle = serve(&cfg).unwrap();
+
+    // NDJSON: connect, send nothing, read the unsolicited reply line.
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    let mut nd_reply = String::new();
+    raw.read_to_string(&mut nd_reply).unwrap();
+    let nd_line = nd_reply.lines().next().expect("a timeout line").to_string();
+
+    // Binary: the preamble selects the codec, then the same stall.
+    let mut bin = BinaryClient::connect(handle.addr()).unwrap();
+    let frame = bin.recv().unwrap();
+    assert_eq!(frame.to_string(), nd_line);
+    assert_eq!(error_kind(&frame), Some("timeout"));
+    assert_eq!(handle.metrics().errors_of_kind("timeout"), 2);
+
+    drop(bin);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.shutdown_server().unwrap();
+    handle.wait();
+}
+
+/// Stateful ops differ only in wall-clock fields across codecs: two fresh
+/// servers fed the identical `load`/`update`/`stats` sequence, one per
+/// codec, agree on every reply once `*_s` timing floats are scrubbed.
+#[test]
+fn update_and_stats_replies_agree_across_codecs_modulo_timing() {
+    /// Nulls every `*_s` timing field (and byte gauges fed by them) so
+    /// replies can be compared structurally.
+    fn scrub(v: &Json) -> Json {
+        match v {
+            Json::Obj(pairs) => Json::Obj(
+                pairs
+                    .iter()
+                    .map(|(k, val)| {
+                        let scrubbed = if k.ends_with("_s") && matches!(val, Json::Num(_)) {
+                            Json::Null
+                        } else {
+                            scrub(val)
+                        };
+                        (k.clone(), scrubbed)
+                    })
+                    .collect(),
+            ),
+            Json::Arr(items) => Json::Arr(items.iter().map(scrub).collect()),
+            other => other.clone(),
+        }
+    }
+
+    let seq = [
+        r#"{"op":"load","name":"live","source":"int x, y, *p, *q;\nvoid f(void) { p = &x; }\nvoid g(void) { q = &y; }"}"#,
+        r#"{"op":"points_to","program":"live","var":"q"}"#,
+        r#"{"op":"points_to","program":"live","var":"p","mode":"demand"}"#,
+        r#"{"op":"update","program":"live","source":"int x, y, *p, *q;\nvoid f(void) { p = &x; }\nvoid g(void) { q = &x; }"}"#,
+        r#"{"op":"points_to","program":"live","var":"q"}"#,
+        r#"{"op":"stats"}"#,
+    ];
+
+    let nd_handle = serve(&ServerConfig::default()).unwrap();
+    let mut nd = Client::connect(nd_handle.addr()).unwrap();
+    let nd_replies: Vec<Json> = seq
+        .iter()
+        .map(|q| Json::parse(&nd.request_line(q).unwrap()).unwrap())
+        .collect();
+
+    let bin_handle = serve(&ServerConfig::default()).unwrap();
+    let mut bin = BinaryClient::connect(bin_handle.addr()).unwrap();
+    let bin_replies: Vec<Json> =
+        seq.iter().map(|q| bin.request(&Json::parse(q).unwrap()).unwrap()).collect();
+
+    for ((q, a), b) in seq.iter().zip(&nd_replies).zip(&bin_replies) {
+        assert_eq!(
+            scrub(a).to_string(),
+            scrub(b).to_string(),
+            "codecs diverge on {q}"
+        );
+    }
+    // The update really happened identically on both: same post-edit answer.
+    assert_eq!(nd_replies[4], bin_replies[4]);
+    assert_eq!(
+        nd_replies[4].get("points_to").and_then(Json::as_arr).unwrap(),
+        &[Json::str("x")]
+    );
+
+    drop(bin);
+    nd.shutdown_server().unwrap();
+    nd_handle.wait();
+    let mut c = Client::connect(bin_handle.addr()).unwrap();
+    c.shutdown_server().unwrap();
+    bin_handle.wait();
+}
+
+/// Codec-level taxonomy differential: every error kind's reply shape —
+/// including the kinds no wire test can trigger deterministically
+/// (`cancelled`, `overloaded`) — survives a binary round trip with its
+/// NDJSON emission intact.
+#[test]
+fn every_error_kind_round_trips_byte_identically_through_bjson() {
+    let mut shapes: Vec<Json> = ERROR_KINDS
+        .iter()
+        .map(|k| error_response(k, &format!("synthetic {k} message")))
+        .collect();
+    shapes.push(solve_error_response(&SolveError::EdgeLimit { limit: 7 }));
+    shapes.push(solve_error_response(&SolveError::DeadlineExceeded));
+    shapes.push(solve_error_response(&SolveError::Cancelled));
+    for shape in &shapes {
+        let decoded = bjson_decode(&bjson_encode(shape)).unwrap();
+        assert_eq!(decoded.to_string(), shape.to_string(), "{shape}");
+    }
+}
+
+/// A mixed-codec pile-up: NDJSON and binary clients hammer the same
+/// server concurrently with overlapping keys; both sides must see
+/// deterministic, mutually identical answers.
+#[test]
+fn concurrent_mixed_codec_clients_agree() {
+    let handle = start(4);
+    let addr = handle.addr();
+    let queries: Vec<&'static str> = vec![
+        r#"{"op":"load","name":"bst"}"#,
+        r#"{"op":"points_to","program":"bst","var":"g_tree"}"#,
+        r#"{"op":"alias","program":"bst","a":"g_tree","b":"g_tree"}"#,
+        r#"{"op":"modref","program":"bst","func":"main"}"#,
+    ];
+    // Warm first so replies (incl. load's compile_s) are deterministic.
+    {
+        let mut c = Client::connect(addr).unwrap();
+        for q in &queries {
+            c.request_line(q).unwrap();
+        }
+    }
+    let workers: Vec<_> = (0..4)
+        .map(|i| {
+            let queries = queries.clone();
+            std::thread::spawn(move || -> Vec<String> {
+                if i % 2 == 0 {
+                    let mut c = Client::connect(addr).unwrap();
+                    queries.iter().map(|q| c.request_line(q).unwrap()).collect()
+                } else {
+                    let mut c = BinaryClient::connect(addr).unwrap();
+                    queries
+                        .iter()
+                        .map(|q| c.request(&Json::parse(q).unwrap()).unwrap().to_string())
+                        .collect()
+                }
+            })
+        })
+        .collect();
+    let all: Vec<Vec<String>> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    for other in &all[1..] {
+        assert_eq!(&all[0], other, "codec or scheduling changed an answer");
+    }
+    let mut c = Client::connect(addr).unwrap();
+    c.shutdown_server().unwrap();
+    handle.wait();
+}

@@ -1,0 +1,414 @@
+//! The snapshot battery: deterministic serialization, warm restores that
+//! pay zero compiles/solves (in-process and across a real process
+//! kill/restart), and the corruption sweep — every truncation point and
+//! every flipped byte yields a typed [`SnapshotError`], never a panic and
+//! never a silently-wrong warm cache.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+use structcast::constraints::compiles_on_thread;
+use structcast::{solves_on_thread, DemandQuery, ModelKind, ObjId};
+use structcast_server::json::Json;
+use structcast_server::metrics::Metrics;
+use structcast_server::{
+    serve, snapshot, Client, QueryOpts, ServerConfig, SessionCache, SnapshotError, SNAPSHOT_FILE,
+};
+
+/// A scratch directory under the system temp dir, wiped on entry so the
+/// test always starts from a known state.
+fn scratch_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scast-snapshot-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Warms a fresh cache with every layer populated: two compiled programs,
+/// solved summaries under two configurations each, and one demand answer.
+fn warm_cache() -> SessionCache {
+    let cache = SessionCache::new(Arc::new(Metrics::new()));
+    for name in ["bst", "list-utils"] {
+        let p = structcast_progen::corpus_program(name).unwrap();
+        let entry = cache.load(Some(name), p.source).unwrap();
+        cache.solved(&entry, &QueryOpts::default()).unwrap();
+        cache
+            .solved(&entry, &QueryOpts::default().with_model(ModelKind::Offsets))
+            .unwrap();
+    }
+    let bst = cache.entry("bst").unwrap();
+    let obj = bst
+        .prog
+        .objects
+        .iter()
+        .position(|o| o.name == "g_tree" && o.kind.is_named_variable())
+        .unwrap();
+    cache
+        .demand(
+            &bst,
+            &QueryOpts::default(),
+            &DemandQuery::PointsTo {
+                obj: ObjId(obj as u32),
+            },
+            "points_to/g_tree",
+        )
+        .unwrap();
+    cache
+}
+
+#[test]
+fn encode_is_deterministic_and_restore_reserializes_byte_identically() {
+    let cache = warm_cache();
+    let bytes = snapshot::encode(&cache);
+    assert!(!bytes.is_empty());
+    // Same state, same bytes — twice over.
+    assert_eq!(bytes, snapshot::encode(&cache));
+
+    // Restoring in snapshot order reproduces the exact same file.
+    let forward = SessionCache::new(Arc::new(Metrics::new()));
+    let n = snapshot::restore(&forward, snapshot::decode(&bytes).unwrap());
+    assert_eq!(n, 2 + 4 + 1, "2 programs, 4 summaries, 1 demand answer");
+    assert_eq!(snapshot::encode(&forward), bytes);
+
+    // Restoring the same entries in *reversed* order still reproduces it:
+    // the byte representation depends on the logical state, not on
+    // insertion order or map iteration order.
+    let reversed = SessionCache::new(Arc::new(Metrics::new()));
+    let data = snapshot::decode(&bytes).unwrap();
+    for (k, a) in data.demand.into_iter().rev() {
+        reversed.restore_demand(k, Arc::new(a));
+    }
+    for (k, s) in data.solved.into_iter().rev() {
+        reversed.restore_solved(k, Arc::new(s));
+    }
+    for e in data.programs.into_iter().rev() {
+        reversed.restore_program(Arc::new(e));
+    }
+    assert_eq!(snapshot::encode(&reversed), bytes);
+}
+
+#[test]
+fn restore_pays_zero_compiles_and_zero_solves() {
+    let bytes = snapshot::encode(&warm_cache());
+    let metrics = Arc::new(Metrics::new());
+    let cache = SessionCache::new(Arc::clone(&metrics));
+
+    // Decoding re-lowers source text but must never re-run the constraint
+    // compiler or the solver — the honesty counters cannot move.
+    let (compiles0, solves0) = (compiles_on_thread(), solves_on_thread());
+    let restored = snapshot::restore(&cache, snapshot::decode(&bytes).unwrap());
+    assert_eq!(restored, 7);
+    assert_eq!(compiles_on_thread(), compiles0, "restore must not compile");
+    assert_eq!(solves_on_thread(), solves0, "restore must not solve");
+    assert_eq!(metrics.total_misses(), 0, "restored warmth is not a miss");
+
+    // Every restored key now answers as a pure cache hit.
+    let bst_src = structcast_progen::corpus_program("bst").unwrap().source;
+    let entry = cache.load(Some("bst"), bst_src).unwrap();
+    cache.solved(&entry, &QueryOpts::default()).unwrap();
+    cache
+        .solved(&entry, &QueryOpts::default().with_model(ModelKind::Offsets))
+        .unwrap();
+    assert_eq!(compiles_on_thread(), compiles0, "warm load recompiles nothing");
+    assert_eq!(solves_on_thread(), solves0, "warm queries re-solve nothing");
+    assert_eq!(metrics.total_misses(), 0);
+
+    // The restored summary carries real data, not just a shell.
+    let (solved, _) = cache.solved(&entry, &QueryOpts::default()).unwrap();
+    assert!(!solved.points_to.is_empty());
+    assert!(solved.vars.contains("g_tree"));
+}
+
+/// The corruption property sweep. Two passes over a real warm snapshot:
+/// truncate the file at **every** byte offset, then flip **every** single
+/// byte — each damaged variant must decode to a typed [`SnapshotError`]
+/// (never a panic, never `Ok`). Then targeted per-section checks pin down
+/// the error taxonomy: payload damage is a checksum failure naming the
+/// section, header damage is framing, and short files are truncations.
+#[test]
+fn every_truncation_and_every_bit_flip_is_a_typed_refusal() {
+    let base = snapshot::encode(&warm_cache());
+    let infos = snapshot::sections(&base).unwrap();
+    assert_eq!(infos.len(), 3, "programs, solved, demand");
+    for info in &infos {
+        assert!(info.payload_end > info.payload_start, "every layer populated");
+    }
+
+    // Truncation sweep: every proper prefix is refused.
+    for cut in 0..base.len() {
+        let t = &base[..cut];
+        let res = catch_unwind(AssertUnwindSafe(|| snapshot::decode(t)));
+        let decoded = res.unwrap_or_else(|_| panic!("decode panicked on truncation at {cut}"));
+        assert!(decoded.is_err(), "truncation at {cut} must be refused");
+    }
+
+    // Flip sweep: every single-byte corruption is refused.
+    for i in 0..base.len() {
+        let mut bad = base.clone();
+        bad[i] ^= 0xA5;
+        let res = catch_unwind(AssertUnwindSafe(|| snapshot::decode(&bad)));
+        let decoded = res.unwrap_or_else(|_| panic!("decode panicked on flip at {i}"));
+        assert!(decoded.is_err(), "flip at byte {i} must be refused");
+    }
+
+    // Targeted taxonomy: damage in a known place yields the matching
+    // typed error.
+    let mut bad = base.clone();
+    bad[0] ^= 0xFF; // magic
+    assert!(matches!(snapshot::decode(&bad), Err(SnapshotError::BadMagic)));
+
+    let mut bad = base.clone();
+    bad[8] = 0xEE; // version field (little-endian low byte)
+    assert!(matches!(
+        snapshot::decode(&bad),
+        Err(SnapshotError::BadVersion(_))
+    ));
+
+    for info in &infos {
+        // One flipped payload byte: checksum failure in that section.
+        let mid = (info.payload_start + info.payload_end) / 2;
+        let mut bad = base.clone();
+        bad[mid] ^= 0x01;
+        assert!(
+            matches!(snapshot::decode(&bad), Err(SnapshotError::Checksum { .. })),
+            "payload flip in section {} must fail its checksum",
+            info.tag
+        );
+        // A flipped checksum byte: same refusal (the stored sum no longer
+        // matches the intact payload).
+        let mut bad = base.clone();
+        bad[info.payload_start - 1] ^= 0x01;
+        assert!(
+            matches!(snapshot::decode(&bad), Err(SnapshotError::Checksum { .. })),
+            "checksum flip for section {} must be refused",
+            info.tag
+        );
+        // An unknown section tag is a framing error.
+        let mut bad = base.clone();
+        bad[info.header_start] = 0x7F;
+        assert!(
+            matches!(snapshot::decode(&bad), Err(SnapshotError::Malformed { .. })),
+            "unknown tag must be malformed framing"
+        );
+        // Cutting inside the payload is a truncation.
+        let cut = &base[..info.payload_end - 1];
+        assert!(
+            matches!(
+                snapshot::decode(cut),
+                Err(SnapshotError::Truncated { .. }) | Err(SnapshotError::Malformed { .. })
+            ),
+            "mid-payload cut must truncate"
+        );
+    }
+
+    // Trailing garbage after the last section is also refused.
+    let mut bad = base.clone();
+    bad.push(0);
+    assert!(matches!(
+        snapshot::decode(&bad),
+        Err(SnapshotError::Malformed { .. })
+    ));
+
+    // The intact original still decodes — the sweep tested damage, not
+    // the grammar.
+    assert_eq!(snapshot::decode(&base).unwrap().len(), 7);
+}
+
+/// A corrupt snapshot on disk costs a cold start and a metric — the
+/// server must come up serving, not crash, and must not restore wrongly.
+#[test]
+fn corrupt_snapshot_on_disk_falls_back_to_a_counted_cold_start() {
+    let dir = scratch_dir("corrupt-cold-start");
+
+    // A *real* snapshot with one byte flipped mid-file: the damage is
+    // invisible without the checksum.
+    std::fs::create_dir_all(&dir).unwrap();
+    snapshot::save_to_dir(&warm_cache(), &dir).unwrap();
+    let path = dir.join(SNAPSHOT_FILE);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let cfg = ServerConfig {
+        snapshot_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let handle = serve(&cfg).expect("corrupt snapshot must not prevent startup");
+    let (_, restores, restore_errors) = handle.metrics().snapshot_counts();
+    assert_eq!(restores, 0, "nothing may be restored from a corrupt file");
+    assert_eq!(restore_errors, 1, "the fallback is counted");
+
+    // The server is cold but fully functional: the first query misses.
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let resp = c
+        .request_line(r#"{"op":"points_to","program":"bst","var":"g_tree"}"#)
+        .unwrap();
+    assert!(resp.contains("\"ok\": true"), "{resp}");
+    assert!(handle.metrics().total_misses() > 0, "cold start really is cold");
+
+    // The wire-visible stats agree with the in-process counters.
+    let stats = c.stats().unwrap();
+    let snap = stats.get("snapshot").expect("snapshot stats block");
+    assert_eq!(snap.get("restore_errors").and_then(Json::as_u64), Some(1));
+    assert_eq!(snap.get("restores").and_then(Json::as_u64), Some(0));
+    c.shutdown_server().unwrap();
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ----- kill/restart integration against the real scastd binary -----
+
+/// Spawns a `scastd` process snapshotting into `dir` and scrapes its
+/// bound address off stdout.
+fn spawn_scastd(dir: &Path, threads: usize) -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_scastd"))
+        .args(["--addr", "127.0.0.1:0", "--threads", &threads.to_string()])
+        .arg("--snapshot")
+        .arg(dir)
+        .stdout(Stdio::piped())
+        .stdin(Stdio::null())
+        .spawn()
+        .expect("spawn scastd");
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout);
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            lines.read_line(&mut line).unwrap() > 0,
+            "scastd exited before printing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest.parse().unwrap();
+        }
+    };
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = std::io::sink();
+        let _ = std::io::copy(&mut lines, &mut sink);
+    });
+    (child, addr)
+}
+
+/// The tentpole acceptance test: warm a real server process, snapshot,
+/// SIGKILL it, restart it from the snapshot directory, and prove the
+/// replies are byte-identical and the restarted process pays **zero**
+/// compile/solve misses for every previously-warm key — at 1, 2, and 8
+/// worker threads.
+#[test]
+fn killed_server_restarts_warm_with_zero_misses_at_1_2_8_threads() {
+    for threads in [1usize, 2, 8] {
+        let dir = scratch_dir(&format!("kill-restart-t{threads}"));
+        let (mut child, addr) = spawn_scastd(&dir, threads);
+        let mut c = Client::connect_timeout(addr, Duration::from_secs(30)).unwrap();
+
+        // Warm every layer: compile, two solved configs, one demand
+        // answer — and capture the replies for the byte-identity check.
+        let load = c.request_line(r#"{"op":"load","name":"bst"}"#).unwrap();
+        assert!(load.contains("\"ok\": true"), "{load}");
+        let queries = [
+            r#"{"op":"points_to","program":"bst","var":"g_tree"}"#,
+            r#"{"op":"points_to","program":"bst","var":"g_tree","model":"offsets"}"#,
+            r#"{"op":"points_to","program":"bst","var":"g_tree","mode":"demand"}"#,
+        ];
+        let warm: Vec<String> = queries.iter().map(|q| c.request_line(q).unwrap()).collect();
+        for r in &warm {
+            assert!(r.contains("\"ok\": true"), "{r}");
+        }
+
+        // Persist, then kill without any graceful shutdown.
+        let snap = c.request_line(r#"{"op":"snapshot"}"#).unwrap();
+        assert!(snap.contains("\"ok\": true"), "{snap}");
+        assert!(dir.join(SNAPSHOT_FILE).exists());
+        drop(c);
+        child.kill().unwrap();
+        child.wait().unwrap();
+
+        // Restart from the same directory.
+        let (mut child, addr) = spawn_scastd(&dir, threads);
+        let mut c = Client::connect_timeout(addr, Duration::from_secs(30)).unwrap();
+
+        // Byte-identical replies — including the load reply, whose
+        // compile_s is the *restored* compile time, not a new one.
+        assert_eq!(c.request_line(r#"{"op":"load","name":"bst"}"#).unwrap(), load);
+        for (q, expect) in queries.iter().zip(&warm) {
+            let got = c.request_line(q).unwrap();
+            // The demand reply marks the restored answer as cached.
+            let expect = expect.replace("\"cached\": false", "\"cached\": true");
+            assert_eq!(got, expect, "threads={threads} query={q}");
+        }
+
+        // Zero misses: nothing above compiled or solved anything.
+        let stats = c.stats().unwrap();
+        let count = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap();
+        assert_eq!(count("program_misses"), 0, "threads={threads}: {stats}");
+        assert_eq!(count("solve_misses"), 0, "threads={threads}: {stats}");
+        assert!(count("program_hits") >= 1, "{stats}");
+        assert!(count("solve_hits") >= 2, "{stats}");
+        let snap = stats.get("snapshot").expect("snapshot stats block");
+        assert_eq!(snap.get("restores").and_then(Json::as_u64), Some(1), "{stats}");
+        assert!(
+            snap.get("restored_entries").and_then(Json::as_u64).unwrap() >= 4,
+            "program + 2 summaries + demand answer: {stats}"
+        );
+        assert_eq!(snap.get("restore_errors").and_then(Json::as_u64), Some(0));
+
+        c.shutdown_server().unwrap();
+        child.wait().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Graceful shutdown also saves — a server that was never asked for an
+/// explicit `snapshot` op still leaves a warm state behind.
+#[test]
+fn graceful_shutdown_saves_a_snapshot_the_next_process_loads() {
+    let dir = scratch_dir("shutdown-save");
+    let cfg = ServerConfig {
+        snapshot_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let handle = serve(&cfg).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let resp = c
+        .request_line(r#"{"op":"points_to","program":"tagged-union","var":"g_registry"}"#)
+        .unwrap();
+    assert!(resp.contains("\"ok\": true"), "{resp}");
+    c.shutdown_server().unwrap();
+    handle.wait();
+    assert!(dir.join(SNAPSHOT_FILE).exists(), "shutdown must save");
+
+    let handle = serve(&cfg).unwrap();
+    let (_, restores, errors) = handle.metrics().snapshot_counts();
+    assert_eq!((restores, errors), (1, 0));
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let again = c
+        .request_line(r#"{"op":"points_to","program":"tagged-union","var":"g_registry"}"#)
+        .unwrap();
+    assert_eq!(again, resp, "warm reply matches the pre-restart one");
+    assert_eq!(handle.metrics().total_misses(), 0);
+    c.shutdown_server().unwrap();
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `snapshot` against a server with no snapshot directory is a typed
+/// `bad_request`, not a crash or a silent no-op.
+#[test]
+fn snapshot_op_without_a_directory_is_a_bad_request() {
+    let handle = serve(&ServerConfig::default()).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let resp = c.request_line(r#"{"op":"snapshot"}"#).unwrap();
+    let v = Json::parse(&resp).unwrap();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{resp}");
+    assert_eq!(
+        v.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("bad_request"),
+        "{resp}"
+    );
+    c.shutdown_server().unwrap();
+    handle.wait();
+}
