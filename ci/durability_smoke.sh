@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Durability smoke test: drive the injected disk-fault sites end-to-end
+# through real processes. (a) `err@wal_append` — an update whose journal
+# write fails must still apply, but the reply must say plainly it is not
+# durable (`durable: false`, `degraded: "wal_append_failed"`) and the
+# append-error counter must fire. (b) `short@wal_append` — a torn
+# half-record persisted by a short write must be swept on restart: the
+# server comes up clean, counts the torn tail, and honestly serves the
+# pre-edit answer (the un-acked edit is lost, as the reply warned).
+# (c) `err@snapshot_save` — a failing snapshot save is a typed `internal`
+# error on the `snapshot` op and the server keeps serving and still shuts
+# down cleanly.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+cargo build --release -p structcast-driver
+SCAST=target/release/scast
+
+# Scrapes `listening on HOST:PORT` from a server log file.
+wait_addr() {
+    local log=$1 addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^listening on //p' "$log" | head -n1)
+        [ -n "$addr" ] && { echo "$addr"; return 0; }
+        sleep 0.1
+    done
+    echo "server never reported its address" >&2
+    cat "$log" >&2
+    return 1
+}
+
+# --- (a) err@wal_append: degraded non-durable updates -------------------
+DIR_A=$(mktemp -d)
+LOG_A=$(mktemp)
+SCAST_FAULTS="err@wal_append:1.0" \
+    "$SCAST" serve --addr 127.0.0.1:0 --threads 2 --snapshot "$DIR_A" >"$LOG_A" &
+PID_A=$!
+trap 'kill "$PID_A" 2>/dev/null || true' EXIT
+ADDR_A=$(wait_addr "$LOG_A")
+
+"$SCAST" query --addr "$ADDR_A" \
+    '{"op":"load","name":"live","source":"int x, y, *p; void f(void) { p = &x; }"}' |
+    grep -q '"ok": true' || { echo "load failed"; exit 1; }
+UPDATE=$("$SCAST" query --addr "$ADDR_A" \
+    '{"op":"update","program":"live","source":"int x, y, *p; void f(void) { p = &y; }"}')
+echo "$UPDATE" | grep -q '"ok": true' || { echo "update should still apply:"; echo "$UPDATE"; exit 1; }
+echo "$UPDATE" | grep -q '"durable": false' || {
+    echo "failed journal write must be reported non-durable:"; echo "$UPDATE"; exit 1
+}
+echo "$UPDATE" | grep -q '"degraded": "wal_append_failed"' || {
+    echo "reply must carry the degradation marker:"; echo "$UPDATE"; exit 1
+}
+"$SCAST" query --addr "$ADDR_A" '{"op":"points_to","program":"live","var":"p"}' |
+    grep -q '"points_to": \["y"\]' || { echo "in-memory edit must be live"; exit 1; }
+"$SCAST" query --addr "$ADDR_A" '{"op":"stats"}' |
+    grep -q '"append_errors": 1' || { echo "append-error counter must fire"; exit 1; }
+echo "err@wal_append: update applied, honestly non-durable, counter fired"
+
+"$SCAST" query --addr "$ADDR_A" '{"op":"shutdown"}' | grep -q '"shutdown": true'
+wait "$PID_A"
+trap - EXIT
+rm -rf "$DIR_A" "$LOG_A"
+
+# --- (b) short@wal_append: torn half-record swept on restart ------------
+DIR_B=$(mktemp -d)
+LOG_B=$(mktemp)
+SCAST_FAULTS="short@wal_append:1.0" \
+    "$SCAST" serve --addr 127.0.0.1:0 --threads 2 --snapshot "$DIR_B" >"$LOG_B" &
+PID_B=$!
+trap 'kill "$PID_B" 2>/dev/null || true' EXIT
+ADDR_B=$(wait_addr "$LOG_B")
+
+"$SCAST" query --addr "$ADDR_B" \
+    '{"op":"load","name":"live","source":"int x, y, *p; void f(void) { p = &x; }"}' |
+    grep -q '"ok": true' || { echo "load failed"; exit 1; }
+"$SCAST" query --addr "$ADDR_B" '{"op":"snapshot"}' |
+    grep -q '"ok": true' || { echo "snapshot failed"; exit 1; }
+"$SCAST" query --addr "$ADDR_B" \
+    '{"op":"update","program":"live","source":"int x, y, *p; void f(void) { p = &y; }"}' |
+    grep -q '"durable": false' || { echo "short write must be reported non-durable"; exit 1; }
+[ -s "$DIR_B/wal" ] || { echo "torn half-record should be on disk"; exit 1; }
+
+kill -9 "$PID_B"
+wait "$PID_B" 2>/dev/null || true
+trap - EXIT
+
+LOG_B2=$(mktemp)
+"$SCAST" serve --addr 127.0.0.1:0 --threads 2 --snapshot "$DIR_B" >"$LOG_B2" &
+PID_B2=$!
+trap 'kill "$PID_B2" 2>/dev/null || true' EXIT
+ADDR_B2=$(wait_addr "$LOG_B2")
+
+"$SCAST" query --addr "$ADDR_B2" '{"op":"points_to","program":"live","var":"p"}' |
+    grep -q '"points_to": \["x"\]' || {
+    echo "restart must serve the pre-edit answer (the edit was never acked durable)"; exit 1
+}
+STATS_B=$("$SCAST" query --addr "$ADDR_B2" '{"op":"stats"}')
+echo "$STATS_B" | grep -q '"torn_tail": 1' || {
+    echo "torn-tail sweep must be counted:"; echo "$STATS_B"; exit 1
+}
+echo "$STATS_B" | grep -q '"replayed": 0' || {
+    echo "nothing whole to replay:"; echo "$STATS_B"; exit 1
+}
+echo "short@wal_append: torn tail swept on restart, pre-edit answer served"
+
+"$SCAST" query --addr "$ADDR_B2" '{"op":"shutdown"}' | grep -q '"shutdown": true'
+wait "$PID_B2"
+trap - EXIT
+rm -rf "$DIR_B" "$LOG_B" "$LOG_B2"
+
+# --- (c) err@snapshot_save: typed error, server keeps serving -----------
+DIR_C=$(mktemp -d)
+LOG_C=$(mktemp)
+SCAST_FAULTS="err@snapshot_save:1.0" \
+    "$SCAST" serve --addr 127.0.0.1:0 --threads 2 --snapshot "$DIR_C" >"$LOG_C" &
+PID_C=$!
+trap 'kill "$PID_C" 2>/dev/null || true' EXIT
+ADDR_C=$(wait_addr "$LOG_C")
+
+"$SCAST" query --addr "$ADDR_C" '{"op":"load","name":"bst"}' |
+    grep -q '"ok": true' || { echo "load failed"; exit 1; }
+SNAP=$("$SCAST" query --addr "$ADDR_C" '{"op":"snapshot"}')
+echo "$SNAP" | grep -q '"kind": "internal"' || {
+    echo "failing save must be a typed internal error:"; echo "$SNAP"; exit 1
+}
+"$SCAST" query --addr "$ADDR_C" '{"op":"stats"}' |
+    grep -q '"ok": true' || { echo "server must keep serving after a failed save"; exit 1; }
+echo "err@snapshot_save: typed internal error, server kept serving"
+
+"$SCAST" query --addr "$ADDR_C" '{"op":"shutdown"}' | grep -q '"shutdown": true'
+wait "$PID_C"
+trap - EXIT
+rm -rf "$DIR_C" "$LOG_C"
+
+echo "durability smoke: all fault sites behaved"

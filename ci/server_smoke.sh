@@ -12,8 +12,9 @@
 # of cached demand entries. Then the fleet-grade serving paths: the binary
 # codec must answer byte-identically to NDJSON, a SIGKILLed server with a
 # snapshot directory must restart warm (zero compile/solve misses, one
-# counted restore), and a 2-replica fleet router must report both replicas
-# alive and shut the whole fleet down cleanly.
+# counted restore), an update accepted between snapshots must survive a
+# SIGKILL via write-ahead-journal replay, and a 2-replica fleet router
+# must report both replicas alive and shut the whole fleet down cleanly.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -250,10 +251,52 @@ echo "$STATS4" | grep -q '"restores": 1' || {
 }
 echo "snapshot round-trip: SIGKILL + restart warm, byte-identical answer, zero misses"
 
-"$SCAST" query --addr "$ADDR4" '{"op":"shutdown"}' | grep -q '"shutdown": true'
-wait "$SERVER4_PID"
+# WAL round-trip: an update accepted BETWEEN snapshots lives only in the
+# journal. SIGKILL the server before any snapshot covers the edit; the
+# restarted process must replay the WAL and serve the post-edit answer.
+"$SCAST" query --addr "$ADDR4" \
+    '{"op":"load","name":"wal-live","source":"int x, y, *p; void f(void) { p = &x; }"}' |
+    grep -q '"ok": true' || { echo "WAL session load failed"; exit 1; }
+"$SCAST" query --addr "$ADDR4" '{"op":"snapshot"}' |
+    grep -q '"ok": true' || { echo "pre-edit snapshot failed"; exit 1; }
+WAL_UPDATE=$("$SCAST" query --addr "$ADDR4" \
+    '{"op":"update","program":"wal-live","source":"int x, y, *p; void f(void) { p = &y; }"}')
+echo "$WAL_UPDATE" | grep -q '"ok": true' || { echo "WAL update failed:"; echo "$WAL_UPDATE"; exit 1; }
+echo "$WAL_UPDATE" | grep -q '"durable": true' || {
+    echo "update must be acked durable (journaled + fsync'd):"; echo "$WAL_UPDATE"; exit 1
+}
+[ -f "$SNAPDIR/wal" ] || { echo "WAL file missing"; ls "$SNAPDIR"; exit 1; }
+
+kill -9 "$SERVER4_PID"
+wait "$SERVER4_PID" 2>/dev/null || true
 trap - EXIT
-rm -rf "$SNAPDIR" "$LOG3" "$LOG4"
+
+LOG5=$(mktemp)
+"$SCAST" serve --addr 127.0.0.1:0 --threads 2 --snapshot "$SNAPDIR" >"$LOG5" &
+SERVER5_PID=$!
+trap 'kill "$SERVER5_PID" 2>/dev/null || true' EXIT
+ADDR5=""
+for _ in $(seq 1 100); do
+    ADDR5=$(sed -n 's/^listening on //p' "$LOG5" | head -n1)
+    [ -n "$ADDR5" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR5" ] || { echo "WAL-restarted server never reported its address"; cat "$LOG5"; exit 1; }
+
+"$SCAST" query --addr "$ADDR5" '{"op":"points_to","program":"wal-live","var":"p"}' |
+    grep -q '"points_to": \["y"\]' || {
+    echo "post-edit answer did not survive the SIGKILL"; exit 1
+}
+STATS5=$("$SCAST" query --addr "$ADDR5" '{"op":"stats"}')
+echo "$STATS5" | grep -q '"replayed": 1' || {
+    echo "restart must replay exactly the journaled edit:"; echo "$STATS5"; exit 1
+}
+echo "WAL round-trip: SIGKILL between snapshots, journaled edit replayed, post-edit answer served"
+
+"$SCAST" query --addr "$ADDR5" '{"op":"shutdown"}' | grep -q '"shutdown": true'
+wait "$SERVER5_PID"
+trap - EXIT
+rm -rf "$SNAPDIR" "$LOG3" "$LOG4" "$LOG5"
 
 # Fleet router health check: two replicas behind the consistent-hash
 # router, queries answered through it, both replicas alive in

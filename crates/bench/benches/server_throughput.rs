@@ -7,10 +7,13 @@
 //!
 //! Scenarios cover both codecs (NDJSON lines and the length-prefixed
 //! binary protocol) on a single server, plus the replica fleet behind the
-//! consistent-hash router at 1 and 2 replicas. Rows the host cannot
-//! measure honestly — replica parallelism on a single-CPU box, a fleet
-//! without a built `scastd` — are emitted with `wall_clock_s: null` and a
-//! `skipped_reason` instead of a misleading number.
+//! consistent-hash router at 1 and 2 replicas, plus the live-editing
+//! `update` path with and without the write-ahead journal (the
+//! `wal_fsync` column prices the fsync-per-edit durability guarantee
+//! against `--no-wal`). Rows the host cannot measure honestly — replica
+//! parallelism on a single-CPU box, a fleet without a built `scastd` —
+//! are emitted with `wall_clock_s: null` and a `skipped_reason` instead
+//! of a misleading number.
 //!
 //! Writes `BENCH_server.json` at the repo root: queries/sec per scenario
 //! plus `host_cpus`, the `protocol`, and the miss counters proving the
@@ -130,6 +133,14 @@ fn main() {
     shut.shutdown_server().expect("shutdown");
     handle.wait();
 
+    // Update rows: the live-editing path, journaled (every edit fsync'd
+    // to the WAL before the reply) vs `--no-wal`. The delta between the
+    // two rows is the price of durability.
+    let edits = per_thread.min(500);
+    for wal_fsync in [true, false] {
+        records.push(update_record(wal_fsync, edits));
+    }
+
     // Fleet rows: the same warm points_to storm through the router. A
     // replica count the host cannot exercise in parallel is reported as
     // skipped, not faked.
@@ -143,9 +154,16 @@ fn main() {
                 let scenario = r.get("scenario").and_then(Json::as_str).unwrap();
                 let protocol = r.get("protocol").and_then(Json::as_str).unwrap();
                 let repl = r.get("replicas").and_then(Json::as_u64).unwrap();
+                let threads = r.get("client_threads").and_then(Json::as_u64).unwrap();
+                let per = r.get("queries_per_thread").and_then(Json::as_u64).unwrap();
+                let wal = match r.get("wal_fsync").and_then(Json::as_bool) {
+                    Some(true) => " (wal fsync)",
+                    Some(false) => " (no wal)",
+                    None => "",
+                };
                 println!(
-                    "{scenario:>10}/{protocol} x{repl}: {CLIENT_THREADS} threads x \
-                     {per_thread} queries = {qps:.0} queries/sec"
+                    "{scenario:>10}/{protocol} x{repl}: {threads} threads x \
+                     {per} queries = {qps:.0} queries/sec{wal}"
                 );
             }
             _ => {
@@ -181,6 +199,72 @@ fn record(
         ("queries_per_sec", Json::num(total / elapsed)),
         ("program_misses", Json::count(metrics_field(metrics, "program_misses"))),
         ("solve_misses", Json::count(metrics_field(metrics, "solve_misses"))),
+    ])
+}
+
+/// One `update` scenario: a single editing client pushing alternating
+/// one-function edits against a cached session, with the write-ahead
+/// journal on (`wal_fsync: true` — every accepted edit is fsync'd before
+/// the reply) or off (the `--no-wal` trade).
+fn update_record(wal_fsync: bool, edits: usize) -> Json {
+    let dir = std::env::temp_dir().join(format!(
+        "scast-bench-wal-{}-{}",
+        wal_fsync,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench snapshot dir");
+    let cfg = ServerConfig {
+        snapshot_dir: Some(dir.clone()),
+        wal: wal_fsync,
+        ..ServerConfig::default()
+    };
+    let handle = serve(&cfg).expect("bind ephemeral port");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let src = |i: usize| {
+        let tgt = if i.is_multiple_of(2) { "x" } else { "y" };
+        format!("int x, y, *p; void f(void) {{ p = &{tgt}; }}")
+    };
+    let load = Json::obj([
+        ("op", Json::str("load")),
+        ("name", Json::str("live")),
+        ("source", Json::str(src(0))),
+    ]);
+    let resp = c.request(&load).expect("load");
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+
+    let start = Instant::now();
+    for i in 1..=edits {
+        let req = Json::obj([
+            ("op", Json::str("update")),
+            ("program", Json::str("live")),
+            ("source", Json::str(src(i))),
+        ]);
+        let resp = c.request(&req).expect("update");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+        assert_eq!(
+            resp.get("durable").and_then(Json::as_bool),
+            if wal_fsync { Some(true) } else { None },
+            "durability claim must match the journal mode: {resp}"
+        );
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    c.shutdown_server().expect("shutdown");
+    drop(c);
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    Json::obj([
+        ("scenario", Json::str("update")),
+        ("protocol", Json::str("ndjson")),
+        ("replicas", Json::count(1)),
+        ("host_cpus", Json::count(host_cpus())),
+        ("client_threads", Json::count(1)),
+        ("queries_per_thread", Json::count(edits as u64)),
+        ("wal_fsync", Json::Bool(wal_fsync)),
+        ("wall_clock_s", Json::num(elapsed)),
+        ("queries_per_sec", Json::num(edits as f64 / elapsed)),
     ])
 }
 

@@ -6,10 +6,11 @@
 //!       [--deref-stats] [--dump-ir] [--dump-constraints] [--steensgaard] [--json]
 //! scast --corpus            # list the embedded benchmark corpus
 //! scast serve [--addr HOST:PORT] [--threads N] [--max-cache-mb N]
-//!             [--snapshot DIR] [--snapshot-every-s N]
-//! scast fleet --replicas N [--addr HOST:PORT] [--snapshot DIR] [--threads N]
-//! scast query --addr HOST:PORT [--timeout-ms N] [--binary] <request-json>... | -
-//! scast update --addr HOST:PORT --program NAME <file.c> | -
+//!             [--snapshot DIR] [--snapshot-every-s N] [--no-wal] [--brownout N]
+//! scast fleet --replicas N [--addr HOST:PORT] [--snapshot DIR] [--threads N] [--no-wal]
+//! scast query --addr HOST:PORT [--timeout-ms N] [--binary]
+//!             [--max-retries N] [--backoff-seed N] <request-json>... | -
+//! scast update --addr HOST:PORT --program NAME [--max-retries N] <file.c> | -
 //! ```
 //!
 //! `--demand NAME` answers the named pointer's points-to query in demand
@@ -38,7 +39,7 @@ use structcast::{
     try_analyze, AnalysisConfig, AnalysisResult, Budget, Layout, ModelKind, Program,
 };
 use structcast_server::json::Json;
-use structcast_server::{serve, BinaryClient, Client, FleetConfig, ServerConfig};
+use structcast_server::{serve, BinaryClient, Client, FleetConfig, RetryOpts, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
@@ -49,10 +50,13 @@ fn usage() -> ! {
          [--stride] [--flag-unknown] [--dot] [--modref] [--json]\
          \n       scast --corpus\
          \n       scast serve [--addr HOST:PORT] [--threads N] [--max-cache-mb N] \
-         [--snapshot DIR] [--snapshot-every-s N]\
-         \n       scast fleet --replicas N [--addr HOST:PORT] [--snapshot DIR] [--threads N]\
-         \n       scast query --addr HOST:PORT [--timeout-ms N] [--binary] <request-json>... | -\
-         \n       scast update --addr HOST:PORT --program NAME [--timeout-ms N] <file.c> | -"
+         [--snapshot DIR] [--snapshot-every-s N] [--no-wal] [--brownout N]\
+         \n       scast fleet --replicas N [--addr HOST:PORT] [--snapshot DIR] [--threads N] \
+         [--no-wal]\
+         \n       scast query --addr HOST:PORT [--timeout-ms N] [--binary] \
+         [--max-retries N] [--backoff-seed N] <request-json>... | -\
+         \n       scast update --addr HOST:PORT --program NAME [--timeout-ms N] \
+         [--max-retries N] [--backoff-seed N] <file.c> | -"
     );
     std::process::exit(2);
 }
@@ -138,6 +142,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     n.parse().map_err(|_| format!("serve: bad --snapshot-every-s `{n}`"))?;
                 cfg.snapshot_every = Some(Duration::from_secs(secs));
             }
+            "--no-wal" => cfg.wal = false,
+            "--brownout" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                cfg.brownout_high_water =
+                    Some(n.parse().map_err(|_| format!("serve: bad --brownout `{n}`"))?);
+            }
             _ => usage(),
         }
     }
@@ -154,6 +164,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 fn cmd_fleet(args: &[String]) -> Result<(), String> {
     let mut cfg = FleetConfig::default();
     let mut threads: Option<usize> = None;
+    let mut no_wal = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -172,6 +183,7 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
                 threads =
                     Some(n.parse().map_err(|_| format!("fleet: bad --threads `{n}`"))?);
             }
+            "--no-wal" => no_wal = true,
             _ => usage(),
         }
     }
@@ -182,6 +194,9 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
     if let Some(n) = threads {
         cfg.args.push("--threads".to_string());
         cfg.args.push(n.to_string());
+    }
+    if no_wal {
+        cfg.args.push("--no-wal".to_string());
     }
     let handle =
         structcast_server::fleet(&cfg).map_err(|e| format!("fleet: cannot start: {e}"))?;
@@ -204,6 +219,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut addr = None;
     let mut timeout_ms: u64 = 5000;
     let mut binary = false;
+    let mut retry = RetryOpts { max_retries: 0, ..RetryOpts::default() };
     let mut reqs: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -215,6 +231,16 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                     n.parse().map_err(|_| format!("query: bad --timeout-ms `{n}`"))?;
             }
             "--binary" => binary = true,
+            "--max-retries" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                retry.max_retries =
+                    n.parse().map_err(|_| format!("query: bad --max-retries `{n}`"))?;
+            }
+            "--backoff-seed" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                retry.backoff_seed =
+                    n.parse().map_err(|_| format!("query: bad --backoff-seed `{n}`"))?;
+            }
             other => reqs.push(other.to_string()),
         }
     }
@@ -243,7 +269,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         for req in &reqs {
             let parsed = Json::parse(req).map_err(|e| format!("query: bad request: {e}"))?;
             let resp = client
-                .request(&parsed)
+                .request_with_retry(&parsed, &retry)
                 .map_err(|e| format!("query: {addr}: {e}"))?;
             println!("{resp}");
         }
@@ -258,10 +284,20 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     }
     .map_err(|e| format!("query: cannot connect to {addr}: {e}"))?;
     for req in &reqs {
-        let resp = client
-            .request_line(req)
-            .map_err(|e| format!("query: {addr}: {e}"))?;
-        println!("{resp}");
+        // Without a retry budget, stay on the raw byte-preserving path;
+        // with one, requests must be parsed so retries can re-send them.
+        if retry.max_retries == 0 {
+            let resp = client
+                .request_line(req)
+                .map_err(|e| format!("query: {addr}: {e}"))?;
+            println!("{resp}");
+        } else {
+            let parsed = Json::parse(req).map_err(|e| format!("query: bad request: {e}"))?;
+            let resp = client
+                .request_with_retry(&parsed, &retry)
+                .map_err(|e| format!("query: {addr}: {e}"))?;
+            println!("{resp}");
+        }
     }
     Ok(())
 }
@@ -274,6 +310,7 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
     let mut addr = None;
     let mut program = None;
     let mut timeout_ms: u64 = 5000;
+    let mut retry = RetryOpts { max_retries: 0, ..RetryOpts::default() };
     let mut file: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -284,6 +321,16 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
                 let n = it.next().unwrap_or_else(|| usage());
                 timeout_ms =
                     n.parse().map_err(|_| format!("update: bad --timeout-ms `{n}`"))?;
+            }
+            "--max-retries" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                retry.max_retries =
+                    n.parse().map_err(|_| format!("update: bad --max-retries `{n}`"))?;
+            }
+            "--backoff-seed" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                retry.backoff_seed =
+                    n.parse().map_err(|_| format!("update: bad --backoff-seed `{n}`"))?;
             }
             other if !other.starts_with("--") && file.is_none() => file = Some(other.to_string()),
             _ => usage(),
@@ -309,7 +356,9 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
         ("program", Json::str(&program)),
         ("source", Json::str(&source)),
     ]);
-    let resp = client.request(&req).map_err(|e| format!("update: {addr}: {e}"))?;
+    let resp = client
+        .request_with_retry(&req, &retry)
+        .map_err(|e| format!("update: {addr}: {e}"))?;
     println!("{resp}");
     Ok(())
 }

@@ -8,6 +8,7 @@
 //! ```text
 //! scastd [--addr HOST:PORT] [--threads N] [--max-cache-mb N]
 //!        [--snapshot DIR] [--snapshot-every-s N] [--faults SPEC]
+//!        [--no-wal] [--brownout N]
 //! ```
 //!
 //! Prints `listening on HOST:PORT` once bound (scripts and the router
@@ -21,7 +22,8 @@ use structcast_server::{serve, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: scastd [--addr HOST:PORT] [--threads N] [--max-cache-mb N] \
-         [--snapshot DIR] [--snapshot-every-s N] [--faults SPEC]"
+         [--snapshot DIR] [--snapshot-every-s N] [--faults SPEC] \
+         [--no-wal] [--brownout N]"
     );
     std::process::exit(2);
 }
@@ -52,6 +54,11 @@ fn main() {
                 cfg.snapshot_every = Some(Duration::from_secs(secs));
             }
             "--faults" => cfg.faults = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--no-wal" => cfg.wal = false,
+            "--brownout" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                cfg.brownout_high_water = Some(n.parse().unwrap_or_else(|_| usage()));
+            }
             _ => usage(),
         }
     }

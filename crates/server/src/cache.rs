@@ -802,6 +802,49 @@ impl SessionCache {
         Ok((answer, paid, false))
     }
 
+    /// Residency probe: the full summary for `(entry, opts)` if it is
+    /// warm right now, recording **no** hit/miss metrics — a probe is not
+    /// a serve. The brownout ladder uses this to decide whether a request
+    /// is answerable without cold work, and the demand fallback uses it
+    /// as its source of warm truth.
+    pub fn solved_if_resident(&self, entry: &ProgramEntry, opts: &QueryOpts) -> Option<Arc<Solved>> {
+        let key = (entry.key, opts.cache_key());
+        read(&self.solved).get(&key).map(|s| self.touch(s))
+    }
+
+    /// Residency probe for a cached demand answer (same key derivation as
+    /// [`demand`](Self::demand)), metric-free like
+    /// [`solved_if_resident`](Self::solved_if_resident).
+    pub fn demand_is_resident(&self, entry: &ProgramEntry, opts: &QueryOpts, subject: &str) -> bool {
+        let key = (entry.key, format!("demand/{subject}/{}", opts.cache_key()));
+        read(&self.demand).get(&key).is_some()
+    }
+
+    /// Degradation-ladder fallback: answers `query` from a *resident*
+    /// full summary, touching neither the solver nor the demand cache and
+    /// recording no demand metrics. `None` when no full summary for
+    /// `opts` is warm. Used when the demand path itself failed — the warm
+    /// exhaustive answer is second choice (nothing was sliced, so
+    /// `slice == total`) but strictly better than a refusal.
+    pub fn demand_fallback(
+        &self,
+        entry: &ProgramEntry,
+        opts: &QueryOpts,
+        query: &DemandQuery,
+        subject: &str,
+    ) -> Option<DemandAnswer> {
+        let s = self.solved_if_resident(entry, opts)?;
+        let total = entry.constraints.len();
+        Some(DemandAnswer {
+            payload: payload_from_solved(entry, query, &s),
+            slice_statements: total,
+            total_statements: total,
+            solve: Duration::ZERO,
+            subject: subject.to_string(),
+            opts: opts.clone(),
+        })
+    }
+
     /// Double-checked demand-map insert; first-in wins, recency stamped.
     fn insert_demand(&self, key: &(u64, String), answer: Arc<DemandAnswer>) -> Arc<DemandAnswer> {
         let mut map = write(&self.demand);

@@ -7,13 +7,99 @@
 use crate::json::Json;
 use crate::proto::{read_frame, write_frame, BINARY_PREAMBLE};
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Retry policy for [`Client::request_with_retry`] /
+/// [`BinaryClient::request_with_retry`]: bounded exponential backoff with
+/// deterministic jitter. An `overloaded` reply is a *schedule*, not a
+/// terminal error — the server names its price (`retry_after_ms`) and the
+/// client honors it, doubling per attempt up to [`cap_ms`](RetryOpts::cap_ms).
+/// Connection drops (a shed teardown, a replica restarting) retry on the
+/// same schedule with a fresh connection.
+#[derive(Debug, Clone)]
+pub struct RetryOpts {
+    /// Retries after the first attempt; 0 restores fail-fast behavior.
+    pub max_retries: u32,
+    /// Seeds the jitter: the same seed replays the same delays, so tests
+    /// of retry behavior are deterministic.
+    pub backoff_seed: u64,
+    /// Ceiling on any single backoff delay, in milliseconds.
+    pub cap_ms: u64,
+}
+
+impl Default for RetryOpts {
+    fn default() -> RetryOpts {
+        RetryOpts {
+            max_retries: 3,
+            backoff_seed: 0,
+            cap_ms: 2_000,
+        }
+    }
+}
+
+/// Fallback wait when a failure carries no `retry_after_ms` (a dropped
+/// connection, a reply without the hint) — matches the server's own
+/// advertised shed price.
+const DEFAULT_RETRY_AFTER_MS: u64 = 50;
+
+/// splitmix64 — the jitter generator (independent of the fault plan's,
+/// but the same deterministic discipline).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The backoff before retry `attempt` (0-based): the server's
+/// `retry_after_ms` doubled per attempt, capped, plus seeded jitter in
+/// `[0, retry_after/2]` so a thundering herd of identical clients
+/// de-synchronizes without losing determinism per seed.
+fn backoff_delay(opts: &RetryOpts, retry_after_ms: u64, attempt: u32) -> Duration {
+    let base = retry_after_ms.max(1);
+    let exp = base.saturating_mul(1u64 << attempt.min(16));
+    let jitter = mix(opts.backoff_seed ^ u64::from(attempt)) % (base / 2 + 1);
+    Duration::from_millis(exp.min(opts.cap_ms) + jitter)
+}
+
+/// `Some(retry_after_ms)` when `resp` is an `overloaded` error reply.
+fn overloaded_hint(resp: &Json) -> Option<u64> {
+    let err = resp.get("error")?;
+    if err.get("kind").and_then(Json::as_str) != Some("overloaded") {
+        return None;
+    }
+    Some(
+        err.get("retry_after_ms")
+            .and_then(Json::as_u64)
+            .unwrap_or(DEFAULT_RETRY_AFTER_MS),
+    )
+}
+
+/// A connection-level failure worth retrying on a fresh connection: the
+/// peer closed or reset (a shed teardown, a dying replica) or refused (a
+/// replica mid-restart). Timeouts are *not* retried — a deadline is an
+/// answer about the server, and the stream may hold a late reply that
+/// would desynchronize lockstep.
+fn is_retriable_conn_error(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::BrokenPipe
+    )
+}
 
 /// A connected client.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    addr: Option<SocketAddr>,
+    timeout: Option<Duration>,
+    retries: u64,
+    sheds_observed: u64,
 }
 
 impl Client {
@@ -22,7 +108,7 @@ impl Client {
     /// should prefer [`connect_timeout`](Client::connect_timeout).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
         let writer = TcpStream::connect(addr)?;
-        Client::wrap(writer)
+        Client::wrap(writer, None)
     }
 
     /// Connects with a bound on both the connect and every subsequent
@@ -35,7 +121,7 @@ impl Client {
                 Ok(writer) => {
                     writer.set_read_timeout(Some(timeout))?;
                     writer.set_write_timeout(Some(timeout))?;
-                    return Client::wrap(writer);
+                    return Client::wrap(writer, Some(timeout));
                 }
                 Err(e) => {
                     last = Some(io::Error::new(
@@ -50,12 +136,42 @@ impl Client {
         }))
     }
 
-    fn wrap(writer: TcpStream) -> io::Result<Client> {
+    fn wrap(writer: TcpStream, timeout: Option<Duration>) -> io::Result<Client> {
         // Request/response lockstep: Nagle would hold each small request
         // back ~40ms waiting for an ACK that only comes with the response.
         writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { reader, writer })
+        let addr = writer.peer_addr().ok();
+        Ok(Client {
+            reader,
+            writer,
+            addr,
+            timeout,
+            retries: 0,
+            sheds_observed: 0,
+        })
+    }
+
+    /// Replaces the connection with a fresh one to the same peer — a shed
+    /// server half-closes after its `overloaded` reply, so a retry needs
+    /// a new socket.
+    fn reconnect(&mut self) -> io::Result<()> {
+        let Some(addr) = self.addr else {
+            return Ok(()); // peer unknown: retry on the existing stream
+        };
+        let stream = match self.timeout {
+            Some(t) => {
+                let s = TcpStream::connect_timeout(&addr, t)?;
+                s.set_read_timeout(Some(t))?;
+                s.set_write_timeout(Some(t))?;
+                s
+            }
+            None => TcpStream::connect(addr)?,
+        };
+        stream.set_nodelay(true)?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = stream;
+        Ok(())
     }
 
     /// Sends one raw request line and returns the raw response line.
@@ -94,6 +210,54 @@ impl Client {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e} in {line:?}")))
     }
 
+    /// [`request`](Client::request) with bounded retry: an `overloaded`
+    /// reply is honored (sleep `retry_after_ms`, doubled per attempt,
+    /// seeded jitter) and re-sent on a fresh connection; retriable
+    /// connection drops likewise. After
+    /// [`max_retries`](RetryOpts::max_retries) the last outcome is
+    /// returned as-is — an exhausted retry surfaces the typed
+    /// `overloaded` reply, not a synthetic error.
+    pub fn request_with_retry(&mut self, req: &Json, opts: &RetryOpts) -> io::Result<Json> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.request(req);
+            let retry_after = match &outcome {
+                Ok(resp) => match overloaded_hint(resp) {
+                    Some(hint) => {
+                        self.sheds_observed += 1;
+                        hint
+                    }
+                    None => return outcome,
+                },
+                Err(e) if is_retriable_conn_error(e) => DEFAULT_RETRY_AFTER_MS,
+                Err(_) => return outcome,
+            };
+            if attempt >= opts.max_retries {
+                return outcome;
+            }
+            std::thread::sleep(backoff_delay(opts, retry_after, attempt));
+            self.retries += 1;
+            attempt += 1;
+            // Best effort: a failed reconnect (replica mid-restart) keeps
+            // the old stream; the next attempt's error feeds the loop.
+            let _ = self.reconnect();
+        }
+    }
+
+    /// Retries performed by
+    /// [`request_with_retry`](Client::request_with_retry) over this
+    /// client's lifetime.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// `overloaded` replies this client received (and, up to the retry
+    /// budget, absorbed) — reconciles against the server/router shed
+    /// counters.
+    pub fn sheds_observed(&self) -> u64 {
+        self.sheds_observed
+    }
+
     /// Convenience: `{"op":"stats"}`.
     pub fn stats(&mut self) -> io::Result<Json> {
         self.request(&Json::obj([("op", Json::str("stats"))]))
@@ -123,6 +287,10 @@ impl std::fmt::Debug for Client {
 pub struct BinaryClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    addr: Option<SocketAddr>,
+    timeout: Option<Duration>,
+    retries: u64,
+    sheds_observed: u64,
 }
 
 impl BinaryClient {
@@ -130,7 +298,7 @@ impl BinaryClient {
     /// against an unresponsive peer; prefer
     /// [`connect_timeout`](BinaryClient::connect_timeout) interactively.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<BinaryClient> {
-        BinaryClient::wrap(TcpStream::connect(addr)?)
+        BinaryClient::wrap(TcpStream::connect(addr)?, None)
     }
 
     /// Connects with a bound on the connect and every subsequent read.
@@ -144,7 +312,7 @@ impl BinaryClient {
                 Ok(writer) => {
                     writer.set_read_timeout(Some(timeout))?;
                     writer.set_write_timeout(Some(timeout))?;
-                    return BinaryClient::wrap(writer);
+                    return BinaryClient::wrap(writer, Some(timeout));
                 }
                 Err(e) => {
                     last = Some(io::Error::new(
@@ -159,13 +327,44 @@ impl BinaryClient {
         }))
     }
 
-    fn wrap(mut writer: TcpStream) -> io::Result<BinaryClient> {
+    fn wrap(mut writer: TcpStream, timeout: Option<Duration>) -> io::Result<BinaryClient> {
         writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
         // Negotiate the codec up front; the server peeks this byte.
         writer.write_all(&BINARY_PREAMBLE)?;
         writer.flush()?;
-        Ok(BinaryClient { reader, writer })
+        let addr = writer.peer_addr().ok();
+        Ok(BinaryClient {
+            reader,
+            writer,
+            addr,
+            timeout,
+            retries: 0,
+            sheds_observed: 0,
+        })
+    }
+
+    /// Replaces the connection with a fresh one to the same peer,
+    /// re-negotiating the binary codec.
+    fn reconnect(&mut self) -> io::Result<()> {
+        let Some(addr) = self.addr else {
+            return Ok(());
+        };
+        let mut stream = match self.timeout {
+            Some(t) => {
+                let s = TcpStream::connect_timeout(&addr, t)?;
+                s.set_read_timeout(Some(t))?;
+                s.set_write_timeout(Some(t))?;
+                s
+            }
+            None => TcpStream::connect(addr)?,
+        };
+        stream.set_nodelay(true)?;
+        stream.write_all(&BINARY_PREAMBLE)?;
+        stream.flush()?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = stream;
+        Ok(())
     }
 
     /// Queues one request frame without waiting for its reply — the
@@ -197,6 +396,47 @@ impl BinaryClient {
     pub fn request(&mut self, req: &Json) -> io::Result<Json> {
         self.send(req)?;
         self.recv()
+    }
+
+    /// [`request`](BinaryClient::request) with bounded retry — same
+    /// policy as [`Client::request_with_retry`], reconnecting (and
+    /// re-negotiating the codec) before each attempt.
+    pub fn request_with_retry(&mut self, req: &Json, opts: &RetryOpts) -> io::Result<Json> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.request(req);
+            let retry_after = match &outcome {
+                Ok(resp) => match overloaded_hint(resp) {
+                    Some(hint) => {
+                        self.sheds_observed += 1;
+                        hint
+                    }
+                    None => return outcome,
+                },
+                Err(e) if is_retriable_conn_error(e) => DEFAULT_RETRY_AFTER_MS,
+                Err(_) => return outcome,
+            };
+            if attempt >= opts.max_retries {
+                return outcome;
+            }
+            std::thread::sleep(backoff_delay(opts, retry_after, attempt));
+            self.retries += 1;
+            attempt += 1;
+            let _ = self.reconnect();
+        }
+    }
+
+    /// Retries performed by
+    /// [`request_with_retry`](BinaryClient::request_with_retry) over this
+    /// client's lifetime.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// `overloaded` replies this client received — reconciles against the
+    /// server/router shed counters.
+    pub fn sheds_observed(&self) -> u64 {
+        self.sheds_observed
     }
 
     /// Sends many requests as **one** batch frame and returns the reply

@@ -4,16 +4,18 @@
 //! environment variable) of the form
 //!
 //! ```text
-//!   panic@solve:0.01,stall@read:0.05;seed=42
+//!   panic@solve:0.01,stall@read:0.05,err@wal_append:0.1;seed=42
 //! ```
 //!
 //! — a comma-separated list of `action@site:rate` injection points plus an
 //! optional `;seed=N` suffix. Actions are `panic` (the handler panics,
-//! exercising `catch_unwind` isolation) and `stall` (the handler sleeps
-//! [`STALL`], exercising timeouts and queueing). Sites are named check
-//! points the server calls [`FaultPlan::fire`] at: `read` (request line
-//! received, before parsing) and `solve` (inside a query handler, before
-//! the cache/solver is consulted).
+//! exercising `catch_unwind` isolation), `stall` (the handler sleeps
+//! [`STALL`], exercising timeouts and queueing), and the **disk** actions
+//! `err` (the I/O call fails with an injected error) and `short` (the
+//! write lands partially — a torn record — then fails). Sites are named
+//! check points: the control-flow sites (`read`, `solve`, `demand`,
+//! `update`) call [`FaultPlan::fire`]; the disk sites (`wal_append`,
+//! `snapshot_save`) call [`FaultPlan::fire_disk`] and act on its verdict.
 //!
 //! Firing is **deterministic**: each site keeps a hit counter, and hit
 //! `n` fires iff `mix(seed, site, n) % 1e6 < rate·1e6`. Two runs with the
@@ -36,6 +38,29 @@ pub const PANIC_PREFIX: &str = "injected fault";
 enum Action {
     Panic,
     Stall,
+    Err,
+    Short,
+}
+
+/// The verdict of a disk-site check point: how the I/O call should fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Fail the call outright with an injected [`std::io::Error`] — see
+    /// [`DiskFault::to_error`] — without touching the file.
+    Error,
+    /// Write only a prefix of the record (a torn tail on disk), then fail.
+    ShortWrite,
+}
+
+impl DiskFault {
+    /// The injected error a failed disk call should surface.
+    pub fn to_error(self, site: &str) -> std::io::Error {
+        let what = match self {
+            DiskFault::Error => "injected disk error",
+            DiskFault::ShortWrite => "injected short write",
+        };
+        std::io::Error::other(format!("{what} at {site}"))
+    }
 }
 
 #[derive(Debug)]
@@ -97,6 +122,8 @@ impl FaultPlan {
             let action = match action {
                 "panic" => Action::Panic,
                 "stall" => Action::Stall,
+                "err" => Action::Err,
+                "short" => Action::Short,
                 other => return Err(format!("unknown fault action `{other}`")),
             };
             let (site, rate) = rest
@@ -130,12 +157,14 @@ impl FaultPlan {
         !self.points.is_empty()
     }
 
-    /// A check point. Stalls sleep [`STALL`]; panics unwind with a
-    /// [`PANIC_PREFIX`]-tagged payload (the server's `catch_unwind`
-    /// converts them into `internal` error replies).
+    /// A control-flow check point. Stalls sleep [`STALL`]; panics unwind
+    /// with a [`PANIC_PREFIX`]-tagged payload (the server's `catch_unwind`
+    /// converts them into `internal` error replies). Disk actions (`err`,
+    /// `short`) are ignored here — they belong to
+    /// [`fire_disk`](FaultPlan::fire_disk) sites.
     pub fn fire(&self, site: &str) {
         for p in &self.points {
-            if p.site != site {
+            if p.site != site || matches!(p.action, Action::Err | Action::Short) {
                 continue;
             }
             let n = p.hits.fetch_add(1, Relaxed);
@@ -145,8 +174,36 @@ impl FaultPlan {
             match p.action {
                 Action::Stall => std::thread::sleep(STALL),
                 Action::Panic => panic!("{PANIC_PREFIX} at {site} (hit {n})"),
+                Action::Err | Action::Short => unreachable!("filtered above"),
             }
         }
+    }
+
+    /// A disk-I/O check point: returns how the call should fail, or `None`
+    /// to proceed normally. The caller owns acting on the verdict (the
+    /// injection point cannot reach into the file itself), which keeps the
+    /// schedule deterministic: each point's hit counter advances once per
+    /// call, exactly like [`fire`](FaultPlan::fire).
+    pub fn fire_disk(&self, site: &str) -> Option<DiskFault> {
+        let mut verdict = None;
+        for p in &self.points {
+            if p.site != site || !matches!(p.action, Action::Err | Action::Short) {
+                continue;
+            }
+            let n = p.hits.fetch_add(1, Relaxed);
+            if mix(self.seed ^ site_hash(site) ^ n) % 1_000_000 >= p.rate_ppm {
+                continue;
+            }
+            let f = match p.action {
+                Action::Err => DiskFault::Error,
+                Action::Short => DiskFault::ShortWrite,
+                _ => unreachable!("filtered above"),
+            };
+            // First firing wins, but every matching point still advances
+            // its counter so schedules stay independent per point.
+            verdict = verdict.or(Some(f));
+        }
+        verdict
     }
 
     /// Installs (once, process-wide) a panic hook that suppresses the
@@ -227,5 +284,32 @@ mod tests {
         for _ in 0..1000 {
             p.fire("x");
         }
+    }
+
+    #[test]
+    fn disk_actions_parse_and_fire_only_at_disk_check_points() {
+        let p = FaultPlan::parse("err@wal_append:1.0,short@snapshot_save:1.0").unwrap();
+        assert!(p.is_active());
+        // `fire` ignores disk points entirely: no panic, no stall.
+        p.fire("wal_append");
+        p.fire("snapshot_save");
+        assert_eq!(p.fire_disk("wal_append"), Some(DiskFault::Error));
+        assert_eq!(p.fire_disk("snapshot_save"), Some(DiskFault::ShortWrite));
+        assert_eq!(p.fire_disk("elsewhere"), None);
+        // Conversely, control-flow points never fire at a disk check.
+        let q = FaultPlan::parse("panic@wal_append:1.0").unwrap();
+        assert_eq!(q.fire_disk("wal_append"), None);
+        let e = DiskFault::Error.to_error("wal_append");
+        assert!(e.to_string().contains("injected disk error at wal_append"), "{e}");
+    }
+
+    #[test]
+    fn disk_firing_is_deterministic_in_seed_and_counter() {
+        let fired = |seed: u64| {
+            let p = FaultPlan::parse(&format!("err@w:0.5;seed={seed}")).unwrap();
+            (0..64).map(|_| p.fire_disk("w").is_some()).collect::<Vec<bool>>()
+        };
+        assert_eq!(fired(3), fired(3), "same seed, same disk schedule");
+        assert_ne!(fired(3), fired(4), "different seed, different schedule");
     }
 }

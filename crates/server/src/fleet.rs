@@ -14,14 +14,25 @@
 //! # Failover
 //!
 //! Each replica is spawned with its own snapshot directory
-//! (`<root>/r<i>`). When forwarding to a replica fails, the router
-//! answers the client `overloaded` (with `retry_after_ms`, the protocol's
-//! standard back-off shape), kills whatever is left of the child, and
-//! restarts it **from its snapshot** in the background — a restarted
+//! (`<root>/r<i>`). A background prober TCP-connects to every replica on
+//! a short interval and keeps a per-replica `alive` flag; a replica that
+//! stops answering (probe failure or a failed forward) is killed and
+//! restarted **from its snapshot + WAL** in the background — a restarted
 //! replica answers its re-warmed keys with zero compile/solve misses.
 //! The ring is keyed by replica *index*, not address, so a restarted
 //! replica owns exactly the keys it owned before and its snapshot is the
 //! right warm state.
+//!
+//! While the owner is down, traffic degrades instead of failing:
+//!
+//! - **read-only ops** (queries, `load` by name, `stats`) fail over to
+//!   the key's **ring successor** — the next ring point owned by a
+//!   different alive replica. The analysis is deterministic, so a warm
+//!   successor answers identically; a cold one pays an honest miss.
+//! - **`update`** is shed with `overloaded` plus a typed
+//!   `degraded: "replica_down"` marker: an update must reach its owner's
+//!   WAL, never a successor's, so the client backs off and retries after
+//!   the owner restarts.
 //!
 //! # Router ops
 //!
@@ -57,6 +68,13 @@ const VNODES: usize = 40;
 
 /// How long a client shed by a dead replica is told to wait.
 const RETRY_AFTER_MS: u64 = 50;
+
+/// How often the health prober walks the fleet.
+const PROBE_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Per-replica probe connect bound — long enough for a loaded loopback
+/// accept queue, short enough that a dead replica is noticed fast.
+const PROBE_CONNECT_TIMEOUT: Duration = Duration::from_millis(250);
 
 /// Fleet configuration.
 #[derive(Debug, Clone)]
@@ -101,6 +119,8 @@ struct Replica {
     restart: Mutex<()>,
     restarts: AtomicU64,
     forwarded: AtomicU64,
+    /// Last health-probe verdict (also cleared by a failed forward).
+    alive: AtomicBool,
 }
 
 struct FleetShared {
@@ -111,6 +131,12 @@ struct FleetShared {
     shutdown: AtomicBool,
     addr: SocketAddr,
     overloaded: AtomicU64,
+    /// Read-only requests answered by a ring successor while the owner
+    /// was down.
+    failovers: AtomicU64,
+    /// `update` requests shed (with `degraded: "replica_down"`) because
+    /// their owner was down — updates never fail over.
+    update_sheds: AtomicU64,
 }
 
 impl FleetShared {
@@ -121,6 +147,35 @@ impl FleetShared {
         let i = self.ring.partition_point(|&(p, _)| p < h);
         self.ring[if i == self.ring.len() { 0 } else { i }].1
     }
+
+    /// Probe-level health: the prober thinks the replica is up *and* it
+    /// has a bound address (not mid-restart).
+    fn is_alive(&self, idx: usize) -> bool {
+        self.replicas[idx].alive.load(Ordering::SeqCst)
+            && self.replicas[idx]
+                .addr
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_some()
+    }
+
+    /// The failover target for `key` when `dead` is down: walk the ring
+    /// from the key's owning point to the first point owned by a
+    /// *different alive* replica. `None` when no other replica is up.
+    fn successor(&self, key: Option<&str>, dead: usize) -> Option<usize> {
+        let h = key.map_or(0, source_hash);
+        let start = self.ring.partition_point(|&(p, _)| p < h);
+        let n = self.ring.len();
+        (0..n)
+            .map(|s| self.ring[(start + s) % n].1)
+            .find(|&i| i != dead && self.is_alive(i))
+    }
+}
+
+/// `update` is the one op that must not fail over: it has to reach its
+/// owner's WAL, not a successor's.
+fn is_update(req: &Json) -> bool {
+    req.get("op").and_then(Json::as_str) == Some("update")
 }
 
 /// The routing key of a request: the same identifier the session cache
@@ -187,6 +242,7 @@ fn restart_replica(shared: &Arc<FleetShared>, idx: usize) {
     let Ok(_guard) = shared.replicas[idx].restart.try_lock() else {
         return;
     };
+    shared.replicas[idx].alive.store(false, Ordering::SeqCst);
     *shared.replicas[idx].addr.lock().unwrap_or_else(|e| e.into_inner()) = None;
     let shared = Arc::clone(shared);
     std::thread::spawn(move || {
@@ -222,6 +278,7 @@ fn restart_replica(shared: &Arc<FleetShared>, idx: usize) {
                     Some(child);
                 *shared.replicas[idx].addr.lock().unwrap_or_else(|e| e.into_inner()) =
                     Some(addr);
+                shared.replicas[idx].alive.store(true, Ordering::SeqCst);
                 shared.replicas[idx].restarts.fetch_add(1, Ordering::Relaxed);
             }
             Err(e) => eprintln!("fleet: replica {idx} restart failed: {e}"),
@@ -229,7 +286,8 @@ fn restart_replica(shared: &Arc<FleetShared>, idx: usize) {
     });
 }
 
-/// The `overloaded` reply a client gets when its replica is down.
+/// The `overloaded` reply a client gets when its replica is down and no
+/// successor could answer either.
 fn overloaded_reply(shared: &FleetShared, idx: usize) -> Json {
     shared.overloaded.fetch_add(1, Ordering::Relaxed);
     error_response_with(
@@ -237,6 +295,46 @@ fn overloaded_reply(shared: &FleetShared, idx: usize) -> Json {
         &format!("replica {idx} unavailable; retry later"),
         [("retry_after_ms", Json::count(RETRY_AFTER_MS))],
     )
+}
+
+/// The shed an `update` gets when its owner is down. Updates never fail
+/// over — the durability contract is "journaled in the *owner's* WAL" —
+/// so the client is told to back off and retry once the owner has
+/// restarted from snapshot + WAL.
+fn degraded_shed(shared: &FleetShared, idx: usize) -> Json {
+    shared.overloaded.fetch_add(1, Ordering::Relaxed);
+    shared.update_sheds.fetch_add(1, Ordering::Relaxed);
+    error_response_with(
+        "overloaded",
+        &format!("replica {idx} unavailable; update shed, retry later"),
+        [
+            ("retry_after_ms", Json::count(RETRY_AFTER_MS)),
+            ("degraded", Json::str("replica_down")),
+        ],
+    )
+}
+
+/// The health prober: walks the fleet on a short interval, TCP-connects
+/// to each replica, and keeps the per-replica `alive` flags the failover
+/// path consults. A probe failure also triggers a background restart, so
+/// a dead replica recovers even with zero client traffic.
+fn probe_loop(shared: &Arc<FleetShared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        for (i, r) in shared.replicas.iter().enumerate() {
+            let addr = *r.addr.lock().unwrap_or_else(|e| e.into_inner());
+            match addr {
+                Some(a) => {
+                    let up = TcpStream::connect_timeout(&a, PROBE_CONNECT_TIMEOUT).is_ok();
+                    r.alive.store(up, Ordering::SeqCst);
+                    if !up && !shared.shutdown.load(Ordering::SeqCst) {
+                        restart_replica(shared, i);
+                    }
+                }
+                None => r.alive.store(false, Ordering::SeqCst),
+            }
+        }
+        std::thread::sleep(PROBE_INTERVAL);
+    }
 }
 
 /// A running fleet.
@@ -348,13 +446,18 @@ pub fn fleet(cfg: &FleetConfig) -> io::Result<FleetHandle> {
                 restart: Mutex::new(()),
                 restarts: AtomicU64::new(0),
                 forwarded: AtomicU64::new(0),
+                alive: AtomicBool::new(true),
             })
             .collect(),
         ring,
         shutdown: AtomicBool::new(false),
         addr,
         overloaded: AtomicU64::new(0),
+        failovers: AtomicU64::new(0),
+        update_sheds: AtomicU64::new(0),
     });
+    let probe_shared = Arc::clone(&shared);
+    std::thread::spawn(move || probe_loop(&probe_shared));
     let accept_shared = Arc::clone(&shared);
     let accept = std::thread::spawn(move || {
         for stream in listener.incoming() {
@@ -490,6 +593,13 @@ fn fleet_stats(shared: &FleetShared) -> Json {
         });
         let restarts = r.restarts.load(Ordering::Relaxed);
         restarts_total += restarts;
+        // Surface the replica's journal depth (un-snapshotted updates it
+        // would replay if killed right now) as a first-class row field.
+        let wal_depth = stats
+            .as_ref()
+            .and_then(|s| s.get("wal"))
+            .and_then(|w| w.get("depth"))
+            .and_then(Json::as_u64);
         rows.push(Json::obj([
             ("replica", Json::count(i as u64)),
             (
@@ -497,8 +607,10 @@ fn fleet_stats(shared: &FleetShared) -> Json {
                 raddr.map_or(Json::Null, |a| Json::str(a.to_string())),
             ),
             ("alive", Json::Bool(stats.is_some())),
+            ("probed_alive", Json::Bool(r.alive.load(Ordering::SeqCst))),
             ("restarts", Json::count(restarts)),
             ("forwarded", Json::count(r.forwarded.load(Ordering::Relaxed))),
+            ("wal_depth", wal_depth.map_or(Json::Null, Json::count)),
             ("stats", stats.unwrap_or(Json::Null)),
         ]));
     }
@@ -508,6 +620,8 @@ fn fleet_stats(shared: &FleetShared) -> Json {
             "router",
             Json::obj([
                 ("overloaded", Json::count(shared.overloaded.load(Ordering::Relaxed))),
+                ("failovers", Json::count(shared.failovers.load(Ordering::Relaxed))),
+                ("update_sheds", Json::count(shared.update_sheds.load(Ordering::Relaxed))),
                 ("restarts", Json::count(restarts_total)),
             ]),
         ),
@@ -517,6 +631,16 @@ fn fleet_stats(shared: &FleetShared) -> Json {
 /// Handles a shutdown request: broadcast it (each replica saves its
 /// snapshot and exits), reap the children, then stop the router.
 fn shutdown_fleet(shared: &FleetShared) {
+    // Flag first, then drain every restart lock: once a lock is held no
+    // new child can appear (restart threads re-check the flag under it),
+    // so the broadcast below reaches every child that exists and the
+    // reap loop cannot race a resurrection.
+    shared.shutdown.store(true, Ordering::SeqCst);
+    let guards: Vec<_> = shared
+        .replicas
+        .iter()
+        .map(|r| r.restart.lock().unwrap_or_else(|e| e.into_inner()))
+        .collect();
     let req = Json::obj([("op", Json::str("shutdown"))]);
     let _ = broadcast(shared, &req);
     for r in &shared.replicas {
@@ -524,8 +648,9 @@ fn shutdown_fleet(shared: &FleetShared) {
             let _ = c.wait();
         }
         *r.addr.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        r.alive.store(false, Ordering::SeqCst);
     }
-    shared.shutdown.store(true, Ordering::SeqCst);
+    drop(guards);
     // Poke the accept loop awake (bounded retries, as in the server).
     for _ in 0..40 {
         if TcpStream::connect_timeout(&shared.addr, Duration::from_millis(250)).is_ok() {
@@ -541,8 +666,9 @@ fn shutdown_fleet(shared: &FleetShared) {
 enum Routed {
     /// Router-generated reply.
     Local(Json, bool),
-    /// Forward to this replica.
-    Forward(usize),
+    /// Forward to this replica; the key rides along so a failed forward
+    /// can find the key's ring successor.
+    Forward(usize, Option<String>),
 }
 
 fn classify(shared: &FleetShared, req: &Json) -> Routed {
@@ -560,8 +686,32 @@ fn classify(shared: &FleetShared, req: &Json) -> Routed {
                 false,
             )
         }
-        _ => Routed::Forward(routing_key(req).map_or(0, |k| shared.route(&k))),
+        _ => {
+            let key = routing_key(req);
+            let idx = key.as_deref().map_or(0, |k| shared.route(k));
+            Routed::Forward(idx, key)
+        }
     }
+}
+
+/// One failed-forward recovery step, shared by both codecs: mark the
+/// home replica dead, kick off its restart, and pick where the request
+/// goes instead. `Ok(successor)` means fail the read over there;
+/// `Err(reply)` is the shed to send as-is (updates, or no successor up).
+fn failover_target(
+    shared: &Arc<FleetShared>,
+    idx: usize,
+    key: Option<&str>,
+    update: bool,
+) -> Result<usize, Json> {
+    shared.replicas[idx].alive.store(false, Ordering::SeqCst);
+    restart_replica(shared, idx);
+    if update {
+        return Err(degraded_shed(shared, idx));
+    }
+    shared
+        .successor(key, idx)
+        .ok_or_else(|| overloaded_reply(shared, idx))
 }
 
 fn route_connection(shared: &Arc<FleetShared>, stream: TcpStream) {
@@ -602,11 +752,22 @@ fn route_ndjson(shared: &Arc<FleetShared>, stream: TcpStream, conns: &mut Conns)
         let parsed = Json::parse(trimmed).unwrap_or(Json::Null);
         let (reply, shutdown) = match classify(shared, &parsed) {
             Routed::Local(reply, shutdown) => (reply.to_string(), shutdown),
-            Routed::Forward(idx) => match forward_line(shared, conns, idx, trimmed) {
+            Routed::Forward(idx, key) => match forward_line(shared, conns, idx, trimmed) {
                 Some(raw) => (raw, false),
                 None => {
-                    restart_replica(shared, idx);
-                    (overloaded_reply(shared, idx).to_string(), false)
+                    match failover_target(shared, idx, key.as_deref(), is_update(&parsed)) {
+                        Ok(succ) => match forward_line(shared, conns, succ, trimmed) {
+                            Some(raw) => {
+                                shared.failovers.fetch_add(1, Ordering::Relaxed);
+                                (raw, false)
+                            }
+                            None => {
+                                restart_replica(shared, succ);
+                                (overloaded_reply(shared, idx).to_string(), false)
+                            }
+                        },
+                        Err(shed) => (shed.to_string(), false),
+                    }
                 }
             },
         };
@@ -637,23 +798,36 @@ fn route_binary(shared: &Arc<FleetShared>, stream: TcpStream, conns: &mut Conns)
             Json::Arr(items) => items.first().cloned().unwrap_or(Json::Null),
             v => v.clone(),
         };
+        // A batch frame with *any* update in it must not fail over: the
+        // whole frame stays owner-or-shed, read-only frames fail over.
+        let has_update = match &value {
+            Json::Arr(items) => items.iter().any(is_update),
+            v => is_update(v),
+        };
+        let shed_frame = |shed: Json| match &value {
+            Json::Arr(items) => Json::Arr(items.iter().map(|_| shed.clone()).collect()),
+            _ => shed,
+        };
         let (reply, shutdown) = match classify(shared, &probe) {
             Routed::Local(reply, shutdown) => match &value {
                 Json::Arr(_) => (Json::Arr(vec![reply]), shutdown),
                 _ => (reply, shutdown),
             },
-            Routed::Forward(idx) => match forward_frame(shared, conns, idx, &value) {
+            Routed::Forward(idx, key) => match forward_frame(shared, conns, idx, &value) {
                 Some(reply) => (reply, false),
-                None => {
-                    restart_replica(shared, idx);
-                    let shed = overloaded_reply(shared, idx);
-                    match &value {
-                        Json::Arr(items) => {
-                            (Json::Arr(items.iter().map(|_| shed.clone()).collect()), false)
+                None => match failover_target(shared, idx, key.as_deref(), has_update) {
+                    Ok(succ) => match forward_frame(shared, conns, succ, &value) {
+                        Some(reply) => {
+                            shared.failovers.fetch_add(1, Ordering::Relaxed);
+                            (reply, false)
                         }
-                        _ => (shed, false),
-                    }
-                }
+                        None => {
+                            restart_replica(shared, succ);
+                            (shed_frame(overloaded_reply(shared, idx)), false)
+                        }
+                    },
+                    Err(shed) => (shed_frame(shed), false),
+                },
             },
         };
         if write_frame(&mut writer, &reply).is_err() {

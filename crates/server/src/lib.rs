@@ -61,9 +61,10 @@ pub mod metrics;
 pub mod proto;
 mod server;
 pub mod snapshot;
+pub mod wal;
 
 pub use cache::{source_hash, ProgramEntry, SessionCache, Solved};
-pub use client::{BinaryClient, Client};
+pub use client::{BinaryClient, Client, RetryOpts};
 pub use faults::FaultPlan;
 pub use fleet::{fleet, FleetConfig, FleetHandle};
 pub use metrics::Metrics;

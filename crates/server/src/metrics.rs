@@ -69,9 +69,21 @@ pub struct Metrics {
     update_resolve_ns: AtomicU64,
     snapshot_saves: AtomicU64,
     snapshot_save_bytes: AtomicU64,
+    snapshot_save_errors: AtomicU64,
     snapshot_restores: AtomicU64,
     snapshot_restored_entries: AtomicU64,
     snapshot_restore_errors: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_append_errors: AtomicU64,
+    wal_replayed: AtomicU64,
+    wal_replay_errors: AtomicU64,
+    wal_torn_tail: AtomicU64,
+    wal_depth: AtomicU64,
+    wal_bytes: AtomicU64,
+    degraded: AtomicU64,
+    stale_serves: AtomicU64,
+    brownout_sheds: AtomicU64,
+    failovers: AtomicU64,
 }
 
 impl Metrics {
@@ -181,6 +193,96 @@ impl Metrics {
     /// unreadable): the server fell back to a cold start.
     pub fn record_snapshot_restore_error(&self) {
         self.snapshot_restore_errors.fetch_add(1, Relaxed);
+    }
+
+    /// Records a snapshot save that failed (disk error or injected
+    /// fault): the cache stays resident and the WAL keeps growing.
+    pub fn record_snapshot_save_error(&self) {
+        self.snapshot_save_errors.fetch_add(1, Relaxed);
+    }
+
+    /// Records one update journaled to the write-ahead log, and updates
+    /// the depth/size gauges to the journal's post-append state.
+    pub fn record_wal_append(&self, depth: u64, bytes: u64) {
+        self.wal_appends.fetch_add(1, Relaxed);
+        self.set_wal_gauges(depth, bytes);
+    }
+
+    /// Records a WAL append that failed (disk error, short write): the
+    /// update was applied in memory but is *not* durable.
+    pub fn record_wal_append_error(&self) {
+        self.wal_append_errors.fetch_add(1, Relaxed);
+    }
+
+    /// Records the outcome of a startup WAL replay: how many journaled
+    /// updates re-applied, how many failed, and whether the journal ended
+    /// in a torn (truncated mid-record) tail.
+    pub fn record_wal_replay(&self, replayed: u64, errors: u64, torn_tail: bool) {
+        self.wal_replayed.fetch_add(replayed, Relaxed);
+        self.wal_replay_errors.fetch_add(errors, Relaxed);
+        if torn_tail {
+            self.wal_torn_tail.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Updates the WAL depth (records since last snapshot) and size gauges.
+    pub fn set_wal_gauges(&self, depth: u64, bytes: u64) {
+        self.wal_depth.store(depth, Relaxed);
+        self.wal_bytes.store(bytes, Relaxed);
+    }
+
+    /// Records one reply served degraded: a warm-but-second-choice answer
+    /// (demand fallback, non-durable update, failover shed) instead of a
+    /// refusal.
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Relaxed);
+    }
+
+    /// Records one reply served from summaries known to predate a failed
+    /// `update` (the reply carries `stale: true`).
+    pub fn record_stale_serve(&self) {
+        self.stale_serves.fetch_add(1, Relaxed);
+    }
+
+    /// Records one cold-miss request shed by brownout mode (the warm-hit
+    /// path and `stats` keep answering).
+    pub fn record_brownout_shed(&self) {
+        self.brownout_sheds.fetch_add(1, Relaxed);
+    }
+
+    /// Records one request routed to a ring successor because its home
+    /// replica was unhealthy.
+    pub fn record_failover(&self) {
+        self.failovers.fetch_add(1, Relaxed);
+    }
+
+    /// `(appends, append_errors, replayed, replay_errors, torn_tails)` of
+    /// the write-ahead log so far.
+    pub fn wal_counts(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.wal_appends.load(Relaxed),
+            self.wal_append_errors.load(Relaxed),
+            self.wal_replayed.load(Relaxed),
+            self.wal_replay_errors.load(Relaxed),
+            self.wal_torn_tail.load(Relaxed),
+        )
+    }
+
+    /// `(depth, bytes)` gauges of the journal: records and bytes appended
+    /// since the last snapshot truncated it.
+    pub fn wal_gauges(&self) -> (u64, u64) {
+        (self.wal_depth.load(Relaxed), self.wal_bytes.load(Relaxed))
+    }
+
+    /// `(degraded, stale_serves, brownout_sheds, failovers)` — the
+    /// degradation-ladder tallies.
+    pub fn degraded_counts(&self) -> (u64, u64, u64, u64) {
+        (
+            self.degraded.load(Relaxed),
+            self.stale_serves.load(Relaxed),
+            self.brownout_sheds.load(Relaxed),
+            self.failovers.load(Relaxed),
+        )
     }
 
     /// `(saves, restores, restore_errors)` of the snapshot subsystem.
@@ -347,9 +449,43 @@ impl Metrics {
                         Json::count(self.snapshot_restored_entries.load(Relaxed)),
                     ),
                     (
+                        "save_errors",
+                        Json::count(self.snapshot_save_errors.load(Relaxed)),
+                    ),
+                    (
                         "restore_errors",
                         Json::count(self.snapshot_restore_errors.load(Relaxed)),
                     ),
+                ]),
+            ),
+            (
+                "wal",
+                Json::obj([
+                    ("appends", Json::count(self.wal_appends.load(Relaxed))),
+                    (
+                        "append_errors",
+                        Json::count(self.wal_append_errors.load(Relaxed)),
+                    ),
+                    ("replayed", Json::count(self.wal_replayed.load(Relaxed))),
+                    (
+                        "replay_errors",
+                        Json::count(self.wal_replay_errors.load(Relaxed)),
+                    ),
+                    ("torn_tail", Json::count(self.wal_torn_tail.load(Relaxed))),
+                    ("depth", Json::count(self.wal_depth.load(Relaxed))),
+                    ("bytes", Json::count(self.wal_bytes.load(Relaxed))),
+                ]),
+            ),
+            (
+                "degraded",
+                Json::obj([
+                    ("total", Json::count(self.degraded.load(Relaxed))),
+                    ("stale_serves", Json::count(self.stale_serves.load(Relaxed))),
+                    (
+                        "brownout_sheds",
+                        Json::count(self.brownout_sheds.load(Relaxed)),
+                    ),
+                    ("failovers", Json::count(self.failovers.load(Relaxed))),
                 ]),
             ),
             ("compile_s", secs(&self.compile_ns)),
@@ -461,6 +597,41 @@ mod tests {
         // Demand solve time folds into the shared solve gauge.
         assert!(s.get("solve_s").and_then(Json::as_f64).unwrap() > 0.0);
         assert!(m.summary_line().contains("demand 1h/1m"), "{}", m.summary_line());
+    }
+
+    #[test]
+    fn wal_and_degradation_counters_tally_and_snapshot() {
+        let m = Metrics::new();
+        m.record_wal_append(1, 64);
+        m.record_wal_append(2, 128);
+        m.record_wal_append_error();
+        m.record_wal_replay(5, 1, true);
+        m.record_snapshot_save_error();
+        m.record_degraded();
+        m.record_degraded();
+        m.record_stale_serve();
+        m.record_brownout_shed();
+        m.record_failover();
+        assert_eq!(m.wal_counts(), (2, 1, 5, 1, 1));
+        assert_eq!(m.wal_gauges(), (2, 128));
+        assert_eq!(m.degraded_counts(), (2, 1, 1, 1));
+        m.set_wal_gauges(0, 0);
+        assert_eq!(m.wal_gauges(), (0, 0), "snapshot truncation resets gauges");
+        let s = m.snapshot();
+        let w = s.get("wal").unwrap();
+        assert_eq!(w.get("appends").and_then(Json::as_u64), Some(2));
+        assert_eq!(w.get("append_errors").and_then(Json::as_u64), Some(1));
+        assert_eq!(w.get("replayed").and_then(Json::as_u64), Some(5));
+        assert_eq!(w.get("replay_errors").and_then(Json::as_u64), Some(1));
+        assert_eq!(w.get("torn_tail").and_then(Json::as_u64), Some(1));
+        assert_eq!(w.get("depth").and_then(Json::as_u64), Some(0));
+        let d = s.get("degraded").unwrap();
+        assert_eq!(d.get("total").and_then(Json::as_u64), Some(2));
+        assert_eq!(d.get("stale_serves").and_then(Json::as_u64), Some(1));
+        assert_eq!(d.get("brownout_sheds").and_then(Json::as_u64), Some(1));
+        assert_eq!(d.get("failovers").and_then(Json::as_u64), Some(1));
+        let snap = s.get("snapshot").unwrap();
+        assert_eq!(snap.get("save_errors").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

@@ -46,13 +46,15 @@ use crate::proto::{
     error_response, error_response_with, ok_response, read_frame, solve_error_response,
     write_frame, QueryOpts, Request, BINARY_PREAMBLE,
 };
+use crate::wal::Wal;
+use std::collections::HashSet;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use structcast::{DemandQuery, ModelKind, ObjId, Program, SolveError};
@@ -84,6 +86,18 @@ pub struct ServerConfig {
     /// Also save a snapshot periodically at this interval (requires
     /// [`snapshot_dir`](ServerConfig::snapshot_dir)).
     pub snapshot_every: Option<Duration>,
+    /// Journal accepted `update` ops to `<snapshot_dir>/wal` (fsync'd
+    /// before the reply) so a crash between snapshots loses no
+    /// acknowledged edit; restore replays the journal on top of the
+    /// snapshot. Requires [`snapshot_dir`](ServerConfig::snapshot_dir);
+    /// `false` trades durability for fsync-free update throughput.
+    pub wal: bool,
+    /// Brownout high-water mark: when this many connections are queued or
+    /// in flight, cold-miss work is shed with `overloaded` replies while
+    /// warm hits and `stats` keep answering. `None` disables brownout;
+    /// `Some(0)` forces it permanently (deterministic tests). A sensible
+    /// operational value is the [`backlog`](ServerConfig::backlog).
+    pub brownout_high_water: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +111,8 @@ impl Default for ServerConfig {
             faults: None,
             snapshot_dir: None,
             snapshot_every: None,
+            wal: true,
+            brownout_high_water: None,
         }
     }
 }
@@ -112,15 +128,30 @@ struct Shared {
     addr: SocketAddr,
     read_timeout: Option<Duration>,
     snapshot_dir: Option<PathBuf>,
+    /// The update journal; `None` when no snapshot dir is configured or
+    /// the WAL was disabled. Appends hold the lock across write+fsync so
+    /// records never interleave.
+    wal: Option<Mutex<Wal>>,
+    /// Programs whose last `update` failed mid-re-solve: the cache still
+    /// holds the pre-edit summaries, which keep serving flagged
+    /// `stale: true` until an update (or full reload) succeeds.
+    stale: RwLock<HashSet<String>>,
+    /// Connections queued or in flight — the brownout gauge.
+    pending: AtomicUsize,
+    /// Brownout engages when `pending >= brownout_mark`.
+    brownout_mark: usize,
 }
 
 /// A typed handler failure: the error-kind taxonomy of the protocol.
 /// `Bad` covers client mistakes (unknown program/variable/option);
-/// `Solve` carries a tripped budget.
+/// `Solve` carries a tripped budget; `Brownout` is the degradation
+/// ladder shedding cold-miss work under load (kind `overloaded`, with
+/// `retry_after_ms` and a `degraded` marker).
 enum ServeError {
     Bad(String),
     Internal(String),
     Solve(SolveError),
+    Brownout,
 }
 
 impl From<String> for ServeError {
@@ -141,6 +172,7 @@ impl ServeError {
             ServeError::Bad(_) => "bad_request",
             ServeError::Internal(_) => "internal",
             ServeError::Solve(e) => e.kind(),
+            ServeError::Brownout => "overloaded",
         }
     }
 
@@ -149,6 +181,14 @@ impl ServeError {
             ServeError::Bad(msg) => error_response("bad_request", msg),
             ServeError::Internal(msg) => error_response("internal", msg),
             ServeError::Solve(e) => solve_error_response(e),
+            ServeError::Brownout => error_response_with(
+                "overloaded",
+                "brownout: cold-miss work shed; retry later",
+                [
+                    ("retry_after_ms", Json::count(RETRY_AFTER_MS)),
+                    ("degraded", Json::str("brownout")),
+                ],
+            ),
         }
     }
 }
@@ -206,28 +246,69 @@ pub fn serve(cfg: &ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let metrics = Arc::new(Metrics::new());
+    let cache = SessionCache::with_max_bytes(Arc::clone(&metrics), cfg.max_cache_bytes);
+
+    // Cold-start warm: restore the previous process's cache. A corrupt or
+    // unreadable snapshot is a metric and a cold start, never a crash.
+    if let Some(dir) = &cfg.snapshot_dir {
+        match crate::snapshot::load_from_dir(&cache, dir) {
+            Ok(None) => {}
+            Ok(Some(entries)) => metrics.record_snapshot_restore(entries as u64),
+            Err(e) => {
+                metrics.record_snapshot_restore_error();
+                eprintln!("snapshot load failed ({e}); starting cold");
+            }
+        }
+    }
+    // Replay the update journal on top of the snapshot: every `update`
+    // acknowledged after the snapshot was cut re-applies here, so a
+    // SIGKILL between snapshot intervals loses nothing. A torn tail from
+    // a crash mid-append replays up to the last whole record (counted,
+    // never fatal); `Wal::open` then cuts the tear off. WAL open failure
+    // *is* fatal — a server promising durability must not start without
+    // its journal.
+    let wal = match (&cfg.snapshot_dir, cfg.wal) {
+        (Some(dir), true) => {
+            let info = crate::wal::replay(dir)?;
+            let mut errors = 0u64;
+            for rec in &info.records {
+                let applied = match cache.update(&rec.program, &rec.source) {
+                    Ok(_) => true,
+                    // The snapshot predates this program entirely (or was
+                    // absent): the journaled source is the full post-edit
+                    // text, so a fresh load converges to the same state.
+                    Err(_) => cache.load(Some(&rec.program), &rec.source).is_ok(),
+                };
+                if !applied {
+                    errors += 1;
+                }
+            }
+            metrics.record_wal_replay(
+                info.records.len() as u64 - errors,
+                errors,
+                info.torn_tail,
+            );
+            let wal = Wal::open(dir, info.records.len() as u64)?;
+            metrics.set_wal_gauges(wal.depth(), wal.bytes());
+            Some(Mutex::new(wal))
+        }
+        _ => None,
+    };
+
     let shared = Arc::new(Shared {
-        cache: SessionCache::with_max_bytes(Arc::clone(&metrics), cfg.max_cache_bytes),
+        cache,
         metrics: Arc::clone(&metrics),
         faults,
         shutdown: AtomicBool::new(false),
         addr,
         read_timeout: cfg.read_timeout,
         snapshot_dir: cfg.snapshot_dir.clone(),
+        wal,
+        stale: RwLock::new(HashSet::new()),
+        pending: AtomicUsize::new(0),
+        brownout_mark: cfg.brownout_high_water.unwrap_or(usize::MAX),
     });
 
-    // Cold-start warm: restore the previous process's cache. A corrupt or
-    // unreadable snapshot is a metric and a cold start, never a crash.
-    if let Some(dir) = &shared.snapshot_dir {
-        match crate::snapshot::load_from_dir(&shared.cache, dir) {
-            Ok(None) => {}
-            Ok(Some(entries)) => shared.metrics.record_snapshot_restore(entries as u64),
-            Err(e) => {
-                shared.metrics.record_snapshot_restore_error();
-                eprintln!("snapshot load failed ({e}); starting cold");
-            }
-        }
-    }
     if let (Some(dir), Some(every)) = (cfg.snapshot_dir.clone(), cfg.snapshot_every) {
         let saver_shared = Arc::clone(&shared);
         std::thread::spawn(move || loop {
@@ -235,9 +316,8 @@ pub fn serve(cfg: &ServerConfig) -> io::Result<ServerHandle> {
             if saver_shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            match crate::snapshot::save_to_dir(&saver_shared.cache, &dir) {
-                Ok(bytes) => saver_shared.metrics.record_snapshot_save(bytes),
-                Err(e) => eprintln!("periodic snapshot failed: {e}"),
+            if let Err(e) = save_snapshot(&saver_shared, &dir) {
+                eprintln!("periodic snapshot failed: {e}");
             }
         });
     }
@@ -257,7 +337,12 @@ pub fn serve(cfg: &ServerConfig) -> io::Result<ServerHandle> {
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .recv();
                 match conn {
-                    Ok(stream) => handle_connection(&shared, stream),
+                    Ok(stream) => {
+                        handle_connection(&shared, stream);
+                        // Accepted connections were counted before
+                        // enqueue, so the gauge never underflows.
+                        shared.pending.fetch_sub(1, Ordering::SeqCst);
+                    }
                     Err(_) => break, // channel closed: shutting down
                 }
             })
@@ -271,6 +356,10 @@ pub fn serve(cfg: &ServerConfig) -> io::Result<ServerHandle> {
                 break; // the loopback poke (or any later connect) lands here
             }
             let Ok(stream) = stream else { continue };
+            // Count the connection before enqueueing it (undone on a
+            // failed send): the worker-side decrement can then never
+            // observe the gauge at zero while it holds a connection.
+            accept_shared.pending.fetch_add(1, Ordering::SeqCst);
             match tx.try_send(stream) {
                 Ok(()) => {}
                 // Queue full: shed this connection with a structured
@@ -278,9 +367,15 @@ pub fn serve(cfg: &ServerConfig) -> io::Result<ServerHandle> {
                 // written from the accept thread — cheap, the socket
                 // buffer of a fresh connection never blocks a one-line
                 // write.
-                Err(TrySendError::Full(stream)) => shed(&accept_shared, stream),
+                Err(TrySendError::Full(stream)) => {
+                    accept_shared.pending.fetch_sub(1, Ordering::SeqCst);
+                    shed(&accept_shared, stream);
+                }
                 // Every worker exited, which implies shutdown.
-                Err(TrySendError::Disconnected(_)) => break,
+                Err(TrySendError::Disconnected(_)) => {
+                    accept_shared.pending.fetch_sub(1, Ordering::SeqCst);
+                    break;
+                }
             }
         }
         drop(tx);
@@ -288,10 +383,9 @@ pub fn serve(cfg: &ServerConfig) -> io::Result<ServerHandle> {
             let _ = w.join();
         }
         // Final snapshot: the next process starts where this one stopped.
-        if let Some(dir) = &accept_shared.snapshot_dir {
-            match crate::snapshot::save_to_dir(&accept_shared.cache, dir) {
-                Ok(bytes) => accept_shared.metrics.record_snapshot_save(bytes),
-                Err(e) => eprintln!("shutdown snapshot failed: {e}"),
+        if let Some(dir) = accept_shared.snapshot_dir.clone() {
+            if let Err(e) = save_snapshot(&accept_shared, &dir) {
+                eprintln!("shutdown snapshot failed: {e}");
             }
         }
         println!("{}", accept_shared.metrics.summary_line());
@@ -331,6 +425,39 @@ fn shed(shared: &Shared, stream: TcpStream) {
             while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
         }
     });
+}
+
+/// Saves a snapshot and, on success, truncates the update journal — the
+/// snapshot now covers its records. The journal lock is held across
+/// save + truncate: an `update` landing mid-save blocks at its append
+/// and re-journals *after* the truncation, so it is covered by the WAL
+/// whether or not the snapshot caught it (a doubly-covered record is
+/// harmless — replay is idempotent; an uncovered one would be data
+/// loss). The injected `snapshot_save` disk site fails the save before
+/// anything is written; real I/O errors land the same way. Either
+/// failure leaves the journal intact: durability is preserved, only
+/// compaction is missed.
+fn save_snapshot(shared: &Shared, dir: &std::path::Path) -> io::Result<u64> {
+    let mut wal = shared
+        .wal
+        .as_ref()
+        .map(|w| w.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
+    if let Some(f) = shared.faults.fire_disk("snapshot_save") {
+        shared.metrics.record_snapshot_save_error();
+        return Err(f.to_error("snapshot_save"));
+    }
+    let bytes = crate::snapshot::save_to_dir(&shared.cache, dir).map_err(|e| {
+        shared.metrics.record_snapshot_save_error();
+        io::Error::other(format!("snapshot save failed: {e}"))
+    })?;
+    shared.metrics.record_snapshot_save(bytes);
+    if let Some(wal) = wal.as_deref_mut() {
+        match wal.truncate() {
+            Ok(()) => shared.metrics.set_wal_gauges(wal.depth(), wal.bytes()),
+            Err(e) => eprintln!("wal truncate after snapshot failed: {e}"),
+        }
+    }
+    Ok(bytes)
 }
 
 fn handle_connection(shared: &Shared, stream: TcpStream) {
@@ -533,11 +660,37 @@ fn dispatch_parsed(shared: &Shared, parsed: &Json) -> (Json, bool) {
     };
     shared.metrics.record_op(req.op_index());
     let shutdown = matches!(req, Request::Shutdown);
+    // Degradation ladder, stale rung: queries against a program whose
+    // last update failed mid-re-solve keep answering from the pre-edit
+    // summaries, flagged so the client knows the edit has not landed.
+    let stale = match &req {
+        Request::PointsTo { program, .. }
+        | Request::Alias { program, .. }
+        | Request::ModRef { program, .. }
+        | Request::CompareModels { program, .. } => stale_contains(shared, program),
+        _ => false,
+    };
+    // Brownout rung: with the backlog above the high-water mark, shed
+    // cold-miss work with `overloaded` while warm hits keep answering.
+    let brownout = shared.pending.load(Ordering::SeqCst) >= shared.brownout_mark
+        && !answerable_warm(shared, &req);
     let mut paid = Duration::ZERO; // compile/solve time, excluded from lookup time
-    let resp = match handle(shared, req, &mut paid) {
+    let result = if brownout {
+        shared.metrics.record_brownout_shed();
+        shared.metrics.record_degraded();
+        Err(ServeError::Brownout)
+    } else {
+        handle(shared, req, &mut paid)
+    };
+    let resp = match result {
         Ok(resp) => {
             shared.metrics.record_ok();
-            resp
+            if stale {
+                shared.metrics.record_stale_serve();
+                with_marker(resp, "stale", Json::Bool(true))
+            } else {
+                resp
+            }
         }
         Err(e) => {
             shared.metrics.record_error(e.kind());
@@ -607,7 +760,16 @@ fn demand_meta(answer: &DemandAnswer, cached: bool) -> Json {
 
 /// Answers one demand-mode query: fire the `demand` fault site, consult
 /// the demand cache (slicing+solving on a cold miss), and account the
-/// solve time into `paid`.
+/// solve time into `paid`. Returns `(answer, cached, degraded)`.
+///
+/// Degradation ladder, first rung: when the demand path itself fails —
+/// a panic or a tripped budget — and a full summary for the same options
+/// is resident, the query is answered from that summary instead of
+/// refused (`degraded` true, the reply carries a `demand_fallback`
+/// marker). An absorbed panic records neither `panics` nor `internal`,
+/// so the `internal == panics` reconciliation still holds; with no warm
+/// fallback the panic resumes and the usual containment replies
+/// `internal`.
 fn demand_for(
     shared: &Shared,
     entry: &ProgramEntry,
@@ -615,11 +777,115 @@ fn demand_for(
     query: &DemandQuery,
     subject: &str,
     paid: &mut Duration,
-) -> Result<(Arc<DemandAnswer>, bool), ServeError> {
-    shared.faults.fire("demand");
-    let (answer, solve_paid, cached) = shared.cache.demand(entry, opts, query, subject)?;
-    *paid += solve_paid;
-    Ok((answer, cached))
+) -> Result<(Arc<DemandAnswer>, bool, bool), ServeError> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        shared.faults.fire("demand");
+        shared.cache.demand(entry, opts, query, subject)
+    }));
+    let fallback = || shared.cache.demand_fallback(entry, opts, query, subject);
+    match result {
+        Ok(Ok((answer, solve_paid, cached))) => {
+            *paid += solve_paid;
+            Ok((answer, cached, false))
+        }
+        Ok(Err(e)) => match fallback() {
+            Some(answer) => {
+                shared.metrics.record_degraded();
+                Ok((Arc::new(answer), true, true))
+            }
+            None => Err(e.into()),
+        },
+        Err(payload) => match fallback() {
+            Some(answer) => {
+                shared.metrics.record_degraded();
+                Ok((Arc::new(answer), true, true))
+            }
+            None => std::panic::resume_unwind(payload),
+        },
+    }
+}
+
+/// Appends one marker field to an (object) reply.
+fn with_marker(resp: Json, key: &str, val: Json) -> Json {
+    match resp {
+        Json::Obj(mut pairs) => {
+            pairs.push((key.to_string(), val));
+            Json::Obj(pairs)
+        }
+        other => other,
+    }
+}
+
+fn stale_contains(shared: &Shared, program: &str) -> bool {
+    shared
+        .stale
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .contains(program)
+}
+
+fn set_stale(shared: &Shared, program: &str, stale: bool) {
+    let mut set = shared
+        .stale
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if stale {
+        set.insert(program.to_string());
+    } else {
+        set.remove(program);
+    }
+}
+
+/// Brownout triage: can `req` be answered from resident cache state
+/// without compiling or solving anything? `stats`, `shutdown`, and
+/// `snapshot` are always answered; a query is warm when its program and
+/// summary (or demand answer) are resident; `update` and source-bearing
+/// `load` are cold work by definition. Purely a probe — no hit/miss
+/// metrics move, and a race with eviction merely turns one shed into one
+/// served cold request.
+fn answerable_warm(shared: &Shared, req: &Request) -> bool {
+    match req {
+        Request::Stats | Request::Shutdown | Request::Snapshot => true,
+        Request::Load { name, source } => match (name, source) {
+            (Some(n), None) => shared.cache.entry(n).is_some(),
+            _ => false,
+        },
+        Request::Update { .. } => false,
+        Request::PointsTo { program, var, demand, opts } => {
+            let Some(entry) = shared.cache.entry(program) else {
+                return false;
+            };
+            (*demand
+                && shared.cache.demand_is_resident(&entry, opts, &format!("points_to/{var}")))
+                || shared.cache.solved_if_resident(&entry, opts).is_some()
+        }
+        Request::Alias { program, a, b, demand, opts } => {
+            let Some(entry) = shared.cache.entry(program) else {
+                return false;
+            };
+            (*demand
+                && shared.cache.demand_is_resident(&entry, opts, &format!("alias/{a}/{b}")))
+                || shared.cache.solved_if_resident(&entry, opts).is_some()
+        }
+        Request::ModRef { program, func, demand, opts } => {
+            let Some(entry) = shared.cache.entry(program) else {
+                return false;
+            };
+            let demand_warm = *demand
+                && func.as_ref().is_some_and(|f| {
+                    shared.cache.demand_is_resident(&entry, opts, &format!("modref/{f}"))
+                });
+            demand_warm || shared.cache.solved_if_resident(&entry, opts).is_some()
+        }
+        Request::CompareModels { program, opts } => {
+            let Some(entry) = shared.cache.entry(program) else {
+                return false;
+            };
+            ModelKind::ALL.iter().all(|&k| {
+                shared.cache.solved_if_resident(&entry, &opts.with_model(k)).is_some()
+            })
+        }
+    }
 }
 
 fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, ServeError> {
@@ -634,6 +900,9 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, Se
                 }
                 (None, None) => unreachable!("parser requires name or source"),
             };
+            // A successful full (re)load supersedes any failed update:
+            // the session state is exactly the loaded source again.
+            set_stale(shared, &entry.name, false);
             *paid += entry.compile;
             Ok(ok_response([
                 ("program", Json::str(&entry.name)),
@@ -652,18 +921,24 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, Se
                 })?;
                 let query = DemandQuery::PointsTo { obj };
                 let subject = format!("points_to/{var}");
-                let (answer, cached) = demand_for(shared, &entry, &opts, &query, &subject, paid)?;
+                let (answer, cached, degraded) =
+                    demand_for(shared, &entry, &opts, &query, &subject, paid)?;
                 let DemandPayload::PointsTo(targets) = &answer.payload else {
                     unreachable!("points_to query yields a points_to payload");
                 };
-                return Ok(ok_response([
+                let resp = ok_response([
                     ("program", Json::str(&program)),
                     ("var", Json::str(&var)),
                     ("config", Json::str(opts.cache_key())),
                     ("points_to", Json::Arr(targets.iter().map(Json::str).collect())),
                     ("mode", Json::str("demand")),
                     ("demand", demand_meta(&answer, cached)),
-                ]));
+                ]);
+                return Ok(if degraded {
+                    with_marker(resp, "degraded", Json::str("demand_fallback"))
+                } else {
+                    resp
+                });
             }
             let solved = solved_for(shared, &program, &opts, paid)?;
             if !solved.vars.contains(&var) {
@@ -695,11 +970,12 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, Se
                 };
                 let query = DemandQuery::Alias { a: oa, b: ob };
                 let subject = format!("alias/{a}/{b}");
-                let (answer, cached) = demand_for(shared, &entry, &opts, &query, &subject, paid)?;
+                let (answer, cached, degraded) =
+                    demand_for(shared, &entry, &opts, &query, &subject, paid)?;
                 let DemandPayload::Alias(alias) = answer.payload else {
                     unreachable!("alias query yields an alias payload");
                 };
-                return Ok(ok_response([
+                let resp = ok_response([
                     ("program", Json::str(&program)),
                     ("a", Json::str(&a)),
                     ("b", Json::str(&b)),
@@ -707,7 +983,12 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, Se
                     ("alias", Json::Bool(alias)),
                     ("mode", Json::str("demand")),
                     ("demand", demand_meta(&answer, cached)),
-                ]));
+                ]);
+                return Ok(if degraded {
+                    with_marker(resp, "degraded", Json::str("demand_fallback"))
+                } else {
+                    resp
+                });
             }
             let solved = solved_for(shared, &program, &opts, paid)?;
             let alias = solved.may_alias(&a, &b).ok_or_else(|| {
@@ -744,17 +1025,23 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, Se
                     .ok_or_else(|| format!("unknown function `{f}` in `{program}`"))?;
                 let query = DemandQuery::ModRef { func: fid };
                 let subject = format!("modref/{f}");
-                let (answer, cached) = demand_for(shared, &entry, &opts, &query, &subject, paid)?;
+                let (answer, cached, degraded) =
+                    demand_for(shared, &entry, &opts, &query, &subject, paid)?;
                 let DemandPayload::ModRef { mods, refs } = &answer.payload else {
                     unreachable!("modref query yields a modref payload");
                 };
-                return Ok(ok_response([
+                let resp = ok_response([
                     ("program", Json::str(&program)),
                     ("config", Json::str(opts.cache_key())),
                     ("functions", Json::Arr(vec![render(&f, (mods, refs))])),
                     ("mode", Json::str("demand")),
                     ("demand", demand_meta(&answer, cached)),
-                ]));
+                ]);
+                return Ok(if degraded {
+                    with_marker(resp, "degraded", Json::str("demand_fallback"))
+                } else {
+                    resp
+                });
             }
             let solved = solved_for(shared, &program, &opts, paid)?;
             let functions = match func {
@@ -810,16 +1097,72 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, Se
             ]))
         }
         Request::Update { program, source } => {
-            shared.faults.fire("solve");
             let start = Instant::now();
-            let report = shared.cache.update(&program, &source)?;
+            // Stale rung of the degradation ladder: a failure (or panic)
+            // mid-update leaves the cache unmodified — `cache.update` is
+            // atomic on error — so the pre-edit summaries keep serving,
+            // flagged `stale: true` until an edit lands. The panic is
+            // converted locally (with its own `record_panic`, preserving
+            // `internal == panics`) so the stale mark is set on the way
+            // out.
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                shared.faults.fire("solve");
+                shared.cache.update(&program, &source)
+            }));
+            let report = match result {
+                Ok(Ok(report)) => report,
+                Ok(Err(msg)) => {
+                    if shared.cache.entry(&program).is_some() {
+                        set_stale(shared, &program, true);
+                    }
+                    return Err(ServeError::Bad(msg));
+                }
+                Err(payload) => {
+                    if shared.cache.entry(&program).is_some() {
+                        set_stale(shared, &program, true);
+                    }
+                    shared.metrics.record_panic();
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("non-string panic payload");
+                    return Err(ServeError::Internal(format!(
+                        "update failed mid-re-solve: {msg}"
+                    )));
+                }
+            };
             *paid += start.elapsed();
             shared.metrics.record_update(
                 report.fallback.is_some(),
                 report.retracted_edges as u64,
                 report.resolve,
             );
-            Ok(ok_response([
+            set_stale(shared, &program, false);
+            // Durability: journal the accepted edit, fsync'd before the
+            // reply. Append failure degrades rather than refuses — the
+            // update is applied in memory and the reply says plainly that
+            // it is not durable.
+            let durable = match &shared.wal {
+                Some(wal) => {
+                    let mut wal =
+                        wal.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    match wal.append(&program, &source, &shared.faults) {
+                        Ok(()) => {
+                            shared.metrics.record_wal_append(wal.depth(), wal.bytes());
+                            Some(true)
+                        }
+                        Err(e) => {
+                            shared.metrics.record_wal_append_error();
+                            shared.metrics.record_degraded();
+                            eprintln!("wal append failed ({e}); update applied but not durable");
+                            Some(false)
+                        }
+                    }
+                }
+                None => None,
+            };
+            let resp = ok_response([
                 ("program", Json::str(&report.entry.name)),
                 ("hash", Json::str(&report.entry.hash_hex)),
                 ("reused_fns", Json::count(report.reused_fns as u64)),
@@ -836,7 +1179,16 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, Se
                 ("dropped_demand", Json::count(report.dropped_demand as u64)),
                 ("resolve_s", Json::num(report.resolve.as_secs_f64())),
                 ("fallback", report.fallback.map_or(Json::Null, Json::Str)),
-            ]))
+            ]);
+            Ok(match durable {
+                Some(true) => with_marker(resp, "durable", Json::Bool(true)),
+                Some(false) => with_marker(
+                    with_marker(resp, "durable", Json::Bool(false)),
+                    "degraded",
+                    Json::str("wal_append_failed"),
+                ),
+                None => resp,
+            })
         }
         Request::Stats => {
             let (programs, solved) = shared.cache.sizes();
@@ -874,10 +1226,9 @@ fn handle(shared: &Shared, req: Request, paid: &mut Duration) -> Result<Json, Se
                     .to_string()
             })?;
             let start = Instant::now();
-            let bytes = crate::snapshot::save_to_dir(&shared.cache, dir)
-                .map_err(|e| ServeError::Internal(format!("snapshot save failed: {e}")))?;
+            let bytes = save_snapshot(shared, dir)
+                .map_err(|e| ServeError::Internal(e.to_string()))?;
             *paid += start.elapsed();
-            shared.metrics.record_snapshot_save(bytes);
             let (programs, solved) = shared.cache.sizes();
             Ok(ok_response([
                 (

@@ -406,11 +406,14 @@ fn wire_ok_count(stats: &Json) -> u64 {
 }
 
 /// The fleet chaos tentpole: SIGKILL a replica in the middle of a query
-/// storm through the router. Every storm reply must be well-formed (a
-/// real answer or a typed `overloaded` shed), the router must restart the
-/// victim from its snapshot, the restarted process must serve its
-/// re-warmed keys with **zero** compile/solve misses, and the fleet's
-/// metrics must reconcile exactly — per replica and at the router.
+/// storm through the router. Every storm reply must be well-formed — a
+/// real answer (the ring successor serves the victim's read keys during
+/// the outage) or a typed `overloaded` shed — an `update` aimed at the
+/// dead owner must shed with `degraded: "replica_down"` instead of
+/// failing over, the router must restart the victim from its snapshot,
+/// the restarted process must serve its re-warmed keys with **zero**
+/// compile/solve misses, and the fleet's metrics must reconcile exactly —
+/// per replica and at the router.
 #[test]
 fn replica_killed_mid_storm_is_shed_then_restarts_warm_with_zero_misses() {
     let root = std::env::temp_dir().join(format!(
@@ -512,19 +515,58 @@ fn replica_killed_mid_storm_is_shed_then_restarts_warm_with_zero_misses() {
     std::thread::sleep(Duration::from_millis(50));
     fleet_h.kill_replica(victim).expect("victim had a live process");
 
-    let (mut total, mut shed_seen) = (0usize, 0u64);
+    // While the owner is down, an update aimed at its keyspace must NOT
+    // fail over to the successor (whose WAL is not the owner's): it sheds
+    // with the typed `degraded: "replica_down"` marker. A ghost program
+    // name that routes to the victim keeps the probe side-effect-free —
+    // if the restart wins the race the reply is a plain bad_request.
+    let ghost = (0..)
+        .map(|n| format!("ghost-{n}"))
+        .find(|g| fleet_h.route(g) == victim)
+        .unwrap();
+    let update_req =
+        format!(r#"{{"op":"update","program":"{ghost}","source":"int g_ghost;"}}"#);
+    let mut ghost_sheds = 0u64;
+    {
+        let mut c = Client::connect(addr).unwrap();
+        let line = c.request_line(&update_req).unwrap();
+        let resp = Json::parse(&line).unwrap();
+        assert_well_formed(&resp);
+        match error_kind(&resp) {
+            Some("overloaded") => {
+                assert_eq!(
+                    resp.get("error")
+                        .and_then(|e| e.get("degraded"))
+                        .and_then(Json::as_str),
+                    Some("replica_down"),
+                    "an update shed by a dead owner must carry the marker: {resp}"
+                );
+                ghost_sheds += 1;
+            }
+            kind => panic!("update must shed while the owner is down, got {kind:?}: {resp}"),
+        }
+    }
+
+    let (mut total, mut shed_seen) = (0usize, ghost_sheds);
     for w in workers {
         let (served, shed) = w.join().unwrap();
         total += served;
         shed_seen += shed;
     }
     assert_eq!(total, 3 * 60 * storm.len(), "no storm reply was dropped");
-    assert!(shed_seen > 0, "the kill landed mid-storm, someone was shed");
 
-    // The storm's failed forwards triggered a background restart; keep
-    // querying the victim's key until the restarted replica answers.
-    let mut c = Client::connect(addr).unwrap();
+    // The kill triggered a background restart (health probe and failed
+    // forwards both report it); with failover in front, recovery is
+    // observed through the replica table, not through shed replies.
     let deadline = Instant::now() + Duration::from_secs(30);
+    while fleet_h.replica_addrs()[victim].is_none() {
+        assert!(Instant::now() < deadline, "victim never came back");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Once the victim is re-bound, its keys route home again; the first
+    // answer must come from its snapshot-restored cache.
+    let mut c = Client::connect(addr).unwrap();
     let warm_reply = loop {
         let line = c
             .request_line(r#"{"op":"points_to","program":"bst","var":"g_tree"}"#)
@@ -537,7 +579,7 @@ fn replica_killed_mid_storm_is_shed_then_restarts_warm_with_zero_misses() {
         shed_seen += 1;
         assert!(
             Instant::now() < deadline,
-            "victim never came back: {resp}"
+            "victim never answered post-restart: {resp}"
         );
         std::thread::sleep(Duration::from_millis(50));
     };
@@ -577,6 +619,16 @@ fn replica_killed_mid_storm_is_shed_then_restarts_warm_with_zero_misses() {
     }
     let vrow = &rows[victim];
     assert_eq!(vrow.get("restarts").and_then(Json::as_u64), Some(1), "{vrow}");
+    // The per-replica WAL depth is a first-class fleet_stats field; this
+    // storm journaled nothing (the ghost update was shed or rejected), so
+    // both replicas report an empty journal.
+    for row in rows {
+        assert_eq!(
+            row.get("wal_depth").and_then(Json::as_u64),
+            Some(0),
+            "{row}"
+        );
+    }
     let vstats = vrow.get("stats").unwrap();
     // The tentpole claim: the restarted process recompiled NOTHING and
     // re-solved NOTHING — every post-restart answer came from the
@@ -613,13 +665,24 @@ fn replica_killed_mid_storm_is_shed_then_restarts_warm_with_zero_misses() {
         snap.get("restored_entries").and_then(Json::as_u64).unwrap() >= 3,
         "the victim's programs + summaries + demand answer: {snap}"
     );
-    // Router-side accounting: every shed the clients saw is counted, and
-    // exactly one restart happened fleet-wide.
+    // Router-side accounting: every shed the clients saw is counted,
+    // reads really failed over to the successor during the outage, the
+    // shed update is tallied separately, and exactly one restart happened
+    // fleet-wide.
     let router = fs.get("router").unwrap();
     assert_eq!(
         router.get("overloaded").and_then(Json::as_u64),
         Some(shed_seen),
         "router sheds must equal the overloaded replies observed: {router}"
+    );
+    assert!(
+        router.get("failovers").and_then(Json::as_u64).unwrap() >= 1,
+        "the storm's reads must have failed over while the owner was down: {router}"
+    );
+    assert_eq!(
+        router.get("update_sheds").and_then(Json::as_u64),
+        Some(ghost_sheds),
+        "update sheds must equal the degraded replies observed: {router}"
     );
     assert_eq!(router.get("restarts").and_then(Json::as_u64), Some(1), "{router}");
 
